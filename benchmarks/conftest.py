@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Wall-clock benchmarks run the five paper problems at ``1/16`` of the
+recovered sample counts by default (pure-Python gridders at full M take
+hours); set ``REPRO_BENCH_SCALE=1`` to run full size.  Modelled-
+performance tables always use the full recovered M.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+paper-comparison tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import PAPER_IMAGES, make_dataset, scaled_m
+from repro.gridding import GriddingSetup
+from repro.kernels import KernelLUT, beatty_kernel
+
+
+@pytest.fixture(scope="session", params=range(5), ids=[im.name for im in PAPER_IMAGES])
+def paper_problem(request):
+    """(image, setup, grid-unit coords, values) at bench scale."""
+    image = PAPER_IMAGES[request.param]
+    m = scaled_m(image)
+    coords, values = make_dataset(image, n_samples=m)
+    lut = KernelLUT(beatty_kernel(6, 2.0), 32)
+    setup = GriddingSetup((image.grid_dim, image.grid_dim), lut)
+    grid_coords = np.mod(coords, 1.0) * image.grid_dim
+    return image, setup, grid_coords, values
+
+
+def print_table(title: str, headers, rows) -> None:
+    from repro.bench import format_table
+
+    print()
+    print(format_table(headers, rows, title=title))

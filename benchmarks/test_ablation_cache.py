@@ -1,0 +1,76 @@
+"""§VI.A ablation — cache behaviour of the gridding access streams.
+
+The paper profiles ~98 % L2 hit rate for Slice-and-Dice GPU vs ~80 %
+for Impatient (binning).  We replay each algorithm's actual grid-store
+address trace through the set-associative simulator: the stacked-column
+layout's locality advantage must emerge from first principles, with the
+naive input-driven stream far behind both.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.reference import GPU_COUNTERS
+from repro.core import SliceAndDiceGridder
+from repro.gridding import BinningGridder, GriddingSetup, NaiveGridder
+from repro.kernels import KernelLUT, beatty_kernel
+from repro.perfmodel import CacheModel
+from repro.trajectories import random_trajectory
+
+from conftest import print_table
+
+G = 256
+M = 6000
+
+
+@pytest.fixture(scope="module")
+def traces():
+    setup = GriddingSetup((G, G), KernelLUT(beatty_kernel(6, 2.0), 32))
+    coords = np.mod(random_trajectory(M, 2, rng=3), 1.0) * G
+    return {
+        "naive (input-driven)": NaiveGridder(setup).address_trace(coords),
+        "binning (B=32)": BinningGridder(setup, tile_size=32).address_trace(coords),
+        "slice_and_dice (T=8)": SliceAndDiceGridder(setup).address_trace(coords),
+    }
+
+
+def test_l2_hit_rates(traces):
+    # Titan-Xp-class L2 scaled to our problem: the paper's 1024^2 grids
+    # are 16x the Titan Xp's 3 MB L2; a 32 KiB cache puts this trace's
+    # 256^2 complex64 grid (0.5 MB) in the same working-set to capacity
+    # regime.
+    cache = CacheModel(32 * 1024, line_bytes=64, associativity=8)
+    rows = []
+    hits = {}
+    for name, trace in traces.items():
+        stats = cache.simulate(trace, element_bytes=8)
+        hits[name] = stats.hit_rate
+        rows.append([name, f"{stats.hit_rate:.3f}", stats.accesses])
+    rows.append(["paper: SnD GPU", GPU_COUNTERS["slice_and_dice_gpu"]["l2_hit_rate"], "-"])
+    rows.append(["paper: Impatient", GPU_COUNTERS["impatient"]["l2_hit_rate"], "-"])
+    print_table("Cache-simulated hit rates of gridding address streams",
+                ["stream", "hit rate", "accesses"], rows)
+
+    snd = hits["slice_and_dice (T=8)"]
+    binning = hits["binning (B=32)"]
+    naive = hits["naive (input-driven)"]
+    # the paper's ~98 % (SnD) vs ~80 % (binning) regime; naive's floor
+    # comes only from intra-window spatial locality (~6 points/line)
+    assert snd > 0.9
+    assert snd > binning + 0.08
+    assert binning > naive
+    assert snd > naive + 0.15
+
+
+def test_hit_rate_ordering_robust_to_cache_size(traces):
+    """The SnD >= binning > naive ordering must hold across cache
+    capacities *smaller than the grid* (once the whole grid fits, every
+    stream degenerates to compulsory misses only)."""
+    for kib in (32, 64, 128):
+        cache = CacheModel(kib * 1024, line_bytes=64, associativity=8)
+        res = {
+            name: cache.simulate(trace, element_bytes=8).hit_rate
+            for name, trace in traces.items()
+        }
+        assert res["slice_and_dice (T=8)"] > res["naive (input-driven)"]
+        assert res["binning (B=32)"] > res["naive (input-driven)"]

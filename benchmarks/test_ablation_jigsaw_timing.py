@@ -1,0 +1,86 @@
+"""JIGSAW timing-law ablation (§IV/§VI).
+
+Verifies, via the cycle-level simulation and the functional simulator,
+that runtime is ``M + depth`` regardless of sampling pattern, window
+width, and grid size — and that the 3-D slice variant's Z-binning
+optimization delivers its ``Nz / Wz`` reduction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.jigsaw import (
+    JigsawConfig,
+    JigsawSimulator,
+    gridding_cycles_3d_slice,
+    simulate_microarchitecture,
+)
+from repro.trajectories import golden_angle_radial, random_trajectory, rosette_trajectory
+
+from conftest import print_table
+
+
+def test_cycles_invariant_to_pattern():
+    cfg = JigsawConfig(grid_dim=64, window_width=6, table_oversampling=32)
+    sim = JigsawSimulator(cfg)
+    m = 2000
+    patterns = {
+        "random": np.mod(random_trajectory(m, 2, rng=0), 1.0) * 64,
+        "radial": np.mod(golden_angle_radial(m // 100, 100), 1.0) * 64,
+        "rosette": np.mod(rosette_trajectory(m), 1.0) * 64,
+        "all-coincident": np.full((m, 2), 32.0),
+    }
+    vals = np.ones(m, dtype=complex)
+    rows = []
+    cycles = set()
+    for name, coords in patterns.items():
+        res = sim.grid_2d(coords[:m], vals)
+        rows.append([name, res.cycles])
+        cycles.add(res.cycles)
+    print_table(f"JIGSAW 2D cycles across sampling patterns (M={m})",
+                ["pattern", "cycles"], rows)
+    assert cycles == {m + 12}
+
+
+@pytest.mark.parametrize("w", [1, 4, 8])
+@pytest.mark.parametrize("n", [8, 256, 1024])
+def test_cycles_invariant_to_w_and_n(w, n):
+    cfg = JigsawConfig(grid_dim=n, window_width=w, table_oversampling=16)
+    assert simulate_microarchitecture(cfg, 500).total_cycles == 512
+
+
+def test_3d_z_binning_reduction():
+    """Unsorted: (M+15) * Nz.  Z-pre-binned: (M+15) * Wz."""
+    cfg = JigsawConfig(
+        grid_dim=64, grid_dim_z=64, window_width=6, window_width_z=6,
+        table_oversampling=32, variant="3d_slice",
+    )
+    m = 10_000
+    unsorted_cycles = gridding_cycles_3d_slice(m, cfg, z_sorted=False)
+    sorted_cycles = gridding_cycles_3d_slice(m, cfg, z_sorted=True)
+    print_table(
+        "JIGSAW 3D Slice — Z-binning ablation",
+        ["input", "cycles", "relative"],
+        [
+            ["unsorted", unsorted_cycles, "Nz x"],
+            ["z-binned", sorted_cycles, "Wz x"],
+        ],
+    )
+    assert unsorted_cycles / sorted_cycles == pytest.approx(64 / 6, rel=1e-6)
+
+
+def test_throughput_one_sample_per_cycle():
+    """Marginal cost of one extra sample is exactly one cycle."""
+    cfg = JigsawConfig()
+    a = simulate_microarchitecture(cfg, 1000).total_cycles
+    b = simulate_microarchitecture(cfg, 1001).total_cycles
+    assert b - a == 1
+
+
+def test_functional_sim_agrees_with_cycle_sim():
+    cfg = JigsawConfig(grid_dim=32, window_width=4, table_oversampling=16)
+    sim = JigsawSimulator(cfg)
+    rng = np.random.default_rng(0)
+    m = 777
+    res = sim.grid_2d(rng.uniform(0, 32, (m, 2)), np.ones(m, dtype=complex))
+    assert res.cycles == simulate_microarchitecture(cfg, m).total_cycles

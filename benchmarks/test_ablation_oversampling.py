@@ -1,0 +1,90 @@
+"""§II.B ablation — the Beatty oversampling/window-width trade-off.
+
+"a smaller sigma leads to faster FFT operations ... and lower memory
+requirements, [but] a wider interpolation kernel increases latency and
+causes the NuFFT to be even further dominated by the interpolation
+operation."  We sweep (sigma, W) pairs at matched accuracy and measure
+where the work goes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import beatty_kernel, suggest_width
+from repro.nudft import nudft_adjoint
+from repro.nufft import NufftPlan
+from repro.trajectories import random_trajectory
+
+from conftest import print_table
+
+N = 32
+M = 1500
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(0)
+    coords = random_trajectory(M, 2, rng=1)
+    vals = rng.standard_normal(M) + 1j * rng.standard_normal(M)
+    ref = nudft_adjoint(vals, coords, (N, N))
+    return coords, vals, ref
+
+
+def test_sigma_width_tradeoff(data):
+    coords, vals, ref = data
+    rows = []
+    results = {}
+    for sigma, w in [(1.25, 12), (1.5, 8), (2.0, 6)]:
+        plan = NufftPlan(
+            (N, N), coords, oversampling=sigma, width=w,
+            table_oversampling=4096, gridder="naive",
+        )
+        img = plan.adjoint(vals)
+        err = np.linalg.norm(img - ref) / np.linalg.norm(ref)
+        interp_work = M * w * w
+        grid_pts = int(np.prod(plan.grid_shape))
+        fft_work = grid_pts * np.log2(grid_pts)
+        results[sigma] = (err, interp_work, fft_work, grid_pts)
+        rows.append(
+            [sigma, w, f"{err:.2e}", interp_work, f"{fft_work:.3g}", grid_pts * 16]
+        )
+    print_table(
+        "Beatty trade-off: accuracy-matched (sigma, W) pairs",
+        ["sigma", "W", "rel err", "interp MACs", "FFT work", "grid bytes"],
+        rows,
+    )
+
+    # smaller sigma: less FFT work and memory, more interpolation work
+    assert results[1.25][1] > results[2.0][1]
+    assert results[1.25][2] < results[2.0][2]
+    assert results[1.25][3] < results[2.0][3]
+    # accuracy stays in the same order of magnitude across the sweep
+    errs = [results[s][0] for s in (1.25, 1.5, 2.0)]
+    assert max(errs) / min(errs) < 50
+
+
+def test_suggest_width_tracks_sigma(data):
+    """The width chooser mirrors Beatty's chart: lower sigma -> wider W."""
+    rows = []
+    widths = {}
+    for sigma in (1.125, 1.25, 1.5, 2.0):
+        widths[sigma] = suggest_width(sigma, target_error=1e-3)
+        rows.append([sigma, widths[sigma]])
+    print_table("suggest_width(sigma, 1e-3)", ["sigma", "W"], rows)
+    assert widths[1.125] >= widths[1.25] >= widths[1.5] >= widths[2.0]
+
+
+def test_interp_dominance_grows_as_sigma_shrinks(data):
+    """The paper's point: at sigma=1.25 gridding's share of NuFFT time
+    is even larger than at sigma=2."""
+    coords, vals, _ = data
+
+    def gridding_share(sigma, w):
+        plan = NufftPlan(
+            (N, N), coords, oversampling=sigma, width=w,
+            table_oversampling=256, gridder="naive",
+        )
+        plan.adjoint(vals)
+        return plan.timings.gridding / (plan.timings.gridding + plan.timings.fft)
+
+    assert gridding_share(1.25, 12) > gridding_share(2.0, 6) - 0.02

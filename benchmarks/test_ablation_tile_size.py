@@ -1,0 +1,92 @@
+"""Tile-size ablation — why the paper picks T = 8.
+
+Slice-and-Dice's boundary checks are ``M * T^d``, so smaller tiles
+mean fewer checks; but T must satisfy ``W <= T`` (one point per
+column), and the hardware pipeline count is ``T^2``.  The sweep shows
+T = 8 as the smallest tile compatible with the paper's widest kernel
+(W = 8), and quantifies the check/work trade-off; binning's tile size
+is swept alongside for contrast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SliceAndDiceGridder
+from repro.gridding import BinningGridder, GriddingSetup, NaiveGridder
+from repro.kernels import KernelLUT, beatty_kernel
+from repro.trajectories import random_trajectory
+
+from conftest import print_table
+
+G = 128
+M = 3000
+
+
+@pytest.fixture(scope="module")
+def problem():
+    setup = GriddingSetup((G, G), KernelLUT(beatty_kernel(6, 2.0), 32))
+    coords = np.mod(random_trajectory(M, 2, rng=0), 1.0) * G
+    vals = np.ones(M, dtype=complex)
+    return setup, coords, vals
+
+
+def test_slice_and_dice_tile_sweep(problem):
+    setup, coords, vals = problem
+    ref = NaiveGridder(setup).grid(coords, vals)
+    rows = []
+    checks = {}
+    for t in (8, 16, 32):
+        g = SliceAndDiceGridder(setup, tile_size=t)
+        out = g.grid(coords, vals)
+        np.testing.assert_allclose(out, ref, rtol=1e-10, atol=1e-12)
+        checks[t] = g.stats.boundary_checks
+        rows.append([t, t * t, g.stats.boundary_checks, g.layout.n_tiles])
+    print_table(
+        "Slice-and-Dice tile-size sweep (correct at every T)",
+        ["T", "pipelines (T^2)", "boundary checks", "stack depth"],
+        rows,
+    )
+    assert checks[8] < checks[16] < checks[32]
+    assert checks[8] == M * 64
+
+    # T < W must be rejected: the one-point-per-column guarantee
+    with pytest.raises(ValueError):
+        SliceAndDiceGridder(setup, tile_size=4)
+
+
+def test_binning_tile_sweep(problem):
+    setup, coords, vals = problem
+    ref = NaiveGridder(setup).grid(coords, vals)
+    rows = []
+    stats = {}
+    for b in (8, 16, 32, 64):
+        g = BinningGridder(setup, tile_size=b)
+        out = g.grid(coords, vals)
+        np.testing.assert_allclose(out, ref, rtol=1e-10, atol=1e-12)
+        stats[b] = g.stats
+        rows.append(
+            [
+                b,
+                g.stats.boundary_checks,
+                g.stats.samples_processed - M,
+                b * b * 16,
+            ]
+        )
+    print_table(
+        "Binning tile-size sweep",
+        ["B", "boundary checks", "duplicated samples", "tile bytes (c128)"],
+        rows,
+    )
+    # small tiles: more duplicates; big tiles: more checks per sample
+    assert (stats[8].samples_processed - M) > (stats[64].samples_processed - M)
+    assert stats[64].boundary_checks > stats[8].boundary_checks
+
+
+def test_snd_always_fewer_checks_than_binning(problem):
+    setup, coords, vals = problem
+    snd = SliceAndDiceGridder(setup, tile_size=8)
+    snd.grid(coords, vals)
+    for b in (8, 16, 32, 64):
+        binn = BinningGridder(setup, tile_size=b)
+        binn.grid(coords, vals)
+        assert snd.stats.boundary_checks < binn.stats.boundary_checks

@@ -1,0 +1,87 @@
+"""Application benchmark — real-time MRI frame rates (§I motivation).
+
+"Imaging applications such as MRI ... use non-uniform sampling to
+enable reduced imaging scan time"; real-time radial imaging [8] needs
+the reconstruction to keep pace with the scanner.  This bench turns
+the calibrated per-implementation NuFFT times into frames per second
+for a sliding-window golden-angle protocol and for the iterative
+workload (NuFFTs per second across coils and iterations).
+"""
+
+import numpy as np
+import pytest
+
+from repro.mri import RealtimeScenario, frame_rate_fps, keeps_up
+from repro.perfmodel import (
+    AsicJigsawModel,
+    CpuMirtModel,
+    GpuImpatientModel,
+    GpuSliceDiceModel,
+)
+
+from conftest import print_table
+
+MODELS = {
+    "MIRT (CPU)": CpuMirtModel(),
+    "Impatient (GPU)": GpuImpatientModel(),
+    "Slice-and-Dice (GPU)": GpuSliceDiceModel(),
+    "JIGSAW (ASIC + host FFT)": AsicJigsawModel(),
+}
+
+
+def test_realtime_frame_rates():
+    scenario = RealtimeScenario()  # 192^2, 34 spokes/frame, 8 coils, 50 fps target
+    target = 1.0 / scenario.acquisition_frame_seconds
+    rows = []
+    fps = {}
+    for name, model in MODELS.items():
+        fps[name] = frame_rate_fps(scenario, model)
+        rows.append(
+            [name, f"{fps[name]:.1f}", "yes" if keeps_up(scenario, model) else "no"]
+        )
+    print_table(
+        f"Real-time radial MRI ({scenario.image_size}^2, "
+        f"{scenario.n_coils} coils, scanner rate {target:.0f} fps)",
+        ["implementation", "recon fps", "keeps up"],
+        rows,
+    )
+    assert not keeps_up(scenario, MODELS["MIRT (CPU)"])
+    assert keeps_up(scenario, MODELS["Slice-and-Dice (GPU)"])
+    assert keeps_up(scenario, MODELS["JIGSAW (ASIC + host FFT)"])
+    assert fps["JIGSAW (ASIC + host FFT)"] > fps["Slice-and-Dice (GPU)"]
+
+
+def test_iterative_throughput():
+    """NuFFT pairs per second for the §I iterative workload (8 coils,
+    CG on a 256^2 frame) — 'millions of NuFFTs ... to reconstruct a
+    single volume'."""
+    m, grid = 100_000, 512
+    rows = []
+    rates = {}
+    for name, model in MODELS.items():
+        pair = 2 * model.nufft_seconds(m, grid)
+        rates[name] = 1.0 / pair
+        rows.append([name, f"{rates[name]:.1f}"])
+    print_table(
+        "Iterative reconstruction: forward+adjoint NuFFT pairs per second "
+        "(M=100k, 512^2 grid)",
+        ["implementation", "pairs / s"],
+        rows,
+    )
+    assert (
+        rates["JIGSAW (ASIC + host FFT)"]
+        > rates["Slice-and-Dice (GPU)"]
+        > rates["Impatient (GPU)"]
+        > rates["MIRT (CPU)"]
+    )
+
+
+@pytest.mark.parametrize("n_coils", [1, 8, 32])
+def test_coil_scaling(n_coils):
+    """Frame time scales linearly with coil count for every model."""
+    sc1 = RealtimeScenario(n_coils=1)
+    scn = RealtimeScenario(n_coils=n_coils)
+    for model in MODELS.values():
+        f1 = frame_rate_fps(sc1, model)
+        fn = frame_rate_fps(scn, model)
+        assert f1 / fn == pytest.approx(n_coils, rel=1e-9)

@@ -1,0 +1,57 @@
+"""§I / §II claim — gridding dominates NuFFT computation time.
+
+"gridding now requires upwards of 99.6% of the NuFFT computation time"
+(CPU, serial).  We measure the per-step split of our own serial
+adjoint NuFFT: the Python loop baseline exceeds 99 %, and even the
+vectorized gridder keeps gridding as the dominant step at the paper's
+problem shapes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import PAPER_IMAGES, make_dataset
+from repro.nufft import NufftPlan
+
+from conftest import print_table
+
+
+def test_gridding_dominates_serial_cpu():
+    image = PAPER_IMAGES[1]  # 64^2 image keeps the loop baseline tolerable
+    coords, values = make_dataset(image, n_samples=4000)
+    plan = NufftPlan(
+        (image.n, image.n),
+        coords,
+        width=6,
+        table_oversampling=32,
+        gridder="naive",
+        gridder_options={"engine": "loop"},
+    )
+    plan.adjoint(values)
+    share = plan.timings.gridding_share()
+    print_table(
+        "Serial CPU adjoint NuFFT time split (paper: gridding >= 99.6 %)",
+        ["step", "seconds", "share"],
+        [
+            ["gridding", f"{plan.timings.gridding:.4f}", f"{share:.4f}"],
+            ["fft", f"{plan.timings.fft:.4f}", f"{plan.timings.fft / plan.timings.total:.4f}"],
+            [
+                "apodization",
+                f"{plan.timings.apodization:.4f}",
+                f"{plan.timings.apodization / plan.timings.total:.4f}",
+            ],
+        ],
+    )
+    assert share > 0.99
+
+
+@pytest.mark.parametrize("image_idx", [1, 3])
+def test_gridding_still_dominant_when_vectorized(image_idx):
+    image = PAPER_IMAGES[image_idx]
+    m = min(image.m, 50_000)
+    coords, values = make_dataset(image, n_samples=m)
+    plan = NufftPlan(
+        (image.n, image.n), coords, width=6, table_oversampling=32, gridder="naive"
+    )
+    plan.adjoint(values)
+    assert plan.timings.gridding > plan.timings.fft

@@ -1,0 +1,77 @@
+"""Figure 6 — gridding speedups, normalized to the CPU baseline.
+
+Two tracks (DESIGN.md §5):
+
+1. **Measured** — wall-clock of our gridders on this machine, at bench
+   scale, normalized to the serial input-driven baseline.  Checks the
+   *ordering* the paper reports (slice-and-dice fastest, binning's
+   presort + duplicate + all-pairs-in-tile overhead visible).
+2. **Modelled** — the calibrated testbed models at full recovered M,
+   normalized to the MIRT model, printed next to the paper's Fig. 6
+   bars and asserted to match (exactly for SnD/JIGSAW, in shape for
+   Impatient).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import FIG6_GRIDDING_SPEEDUP, PAPER_IMAGES
+from repro.gridding import make_gridder
+from repro.perfmodel import AsicJigsawModel, CpuMirtModel, GpuImpatientModel, GpuSliceDiceModel
+
+from conftest import print_table
+
+
+@pytest.mark.parametrize("gridder_name", ["naive", "binning", "slice_and_dice"])
+def test_gridding_wall_clock(benchmark, paper_problem, gridder_name):
+    image, setup, coords, values = paper_problem
+    gridder = make_gridder(gridder_name, setup)
+    benchmark.group = f"fig6-gridding-{image.name}"
+    benchmark.extra_info["image"] = image.name
+    benchmark.extra_info["m"] = len(values)
+    result = benchmark.pedantic(
+        gridder.grid, args=(coords, values), rounds=2, iterations=1, warmup_rounds=1
+    )
+    assert result.shape == setup.grid_shape
+
+
+def test_fig6_modelled_speedups():
+    cpu, snd, imp, asic = (
+        CpuMirtModel(),
+        GpuSliceDiceModel(),
+        GpuImpatientModel(),
+        AsicJigsawModel(),
+    )
+    rows = []
+    for i, im in enumerate(PAPER_IMAGES):
+        t_cpu = cpu.gridding_seconds(im.m, im.grid_dim)
+        s_imp = t_cpu / imp.gridding_seconds(im.m, im.grid_dim)
+        s_snd = t_cpu / snd.gridding_seconds(im.m, im.grid_dim)
+        s_jig = t_cpu / asic.gridding_seconds(im.m)
+        rows.append(
+            [
+                im.name,
+                f"{s_imp:.0f} ({FIG6_GRIDDING_SPEEDUP['impatient'][i]:.0f})",
+                f"{s_snd:.0f} ({FIG6_GRIDDING_SPEEDUP['slice_and_dice_gpu'][i]:.0f})",
+                f"{s_jig:.0f} ({FIG6_GRIDDING_SPEEDUP['jigsaw'][i]:.0f})",
+            ]
+        )
+        assert s_snd == pytest.approx(
+            FIG6_GRIDDING_SPEEDUP["slice_and_dice_gpu"][i], rel=0.02
+        )
+        assert s_jig == pytest.approx(FIG6_GRIDDING_SPEEDUP["jigsaw"][i], rel=0.02)
+        assert s_imp == pytest.approx(FIG6_GRIDDING_SPEEDUP["impatient"][i], rel=0.65)
+    print_table(
+        "Fig. 6 — modelled gridding speedup vs MIRT (paper bars in parens)",
+        ["image", "Impatient", "Slice-and-Dice GPU", "JIGSAW"],
+        rows,
+    )
+
+    snd_avg = np.mean(
+        [
+            CpuMirtModel().gridding_seconds(im.m, im.grid_dim)
+            / GpuSliceDiceModel().gridding_seconds(im.m, im.grid_dim)
+            for im in PAPER_IMAGES
+        ]
+    )
+    assert snd_avg > 250  # the paper's "over 250x"

@@ -1,0 +1,83 @@
+"""Figure 7 — end-to-end adjoint NuFFT speedups, normalized to MIRT.
+
+Measured track: full adjoint NuFFT (gridding + FFT + apodization)
+wall-clock per gridder backend, with the per-step split printed (the
+paper's observation that Slice-and-Dice leaves gridding and FFT
+roughly equal, §I).  Modelled track: calibrated models vs the Fig. 7
+bars.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import FIG7_END_TO_END_SPEEDUP, PAPER_IMAGES, make_dataset, scaled_m
+from repro.nufft import NufftPlan
+from repro.perfmodel import (
+    AsicJigsawModel,
+    CpuMirtModel,
+    GpuImpatientModel,
+    GpuSliceDiceModel,
+)
+
+from conftest import print_table
+
+
+@pytest.mark.parametrize("gridder_name", ["naive", "binning", "slice_and_dice"])
+def test_nufft_wall_clock(benchmark, paper_problem, gridder_name):
+    image, _, _, _ = paper_problem
+    m = scaled_m(image)
+    coords, values = make_dataset(image, n_samples=m)
+    plan = NufftPlan((image.n, image.n), coords, width=6, table_oversampling=32,
+                     gridder=gridder_name)
+    benchmark.group = f"fig7-nufft-{image.name}"
+    benchmark.extra_info["image"] = image.name
+    img = benchmark.pedantic(
+        plan.adjoint, args=(values,), rounds=2, iterations=1, warmup_rounds=1
+    )
+    assert img.shape == (image.n, image.n)
+    benchmark.extra_info["gridding_share"] = round(plan.timings.gridding_share(), 4)
+
+
+def test_fig7_modelled_speedups():
+    cpu, snd, imp, asic = (
+        CpuMirtModel(),
+        GpuSliceDiceModel(),
+        GpuImpatientModel(),
+        AsicJigsawModel(),
+    )
+    rows = []
+    for i, im in enumerate(PAPER_IMAGES):
+        t_cpu = cpu.nufft_seconds(im.m, im.grid_dim)
+        s_imp = t_cpu / imp.nufft_seconds(im.m, im.grid_dim)
+        s_snd = t_cpu / snd.nufft_seconds(im.m, im.grid_dim)
+        s_jig = t_cpu / asic.nufft_seconds(im.m, im.grid_dim)
+        rows.append(
+            [
+                im.name,
+                f"{s_imp:.0f} ({FIG7_END_TO_END_SPEEDUP['impatient'][i]:.0f})",
+                f"{s_snd:.0f} ({FIG7_END_TO_END_SPEEDUP['slice_and_dice_gpu'][i]:.0f})",
+                f"{s_jig:.0f} ({FIG7_END_TO_END_SPEEDUP['jigsaw'][i]:.0f})",
+            ]
+        )
+        assert s_snd == pytest.approx(
+            FIG7_END_TO_END_SPEEDUP["slice_and_dice_gpu"][i], rel=0.05
+        )
+        assert s_jig == pytest.approx(FIG7_END_TO_END_SPEEDUP["jigsaw"][i], rel=0.05)
+    print_table(
+        "Fig. 7 — modelled end-to-end NuFFT speedup vs MIRT (paper in parens)",
+        ["image", "Impatient", "Slice-and-Dice GPU", "JIGSAW"],
+        rows,
+    )
+
+
+def test_jigsaw_gridding_share_is_quarter():
+    """§VI: on JIGSAW the FFT becomes the bottleneck; gridding averages
+    ~25 % of end-to-end time across the five images."""
+    asic = AsicJigsawModel()
+    shares = [asic.gridding_share(im.m, im.grid_dim) for im in PAPER_IMAGES]
+    print_table(
+        "JIGSAW gridding share of NuFFT time (paper: ~25 % average)",
+        ["image", "share"],
+        [[im.name, f"{s:.2f}"] for im, s in zip(PAPER_IMAGES, shares)],
+    )
+    assert np.mean(shares) == pytest.approx(0.25, abs=0.05)

@@ -1,0 +1,66 @@
+"""Table I — the supported JIGSAW parameter space.
+
+Sweeps (N, W, L) across Table I's ranges: every legal configuration
+must build, grid a stream bit-accurately against the double-precision
+reference with the same LUT, and obey the M+12 cycle law; illegal
+combinations must be rejected.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gridding import GriddingSetup, NaiveGridder
+from repro.jigsaw import JigsawConfig, JigsawSimulator
+from repro.kernels import KernelLUT, beatty_kernel
+
+from conftest import print_table
+
+
+@pytest.mark.parametrize("n", [8, 32, 128])
+@pytest.mark.parametrize("w", [2, 4, 8])
+@pytest.mark.parametrize("ell", [4, 32, 64])
+def test_parameter_space_functional(n, w, ell):
+    if (w * ell) // 2 > 256:
+        pytest.skip("needs more weight SRAM than Table I provides")
+    cfg = JigsawConfig(grid_dim=n, window_width=w, table_oversampling=ell)
+    sim = JigsawSimulator(cfg)
+    rng = np.random.default_rng(n * 1000 + w * 10 + ell)
+    m = 200
+    coords = rng.uniform(0, n, (m, 2))
+    vals = rng.standard_normal(m) + 1j * rng.standard_normal(m)
+    res = sim.grid_2d(coords, vals)
+    assert res.cycles == m + 12
+    assert res.saturation_events == 0
+
+    # the hardware quantizes coordinates to the 1/L weight granularity
+    # (§II.B); hand the double-precision reference the same quantized
+    # positions so only the arithmetic differs
+    coords_q = np.rint((coords + w / 2.0) * ell) / ell - w / 2.0
+    setup = GriddingSetup((n, n), KernelLUT(beatty_kernel(w, 2.0), ell))
+    ref = NaiveGridder(setup).grid(coords_q, vals)
+    err = np.linalg.norm(res.grid - ref) / max(np.linalg.norm(ref), 1e-12)
+    assert err < 5e-3  # 16-bit quantization floor
+
+
+def test_parameter_space_rejections():
+    rows = []
+    cases = [
+        ("N above range", dict(grid_dim=2048)),
+        ("N below range", dict(grid_dim=4)),
+        ("W above range", dict(window_width=9)),
+        ("L above range", dict(table_oversampling=128)),
+        ("L not power of two", dict(table_oversampling=12)),
+        ("N not multiple of T", dict(grid_dim=100)),
+    ]
+    for label, kwargs in cases:
+        with pytest.raises(ValueError):
+            JigsawConfig(**kwargs)
+        rows.append([label, "rejected"])
+    print_table("Table I — out-of-range configurations", ["case", "result"], rows)
+
+
+def test_max_configuration():
+    """The headline build: N=1024, W=8, L=64 fills the weight SRAM."""
+    cfg = JigsawConfig(grid_dim=1024, window_width=8, table_oversampling=64)
+    assert cfg.accumulator_sram_bytes == 8 * 2**20
+    assert (cfg.window_width * cfg.table_oversampling) // 2 == cfg.weight_sram_entries

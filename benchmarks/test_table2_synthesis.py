@@ -1,0 +1,59 @@
+"""Table II — 16 nm synthesis results (power and area).
+
+The parametric area/power model must reproduce all four Table II rows
+at the reference configuration, and its extrapolations must behave
+physically (area linear in SRAM bytes, SRAM-dominated floorplan).
+"""
+
+import pytest
+
+from repro.jigsaw import JigsawConfig, synthesize
+from repro.jigsaw.synthesis import TABLE_II
+
+from conftest import print_table
+
+
+def test_table2_reproduction():
+    rows = []
+    for (variant, with_sram), (p_ref, a_ref) in TABLE_II.items():
+        cfg = JigsawConfig(grid_dim=1024, variant=variant)
+        rep = synthesize(cfg, with_accum_sram=with_sram)
+        label = f"{variant}{' (8MB SRAM)' if with_sram else ' (no accum SRAM)'}"
+        rows.append(
+            [
+                label,
+                f"{rep.power_mw:.2f} ({p_ref})",
+                f"{rep.area_mm2:.2f} ({a_ref})",
+            ]
+        )
+        assert rep.power_mw == pytest.approx(p_ref, rel=1e-6)
+        assert rep.area_mm2 == pytest.approx(a_ref, rel=1e-6)
+    print_table(
+        "Table II — synthesis model vs paper (paper values in parens)",
+        ["variant", "power mW", "area mm2"],
+        rows,
+    )
+
+
+def test_area_extrapolation_sweep():
+    rows = []
+    prev = 0.0
+    for n in (128, 256, 512, 1024):
+        rep = synthesize(JigsawConfig(grid_dim=n))
+        rows.append([n, f"{rep.area_mm2:.3f}", f"{rep.power_mw:.1f}"])
+        assert rep.area_mm2 > prev
+        prev = rep.area_mm2
+    print_table(
+        "JIGSAW 2D area/power vs target grid size (model extrapolation)",
+        ["N", "area mm2", "power mW"],
+        rows,
+    )
+
+
+def test_sram_dominance_quote():
+    """'Approximately 95% of this area is used for the on-chip storage
+    of the 1024x1024 uniform target grid, which is also responsible for
+    over 56% of the power consumption.'"""
+    rep = synthesize(JigsawConfig(grid_dim=1024, variant="2d"))
+    assert rep.sram_area_mm2 / rep.area_mm2 == pytest.approx(0.95, abs=0.02)
+    assert rep.sram_power_mw / rep.power_mw > 0.56

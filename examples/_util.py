@@ -1,0 +1,52 @@
+"""Small shared helpers for the example scripts (no plotting deps).
+
+Images are written as binary PGM (viewable with any image viewer) and
+previewed in the terminal as ASCII art so the examples work in a bare
+console environment.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+_ASCII_RAMP = " .:-=+*#%@"
+
+
+def ensure_outdir() -> str:
+    os.makedirs(OUT_DIR, exist_ok=True)
+    return OUT_DIR
+
+
+def save_pgm(image: np.ndarray, name: str) -> str:
+    """Save a magnitude image as an 8-bit binary PGM under output/."""
+    ensure_outdir()
+    mag = np.abs(np.asarray(image, dtype=np.complex128))
+    peak = mag.max() or 1.0
+    pixels = np.clip(mag / peak * 255.0, 0, 255).astype(np.uint8)
+    path = os.path.join(OUT_DIR, name)
+    with open(path, "wb") as fh:
+        fh.write(f"P5\n{pixels.shape[1]} {pixels.shape[0]}\n255\n".encode())
+        fh.write(pixels.tobytes())
+    return path
+
+
+def ascii_preview(image: np.ndarray, width: int = 48) -> str:
+    """Downsample a magnitude image to an ASCII-art block."""
+    mag = np.abs(np.asarray(image, dtype=np.complex128))
+    h, w = mag.shape
+    step = max(1, w // width)
+    small = mag[:: 2 * step, ::step]  # terminal cells are ~2x taller than wide
+    peak = small.max() or 1.0
+    idx = np.clip(small / peak * (len(_ASCII_RAMP) - 1), 0, len(_ASCII_RAMP) - 1)
+    return "\n".join("".join(_ASCII_RAMP[int(i)] for i in row) for row in idx)
+
+
+def banner(text: str) -> None:
+    print()
+    print("=" * 72)
+    print(text)
+    print("=" * 72)

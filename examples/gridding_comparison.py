@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Compare every gridding algorithm on one problem (§II.C vs §III).
+
+Runs the serial baseline, naive output-parallel, binning, and
+Slice-and-Dice on the same sample stream; verifies they agree to
+machine precision; prints the instrumentation that drives the paper's
+argument (boundary checks, duplicates, presort work, cache hit rate)
+and the Python wall-clock.
+
+Run:  python examples/gridding_comparison.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.core import SliceAndDiceGridder
+from repro.gridding import (
+    BinningGridder,
+    GriddingSetup,
+    NaiveGridder,
+    OutputParallelGridder,
+)
+from repro.kernels import KernelLUT, beatty_kernel
+from repro.perfmodel import CacheModel
+from repro.trajectories import golden_angle_radial
+
+from _util import banner
+
+G = 128  # oversampled grid
+M = 20_000
+
+
+def main() -> None:
+    banner(f"Problem: {M:,} golden-angle radial samples onto a {G}x{G} torus, W=6")
+    setup = GriddingSetup((G, G), KernelLUT(beatty_kernel(6, 2.0), 32))
+    coords = np.mod(golden_angle_radial(M // G, G), 1.0)[:M] * G
+    m = coords.shape[0]
+    rng = np.random.default_rng(0)
+    # samples arrive "in effectively random order" (§II.C): shuffle the
+    # acquisition-ordered stream, which is what defeats CPU caches
+    coords = coords[rng.permutation(m)]
+    values = rng.standard_normal(m) + 1j * rng.standard_normal(m)
+
+    gridders = {
+        "naive (serial)": NaiveGridder(setup),
+        "output-parallel": OutputParallelGridder(setup),
+        "binning (B=32)": BinningGridder(setup, tile_size=32),
+        "slice-and-dice (T=8)": SliceAndDiceGridder(setup),
+        "slice-and-dice (GPU-style blocked)": SliceAndDiceGridder(
+            setup, engine="blocked", n_blocks=16
+        ),
+    }
+
+    rows = []
+    outputs = {}
+    for name, gridder in gridders.items():
+        if name == "output-parallel" and m * G * G > 5e8:
+            rows.append([name, "skipped (all-pairs too large)", "-", "-", "-", "-"])
+            continue
+        t0 = time.perf_counter()
+        outputs[name] = gridder.grid(coords, values)
+        dt = time.perf_counter() - t0
+        s = gridder.stats
+        rows.append(
+            [
+                name,
+                f"{dt * 1e3:.0f} ms",
+                f"{s.boundary_checks:,}",
+                f"{s.samples_processed - m:,}",
+                f"{s.presort_operations:,}",
+                f"{s.interpolations:,}",
+            ]
+        )
+
+    print(format_table(
+        ["gridder", "wall clock", "boundary checks", "duplicates", "presort ops", "MACs"],
+        rows,
+    ))
+
+    banner("Equivalence check")
+    ref = outputs["naive (serial)"]
+    for name, grid in outputs.items():
+        err = np.max(np.abs(grid - ref))
+        print(f"{name:<38s} max |diff| vs naive = {err:.2e}")
+        assert err < 1e-9
+
+    banner("Cache behaviour of the access streams (32 KiB, 8-way, 64 B lines)")
+    cache = CacheModel(32 * 1024, line_bytes=64, associativity=8)
+    rows = []
+    for name in ("naive (serial)", "binning (B=32)", "slice-and-dice (T=8)"):
+        trace = gridders[name].address_trace(coords)
+        stats = cache.simulate(trace, element_bytes=8)
+        rows.append([name, f"{stats.hit_rate:.3f}", f"{stats.accesses:,}"])
+    print(format_table(["stream", "hit rate", "accesses"], rows))
+    print("\n(paper §VI.A: Slice-and-Dice ~98 % L2 hit rate vs binning ~80 %)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Iterative MRI reconstruction — the paper's motivating workload (§I).
+
+Simulates an undersampled spiral acquisition of a liver-like phantom
+(standing in for the 2-D liver data of [25]) and compares three
+reconstruction strategies of increasing quality and cost:
+
+1. plain adjoint (no density compensation) — blurry,
+2. density-compensated adjoint (Pipe-Menon weights),
+3. CG on the normal equations — one forward+adjoint NuFFT *pair per
+   iteration*, the reason NuFFT throughput matters,
+4. CG with the Toeplitz-embedded Gram operator (Impatient's strategy):
+   gridding is paid once, iterations are FFT-only.
+
+Run:  python examples/mri_reconstruction.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import NufftPlan, liver_like_phantom, spiral_trajectory
+from repro.recon import adjoint_reconstruction, cg_reconstruction, rel_l2_error
+from repro.trajectories import pipe_menon_density_compensation
+
+from _util import ascii_preview, banner, save_pgm
+
+N = 96
+UNDERSAMPLING = 2.0  # acquired samples ~ N^2 / UNDERSAMPLING
+
+
+def main() -> None:
+    banner("Simulated acquisition")
+    phantom = liver_like_phantom(N, rng=0).astype(complex)
+    n_samples = int(N * N / UNDERSAMPLING)
+    per_leaf = 2 * N
+    coords = spiral_trajectory(
+        n_interleaves=max(1, n_samples // per_leaf),
+        n_per_interleaf=per_leaf,
+        turns=N / 12,
+    )
+    plan = NufftPlan((N, N), coords, gridder="slice_and_dice")
+    rng = np.random.default_rng(1)
+    kspace = plan.forward(phantom)
+    kspace += 0.002 * np.abs(kspace).max() * (
+        rng.standard_normal(len(kspace)) + 1j * rng.standard_normal(len(kspace))
+    )
+    print(f"{N}x{N} liver-like phantom, spiral acquisition, "
+          f"M = {coords.shape[0]:,} samples ({UNDERSAMPLING:.0f}x undersampled), "
+          "2 % complex noise")
+
+    def score(img):
+        s = np.vdot(img, phantom) / np.vdot(img, img)
+        return rel_l2_error(img * s, phantom)
+
+    banner("1. Plain adjoint (no density compensation)")
+    t0 = time.perf_counter()
+    rec_plain = adjoint_reconstruction(plan, kspace, density="none")
+    print(f"time {time.perf_counter() - t0:.2f} s   error {score(rec_plain):.3f}")
+
+    banner("2. Density-compensated adjoint (Pipe-Menon)")
+    t0 = time.perf_counter()
+    dcf = pipe_menon_density_compensation(
+        coords,
+        interp_forward=lambda g: plan.gridder.interp(g, plan.grid_coords),
+        interp_adjoint=lambda v: plan.gridder.grid(plan.grid_coords, v),
+        n_iterations=10,
+    )
+    rec_dcf = adjoint_reconstruction(plan, kspace, density=dcf)
+    print(f"time {time.perf_counter() - t0:.2f} s   error {score(rec_dcf):.3f}")
+
+    banner("3. CG on the normal equations (gridding every iteration)")
+    t0 = time.perf_counter()
+    cg = cg_reconstruction(plan, kspace, weights=dcf, n_iterations=12,
+                           regularization=1e-3 * plan.n_samples)
+    t_cg = time.perf_counter() - t0
+    print(f"time {t_cg:.2f} s   error {score(cg.image):.3f}   "
+          f"iterations {cg.n_iterations}, final residual {cg.residual_norms[-1]:.2e}")
+
+    banner("4. CG with Toeplitz-embedded Gram (Impatient's strategy)")
+    t0 = time.perf_counter()
+    cg_t = cg_reconstruction(plan, kspace, weights=dcf, n_iterations=12,
+                             regularization=1e-3 * plan.n_samples, toeplitz=True)
+    t_toep = time.perf_counter() - t0
+    print(f"time {t_toep:.2f} s   error {score(cg_t.image):.3f}   "
+          f"(gridding paid once; iterations are two {2 * N}^2 FFTs)")
+    print(f"agreement with per-iteration-gridding CG: "
+          f"{rel_l2_error(cg_t.image, cg.image):.2e}")
+
+    for name, img in [
+        ("recon_plain", rec_plain),
+        ("recon_dcf", rec_dcf),
+        ("recon_cg", cg.image),
+        ("recon_cg_toeplitz", cg_t.image),
+        ("phantom", phantom),
+    ]:
+        save_pgm(img, f"mri_{name}.pgm")
+    print("\nPGM images written to examples/output/")
+
+    banner("CG reconstruction (ASCII preview)")
+    print(ascii_preview(cg.image))
+
+
+if __name__ == "__main__":
+    main()

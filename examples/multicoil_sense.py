@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Multi-coil CG-SENSE reconstruction — the clinical workload.
+
+Simulates an 8-coil golden-angle radial acquisition (synthetic birdcage
+sensitivities), reconstructs with density-compensated coil combination
+and with CG-SENSE, compares density-compensation estimators (ramp /
+Voronoi / Pipe-Menon), and reports the NuFFT count — the quantity the
+paper accelerates: every CG iteration costs a forward + adjoint NuFFT
+*per coil*.
+
+Run:  python examples/multicoil_sense.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import NufftPlan, golden_angle_radial, shepp_logan_2d
+from repro.bench import format_table
+from repro.mri import (
+    Acquisition,
+    SenseOperator,
+    birdcage_maps,
+    coil_combine_adjoint,
+    sense_reconstruction,
+    sos_normalize,
+)
+from repro.recon import rel_l2_error
+from repro.trajectories import (
+    pipe_menon_density_compensation,
+    ramp_density_compensation,
+    voronoi_density_compensation,
+)
+
+from _util import ascii_preview, banner, save_pgm
+
+N = 96
+N_COILS = 8
+UNDERSAMPLED_SPOKES = 72  # < N*pi/2 -> undersampled; SENSE resolves it
+
+
+def main() -> None:
+    banner("Simulate an 8-coil undersampled radial acquisition")
+    phantom = shepp_logan_2d(N).astype(complex)
+    coords = golden_angle_radial(UNDERSAMPLED_SPOKES, 2 * N)
+    plan = NufftPlan((N, N), coords, gridder="slice_and_dice")
+    maps = sos_normalize(birdcage_maps(N_COILS, N))
+    op = SenseOperator(plan, maps)
+    rng = np.random.default_rng(0)
+    kspace = op.forward(phantom)
+    kspace += 0.003 * np.abs(kspace).max() * (
+        rng.standard_normal(kspace.shape) + 1j * rng.standard_normal(kspace.shape)
+    )
+    acq = Acquisition(coords, kspace, (N, N), maps=maps,
+                      meta={"sequence": "golden-angle radial", "coils": str(N_COILS)})
+    print(f"{N}x{N} phantom, {N_COILS} coils, {UNDERSAMPLED_SPOKES} spokes "
+          f"({coords.shape[0]:,} samples/coil; Nyquist needs ~{int(N * np.pi / 2)} spokes)")
+
+    def score(img):
+        s = np.vdot(img, phantom) / np.vdot(img, img)
+        return rel_l2_error(img * s, phantom)
+
+    banner("Density-compensation estimators")
+    dcfs = {
+        "ramp (analytic)": ramp_density_compensation(coords),
+        "voronoi (geometric)": voronoi_density_compensation(coords),
+        "pipe_menon (iterative)": pipe_menon_density_compensation(
+            coords,
+            lambda g: plan.gridder.interp(g, plan.grid_coords),
+            lambda v: plan.gridder.grid(plan.grid_coords, v),
+            n_iterations=10,
+        ),
+    }
+    rows = []
+    for name, w in dcfs.items():
+        rec = coil_combine_adjoint(op, acq.kspace, weights=w)
+        rows.append([name, f"{score(rec):.3f}"])
+    print(format_table(["DCF", "adjoint recon error"], rows))
+
+    banner("CG-SENSE (iterative)")
+    dcf = dcfs["ramp (analytic)"]
+    t0 = time.perf_counter()
+    res = sense_reconstruction(op, acq.kspace, weights=dcf, n_iterations=10,
+                               regularization=1e-3 * op.n_samples)
+    dt = time.perf_counter() - t0
+    nuffts = (1 + 2 * res.n_iterations) * N_COILS  # adjoint b + pair/iter/coil
+    print(f"{res.n_iterations} iterations in {dt:.2f} s -> error {score(res.image):.3f}")
+    print(f"NuFFTs executed: {nuffts} "
+          f"({res.n_iterations} iterations x {N_COILS} coils x fwd+adj, plus setup)")
+    print("-> this per-iteration NuFFT volume is exactly what the paper's")
+    print("   gridding acceleration multiplies across (§I).")
+
+    save_pgm(res.image, "sense_recon.pgm")
+    save_pgm(coil_combine_adjoint(op, acq.kspace, weights=dcf), "sense_adjoint.pgm")
+    print("\nimages written to examples/output/")
+
+    banner("CG-SENSE reconstruction (ASCII preview)")
+    print(ascii_preview(res.image))
+
+
+if __name__ == "__main__":
+    main()

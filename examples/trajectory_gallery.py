@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Gallery of non-uniform sampling trajectories (§II).
+
+Generates every trajectory family in the package, reports coverage
+statistics (radial density profile, duplicate-bin pressure for
+binning, JIGSAW cycle counts — identical for all of them), and writes
+k-space occupancy maps as PGM images.
+
+Run:  python examples/trajectory_gallery.py
+"""
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.gridding import BinningGridder, GriddingSetup
+from repro.jigsaw import JigsawConfig, gridding_cycles_2d
+from repro.kernels import KernelLUT, beatty_kernel
+from repro.trajectories import (
+    cartesian_trajectory,
+    golden_angle_radial,
+    radial_trajectory,
+    random_trajectory,
+    rosette_trajectory,
+    spiral_trajectory,
+)
+
+from _util import banner, save_pgm
+
+M = 16_384
+G = 128
+
+
+def occupancy_map(coords: np.ndarray, n: int = 256) -> np.ndarray:
+    """2-D histogram of the sampling pattern (log-compressed)."""
+    idx = np.clip(((coords + 0.5) * n).astype(int), 0, n - 1)
+    hist = np.zeros((n, n))
+    np.add.at(hist, (idx[:, 1], idx[:, 0]), 1.0)
+    return np.log1p(hist)
+
+
+def main() -> None:
+    trajectories = {
+        "radial": radial_trajectory(M // 256, 256),
+        "golden_angle": golden_angle_radial(M // 256, 256),
+        "spiral": spiral_trajectory(8, M // 8, turns=10),
+        "rosette": rosette_trajectory(M),
+        "random": random_trajectory(M, 2, rng=0),
+        "cartesian": cartesian_trajectory(128),
+    }
+
+    setup = GriddingSetup((G, G), KernelLUT(beatty_kernel(6, 2.0), 32))
+    binner = BinningGridder(setup, tile_size=16)
+    cfg = JigsawConfig(grid_dim=G, window_width=6, table_oversampling=32)
+
+    banner("Trajectory statistics")
+    rows = []
+    for name, pts in trajectories.items():
+        r = np.linalg.norm(pts, axis=1)
+        center_fraction = float(np.mean(r < 0.1))
+        dup = binner.duplicate_fraction(np.mod(pts, 1.0) * G)
+        cycles = gridding_cycles_2d(len(pts), cfg)
+        rows.append(
+            [
+                name,
+                f"{len(pts):,}",
+                f"{center_fraction:.3f}",
+                f"{dup:.3f}",
+                f"{cycles:,}",
+            ]
+        )
+        path = save_pgm(occupancy_map(pts), f"trajectory_{name}.pgm")
+    print(format_table(
+        ["trajectory", "samples", "center fraction (<0.1)", "binning dup fraction",
+         "JIGSAW cycles"],
+        rows,
+    ))
+    print("\nNote the last column: JIGSAW's runtime is the same for every "
+          "pattern —\nthe trajectory-agnostic M+12 law (binning's duplicate "
+          "fraction varies 0..3x).")
+    print("Occupancy maps written to examples/output/trajectory_*.pgm")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""3-D non-Cartesian reconstruction with the JIGSAW 3D Slice flow (§IV).
+
+Acquires a 3-D stack-of-stars dataset from a volumetric phantom,
+grids it through the JIGSAW 3D Slice fixed-point simulator (comparing
+unsorted vs Z-binned schedules), reconstructs slice by slice — exactly
+how "modern algorithms and accelerators often process 3D volumes in a
+series of 2D slices" — and checks the result against the pure-software
+3-D NuFFT.
+
+Run:  python examples/volume_3d.py
+"""
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.jigsaw import (
+    JigsawConfig,
+    JigsawSimulator,
+    gridding_cycles_3d_slice,
+    z_bin_samples,
+)
+from repro.nufft import NufftPlan
+from repro.phantoms import phantom_3d_stack
+from repro.recon import nrmsd_percent
+from repro.trajectories import stack_of_stars_3d
+
+from _util import ascii_preview, banner, save_pgm
+
+N = 32   # in-plane image size
+NZ = 8   # slices
+W = 4
+L = 32
+
+
+def main() -> None:
+    banner("3-D acquisition: stack-of-stars")
+    volume = phantom_3d_stack(N, NZ, rng=0).astype(complex)
+    pts = stack_of_stars_3d(n_spokes=2 * N, n_readout=2 * N, nz=NZ, jitter_z=0.25,
+                            rng=2)
+    plan3 = NufftPlan((NZ, N, N), pts[:, [2, 0, 1]], width=W,
+                      table_oversampling=L, gridder="naive")
+    kspace = plan3.forward(volume)
+    print(f"volume {NZ}x{N}x{N}, M = {pts.shape[0]:,} samples "
+          f"(jittered kz -> genuinely 3-D non-uniform)")
+
+    banner("Gridding on JIGSAW 3D Slice (fixed point)")
+    gz, g = 2 * NZ, 2 * N
+    cfg = JigsawConfig(grid_dim=g, grid_dim_z=gz, window_width=W,
+                       window_width_z=W, table_oversampling=L,
+                       variant="3d_slice")
+    sim = JigsawSimulator(cfg)
+    grid_coords = np.mod(pts, 1.0) * np.asarray([g, g, gz], dtype=float)
+    res = sim.grid_3d_slice(grid_coords, kspace)
+    res_sorted = sim.grid_3d_slice(grid_coords, kspace, z_sorted=True)
+    assert np.array_equal(res.grid, res_sorted.grid)
+
+    zb = z_bin_samples(grid_coords, cfg)
+    print(format_table(
+        ["schedule", "cycles", "runtime @1 GHz"],
+        [
+            ["unsorted (replay all M per slice)", f"{res.cycles:,}",
+             f"{res.runtime_seconds * 1e3:.2f} ms"],
+            ["Z-binned (host sorts once)", f"{res_sorted.cycles:,}",
+             f"{res_sorted.runtime_seconds * 1e3:.2f} ms"],
+        ],
+    ))
+    print(f"host Z-binning pass: {zb.entries:,} membership entries, "
+          f"~{zb.sort_operations:,} ops; outputs bit-identical")
+
+    banner("Reconstruct from the hardware grid and verify")
+    # software reference: full 3-D NuFFT adjoint via the same plan
+    ref = plan3.adjoint(kspace)
+    # hardware path: JIGSAW's (Nz*, N*, N*) grid -> same FFT + crop + apod;
+    # the simulator's z-axis is axis 0 of its output, matching plan3
+    spectrum = np.fft.ifftn(res.grid) * res.grid.size
+    hw = plan3._apodize(plan3._crop(spectrum))
+    print(f"NRMSD(fixed-point recon vs double recon): "
+          f"{nrmsd_percent(hw, ref):.4f} %")
+
+    mid = NZ // 2
+    save_pgm(volume[mid], "volume3d_phantom_mid.pgm")
+    save_pgm(hw[mid], "volume3d_recon_mid.pgm")
+    print("mid-slice images written to examples/output/")
+
+    banner(f"Mid-slice reconstruction (z = {mid})")
+    print(ascii_preview(hw[mid], width=40))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Benchmark harness: the paper's datasets, reference results, and tables.
+
+- :mod:`~repro.bench.datasets` — the five evaluation images
+  (parameters recovered from the paper's figures; see module docs) and
+  scaled-down variants for wall-clock runs.
+- :mod:`~repro.bench.reference` — every number the paper reports in
+  Figs. 6-9 and Tables I-II, as typed constants.
+- :mod:`~repro.bench.tables` — plain-text table/series formatting so
+  each benchmark prints rows directly comparable to the paper.
+"""
+
+from .datasets import PaperImage, PAPER_IMAGES, make_dataset, scaled_m
+from .reference import (
+    FIG6_GRIDDING_SPEEDUP,
+    FIG7_END_TO_END_SPEEDUP,
+    FIG8_ENERGY_J,
+    FIG9_NRMSD_PERCENT,
+    GPU_COUNTERS,
+)
+from .tables import format_table, format_speedup_row
+
+__all__ = [
+    "PaperImage",
+    "PAPER_IMAGES",
+    "make_dataset",
+    "scaled_m",
+    "FIG6_GRIDDING_SPEEDUP",
+    "FIG7_END_TO_END_SPEEDUP",
+    "FIG8_ENERGY_J",
+    "FIG9_NRMSD_PERCENT",
+    "GPU_COUNTERS",
+    "format_table",
+    "format_speedup_row",
+]

@@ -1,0 +1,208 @@
+"""Command-line interface: regenerate any paper table/figure directly.
+
+Usage::
+
+    python -m repro.bench.cli list
+    python -m repro.bench.cli fig6
+    python -m repro.bench.cli fig7
+    python -m repro.bench.cli fig8
+    python -m repro.bench.cli table2
+    python -m repro.bench.cli datasets
+    python -m repro.bench.cli all
+
+The heavier experiments (Fig. 9 quality, cache ablation, measured
+wall-clocks) live in ``benchmarks/`` because they benefit from
+pytest-benchmark's statistics; this CLI covers the model-driven tables
+for quick inspection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .datasets import PAPER_IMAGES
+from .reference import (
+    FIG6_GRIDDING_SPEEDUP,
+    FIG7_END_TO_END_SPEEDUP,
+    FIG8_ENERGY_J,
+    MIRT_GRIDDING_SECONDS,
+)
+from .tables import format_table
+
+__all__ = ["main"]
+
+
+def _models():
+    from ..perfmodel import (
+        AsicJigsawModel,
+        CpuMirtModel,
+        GpuImpatientModel,
+        GpuSliceDiceModel,
+    )
+
+    return CpuMirtModel(), GpuSliceDiceModel(), GpuImpatientModel(), AsicJigsawModel()
+
+
+def cmd_datasets() -> str:
+    rows = [
+        [im.name, im.n, im.grid_dim, f"{im.m:,}", im.trajectory,
+         f"{t * 1e3:.1f} ms"]
+        for im, t in zip(PAPER_IMAGES, MIRT_GRIDDING_SECONDS)
+    ]
+    return format_table(
+        ["image", "N", "grid", "M (recovered)", "trajectory", "MIRT gridding"],
+        rows,
+        title="Recovered evaluation datasets (see EXPERIMENTS.md)",
+    )
+
+
+def cmd_fig6() -> str:
+    cpu, snd, imp, asic = _models()
+    rows = []
+    for i, im in enumerate(PAPER_IMAGES):
+        t = cpu.gridding_seconds(im.m, im.grid_dim)
+        rows.append(
+            [
+                im.name,
+                f"{t / imp.gridding_seconds(im.m, im.grid_dim):.0f} "
+                f"({FIG6_GRIDDING_SPEEDUP['impatient'][i]:.0f})",
+                f"{t / snd.gridding_seconds(im.m, im.grid_dim):.0f} "
+                f"({FIG6_GRIDDING_SPEEDUP['slice_and_dice_gpu'][i]:.0f})",
+                f"{t / asic.gridding_seconds(im.m):.0f} "
+                f"({FIG6_GRIDDING_SPEEDUP['jigsaw'][i]:.0f})",
+            ]
+        )
+    return format_table(
+        ["image", "Impatient", "SnD GPU", "JIGSAW"],
+        rows,
+        title="Fig. 6 — modelled gridding speedup vs MIRT (paper in parens)",
+    )
+
+
+def cmd_fig7() -> str:
+    cpu, snd, imp, asic = _models()
+    rows = []
+    for i, im in enumerate(PAPER_IMAGES):
+        t = cpu.nufft_seconds(im.m, im.grid_dim)
+        rows.append(
+            [
+                im.name,
+                f"{t / imp.nufft_seconds(im.m, im.grid_dim):.0f} "
+                f"({FIG7_END_TO_END_SPEEDUP['impatient'][i]:.0f})",
+                f"{t / snd.nufft_seconds(im.m, im.grid_dim):.0f} "
+                f"({FIG7_END_TO_END_SPEEDUP['slice_and_dice_gpu'][i]:.0f})",
+                f"{t / asic.nufft_seconds(im.m, im.grid_dim):.0f} "
+                f"({FIG7_END_TO_END_SPEEDUP['jigsaw'][i]:.0f})",
+            ]
+        )
+    return format_table(
+        ["image", "Impatient", "SnD GPU", "JIGSAW"],
+        rows,
+        title="Fig. 7 — modelled end-to-end NuFFT speedup vs MIRT (paper in parens)",
+    )
+
+
+def cmd_fig8() -> str:
+    from ..perfmodel import gridding_energy_joules
+
+    rows = []
+    for i, im in enumerate(PAPER_IMAGES):
+        row = [im.name]
+        for impl in ("impatient", "slice_and_dice_gpu", "jigsaw"):
+            e = gridding_energy_joules(impl, im.m, im.grid_dim)
+            row.append(f"{e:.3e} ({FIG8_ENERGY_J[impl][i]:.3e})")
+        rows.append(row)
+    return format_table(
+        ["image", "Impatient", "SnD GPU", "JIGSAW"],
+        rows,
+        title="Fig. 8 — gridding energy in joules (paper in parens)",
+    )
+
+
+def cmd_table2() -> str:
+    from ..jigsaw import JigsawConfig, synthesize
+    from ..jigsaw.synthesis import TABLE_II
+
+    rows = []
+    for (variant, with_sram), (p_ref, a_ref) in TABLE_II.items():
+        rep = synthesize(JigsawConfig(grid_dim=1024, variant=variant), with_sram)
+        label = f"{variant}{' (8MB SRAM)' if with_sram else ' (no SRAM)'}"
+        rows.append([label, f"{rep.power_mw:.2f} ({p_ref})", f"{rep.area_mm2:.2f} ({a_ref})"])
+    return format_table(
+        ["variant", "power mW", "area mm2"],
+        rows,
+        title="Table II — synthesis model (paper in parens)",
+    )
+
+
+def cmd_realtime() -> str:
+    from ..mri import RealtimeScenario, frame_rate_fps, keeps_up
+    from ..perfmodel import (
+        AsicJigsawModel,
+        CpuMirtModel,
+        GpuImpatientModel,
+        GpuSliceDiceModel,
+    )
+
+    scenario = RealtimeScenario()
+    target = 1.0 / scenario.acquisition_frame_seconds
+    rows = []
+    for name, model in [
+        ("MIRT (CPU)", CpuMirtModel()),
+        ("Impatient (GPU)", GpuImpatientModel()),
+        ("Slice-and-Dice (GPU)", GpuSliceDiceModel()),
+        ("JIGSAW (ASIC)", AsicJigsawModel()),
+    ]:
+        rows.append(
+            [
+                name,
+                f"{frame_rate_fps(scenario, model):.1f}",
+                "yes" if keeps_up(scenario, model) else "no",
+            ]
+        )
+    return format_table(
+        ["implementation", "recon fps", "keeps up"],
+        rows,
+        title=(
+            f"Real-time radial MRI ({scenario.image_size}^2, "
+            f"{scenario.n_coils} coils, scanner rate {target:.0f} fps)"
+        ),
+    )
+
+
+COMMANDS = {
+    "datasets": cmd_datasets,
+    "fig6": cmd_fig6,
+    "fig7": cmd_fig7,
+    "fig8": cmd_fig8,
+    "table2": cmd_table2,
+    "realtime": cmd_realtime,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.cli",
+        description="Regenerate the paper's model-driven tables.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(COMMANDS) + ["all", "list"],
+        help="which experiment to print",
+    )
+    args = parser.parse_args(argv)
+    if args.experiment == "list":
+        print("available:", ", ".join(sorted(COMMANDS) + ["all"]))
+        return 0
+    names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(COMMANDS[name]())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Plain-text table formatting for benchmark output.
+
+Benchmarks print rows directly comparable to the paper's figures; these
+helpers keep the formatting consistent (and are unit-tested so the
+harness output never silently breaks).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_speedup_row"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Render an aligned monospace table.
+
+    Floats are shown with 4 significant digits; everything else via
+    ``str``.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, bool):
+            return str(cell)
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_speedup_row(
+    label: str, measured: float, paper: float, tolerance_note: str = ""
+) -> str:
+    """One comparison line: measured vs paper with the ratio."""
+    if paper == 0:
+        raise ValueError("paper reference value must be nonzero")
+    ratio = measured / paper
+    note = f"  ({tolerance_note})" if tolerance_note else ""
+    return (
+        f"{label:<28s} measured={measured:>10.4g}  paper={paper:>10.4g}  "
+        f"measured/paper={ratio:>6.2f}{note}"
+    )

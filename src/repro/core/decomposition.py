@@ -1,0 +1,183 @@
+"""Slice-and-Dice coordinate decomposition (Fig. 4 of the paper).
+
+For each axis, a (window-shifted) sample coordinate ``x'`` in grid
+units is split by the virtual tile size ``T``::
+
+    i    = floor(x')            integer grid position
+    tile = i // T               tile coordinate   (division quotient)
+    rel  = i %  T               relative coordinate (remainder)
+    frac = x' - i               sub-grid fraction (quantized to 1/L)
+
+Given a column index ``p`` (one of the ``T`` relative positions per
+axis), the *forward distance* from the column's candidate point to the
+sample is::
+
+    fwd(p) = ((rel - p) mod T) + frac
+
+and the two-part boundary check of §III/§IV is
+
+1. **affected**  iff  ``fwd(p) < W``   (per axis; all axes must pass)
+2. **wrap**      iff  ``rel < p``      (the affected point lies in the
+   *previous* tile; decrement that axis' tile coordinate, mod the tile
+   count, which also realizes the grid's torus wrap of Fig. 2)
+
+The shift ``x' = x + W/2`` turns the symmetric interpolation window
+into this purely forward-looking test, and ``fwd`` doubles as the
+interpolation-table address (``round(fwd * L)``) — exactly what the
+JIGSAW select unit computes with a truncation and an add/subtract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "CoordinateDecomposition",
+    "decompose_coordinates",
+    "column_forward_distance",
+    "column_tile_index",
+]
+
+
+@dataclass(frozen=True)
+class CoordinateDecomposition:
+    """Per-axis decomposition of shifted sample coordinates.
+
+    Attributes
+    ----------
+    tile:
+        ``(M, d)`` int64 tile coordinates (division quotients).
+    rel:
+        ``(M, d)`` int64 relative coordinates in ``[0, T)``.
+    frac:
+        ``(M, d)`` float64 sub-grid fractions in ``[0, 1)``.
+    tile_counts:
+        Tiles per axis, ``G // T``.
+    tile_size:
+        The virtual tile dimension ``T``.
+    """
+
+    tile: np.ndarray
+    rel: np.ndarray
+    frac: np.ndarray
+    tile_counts: tuple[int, ...]
+    tile_size: int
+
+    @property
+    def n_samples(self) -> int:
+        return self.tile.shape[0]
+
+    @property
+    def ndim(self) -> int:
+        return self.tile.shape[1]
+
+
+def decompose_coordinates(
+    coords: np.ndarray,
+    grid_shape: tuple[int, ...],
+    tile_size: int,
+    window_width: float,
+) -> CoordinateDecomposition:
+    """Decompose sample coordinates for Slice-and-Dice processing.
+
+    Parameters
+    ----------
+    coords:
+        ``(M, d)`` coordinates in grid units (wrapped onto ``[0, G)``).
+    grid_shape:
+        Oversampled grid dimensions; each must be a multiple of
+        ``tile_size``.
+    tile_size:
+        Virtual tile dimension ``T``.
+    window_width:
+        Interpolation window width ``W`` (the coordinate shift is
+        ``W/2``).  Must satisfy ``W <= T`` for the one-point-per-column
+        guarantee.
+
+    Raises
+    ------
+    ValueError
+        If ``W > T`` or the tile size does not divide the grid.
+    """
+    coords = np.atleast_2d(np.asarray(coords, dtype=np.float64))
+    d = coords.shape[1]
+    if len(grid_shape) != d:
+        raise ValueError(f"grid_shape {grid_shape} does not match coords dim {d}")
+    if window_width > tile_size:
+        raise ValueError(
+            f"window width {window_width} exceeds tile size {tile_size}; "
+            "a sample could affect two points in one column"
+        )
+    for g in grid_shape:
+        if g % tile_size:
+            raise ValueError(
+                f"tile size {tile_size} must divide grid dims, got {grid_shape}"
+            )
+
+    shifted = np.mod(
+        coords + window_width / 2.0, np.asarray(grid_shape, dtype=np.float64)
+    )
+    i = np.floor(shifted).astype(np.int64)
+    frac = shifted - i
+    tile = i // tile_size
+    rel = i - tile * tile_size
+    return CoordinateDecomposition(
+        tile=tile,
+        rel=rel,
+        frac=frac,
+        tile_counts=tuple(g // tile_size for g in grid_shape),
+        tile_size=tile_size,
+    )
+
+
+def column_forward_distance(
+    dec: CoordinateDecomposition, column: np.ndarray | tuple[int, ...]
+) -> np.ndarray:
+    """Forward distances ``fwd(p)`` from column ``p`` to every sample.
+
+    Parameters
+    ----------
+    dec:
+        Decomposed coordinates.
+    column:
+        Per-axis column indices ``p`` (length ``d``).
+
+    Returns
+    -------
+    ``(M, d)`` float64 forward distances in ``[0, T)``.
+    """
+    p = np.asarray(column, dtype=np.int64).reshape(1, -1)
+    if p.shape[1] != dec.ndim:
+        raise ValueError(f"column {column} does not match dimension {dec.ndim}")
+    if np.any(p < 0) or np.any(p >= dec.tile_size):
+        raise ValueError(f"column indices must lie in [0, {dec.tile_size}), got {column}")
+    fwd_int = np.mod(dec.rel - p, dec.tile_size)
+    return fwd_int + dec.frac
+
+
+def column_tile_index(
+    dec: CoordinateDecomposition, column: np.ndarray | tuple[int, ...]
+) -> np.ndarray:
+    """Global (linear) tile address of the point column ``p`` owns per sample.
+
+    Applies the wrap rule — ``rel < p`` decrements that axis' tile
+    coordinate modulo the tile count — and linearizes the per-axis tile
+    coordinates in C order (the "global tile address" of §IV).
+
+    Returns
+    -------
+    ``(M,)`` int64 linear tile addresses (the depth in the column's
+    accumulation array).
+    """
+    p = np.asarray(column, dtype=np.int64).reshape(1, -1)
+    counts = np.asarray(dec.tile_counts, dtype=np.int64)
+    wrapped = dec.rel < p
+    t = np.mod(dec.tile - wrapped, counts)
+    linear = np.zeros(dec.n_samples, dtype=np.int64)
+    stride = 1
+    for axis in range(dec.ndim - 1, -1, -1):
+        linear += t[:, axis] * stride
+        stride *= int(counts[axis])
+    return linear

@@ -1,0 +1,257 @@
+"""The Slice-and-Dice gridder (§III, Fig. 3b/4).
+
+Two execution engines, both bit-identical in output:
+
+- ``engine="columns"`` — the faithful parallel model: every column
+  (one of ``T^d``) scans the whole sample stream, keeps the samples
+  whose per-axis forward distances all pass ``fwd < W``, and
+  accumulates them at their global tile address in its private
+  contiguous array.  Boundary checks: exactly ``M * T^d``; duplicates:
+  none; pre-sort: none.  (Each column's scan is vectorized over
+  samples — NumPy's SIMD standing in for one hardware lane.)
+
+- ``engine="blocked"`` — the GPU mapping of §VI.A: the sample stream is
+  partitioned across ``n_blocks`` thread blocks; each block runs the
+  column model on its slice of the input and accumulates into the
+  shared dice with (emulated) atomic adds.  Demonstrates the
+  input x output parallelization that breaks the pure output-parallel
+  model but raises occupancy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gridding.base import Gridder, GriddingStats, GriddingSetup
+from .decomposition import (
+    decompose_coordinates,
+    column_forward_distance,
+    column_tile_index,
+)
+from .layout import DiceLayout
+
+__all__ = ["SliceAndDiceGridder"]
+
+
+class SliceAndDiceGridder(Gridder):
+    """Binning-free stacked-tile gridder.
+
+    Parameters
+    ----------
+    setup:
+        Shared problem description; requires ``W <= tile_size`` and
+        ``tile_size | G`` per axis.
+    tile_size:
+        Virtual tile dimension ``T`` (8 in the paper's GPU and ASIC
+        implementations).
+    engine:
+        ``"columns"`` (default) or ``"blocked"``.
+    n_blocks:
+        Sample-stream partitions for the blocked engine (ignored
+        otherwise).
+    """
+
+    name = "slice_and_dice"
+
+    def __init__(
+        self,
+        setup: GriddingSetup,
+        tile_size: int = 8,
+        engine: str = "columns",
+        n_blocks: int = 16,
+    ):
+        super().__init__(setup)
+        if engine not in ("columns", "blocked"):
+            raise ValueError(f"engine must be 'columns' or 'blocked', got {engine!r}")
+        if n_blocks < 1:
+            raise ValueError(f"n_blocks must be >= 1, got {n_blocks}")
+        self.engine = engine
+        self.n_blocks = n_blocks
+        self.layout = DiceLayout(setup.grid_shape, tile_size)
+        if setup.width > tile_size:
+            raise ValueError(
+                f"window width {setup.width} exceeds tile size {tile_size}; "
+                "the one-point-per-column guarantee (W <= T) would break"
+            )
+
+    @property
+    def tile_size(self) -> int:
+        return self.layout.tile_size
+
+    # ------------------------------------------------------------------
+    def _grid_impl(self, coords: np.ndarray, values: np.ndarray, grid: np.ndarray) -> None:
+        dice = np.zeros((self.layout.n_columns, self.layout.n_tiles), dtype=np.complex128)
+        if self.engine == "columns":
+            interpolations = self._process_stream(coords, values, dice)
+        else:
+            interpolations = 0
+            m = coords.shape[0]
+            bounds = np.linspace(0, m, self.n_blocks + 1).astype(np.int64)
+            for b in range(self.n_blocks):
+                lo, hi = bounds[b], bounds[b + 1]
+                if lo == hi:
+                    continue
+                # shared-dice accumulation stands in for the GPU's atomicAdd
+                interpolations += self._process_stream(coords[lo:hi], values[lo:hi], dice)
+        grid += self.layout.dice_to_grid(dice)
+
+        m = coords.shape[0]
+        d = self.setup.ndim
+        self.stats = GriddingStats(
+            boundary_checks=m * self.layout.n_columns,
+            interpolations=interpolations,
+            samples_processed=m,
+            presort_operations=0,
+            grid_accesses=interpolations,
+            lut_lookups=interpolations * d,
+            # one lane per column (a T^d-thread block processes every
+            # sample): W^d of T^d lanes do work — with T=8, W=6 that is
+            # 56 %, vs binning's W^d/B^d (a few percent at B=32)
+            simd_active_lanes=interpolations,
+            simd_lane_slots=m * self.layout.n_columns,
+        )
+
+    def _per_axis_tables(self, coords: np.ndarray):
+        """Precompute per-axis, per-column-index select results.
+
+        The separable two-part check lets each axis be evaluated once
+        for all ``T`` column indices and reused across the ``T^d``
+        column combinations (the same sharing the hardware gets from
+        its row/column select units).  Returns per-axis arrays of shape
+        ``(T, M)``: pass masks, LUT weights, and wrapped tile
+        coordinates, plus the decomposition itself.
+        """
+        setup = self.setup
+        lut = setup.lut
+        w = setup.width
+        t = self.tile_size
+        dec = decompose_coordinates(coords, setup.grid_shape, t, lut.width)
+        m = dec.n_samples
+        masks, weights, tiles = [], [], []
+        for axis in range(setup.ndim):
+            rel = dec.rel[:, axis]
+            frac = dec.frac[:, axis]
+            tile = dec.tile[:, axis]
+            count = dec.tile_counts[axis]
+            mk = np.empty((t, m), dtype=bool)
+            wt = np.empty((t, m), dtype=np.float64)
+            tl = np.empty((t, m), dtype=np.int64)
+            for p in range(t):
+                fwd = np.mod(rel - p, t) + frac
+                mk[p] = fwd < w
+                wt[p] = lut.table[lut.index_of(fwd)]
+                tl[p] = np.mod(tile - (rel < p), count)
+            masks.append(mk)
+            weights.append(wt)
+            tiles.append(tl)
+        return dec, masks, weights, tiles
+
+    def _process_stream(
+        self, coords: np.ndarray, values: np.ndarray, dice: np.ndarray
+    ) -> int:
+        """Run the column-parallel model over one sample stream.
+
+        Accumulates into ``dice`` in place and returns the number of
+        passing checks (interpolation operations).
+        """
+        setup = self.setup
+        dec, masks, weights, tiles = self._per_axis_tables(coords)
+        counts = dec.tile_counts
+        n_tiles = self.layout.n_tiles
+        interpolations = 0
+        for row, column in enumerate(self.layout.columns()):
+            affected = masks[0][column[0]]
+            for axis in range(1, setup.ndim):
+                affected = affected & masks[axis][column[axis]]
+            hit = np.flatnonzero(affected)
+            if hit.size == 0:
+                continue
+            interpolations += hit.size
+            wgt = weights[0][column[0]][hit]
+            depth = tiles[0][column[0]][hit]
+            for axis in range(1, setup.ndim):
+                wgt = wgt * weights[axis][column[axis]][hit]
+                depth = depth * counts[axis] + tiles[axis][column[axis]][hit]
+            contrib = values[hit] * wgt
+            dice[row] += np.bincount(
+                depth, weights=contrib.real, minlength=n_tiles
+            ) + 1j * np.bincount(depth, weights=contrib.imag, minlength=n_tiles)
+        return interpolations
+
+    # ------------------------------------------------------------------
+    def interp(self, grid: np.ndarray, coords: np.ndarray) -> np.ndarray:
+        """Forward interpolation (regridding) with the Slice-and-Dice
+        schedule.
+
+        The forward NuFFT's *re-gridding* step (Fig. 1) is the exact
+        transpose of gridding: each column scans the sample stream and
+        *contributes* its owned point's value to the affected samples.
+        Numerically identical to the base-class gather (same weights),
+        but scheduled column-parallel with the same ``M * T^d``
+        boundary-check count — the model §III describes applies to both
+        NuFFT directions.
+        """
+        if tuple(grid.shape) != self.setup.grid_shape:
+            raise ValueError(
+                f"grid shape {grid.shape} != setup {self.setup.grid_shape}"
+            )
+        coords = self.setup.check_coords(coords)
+        m = coords.shape[0]
+        if m == 0:
+            return np.zeros(0, dtype=np.complex128)
+        setup = self.setup
+        dec, masks, weights, tiles = self._per_axis_tables(coords)
+        counts = dec.tile_counts
+        dice = self.layout.grid_to_dice(np.asarray(grid, dtype=np.complex128))
+        out = np.zeros(m, dtype=np.complex128)
+        interpolations = 0
+        for row, column in enumerate(self.layout.columns()):
+            affected = masks[0][column[0]]
+            for axis in range(1, setup.ndim):
+                affected = affected & masks[axis][column[axis]]
+            hit = np.flatnonzero(affected)
+            if hit.size == 0:
+                continue
+            interpolations += hit.size
+            wgt = weights[0][column[0]][hit]
+            depth = tiles[0][column[0]][hit]
+            for axis in range(1, setup.ndim):
+                wgt = wgt * weights[axis][column[axis]][hit]
+                depth = depth * counts[axis] + tiles[axis][column[axis]][hit]
+            out[hit] += dice[row, depth] * wgt
+        d = setup.ndim
+        self.stats = GriddingStats(
+            boundary_checks=m * self.layout.n_columns,
+            interpolations=interpolations,
+            samples_processed=m,
+            presort_operations=0,
+            grid_accesses=interpolations,
+            lut_lookups=interpolations * d,
+        )
+        return out
+
+    # ------------------------------------------------------------------
+    def address_trace(self, coords: np.ndarray) -> np.ndarray:
+        """Dice-layout addresses in column-major processing order.
+
+        Column ``c``'s accesses land in its private contiguous
+        ``n_tiles``-entry array — the locality/MLP property §III claims
+        for the stacked layout.
+        """
+        setup = self.setup
+        w = setup.width
+        dec = decompose_coordinates(
+            coords, setup.grid_shape, self.tile_size, setup.lut.width
+        )
+        n_tiles = self.layout.n_tiles
+        pieces = []
+        for row, column in enumerate(self.layout.columns()):
+            fwd = column_forward_distance(dec, column)
+            affected = np.all(fwd < w, axis=1)
+            if not np.any(affected):
+                continue
+            depth = column_tile_index(dec, column)[affected]
+            pieces.append(row * n_tiles + depth)
+        if not pieces:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(pieces)

@@ -1,0 +1,40 @@
+"""Fixed-point arithmetic substrate used by the JIGSAW hardware model.
+
+JIGSAW (IPDPS 2021, §IV) performs all datapath arithmetic in 32-bit
+fixed point with 16-bit interpolation-weight components, using Knuth's
+three-multiplication complex product.  This package provides a small,
+bit-accurate Q-format arithmetic layer on top of NumPy integer arrays:
+
+- :class:`QFormat` — a (signed) Qm.n format descriptor with quantize /
+  saturate / dequantize operations and explicit rounding modes.
+- :class:`FixedComplex` helpers — complex values stored as separate
+  integer real/imaginary words.
+- :func:`knuth_complex_multiply` — the 3-multiply / 5-add complex
+  product used by the weight-lookup and interpolation units.
+
+All operations are vectorized over NumPy arrays so the functional
+simulator can process whole sample streams at once while remaining
+bit-exact with a word-at-a-time hardware implementation.
+"""
+
+from .qformat import (
+    OverflowMode,
+    QFormat,
+    RoundingMode,
+)
+from .complex_fixed import (
+    FixedComplexArray,
+    knuth_complex_multiply,
+    complex_to_fixed,
+    fixed_to_complex,
+)
+
+__all__ = [
+    "QFormat",
+    "RoundingMode",
+    "OverflowMode",
+    "FixedComplexArray",
+    "knuth_complex_multiply",
+    "complex_to_fixed",
+    "fixed_to_complex",
+]

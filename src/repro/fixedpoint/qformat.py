@@ -1,0 +1,249 @@
+"""Signed Q-format fixed-point arithmetic on NumPy integer arrays.
+
+A ``Qm.n`` format stores a real number ``x`` as the integer
+``round(x * 2**n)`` in a signed word of ``m + n + 1`` bits (``m``
+integer bits, ``n`` fractional bits, one sign bit).  The JIGSAW
+datapath uses Q-formats for sample magnitudes (32-bit words split into
+16-bit real/imag components), interpolation weights (Q1.14 per
+component in a 16-bit field) and accumulators (wider words so that the
+sum over a full interpolation window cannot wrap).
+
+All helpers operate elementwise on arrays and are deliberately simple:
+quantization, saturation, and rounding behaviour are the *only*
+semantics hardware cares about, and they must be reproducible bit for
+bit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RoundingMode", "OverflowMode", "QFormat"]
+
+
+class RoundingMode(enum.Enum):
+    """Rounding behaviour when quantizing to a Q-format.
+
+    ``NEAREST``
+        Round-half-away-from-zero (the behaviour of a hardware
+        "add 0.5 LSB then truncate toward -inf of magnitude" rounder).
+    ``TRUNCATE``
+        Truncate toward negative infinity (drop fractional bits); this
+        is what a bare right-shift does in two's-complement hardware.
+    ``NEAREST_EVEN``
+        IEEE-style round-half-to-even, useful for error analysis.
+    """
+
+    NEAREST = "nearest"
+    TRUNCATE = "truncate"
+    NEAREST_EVEN = "nearest_even"
+
+
+class OverflowMode(enum.Enum):
+    """What to do when a value exceeds the representable range.
+
+    ``SATURATE``
+        Clamp to the most positive / most negative representable code
+        (the behaviour of JIGSAW's accumulators).
+    ``WRAP``
+        Two's-complement wraparound (the behaviour of a bare adder).
+    ``RAISE``
+        Raise :class:`OverflowError`; used in tests to prove a datapath
+        sizing never overflows.
+    """
+
+    SATURATE = "saturate"
+    WRAP = "wrap"
+    RAISE = "raise"
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A signed fixed-point format with ``int_bits`` + ``frac_bits`` + 1 bits.
+
+    Parameters
+    ----------
+    int_bits:
+        Number of integer (magnitude) bits, excluding the sign bit.
+    frac_bits:
+        Number of fractional bits.  The quantization step is
+        ``2**-frac_bits``.
+    rounding:
+        Rounding mode applied by :meth:`quantize`.
+    overflow:
+        Overflow mode applied by :meth:`quantize` and :meth:`clamp`.
+
+    Examples
+    --------
+    >>> q = QFormat(1, 14)           # Q1.14 — JIGSAW weight component
+    >>> q.total_bits
+    16
+    >>> q.quantize(0.5)
+    8192
+    >>> q.dequantize(8192)
+    0.5
+    """
+
+    int_bits: int
+    frac_bits: int
+    rounding: RoundingMode = RoundingMode.NEAREST
+    overflow: OverflowMode = OverflowMode.SATURATE
+
+    def __post_init__(self) -> None:
+        if self.int_bits < 0:
+            raise ValueError(f"int_bits must be >= 0, got {self.int_bits}")
+        if self.frac_bits < 0:
+            raise ValueError(f"frac_bits must be >= 0, got {self.frac_bits}")
+        if self.total_bits > 64:
+            raise ValueError(
+                f"Q{self.int_bits}.{self.frac_bits} needs {self.total_bits} bits; "
+                "only formats up to 64 bits are supported"
+            )
+
+    # ------------------------------------------------------------------
+    # Format metadata
+    # ------------------------------------------------------------------
+    @property
+    def total_bits(self) -> int:
+        """Total word width in bits, including the sign bit."""
+        return self.int_bits + self.frac_bits + 1
+
+    @property
+    def scale(self) -> int:
+        """Integer codes per unit value (``2**frac_bits``)."""
+        return 1 << self.frac_bits
+
+    @property
+    def max_code(self) -> int:
+        """Most positive representable integer code."""
+        return (1 << (self.total_bits - 1)) - 1
+
+    @property
+    def min_code(self) -> int:
+        """Most negative representable integer code."""
+        return -(1 << (self.total_bits - 1))
+
+    @property
+    def max_value(self) -> float:
+        """Most positive representable real value."""
+        return self.max_code / self.scale
+
+    @property
+    def min_value(self) -> float:
+        """Most negative representable real value."""
+        return self.min_code / self.scale
+
+    @property
+    def resolution(self) -> float:
+        """Smallest representable increment (one LSB)."""
+        return 1.0 / self.scale
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Smallest NumPy signed integer dtype that holds the word."""
+        for dt in (np.int8, np.int16, np.int32, np.int64):
+            if np.iinfo(dt).bits >= self.total_bits:
+                return np.dtype(dt)
+        raise AssertionError("unreachable: total_bits <= 64 enforced in init")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Q{self.int_bits}.{self.frac_bits}"
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def quantize(self, values: np.ndarray | float) -> np.ndarray | int:
+        """Convert real ``values`` to integer codes in this format.
+
+        Applies the configured rounding mode, then the configured
+        overflow mode.  Scalars in give scalars out.
+        """
+        arr = np.asarray(values, dtype=np.float64)
+        scaled = arr * self.scale
+        if self.rounding is RoundingMode.NEAREST:
+            codes = np.floor(np.abs(scaled) + 0.5) * np.sign(scaled)
+        elif self.rounding is RoundingMode.TRUNCATE:
+            codes = np.floor(scaled)
+        else:  # NEAREST_EVEN
+            codes = np.rint(scaled)
+        codes = self.clamp(codes.astype(np.int64))
+        out = codes.astype(self.dtype)
+        if np.isscalar(values) or np.ndim(values) == 0:
+            return int(out)
+        return out
+
+    def dequantize(self, codes: np.ndarray | int) -> np.ndarray | float:
+        """Convert integer codes back to real values."""
+        arr = np.asarray(codes, dtype=np.float64) / self.scale
+        if np.isscalar(codes) or np.ndim(codes) == 0:
+            return float(arr)
+        return arr
+
+    def clamp(self, codes: np.ndarray) -> np.ndarray:
+        """Apply the overflow policy to raw (possibly wide) integer codes."""
+        codes = np.asarray(codes)
+        if self.overflow is OverflowMode.SATURATE:
+            return np.clip(codes, self.min_code, self.max_code)
+        if self.overflow is OverflowMode.WRAP:
+            span = 1 << self.total_bits
+            wrapped = (codes.astype(np.int64) - self.min_code) % span + self.min_code
+            return wrapped
+        # RAISE
+        if np.any(codes > self.max_code) or np.any(codes < self.min_code):
+            bad = codes[(codes > self.max_code) | (codes < self.min_code)]
+            raise OverflowError(
+                f"{bad.size} value(s) exceed {self} range "
+                f"[{self.min_code}, {self.max_code}]; first offender {bad.flat[0]}"
+            )
+        return codes
+
+    # ------------------------------------------------------------------
+    # Arithmetic on codes
+    # ------------------------------------------------------------------
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Add two code arrays in this format (same binary point)."""
+        wide = np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64)
+        return self.clamp(wide).astype(self.dtype)
+
+    def multiply(
+        self, a: np.ndarray, b: np.ndarray, b_format: "QFormat" | None = None
+    ) -> np.ndarray:
+        """Multiply codes ``a`` (this format) by codes ``b`` (``b_format``).
+
+        The double-width product is renormalized back into this format
+        by an arithmetic right shift of ``b_format.frac_bits`` with the
+        configured rounding, exactly as a hardware multiplier followed
+        by a shift-round stage would.
+        """
+        bq = b_format if b_format is not None else self
+        wide = np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)
+        return self._shift_round(wide, bq.frac_bits)
+
+    def _shift_round(self, wide: np.ndarray, shift: int) -> np.ndarray:
+        """Arithmetic right shift by ``shift`` bits with rounding + clamp."""
+        if shift == 0:
+            return self.clamp(wide).astype(self.dtype)
+        if self.rounding is RoundingMode.TRUNCATE:
+            shifted = wide >> shift
+        else:
+            half = np.int64(1) << (shift - 1)
+            if self.rounding is RoundingMode.NEAREST:
+                # round half away from zero
+                adj = np.where(wide >= 0, half, half - 1)
+                shifted = (wide + adj) >> shift
+            else:  # NEAREST_EVEN
+                shifted = (wide + half) >> shift
+                # correct ties toward even
+                tie = (wide & ((np.int64(1) << shift) - 1)) == half
+                odd = (shifted & 1) == 1
+                shifted = shifted - (tie & odd)
+        return self.clamp(shifted).astype(self.dtype)
+
+    def quantization_error_bound(self) -> float:
+        """Worst-case absolute quantization error for :meth:`quantize`."""
+        if self.rounding is RoundingMode.TRUNCATE:
+            return self.resolution
+        return self.resolution / 2.0

@@ -1,0 +1,38 @@
+"""NuFFT gridding engines (baselines) with instrumentation.
+
+Gridding — interpolating M non-uniform samples onto the oversampled
+uniform grid — dominates NuFFT time (>= 99.6 % on CPUs, §I).  This
+package implements the baseline algorithm families the paper compares
+against, all behind one interface (:class:`Gridder`) and all fully
+instrumented (:class:`GriddingStats`) so the benchmark harness can
+reproduce the paper's operation-count and locality arguments:
+
+- :class:`NaiveGridder` — serial, input-driven (the MIRT CPU baseline).
+- :class:`OutputParallelGridder` — naïve output-driven all-pairs
+  boundary checking (§II.C "output-oriented parallelism").
+- :class:`BinningGridder` — geometric tiling with pre-sorted bins (the
+  Impatient GPU baseline [10]), including duplicate sample handling.
+
+The paper's own contribution, Slice-and-Dice, lives in
+:mod:`repro.core` and implements the same :class:`Gridder` interface.
+"""
+
+from .base import Gridder, GriddingSetup, GriddingStats, window_contributions
+from .naive import NaiveGridder
+from .output_parallel import OutputParallelGridder
+from .binning import BinningGridder
+from .sparse_matrix import SparseMatrixGridder
+from .registry import available_gridders, make_gridder
+
+__all__ = [
+    "Gridder",
+    "GriddingSetup",
+    "GriddingStats",
+    "window_contributions",
+    "NaiveGridder",
+    "OutputParallelGridder",
+    "BinningGridder",
+    "SparseMatrixGridder",
+    "available_gridders",
+    "make_gridder",
+]

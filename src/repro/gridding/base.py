@@ -1,0 +1,307 @@
+"""Shared gridding interface, instrumentation, and window math.
+
+All gridders implement the adjoint direction (*gridding*: samples ->
+grid) and the forward direction (*interpolation* / *regridding*:
+grid -> samples) over a periodic (torus) uniform grid, exactly as in
+Fig. 2 of the paper: a sample within ``W/2`` of a grid edge wraps to
+the opposite side.
+
+Coordinates arrive in **grid units** ``[0, G)`` per axis (the NuFFT
+plan converts from normalized units).  The *forward-distance* window
+parameterization used everywhere is::
+
+    x' = x + W/2                    (shifted coordinate)
+    k  = floor(x') - o,  o = 0..W-1 (affected grid points)
+    fwd = x' - k = frac(x') + o     (in [0, W))
+    weight = LUT[round(fwd * L)] == phi(k - x)
+
+which is precisely the one-sided check JIGSAW's select unit performs
+(§IV) and keeps every implementation — software and hardware —
+bit-comparable.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..kernels import KernelLUT
+
+__all__ = ["GriddingStats", "GriddingSetup", "Gridder", "window_contributions"]
+
+
+@dataclass
+class GriddingStats:
+    """Operation counters collected during one gridding pass.
+
+    These are the quantities the paper's §II/§III argument is built on;
+    the ablation benchmarks print them directly.
+
+    Attributes
+    ----------
+    boundary_checks:
+        Distance comparisons performed between a sample and candidate
+        output locations (per *point* in software baselines, per
+        *column* for Slice-and-Dice).
+    interpolations:
+        Checks that passed, i.e. actual weight-multiply-accumulate
+        operations (always ``M * W^d`` for a correct gridder).
+    samples_processed:
+        Sample-processing events, *including* duplicates (binning
+        processes boundary samples once per intersected tile).
+    presort_operations:
+        Work done by any pre-processing sort (bin assignment ops);
+        zero for everything except binning.
+    grid_accesses:
+        Read-modify-write touches of output grid storage.
+    lut_lookups:
+        Interpolation-weight table reads.
+    simd_active_lanes / simd_lane_slots:
+        For output-driven parallel schedules: lanes that did useful
+        work vs lanes issued, modelling each output point as one SIMD
+        lane.  Quantifies §II.C's divergence critique ("T/W threads
+        will be unaffected — and thus idle"); zero for serial
+        schedules, where the notion does not apply.
+    """
+
+    boundary_checks: int = 0
+    interpolations: int = 0
+    samples_processed: int = 0
+    presort_operations: int = 0
+    grid_accesses: int = 0
+    lut_lookups: int = 0
+    simd_active_lanes: int = 0
+    simd_lane_slots: int = 0
+
+    @property
+    def simd_efficiency(self) -> float:
+        """Fraction of issued SIMD lanes doing useful work (0 if n/a)."""
+        if self.simd_lane_slots == 0:
+            return 0.0
+        return self.simd_active_lanes / self.simd_lane_slots
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "boundary_checks": self.boundary_checks,
+            "interpolations": self.interpolations,
+            "samples_processed": self.samples_processed,
+            "presort_operations": self.presort_operations,
+            "grid_accesses": self.grid_accesses,
+            "lut_lookups": self.lut_lookups,
+            "simd_active_lanes": self.simd_active_lanes,
+            "simd_lane_slots": self.simd_lane_slots,
+        }
+
+
+@dataclass
+class GriddingSetup:
+    """Static problem description shared by all gridders.
+
+    Parameters
+    ----------
+    grid_shape:
+        Oversampled target grid dimensions ``(G, ...)`` — the torus of
+        Fig. 2.
+    lut:
+        Kernel lookup table (defines window width ``W`` and table
+        oversampling ``L``).
+    """
+
+    grid_shape: tuple[int, ...]
+    lut: KernelLUT
+
+    def __post_init__(self) -> None:
+        self.grid_shape = tuple(int(g) for g in self.grid_shape)
+        if any(g < 1 for g in self.grid_shape):
+            raise ValueError(f"grid dimensions must be >= 1, got {self.grid_shape}")
+        w = self.lut.width
+        if any(g < w for g in self.grid_shape):
+            raise ValueError(
+                f"grid {self.grid_shape} smaller than window width {w}; "
+                "wrapping would self-overlap"
+            )
+
+    @property
+    def ndim(self) -> int:
+        return len(self.grid_shape)
+
+    @property
+    def width(self) -> int:
+        """Integer window width ``W``."""
+        return int(round(self.lut.width))
+
+    @property
+    def n_grid_points(self) -> int:
+        return int(np.prod(self.grid_shape))
+
+    def check_coords(self, coords: np.ndarray) -> np.ndarray:
+        """Validate and canonicalize coordinates to ``[0, G)`` grid units."""
+        coords = np.atleast_2d(np.asarray(coords, dtype=np.float64))
+        if coords.ndim != 2 or coords.shape[1] != self.ndim:
+            raise ValueError(
+                f"coords must have shape (M, {self.ndim}), got {coords.shape}"
+            )
+        out = np.mod(coords, np.asarray(self.grid_shape, dtype=np.float64))
+        return out
+
+
+def window_contributions(
+    setup: GriddingSetup, coords: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """All window (grid-point, weight) pairs for each sample, vectorized.
+
+    For ``M`` samples in ``d`` dims with width ``W`` this returns
+
+    - ``indices`` — int64 array ``(M, W**d)`` of linear grid indices
+      (C order, torus-wrapped),
+    - ``weights`` — float64 array ``(M, W**d)`` of separable LUT
+      weights.
+
+    This is the shared engine for interpolation (forward) and for the
+    vectorized reference gridders; each algorithm differs in *how* it
+    schedules these contributions, which is what the instrumentation
+    captures.
+    """
+    coords = setup.check_coords(coords)
+    m, d = coords.shape
+    w = setup.width
+    half = setup.lut.width / 2.0
+    lut = setup.lut
+
+    per_axis_idx = []
+    per_axis_wgt = []
+    for axis in range(d):
+        g = setup.grid_shape[axis]
+        shifted = coords[:, axis] + half
+        base = np.floor(shifted)
+        frac = shifted - base
+        offsets = np.arange(w, dtype=np.float64)
+        fwd = frac[:, None] + offsets[None, :]  # (M, W) forward distances
+        k = base[:, None] - offsets[None, :]  # affected grid coordinates
+        per_axis_idx.append(np.mod(k, g).astype(np.int64))
+        per_axis_wgt.append(lut.table[lut.index_of(fwd)])
+
+    # combine separable axes into linear indices / product weights
+    strides = np.ones(d, dtype=np.int64)
+    for axis in range(d - 2, -1, -1):
+        strides[axis] = strides[axis + 1] * setup.grid_shape[axis + 1]
+
+    idx = np.zeros((m, 1), dtype=np.int64)
+    wgt = np.ones((m, 1), dtype=np.float64)
+    for axis in range(d):
+        idx = (idx[:, :, None] + per_axis_idx[axis][:, None, :] * strides[axis]).reshape(m, -1)
+        wgt = (wgt[:, :, None] * per_axis_wgt[axis][:, None, :]).reshape(m, -1)
+    return idx, wgt
+
+
+def scatter_add_complex(
+    grid_flat: np.ndarray, indices: np.ndarray, values: np.ndarray
+) -> None:
+    """Accumulate complex ``values`` at ``indices`` into ``grid_flat`` in place.
+
+    Uses ``np.bincount`` (two real passes), which is far faster than
+    ``np.add.at`` for large scatters.
+    """
+    n = grid_flat.size
+    flat_idx = indices.ravel()
+    flat_val = values.ravel()
+    grid_flat += np.bincount(flat_idx, weights=flat_val.real, minlength=n) + 1j * np.bincount(
+        flat_idx, weights=flat_val.imag, minlength=n
+    )
+
+
+class Gridder(abc.ABC):
+    """Base class: one gridding algorithm over a fixed problem setup.
+
+    Subclasses implement :meth:`_grid_impl`; the public :meth:`grid`
+    handles validation, output allocation, and stats lifecycle.
+    The forward direction :meth:`interp` (regridding) is shared — it is
+    the exact transpose of gridding and identical across algorithms.
+    """
+
+    #: short identifier used by the registry and benchmark tables
+    name: str = "abstract"
+
+    def __init__(self, setup: GriddingSetup):
+        self.setup = setup
+        self.stats = GriddingStats()
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _grid_impl(self, coords: np.ndarray, values: np.ndarray, grid: np.ndarray) -> None:
+        """Accumulate samples into ``grid`` (already zeroed), filling stats."""
+
+    def grid(self, coords: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Adjoint gridding: scatter ``values`` at ``coords`` onto the grid.
+
+        Parameters
+        ----------
+        coords:
+            ``(M, d)`` sample coordinates in grid units ``[0, G)``
+            (values outside are wrapped onto the torus).
+        values:
+            ``(M,)`` complex sample values.
+
+        Returns
+        -------
+        Complex128 array of ``setup.grid_shape``.
+        """
+        coords = self.setup.check_coords(coords)
+        values = np.asarray(values, dtype=np.complex128).ravel()
+        if values.shape[0] != coords.shape[0]:
+            raise ValueError(
+                f"{values.shape[0]} values but {coords.shape[0]} coordinates"
+            )
+        self.stats = GriddingStats()
+        grid = np.zeros(self.setup.grid_shape, dtype=np.complex128)
+        if coords.shape[0]:
+            self._grid_impl(coords, values, grid)
+        return grid
+
+    # ------------------------------------------------------------------
+    def interp(self, grid: np.ndarray, coords: np.ndarray) -> np.ndarray:
+        """Forward interpolation (regridding): gather grid -> samples.
+
+        The exact adjoint of :meth:`grid` — uses the same window
+        weights, so ``<grid(v), g> == <v, interp(g)>`` holds to
+        rounding error for every gridder.
+        """
+        if tuple(grid.shape) != self.setup.grid_shape:
+            raise ValueError(
+                f"grid shape {grid.shape} != setup {self.setup.grid_shape}"
+            )
+        coords = self.setup.check_coords(coords)
+        if coords.shape[0] == 0:
+            return np.zeros(0, dtype=np.complex128)
+        idx, wgt = window_contributions(self.setup, coords)
+        flat = np.asarray(grid, dtype=np.complex128).ravel()
+        m = coords.shape[0]
+        wpts = idx.shape[1]
+        self.stats = GriddingStats(
+            boundary_checks=m * wpts,
+            interpolations=m * wpts,
+            samples_processed=m,
+            grid_accesses=m * wpts,
+            lut_lookups=m * wpts * self.setup.ndim,
+        )
+        return np.einsum("mk,mk->m", flat[idx], wgt)
+
+    # ------------------------------------------------------------------
+    def address_trace(self, coords: np.ndarray) -> np.ndarray:
+        """Linear grid addresses touched, in this algorithm's access order.
+
+        Used by the cache simulator (`repro.perfmodel.cache`) to
+        reproduce the paper's L2 hit-rate comparison.  Subclasses
+        override to reflect their true schedule; the default is the
+        naive input-driven order.
+        """
+        idx, _ = window_contributions(self.setup, coords)
+        return idx.ravel()
+
+
+def offset_combinations(width: int, ndim: int) -> list[tuple[int, ...]]:
+    """All ``W^d`` per-axis window offset tuples, C-ordered."""
+    return list(itertools.product(range(width), repeat=ndim))

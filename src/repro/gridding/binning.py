@@ -1,0 +1,274 @@
+"""Binning (geometric tiling) gridding — the Impatient-style baseline.
+
+The dominant prior-art optimization (§II.C, Fig. 3a): the grid is
+broken into tiles sized to fit on-chip memory, samples are *pre-sorted*
+into bins (one bin per tile they affect — samples near tile edges are
+duplicated into up to ``2^d`` bins), then tile–bin pairs are processed
+sequentially with boundary checks only between a bin's samples and its
+tile's points.
+
+Faithfully reproduces binning's three overheads that Slice-and-Dice
+eliminates:
+
+1. the pre-sorting pass (``presort_operations``),
+2. duplicate sample processing (``samples_processed > M``),
+3. ``|bin| * B^d`` boundary checks per tile, most of which fail.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from .base import Gridder, GriddingStats, GriddingSetup
+
+__all__ = ["BinningGridder"]
+
+#: bin-sample chunk size when materializing (chunk, B^d) weight blocks
+_CHUNK = 256
+
+
+class BinningGridder(Gridder):
+    """Pre-sorted tile/bin gridder.
+
+    Parameters
+    ----------
+    setup:
+        Shared problem description.
+    tile_size:
+        Tile edge length ``B`` in grid points.  The paper sizes tiles
+        to the target's on-chip cache; 32 gives a 16 KiB complex128
+        tile in 2-D.  Must satisfy ``W <= B`` and divide every grid
+        dimension.  ``None`` (default) picks the largest common
+        divisor of the grid dimensions that is ``<= 32`` and
+        ``>= W``.
+    """
+
+    name = "binning"
+
+    def __init__(self, setup: GriddingSetup, tile_size: int | None = None):
+        super().__init__(setup)
+        if tile_size is None:
+            tile_size = self._auto_tile_size(setup)
+        tile_size = int(tile_size)
+        if tile_size < setup.width:
+            raise ValueError(
+                f"tile_size {tile_size} smaller than window width {setup.width}; "
+                "samples would span more than two tiles per axis"
+            )
+        for g in setup.grid_shape:
+            if g % tile_size:
+                raise ValueError(
+                    f"tile_size {tile_size} must divide every grid dimension, got {setup.grid_shape}"
+                )
+        self.tile_size = tile_size
+
+    @staticmethod
+    def _auto_tile_size(setup: GriddingSetup) -> int:
+        """Largest tile <= 32 that divides every grid dim and fits W."""
+        import math
+
+        common = 0
+        for g in setup.grid_shape:
+            common = math.gcd(common, g)
+        for b in range(min(32, common), 0, -1):
+            if common % b == 0 and b >= setup.width:
+                return b
+        raise ValueError(
+            f"no tile size >= W={setup.width} divides grid {setup.grid_shape}; "
+            "pass tile_size explicitly"
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def tiles_per_axis(self) -> tuple[int, ...]:
+        return tuple(g // self.tile_size for g in self.setup.grid_shape)
+
+    @property
+    def n_tiles(self) -> int:
+        return int(np.prod(self.tiles_per_axis))
+
+    # ------------------------------------------------------------------
+    def assign_bins(self, coords: np.ndarray) -> tuple[np.ndarray, np.ndarray, int]:
+        """Pre-sorting pass: map every sample to every tile it affects.
+
+        Returns
+        -------
+        entry_tiles:
+            int64 array of linear tile ids, one per (sample, tile)
+            membership entry.
+        entry_samples:
+            int64 array of the sample index for each entry.
+        presort_ops:
+            Operations charged to the pre-sort (one per membership
+            computation plus the sort itself, ``E log2 E``).
+        """
+        coords = self.setup.check_coords(coords)
+        m, d = coords.shape
+        w = self.setup.width
+        half = self.setup.lut.width / 2.0
+        b = self.tile_size
+        ntiles_axis = self.tiles_per_axis
+
+        # per axis: the tile containing the window's right edge and the one
+        # containing its left edge (equal when the window does not straddle)
+        tile_hi = np.empty((m, d), dtype=np.int64)
+        tile_lo = np.empty((m, d), dtype=np.int64)
+        for axis in range(d):
+            g = self.setup.grid_shape[axis]
+            base = np.floor(coords[:, axis] + half)  # rightmost affected point
+            k_hi = np.mod(base, g)
+            k_lo = np.mod(base - (w - 1), g)
+            tile_hi[:, axis] = (k_hi // b).astype(np.int64)
+            tile_lo[:, axis] = (k_lo // b).astype(np.int64)
+
+        # cartesian product of {lo, hi} per axis, dropping duplicates
+        entries_t: list[np.ndarray] = []
+        entries_s: list[np.ndarray] = []
+        sample_ids = np.arange(m, dtype=np.int64)
+        for choice in itertools.product((0, 1), repeat=d):
+            tiles = np.where(
+                np.asarray(choice, dtype=bool)[None, :], tile_hi, tile_lo
+            )
+            # a choice with axis c==1 duplicates the c==0 choice iff lo==hi on
+            # that axis; keep the entry only if every axis with c==1 differs
+            keep = np.ones(m, dtype=bool)
+            for axis, c in enumerate(choice):
+                if c == 1:
+                    keep &= tile_lo[:, axis] != tile_hi[:, axis]
+            if not np.any(keep):
+                continue
+            linear = np.zeros(m, dtype=np.int64)
+            stride = 1
+            for axis in range(d - 1, -1, -1):
+                linear += tiles[:, axis] * stride
+                stride *= ntiles_axis[axis]
+            entries_t.append(linear[keep])
+            entries_s.append(sample_ids[keep])
+
+        entry_tiles = np.concatenate(entries_t)
+        entry_samples = np.concatenate(entries_s)
+        order = np.argsort(entry_tiles, kind="stable")
+        e = entry_tiles.size
+        presort_ops = m * d + e + int(e * max(1.0, np.log2(max(e, 2))))
+        return entry_tiles[order], entry_samples[order], presort_ops
+
+    # ------------------------------------------------------------------
+    def _grid_impl(self, coords: np.ndarray, values: np.ndarray, grid: np.ndarray) -> None:
+        setup = self.setup
+        w = setup.width
+        half = setup.lut.width / 2.0
+        lut = setup.lut
+        b = self.tile_size
+        d = setup.ndim
+        tile_points = b**d
+
+        entry_tiles, entry_samples, presort_ops = self.assign_bins(coords)
+        boundaries = np.searchsorted(
+            entry_tiles, np.arange(self.n_tiles + 1), side="left"
+        )
+
+        boundary_checks = 0
+        interpolations = 0
+        processed = 0
+        shifted = coords + half  # (M, d)
+
+        for tile_id in range(self.n_tiles):
+            lo, hi = boundaries[tile_id], boundaries[tile_id + 1]
+            if lo == hi:
+                continue
+            bin_samples = entry_samples[lo:hi]
+            nb = bin_samples.size
+            processed += nb
+            boundary_checks += nb * tile_points
+
+            # tile origin per axis
+            t_coord = np.unravel_index(tile_id, self.tiles_per_axis)
+            tile_view, tile_slices = self._tile_view(grid, t_coord)
+
+            for start in range(0, nb, _CHUNK):
+                chunk = bin_samples[start : start + _CHUNK]
+                # separable per-axis forward distances to tile grid lines
+                wgts: list[np.ndarray] = []
+                masks: list[np.ndarray] = []
+                for axis in range(d):
+                    g = setup.grid_shape[axis]
+                    lines = t_coord[axis] * b + np.arange(b, dtype=np.float64)
+                    fwd = np.mod(shifted[chunk, axis][:, None] - lines[None, :], g)
+                    ok = fwd < w
+                    wv = np.zeros_like(fwd)
+                    if np.any(ok):
+                        wv[ok] = lut.table[lut.index_of(fwd[ok])]
+                    wgts.append(wv)
+                    masks.append(ok.astype(np.float64))
+                wgt = wgts[0]
+                msk = masks[0]
+                for axis in range(1, d):
+                    wgt = np.einsum("c...,cb->c...b", wgt, wgts[axis])
+                    msk = np.einsum("c...,cb->c...b", msk, masks[axis])
+                interpolations += int(np.count_nonzero(msk))
+                contrib = np.tensordot(values[chunk], wgt, axes=(0, 0))
+                tile_view += contrib
+
+        self.stats = GriddingStats(
+            boundary_checks=boundary_checks,
+            interpolations=interpolations,
+            samples_processed=processed,
+            presort_operations=presort_ops,
+            grid_accesses=interpolations,
+            lut_lookups=interpolations * d,
+            # output-driven tile processing: one lane per tile point,
+            # issued for every bin sample; only in-window lanes work.
+            # This is §II.C's divergence: efficiency ~ W^d / B^d.
+            simd_active_lanes=interpolations,
+            simd_lane_slots=boundary_checks,
+        )
+
+    def _tile_view(self, grid: np.ndarray, t_coord: tuple[int, ...]):
+        """Writable view of the tile at tile coordinates ``t_coord``."""
+        b = self.tile_size
+        slices = tuple(slice(t * b, (t + 1) * b) for t in t_coord)
+        return grid[slices], slices
+
+    # ------------------------------------------------------------------
+    def duplicate_fraction(self, coords: np.ndarray) -> float:
+        """Fraction of extra sample-processing events due to bin overlap.
+
+        ``0.0`` means no sample straddles a tile boundary; the paper's
+        Fig. 3a example has 16 entries for 6 samples (1.67 extra)."""
+        entry_tiles, _, _ = self.assign_bins(coords)
+        m = self.setup.check_coords(coords).shape[0]
+        return float(entry_tiles.size - m) / max(m, 1)
+
+    def address_trace(self, coords: np.ndarray) -> np.ndarray:
+        """Grid addresses in tile-by-tile processing order.
+
+        Each bin sample touches only its window points *inside* the
+        current tile — the locality binning buys.
+        """
+        setup = self.setup
+        entry_tiles, entry_samples, _ = self.assign_bins(coords)
+        from .base import window_contributions
+
+        idx, _ = window_contributions(setup, coords)
+        # map linear grid index -> linear tile id
+        b = self.tile_size
+        strides_t = np.ones(setup.ndim, dtype=np.int64)
+        for axis in range(setup.ndim - 2, -1, -1):
+            strides_t[axis] = strides_t[axis + 1] * self.tiles_per_axis[axis + 1]
+        coords_nd = np.stack(np.unravel_index(idx, setup.grid_shape), axis=-1)
+        tile_of_pt = (coords_nd // b) @ strides_t
+
+        pieces = []
+        boundaries = np.searchsorted(entry_tiles, np.arange(self.n_tiles + 1))
+        for tile_id in range(self.n_tiles):
+            lo, hi = boundaries[tile_id], boundaries[tile_id + 1]
+            if lo == hi:
+                continue
+            for s in entry_samples[lo:hi]:
+                inside = tile_of_pt[s] == tile_id
+                pieces.append(idx[s][inside])
+        if not pieces:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(pieces)

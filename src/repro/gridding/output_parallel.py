@@ -1,0 +1,92 @@
+"""Naïve output-driven parallel gridding (all-pairs boundary checks).
+
+One logical thread per uniform grid point; every thread checks its
+distance to *every* sample (§II.C).  No synchronization is needed, but
+``M * N^d`` boundary checks are performed, the vast majority failing —
+the inefficiency that motivates binning and, ultimately,
+Slice-and-Dice's ``M * T^d`` reduction.
+
+Only use on small problems: the check count is quadratic-ish by
+construction.  The implementation vectorizes the per-sample full-grid
+check so the *count* is faithful while the wall-clock stays tolerable
+for tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Gridder, GriddingStats
+
+__all__ = ["OutputParallelGridder"]
+
+#: refuse problems whose all-pairs check count exceeds this
+_MAX_CHECKS = int(2e9)
+
+
+class OutputParallelGridder(Gridder):
+    """All-pairs output-driven gridder (educational/counting baseline)."""
+
+    name = "output_parallel"
+
+    def _grid_impl(self, coords: np.ndarray, values: np.ndarray, grid: np.ndarray) -> None:
+        setup = self.setup
+        m = coords.shape[0]
+        n_points = setup.n_grid_points
+        total_checks = m * n_points
+        if total_checks > _MAX_CHECKS:
+            raise ValueError(
+                f"output-parallel gridding would need {total_checks:.2e} boundary "
+                f"checks (M={m}, grid={setup.grid_shape}); this baseline is "
+                "intentionally limited to small problems — use binning or "
+                "slice_and_dice"
+            )
+        w = setup.width
+        half = setup.lut.width / 2.0
+        lut = setup.lut
+        d = setup.ndim
+
+        # per-axis forward distance from every grid line to every sample
+        axes_fwd = []
+        for axis in range(d):
+            g = setup.grid_shape[axis]
+            lines = np.arange(g, dtype=np.float64)
+            shifted = coords[:, axis] + half
+            fwd = np.mod(shifted[:, None] - lines[None, :], g)  # (M, G)
+            axes_fwd.append(fwd)
+
+        interpolations = 0
+        flat = grid.reshape(-1)
+        # Evaluate sample-by-sample against the whole grid (separable),
+        # accumulating where every axis check passes — the faithful
+        # "each thread checks each sample" schedule, transposed.
+        for j in range(m):
+            weight = np.ones(1, dtype=np.float64)
+            masks = []
+            wgts = []
+            for axis in range(d):
+                fwd = axes_fwd[axis][j]
+                ok = fwd < w
+                masks.append(ok)
+                wv = np.zeros_like(fwd)
+                wv[ok] = lut.table[lut.index_of(fwd[ok])]
+                wgts.append(wv)
+            full_w = wgts[0]
+            full_m = masks[0]
+            for axis in range(1, d):
+                full_w = np.multiply.outer(full_w, wgts[axis])
+                full_m = np.multiply.outer(full_m, masks[axis])
+            hits = np.flatnonzero(full_m.ravel())
+            interpolations += hits.size
+            flat[hits] += full_w.ravel()[hits] * values[j]
+            del weight
+
+        self.stats = GriddingStats(
+            boundary_checks=total_checks,
+            interpolations=interpolations,
+            samples_processed=m * 1,  # each thread reads every sample; sample
+            # stream itself is processed once per grid *pass*
+            presort_operations=0,
+            grid_accesses=interpolations,
+            lut_lookups=interpolations * d,
+        )

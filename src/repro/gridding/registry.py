@@ -1,0 +1,70 @@
+"""Gridder registry: construct any gridding algorithm by name.
+
+Central lookup used by the NuFFT plan, the benchmark harness, and the
+equivalence test suite (which iterates every registered gridder and
+asserts identical output grids).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import Gridder, GriddingSetup
+from .binning import BinningGridder
+from .naive import NaiveGridder
+from .output_parallel import OutputParallelGridder
+
+__all__ = ["available_gridders", "make_gridder", "register_gridder"]
+
+_REGISTRY: dict[str, Callable[..., Gridder]] = {}
+
+
+def register_gridder(name: str, factory: Callable[..., Gridder]) -> None:
+    """Register a gridder factory under ``name`` (idempotent)."""
+    _REGISTRY[name] = factory
+
+
+def available_gridders() -> tuple[str, ...]:
+    """Names of all registered gridding algorithms."""
+    _ensure_core()
+    return tuple(sorted(_REGISTRY))
+
+
+def make_gridder(name: str, setup: GriddingSetup, **kwargs) -> Gridder:
+    """Construct the gridder ``name`` for ``setup``.
+
+    Raises
+    ------
+    ValueError
+        For unknown names (the message lists the alternatives).
+    """
+    _ensure_core()
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown gridder {name!r}; available: {available_gridders()}"
+        ) from None
+    return factory(setup, **kwargs)
+
+
+def _ensure_core() -> None:
+    """Register the Slice-and-Dice gridder lazily (avoids import cycle)."""
+    if "slice_and_dice" not in _REGISTRY:
+        from ..core import SliceAndDiceGridder
+
+        register_gridder("slice_and_dice", SliceAndDiceGridder)
+
+
+register_gridder("naive", NaiveGridder)
+register_gridder("output_parallel", OutputParallelGridder)
+register_gridder("binning", BinningGridder)
+
+
+def _register_sparse() -> None:
+    from .sparse_matrix import SparseMatrixGridder
+
+    register_gridder("sparse_matrix", SparseMatrixGridder)
+
+
+_register_sparse()

@@ -1,0 +1,73 @@
+"""JIGSAW — streaming hardware accelerator for Slice-and-Dice gridding (§IV).
+
+A bit-accurate and cycle-accurate model of the paper's ASIC:
+
+- :class:`JigsawConfig` — architectural parameters (Table I) with
+  validation of the supported ranges.
+- :mod:`~repro.jigsaw.sram` — SRAM macro models (weight LUT + column
+  accumulators) with port limits and access counting.
+- :class:`JigsawSimulator` — the functional simulator: ``T^2``
+  fixed-point pipelines (select / weight lookup / interpolation /
+  accumulate), vectorized over the sample stream but bit-exact with a
+  word-at-a-time implementation.  2-D and 3-D-slice variants.
+- :class:`PipelineTrace` / :func:`simulate_microarchitecture` — a
+  cycle-level four-stage pipeline simulation that demonstrates the
+  stall-free ``M + depth`` runtime claim.
+- :mod:`~repro.jigsaw.timing` — the architectural timing laws
+  (``M+12``, ``(M+15)*Nz``, ``(M+15)*Wz``) and DMA/host transfer model.
+- :mod:`~repro.jigsaw.synthesis` — 16 nm area/power model calibrated
+  against Table II, plus the energy accounting of Fig. 8.
+"""
+
+from .config import JigsawConfig
+from .simulator import JigsawSimulator, GriddingResult
+from .pipeline import simulate_microarchitecture, PipelineTrace
+from .sram import SramModel
+from .timing import (
+    gridding_cycles_2d,
+    gridding_cycles_3d_slice,
+    gridding_runtime_seconds,
+    DmaModel,
+)
+from .synthesis import (
+    SynthesisReport,
+    synthesize,
+    jigsaw_energy,
+    EnergyBreakdown,
+    energy_breakdown,
+)
+from .zbinning import ZBinning, z_bin_samples
+from .adapter import JigsawGridder
+from .related_work import (
+    TiledAcceleratorModel,
+    TiledRunStats,
+    fifo_binning_cycles,
+    linked_list_binning_cycles,
+    jigsaw_reference_cycles,
+)
+
+__all__ = [
+    "JigsawConfig",
+    "JigsawSimulator",
+    "GriddingResult",
+    "simulate_microarchitecture",
+    "PipelineTrace",
+    "SramModel",
+    "gridding_cycles_2d",
+    "gridding_cycles_3d_slice",
+    "gridding_runtime_seconds",
+    "DmaModel",
+    "SynthesisReport",
+    "synthesize",
+    "jigsaw_energy",
+    "EnergyBreakdown",
+    "energy_breakdown",
+    "ZBinning",
+    "z_bin_samples",
+    "JigsawGridder",
+    "TiledAcceleratorModel",
+    "TiledRunStats",
+    "fifo_binning_cycles",
+    "linked_list_binning_cycles",
+    "jigsaw_reference_cycles",
+]

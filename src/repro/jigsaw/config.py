@@ -1,0 +1,179 @@
+"""JIGSAW architectural configuration (Table I of the paper).
+
+=============================== ==========
+Property                        Value
+=============================== ==========
+Target grid dimensions (N)      8 - 1024
+Virtual tile dimensions (T)     8
+Interpolation window (W)        1 - 8
+Table oversampling factor (L)   1 - 64
+Pipeline bit width              32-bit
+Interpolation weight bit width  16-bit
+=============================== ==========
+
+plus the microarchitectural constants from §IV/§V: 1.0 GHz clock,
+12-cycle pipeline depth (15 for the 3-D slice variant), a 256-entry
+dual-ported weight SRAM per lookup unit (symmetric half-table — which
+is what bounds ``W * L / 2 <= 256``), ~8 MB of accumulator SRAM, and a
+128-bit input / 2 x 64-bit output DMA bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..fixedpoint import QFormat, RoundingMode
+
+__all__ = ["JigsawConfig"]
+
+
+@dataclass(frozen=True)
+class JigsawConfig:
+    """Static configuration of one JIGSAW instance.
+
+    Parameters
+    ----------
+    grid_dim:
+        Target (oversampled) grid points per axis, ``N`` in Table I.
+        Must be a multiple of ``tile_dim``.
+    window_width:
+        Interpolation window width ``W`` (1-8).
+    table_oversampling:
+        Table oversampling factor ``L`` (1-64, power of two so the
+        select unit's multiply is a bit shift).
+    variant:
+        ``"2d"`` or ``"3d_slice"``.
+    tile_dim:
+        Virtual tile dimension ``T``; fixed at 8 in the paper (the
+        pipeline array is ``T x T``), kept configurable for ablations.
+    grid_dim_z:
+        Z extent for the 3-D slice variant (ignored for 2-D).
+    window_width_z:
+        Interpolation window width in Z for the 3-D variant.
+    """
+
+    grid_dim: int = 1024
+    window_width: int = 6
+    table_oversampling: int = 32
+    variant: str = "2d"
+    tile_dim: int = 8
+    grid_dim_z: int = 64
+    window_width_z: int = 6
+
+    # --- microarchitectural constants (§IV/§V) ---
+    clock_hz: float = 1.0e9
+    pipeline_depth_2d: int = 12
+    pipeline_depth_3d: int = 15
+    weight_sram_entries: int = 256
+    input_bus_bits: int = 128
+    output_points_per_cycle: int = 2
+
+    # --- numeric formats ---
+    #: 16-bit weight components (Q1.14: weights lie in [0, 1])
+    weight_format: QFormat = field(
+        default=QFormat(1, 14, rounding=RoundingMode.NEAREST)
+    )
+    #: 16-bit sample value components on the 32-bit input word
+    value_format: QFormat = field(
+        default=QFormat(1, 14, rounding=RoundingMode.NEAREST)
+    )
+    #: 32-bit accumulator words per component
+    accumulator_format: QFormat = field(
+        default=QFormat(17, 14, rounding=RoundingMode.NEAREST)
+    )
+
+    def __post_init__(self) -> None:
+        if self.variant not in ("2d", "3d_slice"):
+            raise ValueError(f"variant must be '2d' or '3d_slice', got {self.variant!r}")
+        if not 8 <= self.grid_dim <= 1024:
+            raise ValueError(
+                f"grid_dim {self.grid_dim} outside Table I range [8, 1024]"
+            )
+        if not 1 <= self.window_width <= 8:
+            raise ValueError(
+                f"window_width {self.window_width} outside Table I range [1, 8]"
+            )
+        if not 1 <= self.table_oversampling <= 64:
+            raise ValueError(
+                f"table_oversampling {self.table_oversampling} outside Table I range [1, 64]"
+            )
+        if self.table_oversampling & (self.table_oversampling - 1):
+            raise ValueError(
+                f"table_oversampling must be a power of two (hardware bit shift), "
+                f"got {self.table_oversampling}"
+            )
+        if self.tile_dim < 1:
+            raise ValueError(f"tile_dim must be >= 1, got {self.tile_dim}")
+        if self.window_width > self.tile_dim:
+            raise ValueError(
+                f"window_width {self.window_width} exceeds tile_dim {self.tile_dim}; "
+                "one-point-per-column guarantee requires W <= T"
+            )
+        if self.grid_dim % self.tile_dim:
+            raise ValueError(
+                f"tile_dim {self.tile_dim} must divide grid_dim {self.grid_dim}"
+            )
+        # symmetric half-table must fit the weight SRAM (the center
+        # weight is exactly the kernel peak and is wired, not stored,
+        # which is how 256 entries cover W=8 at L=64)
+        if (self.window_width * self.table_oversampling) // 2 > self.weight_sram_entries:
+            raise ValueError(
+                f"W*L/2 = {(self.window_width * self.table_oversampling) // 2} "
+                f"weights exceed the {self.weight_sram_entries}-entry weight "
+                "SRAM (Table I allows up to L=64 at W=8)"
+            )
+        if self.variant == "3d_slice":
+            if self.grid_dim_z < 1:
+                raise ValueError(f"grid_dim_z must be >= 1, got {self.grid_dim_z}")
+            if not 1 <= self.window_width_z <= 8:
+                raise ValueError(
+                    f"window_width_z {self.window_width_z} outside [1, 8]"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_pipelines(self) -> int:
+        """Pipelines in the ``T x T`` array."""
+        return self.tile_dim**2
+
+    @property
+    def pipeline_depth(self) -> int:
+        return self.pipeline_depth_2d if self.variant == "2d" else self.pipeline_depth_3d
+
+    @property
+    def half_table_entries(self) -> int:
+        """Stored weight-table entries (symmetric half, §IV)."""
+        return (self.window_width * self.table_oversampling) // 2 + 1
+
+    @property
+    def tiles_per_axis(self) -> int:
+        return self.grid_dim // self.tile_dim
+
+    @property
+    def n_tiles(self) -> int:
+        """Stack depth: tiles in the 2-D plane."""
+        return self.tiles_per_axis**2
+
+    @property
+    def accumulator_words_per_pipeline(self) -> int:
+        """Complex grid points stored by each pipeline's private SRAM."""
+        return self.n_tiles
+
+    @property
+    def accumulator_sram_bytes(self) -> int:
+        """Total accumulator SRAM: one 2 x 32-bit word per grid point.
+
+        At N=1024 this is the paper's ~8 MB figure.
+        """
+        word_bytes = 2 * ((self.accumulator_format.total_bits + 7) // 8)
+        return self.grid_dim**2 * word_bytes
+
+    @property
+    def weight_sram_bytes(self) -> int:
+        """Weight SRAM: 256 x 32-bit complex entries per lookup unit."""
+        return self.weight_sram_entries * 4
+
+    @property
+    def frac_bits(self) -> int:
+        """Fractional coordinate bits, ``log2(L)``."""
+        return int(self.table_oversampling).bit_length() - 1

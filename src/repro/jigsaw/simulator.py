@@ -1,0 +1,366 @@
+"""Bit-accurate functional simulator for the JIGSAW pipeline array.
+
+Models the datapath of §IV exactly at the arithmetic level:
+
+- coordinates are quantized to the table granularity ``1/L`` (the
+  paper: "locations within the interpolation window are rounded to the
+  nearest weight"),
+- the select unit decomposes each (window-shifted) coordinate into
+  tile / relative coordinates by bit truncation and performs the
+  two-part boundary check per pipeline,
+- the weight lookup unit reads 16-bit complex weight components from
+  the (mirrored half-) table SRAM and combines dimensions with Knuth's
+  3-multiplication complex product,
+- the interpolation unit multiplies the combined weight by the 16-bit
+  complex sample value,
+- the accumulation unit adds the renormalized product into the
+  pipeline's private 2 x 32-bit accumulator words.
+
+The simulation is vectorized over the sample stream per pipeline
+(integer arithmetic end-to-end), which is bit-identical to
+sample-at-a-time processing because integer addition is associative.
+Accumulator saturation is applied at readout and counted; configure
+``value_scale`` so your data cannot overflow mid-stream if you need
+per-addition saturation semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..fixedpoint import knuth_complex_multiply
+from ..kernels import KernelLUT, KernelSpec, beatty_kernel
+from .config import JigsawConfig
+from .sram import SramModel
+from .timing import gridding_cycles_2d, gridding_cycles_3d_slice
+
+__all__ = ["JigsawSimulator", "GriddingResult"]
+
+
+@dataclass
+class GriddingResult:
+    """Output of one JIGSAW gridding run.
+
+    Attributes
+    ----------
+    grid:
+        Dequantized complex128 target grid (2-D: ``(N, N)``; 3-D slice:
+        ``(Nz, N, N)``).
+    cycles:
+        Architectural cycle count (``M + depth`` for 2-D).
+    runtime_seconds:
+        ``cycles / clock_hz``.
+    saturation_events:
+        Accumulator words clamped at readout (0 in a correctly scaled
+        run).
+    weight_sram_reads / accumulator_reads / accumulator_writes:
+        SRAM access counts for the energy model.
+    boundary_checks / interpolations:
+        Select-unit comparisons and passing MACs.
+    """
+
+    grid: np.ndarray
+    cycles: int
+    runtime_seconds: float
+    saturation_events: int = 0
+    weight_sram_reads: int = 0
+    accumulator_reads: int = 0
+    accumulator_writes: int = 0
+    boundary_checks: int = 0
+    interpolations: int = 0
+
+
+class JigsawSimulator:
+    """Functional model of one JIGSAW instance.
+
+    Parameters
+    ----------
+    config:
+        Architectural configuration (Table I parameters).
+    kernel:
+        Interpolation window; defaults to the Beatty Kaiser–Bessel of
+        the configured width at ``sigma = 2``.
+    value_scale:
+        Input samples are divided by this before quantization to the
+        16-bit value format and the output grid is multiplied back.
+        ``None`` auto-scales to the stream's max magnitude.
+    """
+
+    def __init__(
+        self,
+        config: JigsawConfig,
+        kernel: KernelSpec | None = None,
+        value_scale: float | None = None,
+    ):
+        self.config = config
+        if kernel is None:
+            kernel = beatty_kernel(config.window_width, 2.0)
+        if int(round(kernel.width)) != config.window_width:
+            raise ValueError(
+                f"kernel width {kernel.width} != configured window {config.window_width}"
+            )
+        self.kernel = kernel
+        self.lut = KernelLUT(kernel, config.table_oversampling)
+        self.value_scale = value_scale
+
+        # quantized full table codes (Q1.14); hardware stores the half
+        # table and mirrors addresses — we model the SRAM with the half
+        # table and go through the mirror on every access.
+        full_codes = self.lut.quantized(config.weight_format).astype(np.int64)
+        self._table_codes = full_codes
+        half = full_codes[: self.lut.n_entries // 2 + 1]
+        # the stored half table may need one word beyond the nominal
+        # SRAM capacity for the center weight, which hardware wires
+        self.weight_sram = SramModel(
+            max(config.weight_sram_entries, half.size), 32, ports=2, name="weight_lut"
+        )
+        self.weight_sram.load(half)
+
+    # ------------------------------------------------------------------
+    def _quantize_coords(
+        self,
+        coords: np.ndarray,
+        extents: tuple[int, ...],
+        widths: tuple[int, ...] | None = None,
+    ) -> np.ndarray:
+        """Coordinates -> integer codes in units of ``1/L``, window-shifted.
+
+        ``widths`` gives the per-axis window width for the ``W/2``
+        shift (defaults to the in-plane width on every axis).
+        """
+        cfg = self.config
+        coords = np.atleast_2d(np.asarray(coords, dtype=np.float64))
+        if coords.shape[1] != len(extents):
+            raise ValueError(
+                f"coords must be (M, {len(extents)}), got {coords.shape}"
+            )
+        if widths is None:
+            widths = (cfg.window_width,) * len(extents)
+        ext = np.asarray(extents, dtype=np.float64)
+        half = np.asarray(widths, dtype=np.float64) / 2.0
+        shifted = np.mod(coords + half[None, :], ext)
+        codes = np.rint(shifted * cfg.table_oversampling).astype(np.int64)
+        # rounding can push a coordinate to exactly G*L: wrap it
+        lims = (np.asarray(extents, dtype=np.int64) * cfg.table_oversampling)[None, :]
+        return np.mod(codes, lims)
+
+    def _quantize_values(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray, float]:
+        cfg = self.config
+        values = np.asarray(values, dtype=np.complex128).ravel()
+        scale = self.value_scale
+        if scale is None:
+            peak = max(
+                float(np.max(np.abs(values.real), initial=0.0)),
+                float(np.max(np.abs(values.imag), initial=0.0)),
+            )
+            # leave 1 bit of headroom below the Q1.14 limit
+            scale = peak if peak > 0 else 1.0
+        scaled = values / scale
+        vre = np.atleast_1d(cfg.value_format.quantize(scaled.real)).astype(np.int64)
+        vim = np.atleast_1d(cfg.value_format.quantize(scaled.imag)).astype(np.int64)
+        return vre, vim, float(scale)
+
+    def _lut_read(self, fwd_code: np.ndarray) -> np.ndarray:
+        """Mirrored weight-SRAM read for forward-distance codes."""
+        n = self.lut.n_entries
+        mirrored = np.minimum(fwd_code, n - fwd_code)
+        return self.weight_sram.read(mirrored)
+
+    # ------------------------------------------------------------------
+    def grid_2d(self, coords: np.ndarray, values: np.ndarray) -> GriddingResult:
+        """Grid an (M, 2) stream onto the ``N x N`` target (2-D variant).
+
+        ``coords`` are in grid units ``[0, N)`` (torus-wrapped).
+        """
+        cfg = self.config
+        if cfg.variant != "2d":
+            raise ValueError("grid_2d requires a '2d'-variant configuration")
+        g = cfg.grid_dim
+        codes = self._quantize_coords(coords, (g, g))
+        vre, vim, scale = self._quantize_values(values)
+        if vre.shape[0] != codes.shape[0]:
+            raise ValueError(
+                f"{vre.shape[0]} values but {codes.shape[0]} coordinates"
+            )
+        acc_re, acc_im, stats = self._run_plane(codes, vre, vim)
+        grid, saturated = self._read_out(acc_re, acc_im, scale)
+        m = codes.shape[0]
+        cycles = gridding_cycles_2d(m, cfg)
+        return GriddingResult(
+            grid=grid,
+            cycles=cycles,
+            runtime_seconds=cycles / cfg.clock_hz,
+            saturation_events=saturated,
+            weight_sram_reads=stats["lut_reads"],
+            accumulator_reads=stats["acc_ops"],
+            accumulator_writes=stats["acc_ops"],
+            boundary_checks=m * cfg.n_pipelines,
+            interpolations=stats["interpolations"],
+        )
+
+    def grid_3d_slice(
+        self, coords: np.ndarray, values: np.ndarray, z_sorted: bool = False
+    ) -> GriddingResult:
+        """Grid an (M, 3) stream onto ``(Nz, N, N)`` via 2-D slices.
+
+        Coordinates are ``(x, y, z)`` in grid units (z in ``[0, Nz)``).
+        The full unsorted stream is re-scanned for every slice —
+        ``(M + 15) * Nz`` cycles — unless ``z_sorted`` is set, which
+        models the pre-binned-in-Z input of §IV (``(M + 15) * Wz``
+        cycles; output is identical).
+        """
+        cfg = self.config
+        if cfg.variant != "3d_slice":
+            raise ValueError("grid_3d_slice requires a '3d_slice'-variant configuration")
+        g, gz, wz = cfg.grid_dim, cfg.grid_dim_z, cfg.window_width_z
+        coords = np.atleast_2d(np.asarray(coords, dtype=np.float64))
+        codes = self._quantize_coords(
+            coords, (g, g, gz), widths=(cfg.window_width, cfg.window_width, wz)
+        )
+        vre, vim, scale = self._quantize_values(values)
+        if vre.shape[0] != codes.shape[0]:
+            raise ValueError(
+                f"{vre.shape[0]} values but {codes.shape[0]} coordinates"
+            )
+        m = codes.shape[0]
+        ell = cfg.table_oversampling
+        out = np.empty((gz, g, g), dtype=np.complex128)
+        saturated = 0
+        totals = {"lut_reads": 0, "acc_ops": 0, "interpolations": 0}
+        plane_checks = 0
+        z_codes = codes[:, 2]
+        for iz in range(gz):
+            # select stage z-check: forward distance from slice iz to the
+            # shifted z coordinate, in 1/L units
+            fwd_z = np.mod(z_codes - iz * ell, gz * ell)
+            in_slice = fwd_z < wz * ell
+            idx = np.flatnonzero(in_slice)
+            if idx.size == 0:
+                out[iz] = 0.0
+                continue
+            wz_codes = self._lut_read_z(fwd_z[idx])
+            # fold the z weight into the sample value (Q1.14 x Q1.14)
+            vre_z = cfg.value_format._shift_round(vre[idx] * wz_codes, 14)
+            vim_z = cfg.value_format._shift_round(vim[idx] * wz_codes, 14)
+            acc_re, acc_im, stats = self._run_plane(codes[idx, :2], vre_z, vim_z)
+            plane, sat = self._read_out(acc_re, acc_im, scale)
+            out[iz] = plane
+            saturated += sat
+            for k in totals:
+                totals[k] += stats[k]
+            totals["lut_reads"] += idx.size  # the z lookups
+            plane_checks += idx.size * cfg.n_pipelines
+        cycles = gridding_cycles_3d_slice(m, cfg, z_sorted=z_sorted)
+        return GriddingResult(
+            grid=out,
+            cycles=cycles,
+            runtime_seconds=cycles / cfg.clock_hz,
+            saturation_events=saturated,
+            weight_sram_reads=totals["lut_reads"],
+            accumulator_reads=totals["acc_ops"],
+            accumulator_writes=totals["acc_ops"],
+            boundary_checks=m * gz + plane_checks,
+            interpolations=totals["interpolations"],
+        )
+
+    def _lut_read_z(self, fwd_z_code: np.ndarray) -> np.ndarray:
+        """Z-dimension weight lookup.
+
+        The Z window width may differ from the in-plane width; reuse
+        the same table when they match, otherwise evaluate a separate
+        Beatty kernel table (a second SRAM in hardware).
+        """
+        cfg = self.config
+        if cfg.window_width_z == cfg.window_width:
+            return self._lut_read(fwd_z_code)
+        if not hasattr(self, "_z_table"):
+            kz = beatty_kernel(cfg.window_width_z, 2.0)
+            lut_z = KernelLUT(kz, cfg.table_oversampling)
+            self._z_table = lut_z.quantized(cfg.weight_format).astype(np.int64)
+        return self._z_table[np.asarray(fwd_z_code, dtype=np.int64)]
+
+    # ------------------------------------------------------------------
+    def _run_plane(
+        self, codes: np.ndarray, vre: np.ndarray, vim: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, dict]:
+        """Run the T x T pipeline array over one 2-D sample stream.
+
+        Returns int64 accumulator arrays of shape ``(T^2, n_tiles)``
+        (real, imag) plus access statistics.
+        """
+        cfg = self.config
+        t = cfg.tile_dim
+        ell = cfg.table_oversampling
+        w_lim = cfg.window_width * ell
+        n_tiles_axis = cfg.tiles_per_axis
+        n_tiles = cfg.n_tiles
+
+        # select-unit decomposition by bit truncation
+        i = codes[:, :2] // ell  # integer grid position
+        frac = codes[:, :2] - i * ell  # fractional code in [0, L)
+        tile = i // t
+        rel = i - tile * t
+
+        acc_re = np.zeros((cfg.n_pipelines, n_tiles), dtype=np.int64)
+        acc_im = np.zeros((cfg.n_pipelines, n_tiles), dtype=np.int64)
+        lut_reads = 0
+        acc_ops = 0
+        interpolations = 0
+
+        for px in range(t):
+            fwd_x = np.mod(rel[:, 0] - px, t) * ell + frac[:, 0]
+            ok_x = fwd_x < w_lim
+            for py in range(t):
+                fwd_y = np.mod(rel[:, 1] - py, t) * ell + frac[:, 1]
+                hit = np.flatnonzero(ok_x & (fwd_y < w_lim))
+                if hit.size == 0:
+                    continue
+                interpolations += hit.size
+                # weight lookup: two mirrored SRAM reads + Knuth combine
+                wx = self._lut_read(fwd_x[hit])
+                wy = self._lut_read(fwd_y[hit])
+                lut_reads += 2 * hit.size
+                w_re, w_im = knuth_complex_multiply(
+                    wx, np.zeros_like(wx), wy, np.zeros_like(wy),
+                    cfg.weight_format, cfg.weight_format.frac_bits,
+                )
+                # interpolation: weight x sample value -> accumulator format
+                p_re, p_im = knuth_complex_multiply(
+                    vre[hit], vim[hit], w_re.astype(np.int64), w_im.astype(np.int64),
+                    cfg.accumulator_format, cfg.weight_format.frac_bits,
+                )
+                # accumulate at the global tile address (with wrap rule)
+                tx = np.mod(tile[hit, 0] - (rel[hit, 0] < px), n_tiles_axis)
+                ty = np.mod(tile[hit, 1] - (rel[hit, 1] < py), n_tiles_axis)
+                depth = tx * n_tiles_axis + ty
+                row = px * t + py
+                np.add.at(acc_re[row], depth, p_re.astype(np.int64))
+                np.add.at(acc_im[row], depth, p_im.astype(np.int64))
+                acc_ops += hit.size
+        return acc_re, acc_im, {
+            "lut_reads": lut_reads,
+            "acc_ops": acc_ops,
+            "interpolations": interpolations,
+        }
+
+    def _read_out(
+        self, acc_re: np.ndarray, acc_im: np.ndarray, scale: float
+    ) -> tuple[np.ndarray, int]:
+        """Saturate, dequantize, and rearrange columns back to grid order."""
+        cfg = self.config
+        fmt = cfg.accumulator_format
+        clipped_re = fmt.clamp(acc_re)
+        clipped_im = fmt.clamp(acc_im)
+        saturated = int(np.count_nonzero(clipped_re != acc_re)) + int(
+            np.count_nonzero(clipped_im != acc_im)
+        )
+        dice = (
+            np.asarray(fmt.dequantize(clipped_re))
+            + 1j * np.asarray(fmt.dequantize(clipped_im))
+        ) * scale
+        from ..core import DiceLayout
+
+        layout = DiceLayout((cfg.grid_dim, cfg.grid_dim), cfg.tile_dim)
+        return layout.dice_to_grid(dice), saturated

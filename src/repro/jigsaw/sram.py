@@ -1,0 +1,108 @@
+"""SRAM macro models: storage arrays with port limits and accounting.
+
+JIGSAW keeps two kinds of on-chip memory (§IV, Fig. 5):
+
+- per-lookup-unit *weight SRAMs* — 256 x 32-bit dual-ported arrays
+  holding the symmetric half of the interpolation table;
+- per-pipeline *accumulator SRAMs* — private column arrays holding the
+  partial sums for the pipeline's grid points (~8 MB total at
+  N = 1024).
+
+The model stores integer codes, enforces the per-cycle port limit
+(when used by the cycle-level simulator), and counts accesses so the
+synthesis/energy model can charge dynamic power per read/write.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SramModel"]
+
+
+class SramModel:
+    """A single SRAM array of ``words`` entries of ``word_bits`` bits.
+
+    Parameters
+    ----------
+    words:
+        Number of addressable entries.
+    word_bits:
+        Bits per entry (storage only; values are kept as int64 codes).
+    ports:
+        Maximum accesses per cycle (2 for the dual-ported weight SRAM).
+    name:
+        Label used in error messages and reports.
+    """
+
+    def __init__(self, words: int, word_bits: int, ports: int = 1, name: str = "sram"):
+        if words < 1:
+            raise ValueError(f"words must be >= 1, got {words}")
+        if word_bits < 1:
+            raise ValueError(f"word_bits must be >= 1, got {word_bits}")
+        if ports < 1:
+            raise ValueError(f"ports must be >= 1, got {ports}")
+        self.words = words
+        self.word_bits = word_bits
+        self.ports = ports
+        self.name = name
+        self.data = np.zeros(words, dtype=np.int64)
+        self.reads = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def bits(self) -> int:
+        """Total capacity in bits."""
+        return self.words * self.word_bits
+
+    @property
+    def bytes(self) -> int:
+        return (self.bits + 7) // 8
+
+    def _check_addr(self, addr: np.ndarray) -> np.ndarray:
+        addr = np.asarray(addr, dtype=np.int64)
+        if np.any(addr < 0) or np.any(addr >= self.words):
+            bad = addr[(addr < 0) | (addr >= self.words)]
+            raise IndexError(
+                f"{self.name}: address {int(bad.flat[0])} outside [0, {self.words})"
+            )
+        return addr
+
+    # ------------------------------------------------------------------
+    def load(self, values: np.ndarray) -> None:
+        """Bulk-initialize contents (configuration-time table load)."""
+        values = np.asarray(values, dtype=np.int64).ravel()
+        if values.size > self.words:
+            raise ValueError(
+                f"{self.name}: {values.size} values exceed capacity {self.words}"
+            )
+        limit = 1 << (self.word_bits - 1)
+        if np.any(values >= limit) or np.any(values < -limit):
+            raise OverflowError(
+                f"{self.name}: value outside signed {self.word_bits}-bit range"
+            )
+        self.data[: values.size] = values
+        self.data[values.size :] = 0
+
+    def read(self, addr: np.ndarray) -> np.ndarray:
+        """Read entries (vectorized); counts one access per element."""
+        addr = self._check_addr(addr)
+        self.reads += int(np.size(addr))
+        return self.data[addr]
+
+    def write(self, addr: np.ndarray, values: np.ndarray) -> None:
+        """Write entries (vectorized); counts one access per element."""
+        addr = self._check_addr(addr)
+        values = np.asarray(values, dtype=np.int64)
+        limit = 1 << (self.word_bits - 1)
+        if np.any(values >= limit) or np.any(values < -limit):
+            raise OverflowError(
+                f"{self.name}: write value outside signed {self.word_bits}-bit range"
+            )
+        self.writes += int(np.size(addr))
+        self.data[addr] = values
+
+    def reset_counters(self) -> None:
+        self.reads = 0
+        self.writes = 0

@@ -1,0 +1,114 @@
+"""JIGSAW architectural timing laws and DMA/host transfer model (§IV/§VI).
+
+With a fully pipelined, stall-free datapath accepting one sample per
+cycle, gridding runtime is determined entirely by the stream length:
+
+- 2-D:                        ``M + 12``  cycles,
+- 3-D slice (unsorted input): ``(M + 15) * Nz`` cycles,
+- 3-D slice (Z-pre-binned):   ``(M + 15) * Wz`` cycles,
+
+at the synthesized 1.0 GHz clock — "irrespective of sampling pattern,
+interpolation kernel width, or uniform grid size".  The DMA model
+covers host <-> accelerator transfers: one sample per cycle in on the
+128-bit bus, two 64-bit grid points per cycle out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import JigsawConfig
+
+__all__ = [
+    "gridding_cycles_2d",
+    "gridding_cycles_3d_slice",
+    "gridding_runtime_seconds",
+    "DmaModel",
+]
+
+
+def gridding_cycles_2d(n_samples: int, config: JigsawConfig) -> int:
+    """``M + pipeline_depth`` cycles for the 2-D variant."""
+    if n_samples < 0:
+        raise ValueError(f"n_samples must be >= 0, got {n_samples}")
+    return n_samples + config.pipeline_depth_2d
+
+
+def gridding_cycles_3d_slice(
+    n_samples: int, config: JigsawConfig, z_sorted: bool = False
+) -> int:
+    """Cycles for the 3-D slice variant.
+
+    The unsorted stream is replayed once per Z slice; a Z-pre-binned
+    stream only replays samples for the ``Wz`` slices each affects
+    (§IV "Gridding in 2D and 3D").
+    """
+    if n_samples < 0:
+        raise ValueError(f"n_samples must be >= 0, got {n_samples}")
+    per_pass = n_samples + config.pipeline_depth_3d
+    passes = config.window_width_z if z_sorted else config.grid_dim_z
+    return per_pass * passes
+
+
+def gridding_runtime_seconds(
+    n_samples: int, config: JigsawConfig, z_sorted: bool = False
+) -> float:
+    """Gridding wall-clock implied by the cycle law and the 1 GHz clock."""
+    if config.variant == "2d":
+        cycles = gridding_cycles_2d(n_samples, config)
+    else:
+        cycles = gridding_cycles_3d_slice(n_samples, config, z_sorted=z_sorted)
+    return cycles / config.clock_hz
+
+
+@dataclass(frozen=True)
+class DmaModel:
+    """Host <-> JIGSAW streaming transfer model (§IV System Integration).
+
+    One non-uniform sample (value + coordinates) arrives per cycle on
+    the 128-bit input bus; after gridding, two 64-bit packed grid
+    points are read back per cycle.  The input stream overlaps
+    gridding (streaming), so device occupancy is
+    ``max(M, gridding) + readout``; since gridding accepts a sample
+    per cycle they coincide at ``M + depth``.
+    """
+
+    config: JigsawConfig
+
+    @property
+    def bus_bandwidth_bytes_per_s(self) -> float:
+        """Input bus bandwidth (~16 GB/s at 128 bit x 1 GHz, §IV's
+        "DDR4 bandwidth (~20 GB/s)" class)."""
+        return self.config.input_bus_bits / 8 * self.config.clock_hz
+
+    def input_cycles(self, n_samples: int) -> int:
+        """Cycles to stream the sample data in (overlapped with gridding)."""
+        if n_samples < 0:
+            raise ValueError(f"n_samples must be >= 0, got {n_samples}")
+        return n_samples
+
+    def readout_cycles(self) -> int:
+        """Cycles to stream the gridded target back to the host."""
+        cfg = self.config
+        points = cfg.grid_dim**2
+        if cfg.variant == "3d_slice":
+            points *= cfg.grid_dim_z
+        return (points + cfg.output_points_per_cycle - 1) // cfg.output_points_per_cycle
+
+    def device_cycles(self, n_samples: int, z_sorted: bool = False) -> int:
+        """Total device-side cycles: streamed gridding + grid readout.
+
+        For 3-D, readout happens once after all slices complete (each
+        slice's plane is drained while the next streams, so only the
+        final plane's readout is exposed; we model the conservative
+        full-volume readout).
+        """
+        cfg = self.config
+        if cfg.variant == "2d":
+            grid_cycles = gridding_cycles_2d(n_samples, cfg)
+        else:
+            grid_cycles = gridding_cycles_3d_slice(n_samples, cfg, z_sorted=z_sorted)
+        return grid_cycles + self.readout_cycles()
+
+    def device_seconds(self, n_samples: int, z_sorted: bool = False) -> float:
+        return self.device_cycles(n_samples, z_sorted=z_sorted) / self.config.clock_hz

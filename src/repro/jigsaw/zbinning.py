@@ -1,0 +1,97 @@
+"""Host-side Z-binning for the JIGSAW 3D Slice variant (§IV).
+
+"if the dataset is pre-sorted into subsets of samples affecting each
+Z-dimension slice — essentially binning in the Z-dimension and letting
+Slice-and-Dice obviate binning in 2D — runtime can be reduced to
+``(M + 15) * Wz`` cycles."
+
+The accelerator only ever sees a linear stream; this module implements
+the host's one-time preparation: assign every sample to the Z slices
+its window touches (it touches ``Wz`` of them) and emit, per slice,
+the index list of relevant samples.  The simulator's ``z_sorted`` path
+models the resulting schedule; :func:`z_bin_samples` makes the
+preparation itself available, with its cost accounted, so benchmarks
+can compare "host sorts once" against "accelerator replays the stream
+Nz times" end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .config import JigsawConfig
+
+__all__ = ["ZBinning", "z_bin_samples"]
+
+
+@dataclass(frozen=True)
+class ZBinning:
+    """Result of binning a 3-D stream by Z slice.
+
+    Attributes
+    ----------
+    slice_samples:
+        Tuple of ``Nz`` int64 index arrays; entry ``iz`` lists the
+        samples whose Z window covers slice ``iz``, in stream order.
+    entries:
+        Total membership entries (= ``M * Wz`` up to edge rounding);
+        the stream length the accelerator processes in sorted mode.
+    sort_operations:
+        Host-side work charged to the preparation (membership
+        computation + counting sort).
+    """
+
+    slice_samples: tuple[np.ndarray, ...]
+    entries: int
+    sort_operations: int
+
+    @property
+    def n_slices(self) -> int:
+        return len(self.slice_samples)
+
+
+def z_bin_samples(coords: np.ndarray, config: JigsawConfig) -> ZBinning:
+    """Bin samples by the Z slices their interpolation window affects.
+
+    Parameters
+    ----------
+    coords:
+        ``(M, 3)`` coordinates in grid units (``z`` in ``[0, Nz)``,
+        torus-wrapped).
+    config:
+        A ``3d_slice`` configuration (supplies ``Nz`` and ``Wz``).
+
+    Notes
+    -----
+    A sample at ``z`` affects slices ``floor(z + Wz/2) - o (mod Nz)``
+    for ``o = 0..Wz-1`` — the same forward-distance window as the X/Y
+    axes, so this is literally "binning in the Z dimension".
+    """
+    if config.variant != "3d_slice":
+        raise ValueError("z_bin_samples requires a '3d_slice' configuration")
+    coords = np.atleast_2d(np.asarray(coords, dtype=np.float64))
+    if coords.ndim != 2 or coords.shape[1] != 3:
+        raise ValueError(f"coords must be (M, 3), got {coords.shape}")
+    nz, wz = config.grid_dim_z, config.window_width_z
+    m = coords.shape[0]
+
+    z = np.mod(coords[:, 2], nz)
+    base = np.floor(z + wz / 2.0).astype(np.int64)
+    # membership matrix: sample j affects slices base[j] - o (mod nz)
+    offsets = np.arange(wz, dtype=np.int64)
+    slices = np.mod(base[:, None] - offsets[None, :], nz)  # (M, Wz)
+    sample_ids = np.repeat(np.arange(m, dtype=np.int64), wz)
+    flat_slices = slices.ravel()
+
+    order = np.argsort(flat_slices, kind="stable")
+    sorted_slices = flat_slices[order]
+    sorted_samples = sample_ids[order]
+    boundaries = np.searchsorted(sorted_slices, np.arange(nz + 1))
+    per_slice = tuple(
+        sorted_samples[boundaries[i] : boundaries[i + 1]] for i in range(nz)
+    )
+    e = flat_slices.size
+    sort_ops = m * 1 + e + int(e * max(1.0, np.log2(max(e, 2))))
+    return ZBinning(slice_samples=per_slice, entries=e, sort_operations=sort_ops)

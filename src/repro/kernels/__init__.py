@@ -1,0 +1,45 @@
+"""Interpolation (gridding) kernels, lookup tables, and apodization.
+
+The NuFFT interpolates each non-uniform sample onto a window of ``W``
+uniform grid points per dimension using a separable window function
+(§II.B of the paper).  This package provides:
+
+- :mod:`~repro.kernels.window` — Kaiser–Bessel, Gaussian, B-spline and
+  triangle windows behind a common :class:`KernelSpec` interface.
+- :mod:`~repro.kernels.beatty` — Beatty et al.'s minimal-oversampling
+  parameter selection (the σ/W trade-off discussed in §II.B).
+- :mod:`~repro.kernels.lut` — precomputed oversampled lookup tables
+  with table oversampling factor ``L`` and symmetric half-storage,
+  matching JIGSAW's weight SRAM (§IV "Weight Lookup").
+- :mod:`~repro.kernels.apodization` — image-domain de-apodization
+  (the "apodization" NuFFT step), both analytic and numeric.
+"""
+
+from .window import (
+    KernelSpec,
+    KaiserBesselKernel,
+    GaussianKernel,
+    BSplineKernel,
+    TriangleKernel,
+    make_kernel,
+)
+from .beatty import beatty_beta, beatty_kernel, suggest_width
+from .lut import KernelLUT
+from .minmax import MinMaxInterpolator1D
+from .apodization import apodization_weights, numeric_apodization
+
+__all__ = [
+    "KernelSpec",
+    "KaiserBesselKernel",
+    "GaussianKernel",
+    "BSplineKernel",
+    "TriangleKernel",
+    "make_kernel",
+    "beatty_beta",
+    "beatty_kernel",
+    "suggest_width",
+    "KernelLUT",
+    "MinMaxInterpolator1D",
+    "apodization_weights",
+    "numeric_apodization",
+]

@@ -1,0 +1,112 @@
+"""Image-domain apodization (de-apodization) weights.
+
+Gridding convolves the spectrum with the interpolation window, which
+multiplies the image domain by the window's Fourier transform.  The
+NuFFT's "apodization" step divides that effect back out:
+
+- adjoint NuFFT: grid -> FFT -> crop -> *divide* by ``Phi``,
+- forward NuFFT: *divide* by ``Phi`` -> zero-pad -> FFT -> interpolate.
+
+Two implementations are provided:
+
+- :func:`apodization_weights` — analytic, from ``kernel.fourier``;
+  fast and exact for the continuous kernel.
+- :func:`numeric_apodization` — numeric, from the FFT of the *sampled,
+  LUT-quantized* kernel on the oversampled grid.  This matches the
+  discrete operator actually applied (including table quantization),
+  so gridding-based NuFFTs agree with the direct NuDFT to the aliasing
+  floor rather than the quantization floor.  Used by default in
+  :class:`repro.nufft.NufftPlan`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .lut import KernelLUT
+from .window import KernelSpec
+
+__all__ = ["apodization_weights", "numeric_apodization"]
+
+
+def apodization_weights(
+    kernel: KernelSpec, n: int, grid_size: int
+) -> np.ndarray:
+    """Analytic 1-D de-apodization weights for an ``n``-pixel image axis.
+
+    Parameters
+    ----------
+    kernel:
+        The gridding window.
+    n:
+        Image size along this axis (before oversampling).
+    grid_size:
+        Oversampled grid size ``G = sigma * n`` along this axis.
+
+    Returns
+    -------
+    1-D float64 array ``w`` of length ``n`` with ``w[i] = 1 / Phi(x_i)``
+    where ``x_i = (i - n//2) / G`` are image coordinates in cycles per
+    grid sample (centered, matching ``fftshift`` layout).
+    """
+    if n < 1 or grid_size < n:
+        raise ValueError(f"need grid_size >= n >= 1, got n={n}, grid_size={grid_size}")
+    x = (np.arange(n) - n // 2) / float(grid_size)
+    phi = np.asarray(kernel.fourier(x), dtype=np.float64)
+    if np.any(np.abs(phi) < 1e-12):
+        raise ValueError(
+            "kernel Fourier transform vanishes inside the field of view; "
+            "widen the window or increase oversampling"
+        )
+    return 1.0 / phi
+
+
+def numeric_apodization(lut: KernelLUT, n: int, grid_size: int) -> np.ndarray:
+    """Numeric 1-D de-apodization weights from the sampled LUT kernel.
+
+    Builds the kernel's *discrete* footprint on the length-``grid_size``
+    circular grid — sampling the LUT exactly as gridding a sample at
+    coordinate 0 would — FFTs it, and inverts the centered, cropped
+    result.
+
+    The weights are complex: the discrete footprint is very slightly
+    asymmetric (a width-``W`` window covers the half-open point set
+    ``(-W/2, W/2]``, and e.g. the Kaiser–Bessel edge value ``1/I0(beta)``
+    is small but nonzero), so the exact inverse of the implied
+    convolution's diagonal carries a tiny imaginary part.  The adjoint
+    NuFFT multiplies by these weights; the forward NuFFT multiplies by
+    their conjugate, keeping the pair exactly adjoint.
+
+    Returns
+    -------
+    1-D complex128 array of length ``n`` in centered (``fftshift``)
+    layout: ``1 / conj(DFT(footprint))`` at the cropped frequencies.
+    """
+    if n < 1 or grid_size < n:
+        raise ValueError(f"need grid_size >= n >= 1, got n={n}, grid_size={grid_size}")
+    w = lut.width
+    if grid_size < w:
+        raise ValueError(f"grid_size={grid_size} smaller than window width {w}")
+    # Grid a unit sample at coordinate 0, constructing the affected
+    # points exactly as the gridders do (see
+    # repro.gridding.base.window_contributions): shift by W/2, floor,
+    # walk W offsets backwards.
+    footprint = np.zeros(grid_size, dtype=np.float64)
+    half = w / 2.0
+    base = np.floor(half)
+    frac = half - base
+    offsets = np.arange(int(round(w)))
+    fwd = frac + offsets  # forward distances in [0, W)
+    k = (base - offsets).astype(np.int64)  # affected grid points
+    footprint[np.mod(k, grid_size)] = lut.lookup(fwd)
+    # adjoint gridding+FFT multiplies image frequency p by
+    # sum_u phi(u) exp(+2 pi i u p / G) == conj(FFT(footprint)[p])
+    spectrum = np.fft.fftshift(np.conj(np.fft.fft(footprint)))
+    center = grid_size // 2
+    crop = spectrum[center - n // 2 : center - n // 2 + n]
+    if np.any(np.abs(crop) < 1e-12):
+        raise ValueError(
+            "sampled kernel spectrum vanishes inside the field of view; "
+            "widen the window or increase oversampling"
+        )
+    return 1.0 / crop

@@ -1,0 +1,136 @@
+"""Precomputed oversampled interpolation-weight lookup tables.
+
+The paper constrains the supported non-uniform coordinate granularity
+with a *table oversampling factor* ``L``: there are ``W*L`` discrete
+interpolation weights per dimension, and in-window positions are
+rounded to the nearest weight (§II.B).  This allows offline
+precomputation and on-chip storage of the kernel, turning each
+interpolation weight evaluation into a table read.
+
+JIGSAW's weight-lookup SRAM (§IV) exploits the window's symmetry around
+its center to store only half the weights: 256 entries of 32-bit
+complex (16-bit real + 16-bit imaginary) cover ``L = 64`` at ``W = 8``.
+
+The LUT is addressed by the *forward distance* ``delta in [0, W)`` from
+a grid point to the (shifted) sample coordinate — see
+:mod:`repro.core.decomposition` — so entry ``i`` holds
+``phi(i / L - W / 2)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..fixedpoint import QFormat
+from .window import KernelSpec
+
+__all__ = ["KernelLUT"]
+
+
+@dataclass
+class KernelLUT:
+    """Oversampled interpolation weight table for one kernel.
+
+    Parameters
+    ----------
+    kernel:
+        The window function being tabulated.
+    oversampling:
+        Table oversampling factor ``L`` (weights per unit distance).
+        Power of two in hardware so that ``distance * L`` is a bit
+        shift; any positive integer is accepted in software.
+
+    Attributes
+    ----------
+    table:
+        Full table, ``W*L + 1`` float64 entries; ``table[i] ==
+        kernel(i / L - W/2)``.  The extra endpoint makes the symmetry
+        ``table[i] == table[W*L - i]`` exact.
+    half_table:
+        The symmetric half actually stored by hardware
+        (``W*L//2 + 1`` entries).
+    """
+
+    kernel: KernelSpec
+    oversampling: int
+    table: np.ndarray = field(init=False, repr=False)
+    half_table: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if int(self.oversampling) != self.oversampling or self.oversampling < 1:
+            raise ValueError(
+                f"table oversampling factor must be a positive integer, got {self.oversampling}"
+            )
+        self.oversampling = int(self.oversampling)
+        n = self.n_entries
+        offsets = np.arange(n + 1) / self.oversampling - self.kernel.half_width
+        self.table = np.asarray(self.kernel(offsets), dtype=np.float64)
+        # enforce exact evenness (guards against tiny FP asymmetry)
+        self.table = 0.5 * (self.table + self.table[::-1])
+        self.half_table = self.table[: n // 2 + 1].copy()
+
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        """Window width ``W`` of the tabulated kernel."""
+        return self.kernel.width
+
+    @property
+    def n_entries(self) -> int:
+        """Number of intervals ``W * L`` (table has ``n_entries + 1`` points)."""
+        return int(round(self.kernel.width * self.oversampling))
+
+    @property
+    def storage_entries(self) -> int:
+        """Entries the symmetric half-table stores (hardware SRAM words)."""
+        return self.half_table.size
+
+    # ------------------------------------------------------------------
+    def index_of(self, forward_distance: np.ndarray) -> np.ndarray:
+        """Quantize forward distances in ``[0, W)`` to table indices.
+
+        Matches the select unit: multiply by ``L`` and round to nearest
+        integer.  Out-of-window distances are clipped to the table edge
+        (their weight is ~0 there); callers must mask them anyway.
+        """
+        idx = np.rint(np.asarray(forward_distance, dtype=np.float64) * self.oversampling)
+        return np.clip(idx, 0, self.n_entries).astype(np.intp)
+
+    def mirror(self, index: np.ndarray) -> np.ndarray:
+        """Map full-table indices onto the stored symmetric half."""
+        index = np.asarray(index, dtype=np.intp)
+        return np.minimum(index, self.n_entries - index)
+
+    def lookup(self, forward_distance: np.ndarray) -> np.ndarray:
+        """Weight(s) for forward distance(s), with table quantization.
+
+        This reproduces the coordinate-granularity rounding of the
+        paper: positions are snapped to the nearest of the ``W*L``
+        discrete weights.
+        """
+        return self.table[self.index_of(forward_distance)]
+
+    def lookup_exact(self, forward_distance: np.ndarray) -> np.ndarray:
+        """Weight(s) evaluated exactly (no table quantization) — for
+        quantization-error studies."""
+        u = np.asarray(forward_distance, dtype=np.float64) - self.kernel.half_width
+        return np.asarray(self.kernel(u))
+
+    # ------------------------------------------------------------------
+    def quantized(self, fmt: QFormat) -> np.ndarray:
+        """Integer-code table in fixed-point format ``fmt``.
+
+        JIGSAW stores Q1.14-style 16-bit weight components; the
+        functional simulator indexes this array directly.
+        """
+        return np.atleast_1d(fmt.quantize(self.table))
+
+    def max_abs_quantization_error(self) -> float:
+        """Worst-case weight error introduced by table rounding.
+
+        Sampled on a fine grid (16 sub-positions per table cell).
+        """
+        fine = np.linspace(0.0, self.n_entries / self.oversampling, 16 * self.n_entries + 1)
+        return float(np.max(np.abs(self.lookup(fine) - self.lookup_exact(fine))))

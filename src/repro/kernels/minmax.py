@@ -1,0 +1,188 @@
+"""Min-max optimal interpolation weights (Fessler & Sutton, ref. [6]).
+
+The MIRT baseline's NUFFT does not use a fixed analytic window: for
+each non-uniform frequency it uses the interpolation coefficients that
+are *optimal* for the worst-case signal.  With scaling factors
+``s_p`` applied in the image domain (the analogue of apodization), the
+optimal tap weights are the weighted least-squares fit of the target
+complex exponential by the ``J`` nearest uniform-grid exponentials:
+
+    minimize over w:  sum_p | s_p * sum_o w_o e^{-2 pi i k_o p / K}
+                              -  e^{-2 pi i c p / K} |^2
+
+with ``p`` over the ``N`` centered image pixels, ``K`` the oversampled
+grid size, ``c`` the sample's grid-unit position and ``k_o`` its ``J``
+neighbor grid points.  The normal equations are the ``J x J``
+Hermitian system
+
+    T w = r,
+    T_{o',o} = sum_p |s_p|^2 e^{+2 pi i (k_o' - k_o) p / K},
+    r_{o'}   = sum_p conj(s_p) e^{+2 pi i (k_o' - c) p / K},
+
+whose solution depends only on the fractional offset of ``c`` — so,
+like the paper's LUT approach, the weights are tabulated once at
+table-oversampling granularity.
+
+Scaling factors matter: Fessler & Sutton showed uniform ``s_p = 1`` is
+markedly suboptimal; the default here is the Kaiser–Bessel-derived
+``s_p = 1 / Phi_KB(p / K)`` (Beatty shape), with which the min-max fit
+matches or beats fixed-window Kaiser–Bessel gridding at equal ``J``.
+
+Unlike the shipped window functions the optimal weights are *complex*
+and per-tap, so they do not flow through
+:class:`~repro.kernels.lut.KernelLUT`; the companion
+:class:`~repro.nufft.minmax.MinMaxNufftPlan` consumes the tables (and
+applies the matching scaling factors) directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["MinMaxInterpolator1D"]
+
+
+@dataclass
+class MinMaxInterpolator1D:
+    """Tabulated min-max (weighted least-squares) interpolator, one axis.
+
+    Parameters
+    ----------
+    n:
+        Image pixels along the axis (the fit is over these).
+    grid_size:
+        Oversampled grid size ``K``.
+    width:
+        Taps ``J`` per sample (window width).
+    table_oversampling:
+        Fractional offsets tabulated per grid cell, ``L``.
+    scaling:
+        Image-domain scaling factors ``s_p`` (length ``n``, centered
+        layout).  ``None`` selects the Kaiser–Bessel-derived default;
+        pass ``np.ones(n)`` for the uniform (suboptimal) variant.
+
+    Attributes
+    ----------
+    tables:
+        ``(L + 1, J)`` complex array; row ``l`` holds the optimal tap
+        weights for fractional offset ``l / L``, ordered by the
+        *forward-distance* convention of the rest of the package: tap
+        ``o`` sits at grid point ``floor(c + J/2) - o``.
+    """
+
+    n: int
+    grid_size: int
+    width: int
+    table_oversampling: int = 64
+    scaling: np.ndarray | None = None
+    tables: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"n must be >= 1, got {self.n}")
+        if self.grid_size < self.n:
+            raise ValueError(f"grid_size {self.grid_size} must be >= n {self.n}")
+        if self.width < 1 or self.width > self.grid_size:
+            raise ValueError(f"width must be in [1, grid_size], got {self.width}")
+        if self.table_oversampling < 1:
+            raise ValueError(
+                f"table_oversampling must be >= 1, got {self.table_oversampling}"
+            )
+        if self.scaling is None:
+            self.scaling = self._default_scaling()
+        else:
+            self.scaling = np.asarray(self.scaling, dtype=np.complex128).ravel()
+            if self.scaling.shape[0] != self.n:
+                raise ValueError(
+                    f"scaling must have length {self.n}, got {self.scaling.shape[0]}"
+                )
+
+        j = self.width
+        k = self.grid_size
+        p = (np.arange(self.n) - self.n // 2).astype(np.float64)
+        s = self.scaling
+        s2 = np.abs(s) ** 2
+
+        # T_{o',o} = sum_p |s_p|^2 e^{2 pi i (o - o') p / K}  (k_o = i - o)
+        def s2_transform(lags: np.ndarray) -> np.ndarray:
+            return np.exp(2j * np.pi * np.outer(lags, p) / k) @ s2.astype(
+                np.complex128
+            )
+
+        lags = np.arange(-(j - 1), j, dtype=np.float64)
+        d = s2_transform(lags)
+        t_mat = np.empty((j, j), dtype=np.complex128)
+        for a in range(j):
+            for b in range(j):
+                # k_a - k_b = b - a
+                t_mat[a, b] = d[(b - a) + (j - 1)]
+        t_mat += 1e-10 * float(np.real(np.trace(t_mat)) / j) * np.eye(j)
+
+        # r_{o'}(frac) = sum_p conj(s_p) e^{2 pi i (k_o' - c) p / K},
+        # with k_o' - c = J/2 - o' - frac
+        ell = self.table_oversampling
+        fracs = np.arange(ell + 1) / ell
+        offs = (j / 2.0 - np.arange(j)[None, :] - fracs[:, None]).ravel()
+        rhs = (
+            np.exp(2j * np.pi * np.outer(offs, p) / k) @ np.conj(s)
+        ).reshape(ell + 1, j)
+        self.tables = np.linalg.solve(t_mat, rhs.T).T  # (L+1, J)
+
+    def _default_scaling(self) -> np.ndarray:
+        """KB-derived scaling factors ``1 / Phi(p / K)`` (Beatty shape)."""
+        from .beatty import beatty_kernel
+
+        sigma = self.grid_size / self.n
+        kernel = beatty_kernel(self.width, max(sigma, 1.01))
+        x = (np.arange(self.n) - self.n // 2) / float(self.grid_size)
+        phi = np.asarray(kernel.fourier(x), dtype=np.float64)
+        return (1.0 / phi).astype(np.complex128)
+
+    # ------------------------------------------------------------------
+    def weights(self, coords_1d: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Window indices and complex weights for grid-unit coordinates.
+
+        Returns
+        -------
+        (indices, weights):
+            ``(M, J)`` int64 wrapped grid indices and ``(M, J)``
+            complex128 weights such that forward interpolation is
+            ``f = sum_o weights[:, o] * F[indices[:, o]]`` after the
+            image was multiplied by the scaling factors.
+        """
+        c = np.mod(np.asarray(coords_1d, dtype=np.float64), self.grid_size)
+        shifted = c + self.width / 2.0
+        i = np.floor(shifted)
+        frac = shifted - i
+        rows = np.rint(frac * self.table_oversampling).astype(np.intp)
+        w = self.tables[rows]  # (M, J)
+        offsets = np.arange(self.width, dtype=np.float64)
+        k = np.mod(i[:, None] - offsets[None, :], self.grid_size).astype(np.int64)
+        return k, w
+
+    def worst_case_error(self, n_probe: int = 64) -> float:
+        """Max relative L2 fit error over probe offsets (quality metric).
+
+        For each probed fractional position, measures
+        ``||diag(s) A w - target|| / ||target||`` — the quantity the
+        weighted least-squares solution minimizes.
+        """
+        p = np.arange(self.n) - self.n // 2
+        worst = 0.0
+        for frac in np.linspace(0, 1, n_probe, endpoint=False):
+            c = self.grid_size // 2 + frac
+            idx, w = self.weights(np.asarray([c]))
+            approx = np.zeros(self.n, dtype=np.complex128)
+            for o in range(self.width):
+                approx += w[0, o] * np.exp(
+                    -2j * np.pi * idx[0, o] * p / self.grid_size
+                )
+            approx *= self.scaling
+            target = np.exp(-2j * np.pi * c * p / self.grid_size)
+            worst = max(
+                worst,
+                float(np.linalg.norm(approx - target) / np.linalg.norm(target)),
+            )
+        return worst

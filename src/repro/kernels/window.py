@@ -1,0 +1,282 @@
+"""Separable interpolation window functions.
+
+Each kernel is a real, even function ``phi(u)`` supported on
+``|u| <= W/2`` (``W`` = interpolation window width in grid units,
+commonly 4 or 6 — §II.C).  The gridding step evaluates ``phi`` at the
+signed distance between a non-uniform sample and each uniform grid
+point in its window; the apodization step divides the image by the
+kernel's Fourier transform to undo the implied convolution.
+
+All kernels implement :class:`KernelSpec`:
+
+- ``__call__(u)`` — vectorized window evaluation (zero outside support)
+- ``fourier(f)`` — continuous Fourier transform
+  ``Phi(f) = \\int phi(u) exp(-2 pi i f u) du`` (real, even), used for
+  analytic apodization.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import i0
+
+__all__ = [
+    "KernelSpec",
+    "KaiserBesselKernel",
+    "GaussianKernel",
+    "BSplineKernel",
+    "TriangleKernel",
+    "make_kernel",
+]
+
+
+class KernelSpec(abc.ABC):
+    """Interface for a separable gridding window of width ``width``."""
+
+    #: window width W in grid units (support is ``|u| <= width / 2``)
+    width: float
+
+    @property
+    def half_width(self) -> float:
+        """Half the window width, ``W/2``."""
+        return self.width / 2.0
+
+    @abc.abstractmethod
+    def _evaluate(self, u: np.ndarray) -> np.ndarray:
+        """Evaluate the window on ``u`` already known to be in support."""
+
+    def __call__(self, u: np.ndarray | float) -> np.ndarray | float:
+        """Evaluate the window at signed offsets ``u`` (0 outside support)."""
+        arr = np.asarray(u, dtype=np.float64)
+        inside = np.abs(arr) <= self.half_width
+        out = np.zeros_like(arr)
+        if np.any(inside):
+            out[inside] = self._evaluate(arr[inside])
+        if np.ndim(u) == 0:
+            return float(out)
+        return out
+
+    @abc.abstractmethod
+    def fourier(self, f: np.ndarray | float) -> np.ndarray | float:
+        """Continuous Fourier transform of the window at frequencies ``f``.
+
+        ``f`` is in cycles per grid unit.  Used for analytic
+        de-apodization.
+        """
+
+    def is_normalized(self) -> bool:
+        """True if ``phi(0) == 1`` (all shipped kernels satisfy this)."""
+        return math.isclose(float(self(0.0)), 1.0, rel_tol=1e-12)
+
+
+@dataclass
+class KaiserBesselKernel(KernelSpec):
+    """Kaiser–Bessel window, the standard choice for NuFFT gridding.
+
+    ``phi(u) = I0(beta * sqrt(1 - (2u/W)^2)) / I0(beta)`` for
+    ``|u| <= W/2``.
+
+    Parameters
+    ----------
+    width:
+        Window width ``W`` in grid units.
+    beta:
+        Shape parameter.  Use :func:`repro.kernels.beatty_beta` for the
+        accuracy-optimal value at a given oversampling factor.
+    """
+
+    width: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"width must be positive, got {self.width}")
+        if self.beta <= 0:
+            raise ValueError(f"beta must be positive, got {self.beta}")
+        self._i0beta = float(i0(self.beta))
+
+    def _evaluate(self, u: np.ndarray) -> np.ndarray:
+        t = 2.0 * u / self.width
+        arg = np.sqrt(np.maximum(0.0, 1.0 - t * t))
+        return i0(self.beta * arg) / self._i0beta
+
+    def fourier(self, f: np.ndarray | float) -> np.ndarray | float:
+        """FT of the KB window.
+
+        ``Phi(f) = (W / I0(beta)) * sinh(sqrt(beta^2 - (pi W f)^2))
+        / sqrt(beta^2 - (pi W f)^2)``, continued with ``sin`` when the
+        argument goes imaginary.
+        """
+        farr = np.asarray(f, dtype=np.float64)
+        x = np.pi * self.width * farr
+        z2 = self.beta**2 - x**2
+        out = np.empty_like(farr)
+        pos = z2 > 0
+        neg = ~pos
+        zp = np.sqrt(z2[pos])
+        out[pos] = np.sinh(zp) / zp
+        zn = np.sqrt(-z2[neg])
+        # sinc continuation; guard the removable singularity at 0
+        with np.errstate(invalid="ignore", divide="ignore"):
+            out[neg] = np.where(zn > 0, np.sin(zn) / np.where(zn > 0, zn, 1.0), 1.0)
+        out *= self.width / self._i0beta
+        if np.ndim(f) == 0:
+            return float(out)
+        return out
+
+
+@dataclass
+class GaussianKernel(KernelSpec):
+    """Truncated Gaussian window ``phi(u) = exp(-u^2 / (2 sigma^2))``.
+
+    Parameters
+    ----------
+    width:
+        Window width ``W``; the Gaussian is truncated at ``|u| = W/2``.
+    sigma:
+        Standard deviation in grid units.  If omitted, the common
+        heuristic ``sigma = 0.33 * sqrt(W)`` is applied, which balances
+        truncation against aliasing error.
+    """
+
+    width: float
+    sigma: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"width must be positive, got {self.width}")
+        if self.sigma is None:
+            self.sigma = 0.33 * math.sqrt(self.width)
+        if self.sigma <= 0:
+            raise ValueError(f"sigma must be positive, got {self.sigma}")
+
+    def _evaluate(self, u: np.ndarray) -> np.ndarray:
+        return np.exp(-(u * u) / (2.0 * self.sigma**2))
+
+    def fourier(self, f: np.ndarray | float) -> np.ndarray | float:
+        """FT of the (untruncated) Gaussian; truncation error is part of
+        the method's accuracy budget, as in standard NuFFT practice."""
+        farr = np.asarray(f, dtype=np.float64)
+        s = self.sigma
+        out = s * math.sqrt(2.0 * math.pi) * np.exp(-2.0 * (math.pi * s * farr) ** 2)
+        if np.ndim(f) == 0:
+            return float(out)
+        return out
+
+
+@dataclass
+class BSplineKernel(KernelSpec):
+    """Cardinal B-spline window of order ``width`` (support = ``width``).
+
+    The order-``W`` B-spline is the ``W``-fold convolution of the unit
+    box, normalized so ``phi(0) == 1``.  Its FT is ``sinc(f)**W`` (up to
+    the same normalization).
+    """
+
+    width: int
+
+    def __post_init__(self) -> None:
+        if int(self.width) != self.width or self.width < 1:
+            raise ValueError(f"B-spline width must be a positive integer, got {self.width}")
+        self.width = int(self.width)
+        self._peak = self._bspline_raw(np.asarray([0.0]))[0]
+
+    def _bspline_raw(self, u: np.ndarray) -> np.ndarray:
+        """Unnormalized centered cardinal B-spline of order ``width``."""
+        n = self.width
+        x = np.asarray(u, dtype=np.float64) + n / 2.0  # shift support to [0, n]
+        out = np.zeros_like(x)
+        # Cox–de Boor explicit sum: B_n(x) = 1/(n-1)! * sum_k (-1)^k C(n,k) (x-k)_+^{n-1}
+        coef = 1.0 / math.factorial(n - 1) if n > 1 else 1.0
+        for k in range(n + 1):
+            term = np.maximum(0.0, x - k) ** (n - 1) if n > 1 else (
+                ((x - k) >= 0) & ((x - k) < 1)
+            ).astype(np.float64)
+            out += ((-1) ** k) * math.comb(n, k) * term * (coef if n > 1 else 1.0)
+            if n == 1:
+                break
+        return out
+
+    def _evaluate(self, u: np.ndarray) -> np.ndarray:
+        # evaluate on |u|: exact evenness (the truncated-power sum
+        # suffers ~1e-8 cancellation asymmetry otherwise); the order-1
+        # box keeps its half-open support semantics
+        if self.width == 1:
+            return self._bspline_raw(u) / self._peak
+        return self._bspline_raw(np.abs(u)) / self._peak
+
+    def fourier(self, f: np.ndarray | float) -> np.ndarray | float:
+        farr = np.asarray(f, dtype=np.float64)
+        out = np.sinc(farr) ** self.width / self._peak
+        if np.ndim(f) == 0:
+            return float(out)
+        return out
+
+
+@dataclass
+class TriangleKernel(KernelSpec):
+    """Linear (triangle) window ``phi(u) = 1 - |2u/W|`` — cheap, low accuracy.
+
+    Included as the simplest kernel for tests and teaching examples.
+    """
+
+    width: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"width must be positive, got {self.width}")
+
+    def _evaluate(self, u: np.ndarray) -> np.ndarray:
+        return np.maximum(0.0, 1.0 - np.abs(2.0 * u / self.width))
+
+    def fourier(self, f: np.ndarray | float) -> np.ndarray | float:
+        farr = np.asarray(f, dtype=np.float64)
+        out = (self.width / 2.0) * np.sinc(farr * self.width / 2.0) ** 2
+        if np.ndim(f) == 0:
+            return float(out)
+        return out
+
+
+_KERNELS = {
+    "kaiser_bessel": KaiserBesselKernel,
+    "gaussian": GaussianKernel,
+    "bspline": BSplineKernel,
+    "triangle": TriangleKernel,
+}
+
+
+def make_kernel(name: str, width: float, **params) -> KernelSpec:
+    """Construct a kernel by name.
+
+    Parameters
+    ----------
+    name:
+        One of ``"kaiser_bessel"``, ``"gaussian"``, ``"bspline"``,
+        ``"triangle"``.
+    width:
+        Window width ``W`` in grid units.
+    **params:
+        Kernel-specific shape parameters (e.g. ``beta`` for
+        Kaiser–Bessel).  For Kaiser–Bessel with no ``beta``, the Beatty
+        value for ``sigma=2`` is used.
+
+    Raises
+    ------
+    ValueError
+        If ``name`` is not a known kernel.
+    """
+    try:
+        cls = _KERNELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel {name!r}; choose from {sorted(_KERNELS)}"
+        ) from None
+    if cls is KaiserBesselKernel and "beta" not in params:
+        from .beatty import beatty_beta
+
+        params["beta"] = beatty_beta(width, 2.0)
+    return cls(width=width, **params)

@@ -1,0 +1,102 @@
+"""A small container for a (multi-coil) non-Cartesian acquisition.
+
+Bundles the trajectory, k-space data, and reconstruction metadata and
+round-trips through ``.npz`` — the minimum dataset-interchange story a
+downstream user needs (real deployments would speak ISMRMRD; this keeps
+the reproduction dependency-free).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Acquisition"]
+
+
+@dataclass
+class Acquisition:
+    """One reconstruction problem's inputs.
+
+    Attributes
+    ----------
+    coords:
+        ``(M, d)`` normalized trajectory in ``[-0.5, 0.5)``.
+    kspace:
+        ``(C, M)`` complex data (``C = 1`` for single coil).
+    image_shape:
+        Target image dimensions.
+    maps:
+        Optional ``(C,) + image_shape`` coil sensitivities.
+    meta:
+        Free-form string metadata (sequence name, etc.).
+    """
+
+    coords: np.ndarray
+    kspace: np.ndarray
+    image_shape: tuple[int, ...]
+    maps: np.ndarray | None = None
+    meta: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.coords = np.atleast_2d(np.asarray(self.coords, dtype=np.float64))
+        self.kspace = np.atleast_2d(np.asarray(self.kspace, dtype=np.complex128))
+        self.image_shape = tuple(int(n) for n in self.image_shape)
+        m, d = self.coords.shape
+        if self.kspace.shape[1] != m:
+            raise ValueError(
+                f"kspace has {self.kspace.shape[1]} samples but trajectory has {m}"
+            )
+        if len(self.image_shape) != d:
+            raise ValueError(
+                f"image rank {len(self.image_shape)} != trajectory dim {d}"
+            )
+        if self.maps is not None:
+            self.maps = np.asarray(self.maps, dtype=np.complex128)
+            expected = (self.n_coils,) + self.image_shape
+            if tuple(self.maps.shape) != expected:
+                raise ValueError(f"maps must be {expected}, got {self.maps.shape}")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_samples(self) -> int:
+        return self.coords.shape[0]
+
+    @property
+    def n_coils(self) -> int:
+        return self.kspace.shape[0]
+
+    @property
+    def ndim(self) -> int:
+        return self.coords.shape[1]
+
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Serialize to a compressed ``.npz``."""
+        payload = {
+            "coords": self.coords,
+            "kspace": self.kspace,
+            "image_shape": np.asarray(self.image_shape, dtype=np.int64),
+            "meta_keys": np.asarray(list(self.meta.keys()), dtype=object),
+            "meta_values": np.asarray(list(self.meta.values()), dtype=object),
+        }
+        if self.maps is not None:
+            payload["maps"] = self.maps
+        np.savez_compressed(path, **payload)
+
+    @classmethod
+    def load(cls, path: str) -> "Acquisition":
+        """Load an acquisition saved by :meth:`save`."""
+        with np.load(path, allow_pickle=True) as data:
+            meta = {
+                str(k): str(v)
+                for k, v in zip(data["meta_keys"], data["meta_values"])
+            }
+            return cls(
+                coords=data["coords"],
+                kspace=data["kspace"],
+                image_shape=tuple(int(n) for n in data["image_shape"]),
+                maps=data["maps"] if "maps" in data.files else None,
+                meta=meta,
+            )

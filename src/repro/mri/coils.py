@@ -1,0 +1,80 @@
+"""Synthetic receive-coil sensitivity maps.
+
+Real sensitivity maps come from calibration scans; per the substitution
+policy we synthesize the standard analytic stand-in: a ring of loop
+coils around the field of view ("birdcage"-style), each with a smooth
+magnitude falling off with distance from the coil center and a gentle
+phase roll — the features that make multi-coil reconstruction a
+nontrivial inverse problem.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["birdcage_maps", "sos_normalize"]
+
+
+def birdcage_maps(
+    n_coils: int,
+    n: int,
+    radius: float = 1.35,
+    coil_width: float = 1.1,
+    phase_roll: float = 1.5,
+) -> np.ndarray:
+    """Simulate ``n_coils`` loop-coil sensitivity maps on an ``n x n`` FOV.
+
+    Parameters
+    ----------
+    n_coils:
+        Number of coils, placed uniformly on a circle.
+    n:
+        Image size.
+    radius:
+        Coil-ring radius in half-FOV units (> 1 keeps coil centers
+        outside the image).
+    coil_width:
+        Magnitude decay length in half-FOV units.
+    phase_roll:
+        Linear phase (radians across the FOV) oriented per coil,
+        mimicking the B1 phase of a loop element.
+
+    Returns
+    -------
+    ``(n_coils, n, n)`` complex128 maps (not normalized; see
+    :func:`sos_normalize`).
+    """
+    if n_coils < 1:
+        raise ValueError(f"n_coils must be >= 1, got {n_coils}")
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    if radius <= 0 or coil_width <= 0:
+        raise ValueError("radius and coil_width must be positive")
+    axis = (np.arange(n) - (n - 1) / 2.0) / (n / 2.0)
+    y, x = np.meshgrid(axis, axis, indexing="ij")
+    maps = np.empty((n_coils, n, n), dtype=np.complex128)
+    for c in range(n_coils):
+        ang = 2.0 * math.pi * c / n_coils
+        cx, cy = radius * math.cos(ang), radius * math.sin(ang)
+        dist2 = (x - cx) ** 2 + (y - cy) ** 2
+        mag = np.exp(-dist2 / (2.0 * coil_width**2))
+        phase = phase_roll * (x * math.cos(ang) + y * math.sin(ang)) + ang
+        maps[c] = mag * np.exp(1j * phase)
+    return maps
+
+
+def sos_normalize(maps: np.ndarray, floor: float = 1e-6) -> np.ndarray:
+    """Normalize maps to unit sum-of-squares at every pixel.
+
+    After normalization ``sum_c |S_c|^2 == 1`` wherever the combined
+    sensitivity exceeds ``floor`` (elsewhere the maps are left tiny),
+    so the coil-combined adjoint has flat intensity response.
+    """
+    maps = np.asarray(maps, dtype=np.complex128)
+    if maps.ndim < 2:
+        raise ValueError(f"maps must be (C, ...) with C coils, got {maps.shape}")
+    sos = np.sqrt(np.sum(np.abs(maps) ** 2, axis=0))
+    scale = np.where(sos > floor, sos, 1.0)
+    return maps / scale

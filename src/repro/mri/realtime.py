@@ -1,0 +1,89 @@
+"""Real-time reconstruction frame-rate model (§I's motivation).
+
+"With the rise in real-time [8] and iterative image reconstruction
+techniques ... NuFFT performance is key to computing answers quickly
+and enabling emerging applications."  This module turns the calibrated
+per-implementation NuFFT times into the application-level metric a
+clinician cares about: reconstructed frames per second for a
+golden-angle sliding-window acquisition.
+
+Model: each frame reconstructs from the latest ``spokes_per_frame``
+golden-angle spokes (``M = spokes * readout`` samples) via one
+density-compensated adjoint NuFFT per coil; the reconstruction keeps up
+with the scanner when its frame time is below the acquisition time of
+``spokes_per_frame / frame_overlap`` new spokes (sliding windows reuse
+old spokes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RealtimeScenario", "frame_rate_fps", "keeps_up"]
+
+
+@dataclass(frozen=True)
+class RealtimeScenario:
+    """A sliding-window real-time imaging configuration.
+
+    Attributes
+    ----------
+    image_size:
+        Frame dimension ``N`` (grid is ``2N`` at sigma = 2).
+    spokes_per_frame:
+        Golden-angle spokes per reconstruction window.
+    readout:
+        Samples per spoke.
+    n_coils:
+        Receive coils (one NuFFT each per frame).
+    tr_seconds:
+        Repetition time — acquisition time per spoke (~2.5 ms for
+        radial gradient echo [8]).
+    window_stride:
+        New spokes per displayed frame (sliding-window overlap).
+    """
+
+    image_size: int = 192
+    spokes_per_frame: int = 34
+    readout: int = 384
+    n_coils: int = 8
+    tr_seconds: float = 2.5e-3
+    window_stride: int = 8
+
+    def __post_init__(self) -> None:
+        if min(self.image_size, self.spokes_per_frame, self.readout,
+               self.n_coils, self.window_stride) < 1:
+            raise ValueError("all scenario dimensions must be >= 1")
+        if self.tr_seconds <= 0:
+            raise ValueError(f"tr_seconds must be positive, got {self.tr_seconds}")
+
+    @property
+    def samples_per_frame(self) -> int:
+        return self.spokes_per_frame * self.readout
+
+    @property
+    def grid_dim(self) -> int:
+        return 2 * self.image_size
+
+    @property
+    def acquisition_frame_seconds(self) -> float:
+        """Scanner time to acquire one frame's worth of *new* spokes."""
+        return self.window_stride * self.tr_seconds
+
+
+def frame_rate_fps(scenario: RealtimeScenario, model) -> float:
+    """Reconstruction-limited frame rate for a timing model.
+
+    ``model`` is any of the :mod:`repro.perfmodel` timing models
+    (``nufft_seconds(n_samples, grid_dim)``); one adjoint NuFFT per
+    coil per frame.
+    """
+    frame_time = scenario.n_coils * model.nufft_seconds(
+        scenario.samples_per_frame, scenario.grid_dim
+    )
+    return 1.0 / frame_time
+
+
+def keeps_up(scenario: RealtimeScenario, model) -> bool:
+    """True if reconstruction is at least as fast as acquisition."""
+    return (1.0 / frame_rate_fps(scenario, model)) <= scenario.acquisition_frame_seconds

@@ -1,0 +1,17 @@
+"""Direct Non-uniform Discrete Fourier Transform (exact reference).
+
+Implements Eq. (1)/(2) of the paper exactly (O(M N^d) work): the
+forward NuDFT maps an image to non-uniform frequency samples and the
+adjoint maps samples back.  Used as the accuracy oracle for every
+NuFFT configuration and as the "direct matrix inversion" baseline the
+prior GPU work compared against.
+"""
+
+from .direct import (
+    nudft_forward,
+    nudft_adjoint,
+    nudft_matrix,
+    NudftOperator,
+)
+
+__all__ = ["nudft_forward", "nudft_adjoint", "nudft_matrix", "NudftOperator"]

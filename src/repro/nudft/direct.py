@@ -1,0 +1,136 @@
+"""Exact NuDFT: dense-matrix and chunked matrix-free evaluation.
+
+Conventions (used across the whole package):
+
+- The image is a ``(N, ..., N)`` array; pixel index ``n`` along each
+  axis corresponds to the centered position ``p = n - N//2``.
+- Non-uniform coordinates ``omega`` are normalized to cycles/pixel in
+  ``[-0.5, 0.5)^d``.
+- Forward:  ``f_j     = sum_p image[p] * exp(-2 pi i omega_j . p)``
+- Adjoint:  ``image[p] = sum_j f_j     * exp(+2 pi i omega_j . p)``
+
+These match Eq. (1)/(2) of the paper with re-centered ``k`` (the paper
+indexes ``k in {0..N-1}^d``; centering is a pure phase convention that
+keeps interpolation error symmetric).
+
+Direct evaluation costs ``M * N^d`` multiply-adds — the paper's
+motivating "too expensive for many applications" (§II.A) — so
+:class:`NudftOperator` also reports its flop count for the performance
+model benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["nudft_matrix", "nudft_forward", "nudft_adjoint", "NudftOperator"]
+
+#: number of samples per chunk for matrix-free evaluation (bounds memory)
+_CHUNK = 2048
+
+
+def _centered_positions(shape: tuple[int, ...]) -> list[np.ndarray]:
+    """Per-axis centered pixel positions ``n - N//2``."""
+    return [np.arange(n, dtype=np.float64) - n // 2 for n in shape]
+
+
+def _check_coords(coords: np.ndarray, ndim: int) -> np.ndarray:
+    coords = np.atleast_2d(np.asarray(coords, dtype=np.float64))
+    if coords.ndim != 2 or coords.shape[1] != ndim:
+        raise ValueError(
+            f"coords must be (M, {ndim}), got shape {coords.shape}"
+        )
+    return coords
+
+
+def nudft_matrix(coords: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Dense forward NuDFT matrix ``A`` with ``A[j, p] = exp(-2 pi i w_j . p)``.
+
+    Shape ``(M, prod(shape))``; columns enumerate pixels in C order.
+    Memory is ``16 * M * N^d`` bytes — only use for small problems
+    (tests, tiny demos); the paper notes direct inversion "quickly
+    becoming prohibitive" (§II.A).
+    """
+    coords = _check_coords(coords, len(shape))
+    positions = _centered_positions(shape)
+    mesh = np.meshgrid(*positions, indexing="ij")
+    flat = np.stack([m.ravel() for m in mesh], axis=1)  # (N^d, d)
+    phase = coords @ flat.T  # (M, N^d)
+    return np.exp(-2j * np.pi * phase)
+
+
+def nudft_forward(image: np.ndarray, coords: np.ndarray) -> np.ndarray:
+    """Exact forward NuDFT (image -> M non-uniform samples), chunked."""
+    image = np.asarray(image, dtype=np.complex128)
+    coords = _check_coords(coords, image.ndim)
+    positions = _centered_positions(image.shape)
+    mesh = np.meshgrid(*positions, indexing="ij")
+    flat_pos = np.stack([m.ravel() for m in mesh], axis=1)  # (N^d, d)
+    flat_img = image.ravel()
+    out = np.empty(coords.shape[0], dtype=np.complex128)
+    for start in range(0, coords.shape[0], _CHUNK):
+        block = coords[start : start + _CHUNK]
+        phase = block @ flat_pos.T
+        out[start : start + _CHUNK] = np.exp(-2j * np.pi * phase) @ flat_img
+    return out
+
+
+def nudft_adjoint(
+    values: np.ndarray, coords: np.ndarray, shape: tuple[int, ...]
+) -> np.ndarray:
+    """Exact adjoint NuDFT (M samples -> image of ``shape``), chunked."""
+    values = np.asarray(values, dtype=np.complex128).ravel()
+    coords = _check_coords(coords, len(shape))
+    if values.shape[0] != coords.shape[0]:
+        raise ValueError(
+            f"{values.shape[0]} values but {coords.shape[0]} coordinates"
+        )
+    positions = _centered_positions(shape)
+    mesh = np.meshgrid(*positions, indexing="ij")
+    flat_pos = np.stack([m.ravel() for m in mesh], axis=1)
+    acc = np.zeros(flat_pos.shape[0], dtype=np.complex128)
+    for start in range(0, coords.shape[0], _CHUNK):
+        block = coords[start : start + _CHUNK]
+        phase = block @ flat_pos.T  # (chunk, N^d)
+        acc += np.exp(2j * np.pi * phase).T @ values[start : start + _CHUNK]
+    return acc.reshape(shape)
+
+
+@dataclass(frozen=True)
+class NudftOperator:
+    """Matrix-free exact NuDFT as a forward/adjoint operator pair.
+
+    Convenience wrapper bundling the coordinates and image shape, with
+    flop accounting for the performance-model benchmarks.
+    """
+
+    coords: np.ndarray
+    shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "coords", _check_coords(self.coords, len(self.shape))
+        )
+
+    @property
+    def n_samples(self) -> int:
+        return self.coords.shape[0]
+
+    @property
+    def n_pixels(self) -> int:
+        return int(np.prod(self.shape))
+
+    @property
+    def flops(self) -> int:
+        """Complex multiply-add count for one forward (or adjoint) pass."""
+        return self.n_samples * self.n_pixels
+
+    def forward(self, image: np.ndarray) -> np.ndarray:
+        if tuple(image.shape) != tuple(self.shape):
+            raise ValueError(f"image shape {image.shape} != operator shape {self.shape}")
+        return nudft_forward(image, self.coords)
+
+    def adjoint(self, values: np.ndarray) -> np.ndarray:
+        return nudft_adjoint(values, self.coords, self.shape)

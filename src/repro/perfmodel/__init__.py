@@ -1,0 +1,54 @@
+"""Hardware performance models (the paper's testbed, simulated).
+
+We cannot run the paper's i9-9900KS + Titan Xp testbed, so the Fig. 6-8
+reproductions pair our *measured* Python wall-clocks with *modelled*
+times from this package (DESIGN.md §2 documents the substitution):
+
+- :class:`CacheModel` — a set-associative LRU cache simulator fed by
+  the gridders' address traces; reproduces the §VI.A L2 hit-rate
+  comparison (98 % vs 80 %) from first principles.
+- :class:`CpuMirtModel` — the serial CPU baseline: fixed per-call
+  setup plus a per-window-point access cost that grows as the grid
+  outgrows the cache hierarchy.  Calibrated on the five recovered
+  (time, M, N) reference points.
+- :class:`GpuSliceDiceModel` / :class:`GpuImpatientModel` — analytic
+  GPU timing: kernel-launch overhead plus per-sample costs scaled by
+  occupancy, SIMD divergence, and L2 behaviour; calibrated likewise.
+- :class:`AsicJigsawModel` — thin wrapper over the JIGSAW cycle law.
+- :mod:`~repro.perfmodel.energy` — energy accounting for Fig. 8.
+
+Every calibration constant is derived *in code* from the reference
+tables in :mod:`repro.bench.reference`, never hand-tuned in private:
+``model.calibration_residuals()`` reports how well the model family
+explains the five reference points.
+"""
+
+from .cache import CacheModel, CacheStats
+from .cpu import CpuMirtModel
+from .gpu import GpuSliceDiceModel, GpuImpatientModel
+from .asic import AsicJigsawModel
+from .energy import GpuEnergyModel, gridding_energy_joules
+from .roofline import MachineRoofline, RooflinePoint, gridding_roofline, I9_9900KS, TITAN_XP
+from .mlp import distinct_lines_profile, stream_count
+from .sweep import speedup_series, crossover_m, jigsaw_crossover_m
+
+__all__ = [
+    "CacheModel",
+    "CacheStats",
+    "CpuMirtModel",
+    "GpuSliceDiceModel",
+    "GpuImpatientModel",
+    "AsicJigsawModel",
+    "GpuEnergyModel",
+    "gridding_energy_joules",
+    "MachineRoofline",
+    "RooflinePoint",
+    "gridding_roofline",
+    "I9_9900KS",
+    "TITAN_XP",
+    "distinct_lines_profile",
+    "stream_count",
+    "speedup_series",
+    "crossover_m",
+    "jigsaw_crossover_m",
+]

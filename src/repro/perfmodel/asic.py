@@ -1,0 +1,51 @@
+"""ASIC (JIGSAW) entry in the performance-model family.
+
+A thin adapter over the exact architectural cycle law of
+:mod:`repro.jigsaw.timing`, shaped like the CPU/GPU models so the
+benchmark harness can iterate all implementations uniformly.  The
+end-to-end NuFFT picture follows §VI: JIGSAW grids, the host performs
+the FFT + apodization (we charge the same GPU-class FFT the other
+implementations use), leaving gridding at ~25 % of NuFFT time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..jigsaw.config import JigsawConfig
+from ..jigsaw.timing import gridding_runtime_seconds
+
+__all__ = ["AsicJigsawModel"]
+
+
+class AsicJigsawModel:
+    """Timing model for the JIGSAW accelerator.
+
+    Parameters
+    ----------
+    config:
+        The accelerator build; defaults to the paper's 2-D instance
+        (N = 1024 target grid, the one synthesized in Table II).
+    """
+
+    def __init__(self, config: JigsawConfig | None = None):
+        self.config = config or JigsawConfig(grid_dim=1024, variant="2d")
+
+    def gridding_seconds(self, n_samples: int, grid_dim: int | None = None) -> float:
+        """``(M + depth)`` ns — independent of the grid size argument,
+        which is accepted only for interface parity."""
+        return gridding_runtime_seconds(n_samples, self.config)
+
+    def fft_seconds(self, grid_dim: int) -> float:
+        """Host-side FFT + apodization + transfer (shared curve)."""
+        from .hostfft import device_rest_seconds
+
+        return device_rest_seconds(grid_dim)
+
+    def nufft_seconds(self, n_samples: int, grid_dim: int) -> float:
+        return self.gridding_seconds(n_samples) + self.fft_seconds(grid_dim)
+
+    def gridding_share(self, n_samples: int, grid_dim: int) -> float:
+        """Fraction of NuFFT time spent gridding (§VI: ~25 %)."""
+        total = self.nufft_seconds(n_samples, grid_dim)
+        return self.gridding_seconds(n_samples) / total

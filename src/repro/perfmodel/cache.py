@@ -1,0 +1,107 @@
+"""Set-associative LRU cache simulator.
+
+Replays the grid-storage address traces produced by each gridder
+(:meth:`repro.gridding.Gridder.address_trace`) through a classical
+set-associative cache with LRU replacement, reproducing the paper's
+§VI.A locality argument: Slice-and-Dice's stacked-column layout reaches
+~98 % L2 hit rate where binning-on-GPU manages ~80 %.
+
+Addresses are *element* indices; ``element_bytes`` converts to byte
+addresses (complex64 grid points are 8 bytes).  The simulator is a
+straightforward Python/NumPy implementation intended for traces up to
+a few million accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CacheStats", "CacheModel"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Outcome of one trace replay."""
+
+    accesses: int
+    misses: int
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 1.0
+
+    @property
+    def miss_rate(self) -> float:
+        return 1.0 - self.hit_rate
+
+
+class CacheModel:
+    """A ``size_bytes`` set-associative LRU cache with ``line_bytes`` lines.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity (e.g. ``3 * 2**20`` for the Titan Xp's 3 MB L2).
+    line_bytes:
+        Cache line size (power of two).
+    associativity:
+        Ways per set; capacity/line/ways must divide evenly.
+    """
+
+    def __init__(self, size_bytes: int, line_bytes: int = 64, associativity: int = 8):
+        if size_bytes < line_bytes:
+            raise ValueError(f"size {size_bytes} smaller than a line {line_bytes}")
+        if line_bytes & (line_bytes - 1):
+            raise ValueError(f"line_bytes must be a power of two, got {line_bytes}")
+        n_lines = size_bytes // line_bytes
+        if n_lines % associativity:
+            raise ValueError(
+                f"{n_lines} lines not divisible by associativity {associativity}"
+            )
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.associativity = associativity
+        self.n_sets = n_lines // associativity
+
+    # ------------------------------------------------------------------
+    def simulate(
+        self, element_addresses: np.ndarray, element_bytes: int = 8
+    ) -> CacheStats:
+        """Replay element-index accesses; return hit/miss statistics.
+
+        Consecutive elements map to consecutive byte addresses, so
+        spatial locality within cache lines is modelled.
+        """
+        if element_bytes < 1:
+            raise ValueError(f"element_bytes must be >= 1, got {element_bytes}")
+        addrs = np.asarray(element_addresses, dtype=np.int64)
+        if addrs.ndim != 1:
+            addrs = addrs.ravel()
+        lines = (addrs * element_bytes) // self.line_bytes
+        sets = lines % self.n_sets
+        tags = lines // self.n_sets
+
+        ways = self.associativity
+        # per-set arrays of resident tags and LRU ages
+        resident = np.full((self.n_sets, ways), -1, dtype=np.int64)
+        stamp = np.zeros((self.n_sets, ways), dtype=np.int64)
+        misses = 0
+        for t, (s, tag) in enumerate(zip(sets, tags)):
+            row = resident[s]
+            hit = np.flatnonzero(row == tag)
+            if hit.size:
+                stamp[s, hit[0]] = t
+            else:
+                misses += 1
+                victim = int(np.argmin(stamp[s])) if -1 not in row else int(
+                    np.flatnonzero(row == -1)[0]
+                )
+                resident[s, victim] = tag
+                stamp[s, victim] = t
+        return CacheStats(accesses=int(addrs.size), misses=misses)

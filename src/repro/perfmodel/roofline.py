@@ -1,0 +1,109 @@
+"""Roofline analysis of the gridding variants (§II's bandwidth argument).
+
+The paper's diagnosis is that gridding is *memory-bound*: each
+interpolation is one table lookup plus one multiply-accumulate against
+a scattered read-modify-write, so "prefetching and caching mechanisms
+... are unable to alleviate the widening gap between processor and
+memory speeds".  A roofline model makes the claim quantitative:
+
+- arithmetic intensity (flops per DRAM byte) of a gridding pass follows
+  from the instrumented counts and the *miss rate* of its access
+  stream (from the cache simulator or a supplied estimate);
+- the attainable throughput is ``min(peak_flops, intensity * peak_bw)``.
+
+Slice-and-Dice does not change the flop count — it changes the miss
+rate (and, on hardware, the available MLP), moving gridding up the
+bandwidth roof.  JIGSAW removes the roof entirely by keeping the whole
+target grid in on-chip SRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gridding.base import GriddingStats
+
+__all__ = ["MachineRoofline", "RooflinePoint", "gridding_roofline"]
+
+#: flops charged per interpolation: complex weight product per extra
+#: dimension is folded into the LUT path; the grid update is a complex
+#: multiply-accumulate = 8 real flops
+_FLOPS_PER_MAC = 8.0
+#: bytes moved per grid-store miss: read + write back of a complex value
+_BYTES_PER_MISS = 2 * 8.0
+
+
+@dataclass(frozen=True)
+class MachineRoofline:
+    """Peak envelope of one machine."""
+
+    name: str
+    peak_gflops: float
+    peak_bandwidth_gbs: float
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Flops/byte where the machine turns compute-bound."""
+        return self.peak_gflops / self.peak_bandwidth_gbs
+
+    def attainable_gflops(self, intensity: float) -> float:
+        if intensity <= 0:
+            raise ValueError(f"intensity must be positive, got {intensity}")
+        return min(self.peak_gflops, intensity * self.peak_bandwidth_gbs)
+
+
+#: the paper's testbed, roughly
+I9_9900KS = MachineRoofline("i9-9900KS", peak_gflops=460.0, peak_bandwidth_gbs=42.0)
+TITAN_XP = MachineRoofline("Titan Xp", peak_gflops=12_150.0, peak_bandwidth_gbs=547.0)
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One gridding pass placed on a machine's roofline."""
+
+    machine: MachineRoofline
+    flops: float
+    dram_bytes: float
+
+    @property
+    def intensity(self) -> float:
+        return self.flops / max(self.dram_bytes, 1e-12)
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.intensity < self.machine.ridge_intensity
+
+    @property
+    def attainable_gflops(self) -> float:
+        return self.machine.attainable_gflops(self.intensity)
+
+    @property
+    def runtime_seconds(self) -> float:
+        """Roofline-limited runtime of the pass."""
+        return self.flops / (self.attainable_gflops * 1e9)
+
+
+def gridding_roofline(
+    stats: GriddingStats, miss_rate: float, machine: MachineRoofline
+) -> RooflinePoint:
+    """Place an instrumented gridding pass on a machine's roofline.
+
+    Parameters
+    ----------
+    stats:
+        Counters from a gridder run (uses ``interpolations`` and
+        ``grid_accesses``).
+    miss_rate:
+        Fraction of grid-store accesses that reach DRAM — take it from
+        :class:`~repro.perfmodel.cache.CacheModel` on the gridder's
+        address trace, or from the paper's profiled hit rates.
+    machine:
+        The peak envelope.
+    """
+    if not 0.0 <= miss_rate <= 1.0:
+        raise ValueError(f"miss_rate must be in [0, 1], got {miss_rate}")
+    flops = stats.interpolations * _FLOPS_PER_MAC
+    dram = stats.grid_accesses * miss_rate * _BYTES_PER_MISS
+    # a fully cached pass still streams the samples themselves once
+    dram += stats.samples_processed * 16.0
+    return RooflinePoint(machine=machine, flops=flops, dram_bytes=dram)

@@ -1,0 +1,97 @@
+"""Parameter sweeps and crossover analysis over the timing models.
+
+The paper evaluates five problem sizes; the calibrated models let us
+ask the questions in between and beyond them:
+
+- :func:`speedup_series` — Fig. 6/7-style speedup curves over a
+  continuous range of sample counts at a fixed grid size;
+- :func:`jigsaw_crossover_m` — the stream length below which JIGSAW's
+  fixed `M + 12` latency beats a GPU implementation's launch overhead
+  (JIGSAW wins *everywhere* against these baselines, so the more
+  interesting direction is the break-even against a hypothetical
+  faster-per-sample device — exposed via the general solver).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["speedup_series", "crossover_m", "jigsaw_crossover_m"]
+
+
+def speedup_series(
+    baseline,
+    contender,
+    grid_dim: int,
+    m_values: np.ndarray,
+    end_to_end: bool = False,
+) -> np.ndarray:
+    """Speedup of ``contender`` over ``baseline`` across sample counts.
+
+    Parameters
+    ----------
+    baseline, contender:
+        Timing models exposing ``gridding_seconds(m, grid)`` and
+        ``nufft_seconds(m, grid)``.
+    grid_dim:
+        Oversampled grid dimension.
+    m_values:
+        Sample counts to evaluate.
+    end_to_end:
+        Use full NuFFT times instead of gridding-only.
+    """
+    m_values = np.asarray(m_values, dtype=np.int64)
+    if np.any(m_values < 0):
+        raise ValueError("sample counts must be nonnegative")
+    f = "nufft_seconds" if end_to_end else "gridding_seconds"
+    base = np.asarray([getattr(baseline, f)(int(m), grid_dim) for m in m_values])
+    cont = np.asarray([getattr(contender, f)(int(m), grid_dim) for m in m_values])
+    return base / cont
+
+
+def crossover_m(
+    time_a: Callable[[int], float],
+    time_b: Callable[[int], float],
+    m_lo: int = 1,
+    m_hi: int = 10_000_000,
+) -> int | None:
+    """Smallest ``M`` in ``[m_lo, m_hi]`` where ``time_a(M) <= time_b(M)``.
+
+    Binary search assuming the sign of ``time_a - time_b`` changes at
+    most once over the range (true for affine-in-M models).  Returns
+    ``None`` if ``a`` never catches ``b`` in range.
+    """
+    if m_lo < 0 or m_hi < m_lo:
+        raise ValueError(f"need 0 <= m_lo <= m_hi, got {m_lo}, {m_hi}")
+    if time_a(m_lo) <= time_b(m_lo):
+        return m_lo
+    if time_a(m_hi) > time_b(m_hi):
+        return None
+    lo, hi = m_lo, m_hi
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        if time_a(mid) <= time_b(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def jigsaw_crossover_m(gpu_model, grid_dim: int) -> int | None:
+    """Smallest M where the GPU gridder catches JIGSAW (None if never).
+
+    JIGSAW has no launch overhead (the stream *is* the invocation), so
+    against real GPU kernels with ~10 us launches it wins from M = 1;
+    this helper documents that by construction, and generalizes to any
+    hypothetical contender model.
+    """
+    from ..jigsaw.config import JigsawConfig
+    from ..jigsaw.timing import gridding_runtime_seconds
+
+    cfg = JigsawConfig(grid_dim=min(1024, max(8, grid_dim)), variant="2d")
+    return crossover_m(
+        lambda m: gpu_model.gridding_seconds(m, grid_dim),
+        lambda m: gridding_runtime_seconds(m, cfg),
+    )

@@ -1,0 +1,20 @@
+"""Test images (phantoms) for reconstruction experiments.
+
+The paper evaluates image quality on 2-D liver slices from Otazo et
+al. [25], a dataset we do not have; per the substitution policy
+(DESIGN.md §2) we synthesize stand-ins whose reconstruction behaviour
+exercises the same code paths: a piecewise-constant analytic phantom
+(Shepp–Logan), a smooth "organ-like" phantom with soft-tissue contrast,
+and a 3-D slab for the JIGSAW 3D Slice experiments.
+"""
+
+from .shepp_logan import shepp_logan_2d, SHEPP_LOGAN_ELLIPSES
+from .synthetic import liver_like_phantom, smooth_random_phantom, phantom_3d_stack
+
+__all__ = [
+    "shepp_logan_2d",
+    "SHEPP_LOGAN_ELLIPSES",
+    "liver_like_phantom",
+    "smooth_random_phantom",
+    "phantom_3d_stack",
+]

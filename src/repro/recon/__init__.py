@@ -1,0 +1,22 @@
+"""MRI image reconstruction on top of the NuFFT.
+
+The downstream consumer that motivates the paper: adjoint (gridding)
+reconstruction with density compensation for direct imaging, and
+CG-based iterative reconstruction (the "millions of NuFFTs" workload
+of §I) with an optional Toeplitz-accelerated normal operator — the
+strategy of the Impatient baseline [10].
+"""
+
+from .metrics import nrmsd, nrmsd_percent, psnr, rel_l2_error
+from .adjoint import adjoint_reconstruction
+from .cg import cg_reconstruction, CgResult
+
+__all__ = [
+    "nrmsd",
+    "nrmsd_percent",
+    "psnr",
+    "rel_l2_error",
+    "adjoint_reconstruction",
+    "cg_reconstruction",
+    "CgResult",
+]

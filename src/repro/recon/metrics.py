@@ -1,0 +1,63 @@
+"""Image quality metrics.
+
+The paper verifies hardware image quality with the normalized root
+mean square difference (NRMSD) between a reconstruction and the
+double-precision reference (§VI.C / Fig. 9): 0.047 % for 32-bit
+floating point, 0.012 % for JIGSAW's 32-bit fixed point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["nrmsd", "nrmsd_percent", "psnr", "rel_l2_error"]
+
+
+def nrmsd(result: np.ndarray, reference: np.ndarray) -> float:
+    """Normalized root-mean-square difference.
+
+    ``sqrt(mean(|result - reference|^2)) / (max|ref| - min|ref|)``
+    using magnitude images, the convention of the fastMRI-style
+    comparisons the paper cites [20].
+    """
+    result = np.abs(np.asarray(result, dtype=np.complex128))
+    reference = np.abs(np.asarray(reference, dtype=np.complex128))
+    if result.shape != reference.shape:
+        raise ValueError(f"shape mismatch: {result.shape} vs {reference.shape}")
+    span = float(reference.max() - reference.min())
+    if span == 0.0:
+        raise ValueError("reference image has zero dynamic range")
+    rms = float(np.sqrt(np.mean((result - reference) ** 2)))
+    return rms / span
+
+
+def nrmsd_percent(result: np.ndarray, reference: np.ndarray) -> float:
+    """NRMSD expressed in percent, as reported in §VI.C."""
+    return 100.0 * nrmsd(result, reference)
+
+
+def rel_l2_error(result: np.ndarray, reference: np.ndarray) -> float:
+    """Relative L2 error ``|result - reference| / |reference|`` (complex)."""
+    result = np.asarray(result, dtype=np.complex128)
+    reference = np.asarray(reference, dtype=np.complex128)
+    if result.shape != reference.shape:
+        raise ValueError(f"shape mismatch: {result.shape} vs {reference.shape}")
+    denom = float(np.linalg.norm(reference))
+    if denom == 0.0:
+        raise ValueError("reference is identically zero")
+    return float(np.linalg.norm(result - reference)) / denom
+
+
+def psnr(result: np.ndarray, reference: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB over magnitude images."""
+    result = np.abs(np.asarray(result, dtype=np.complex128))
+    reference = np.abs(np.asarray(reference, dtype=np.complex128))
+    if result.shape != reference.shape:
+        raise ValueError(f"shape mismatch: {result.shape} vs {reference.shape}")
+    mse = float(np.mean((result - reference) ** 2))
+    peak = float(reference.max())
+    if mse == 0.0:
+        return float("inf")
+    if peak == 0.0:
+        raise ValueError("reference image has zero peak")
+    return 10.0 * np.log10(peak**2 / mse)

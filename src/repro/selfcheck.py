@@ -1,0 +1,145 @@
+"""Quick installation self-check.
+
+``python -c "import repro; repro.run_self_check()"`` (or the richer
+report below) exercises the load-bearing invariants in a few seconds:
+
+1. every registered gridder produces the same grid,
+2. the NuFFT matches the exact NuDFT at the configured accuracy,
+3. forward/adjoint are numerical adjoints,
+4. the JIGSAW functional simulator matches double-precision gridding
+   at the fixed-point floor and obeys the ``M + 12`` cycle law,
+5. the synthesis model reproduces Table II.
+
+Raises :class:`SelfCheckError` on the first violated invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SelfCheckError", "SelfCheckReport", "run_self_check"]
+
+
+class SelfCheckError(AssertionError):
+    """An installation self-check invariant failed."""
+
+
+@dataclass
+class SelfCheckReport:
+    """Outcome of :func:`run_self_check`."""
+
+    gridder_max_deviation: float = 0.0
+    nufft_vs_nudft_error: float = 0.0
+    adjointness_error: float = 0.0
+    jigsaw_vs_double_error: float = 0.0
+    jigsaw_cycles_ok: bool = False
+    table2_ok: bool = False
+    checks_run: list[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        lines = ["repro self-check:"]
+        lines.append(f"  gridder agreement      max|diff| = {self.gridder_max_deviation:.2e}")
+        lines.append(f"  NuFFT vs exact NuDFT   rel err   = {self.nufft_vs_nudft_error:.2e}")
+        lines.append(f"  forward/adjoint pair   rel err   = {self.adjointness_error:.2e}")
+        lines.append(f"  JIGSAW vs double       rel err   = {self.jigsaw_vs_double_error:.2e}")
+        lines.append(f"  JIGSAW cycle law       {'ok' if self.jigsaw_cycles_ok else 'FAILED'}")
+        lines.append(f"  Table II synthesis     {'ok' if self.table2_ok else 'FAILED'}")
+        return "\n".join(lines)
+
+
+def run_self_check(verbose: bool = True, seed: int = 0) -> SelfCheckReport:
+    """Run the fast end-to-end invariant checks; return the report."""
+    from .gridding import GriddingSetup, available_gridders, make_gridder
+    from .jigsaw import JigsawConfig, JigsawSimulator, synthesize
+    from .jigsaw.synthesis import TABLE_II
+    from .kernels import KernelLUT, beatty_kernel
+    from .nudft import nudft_adjoint
+    from .nufft import NufftPlan
+    from .trajectories import random_trajectory
+
+    report = SelfCheckReport()
+    rng = np.random.default_rng(seed)
+    g = 32
+    m = 300
+    lut = KernelLUT(beatty_kernel(6, 2.0), 64)
+    setup = GriddingSetup((g, g), lut)
+    coords = rng.uniform(0, g, (m, 2))
+    vals = rng.standard_normal(m) + 1j * rng.standard_normal(m)
+
+    # 1. cross-gridder agreement
+    grids = {}
+    for name in available_gridders():
+        kwargs = {"tile_size": 8} if name in ("binning", "slice_and_dice") else {}
+        grids[name] = make_gridder(name, setup, **kwargs).grid(coords, vals)
+    ref = grids["naive"]
+    report.gridder_max_deviation = max(
+        float(np.max(np.abs(arr - ref))) for arr in grids.values()
+    )
+    if report.gridder_max_deviation > 1e-9:
+        raise SelfCheckError(
+            f"gridders disagree by {report.gridder_max_deviation:.2e}"
+        )
+    report.checks_run.append("gridder_agreement")
+
+    # 2. + 3. NuFFT accuracy and adjointness
+    traj = random_trajectory(m, 2, rng=seed + 1)
+    plan = NufftPlan((g, g), traj, width=6, table_oversampling=1024)
+    exact = nudft_adjoint(vals, traj, (g, g))
+    fast = plan.adjoint(vals)
+    report.nufft_vs_nudft_error = float(
+        np.linalg.norm(fast - exact) / np.linalg.norm(exact)
+    )
+    if report.nufft_vs_nudft_error > 2e-3:
+        raise SelfCheckError(
+            f"NuFFT error {report.nufft_vs_nudft_error:.2e} exceeds 2e-3"
+        )
+    report.checks_run.append("nufft_accuracy")
+
+    x = rng.standard_normal((g, g)) + 1j * rng.standard_normal((g, g))
+    lhs = np.vdot(vals, plan.forward(x))
+    rhs = np.vdot(plan.adjoint(vals), x)
+    report.adjointness_error = float(abs(lhs - rhs) / max(abs(lhs), 1e-30))
+    if report.adjointness_error > 1e-9:
+        raise SelfCheckError(
+            f"forward/adjoint mismatch {report.adjointness_error:.2e}"
+        )
+    report.checks_run.append("adjointness")
+
+    # 4. JIGSAW functional + timing
+    cfg = JigsawConfig(grid_dim=g, window_width=6, table_oversampling=32)
+    sim = JigsawSimulator(cfg)
+    res = sim.grid_2d(coords, vals)
+    hw_lut = KernelLUT(beatty_kernel(6, 2.0), 32)
+    hw_ref = make_gridder("naive", GriddingSetup((g, g), hw_lut)).grid(coords, vals)
+    report.jigsaw_vs_double_error = float(
+        np.linalg.norm(res.grid - hw_ref) / np.linalg.norm(hw_ref)
+    )
+    if report.jigsaw_vs_double_error > 5e-3:
+        raise SelfCheckError(
+            f"JIGSAW error {report.jigsaw_vs_double_error:.2e} exceeds 5e-3"
+        )
+    report.jigsaw_cycles_ok = res.cycles == m + 12
+    if not report.jigsaw_cycles_ok:
+        raise SelfCheckError(f"JIGSAW cycles {res.cycles} != {m + 12}")
+    report.checks_run.append("jigsaw")
+
+    # 5. Table II
+    report.table2_ok = all(
+        abs(
+            synthesize(
+                JigsawConfig(grid_dim=1024, variant=variant), with_sram
+            ).power_mw
+            - power
+        )
+        < 0.01
+        for (variant, with_sram), (power, _) in TABLE_II.items()
+    )
+    if not report.table2_ok:
+        raise SelfCheckError("synthesis model does not reproduce Table II")
+    report.checks_run.append("table2")
+
+    if verbose:
+        print(report.summary())
+    return report

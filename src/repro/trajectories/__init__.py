@@ -1,0 +1,40 @@
+"""Non-uniform k-space sampling trajectories and density compensation.
+
+MRI and other computational-imaging modalities acquire Fourier-domain
+samples along non-Cartesian trajectories (radial, spiral, ...) to cut
+scan time (§I/§II of the paper).  This package generates the sampling
+patterns used throughout the reproduction and the density-compensation
+factors (DCF) needed for adjoint reconstruction.
+
+Coordinates are produced in *normalized* units — cycles per sample,
+``[-0.5, 0.5)^d`` — and mapped onto the oversampled grid by the NuFFT
+plan / gridders.
+"""
+
+from .radial import radial_trajectory, golden_angle_radial
+from .spiral import spiral_trajectory
+from .random_traj import random_trajectory, jittered_grid_trajectory
+from .cartesian import cartesian_trajectory
+from .rosette import rosette_trajectory
+from .stack3d import stack_of_stars_3d
+from .density import (
+    ramp_density_compensation,
+    pipe_menon_density_compensation,
+    cell_counting_density_compensation,
+    voronoi_density_compensation,
+)
+
+__all__ = [
+    "radial_trajectory",
+    "golden_angle_radial",
+    "spiral_trajectory",
+    "random_trajectory",
+    "jittered_grid_trajectory",
+    "cartesian_trajectory",
+    "rosette_trajectory",
+    "stack_of_stars_3d",
+    "ramp_density_compensation",
+    "pipe_menon_density_compensation",
+    "cell_counting_density_compensation",
+    "voronoi_density_compensation",
+]

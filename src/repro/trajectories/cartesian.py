@@ -1,0 +1,30 @@
+"""Exact Cartesian sampling — the degenerate trajectory.
+
+With samples exactly on grid points, the NuFFT must reduce to a plain
+FFT (up to apodization rounding); this is the strongest correctness
+oracle available for the gridding + FFT pipeline and is used heavily
+in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["cartesian_trajectory"]
+
+
+def cartesian_trajectory(n: int, ndim: int = 2) -> np.ndarray:
+    """Full Cartesian pattern: ``n`` points per dimension on ``[-0.5, 0.5)``.
+
+    Returns
+    -------
+    ``(n**ndim, ndim)`` float64 array enumerating the lattice in
+    row-major (C) order, i.e. matching ``np.ndindex`` / ``reshape``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if ndim < 1:
+        raise ValueError(f"ndim must be >= 1, got {ndim}")
+    axis = (np.arange(n) - n // 2) / n
+    mesh = np.meshgrid(*([axis] * ndim), indexing="ij")
+    return np.stack([m.ravel() for m in mesh], axis=1)

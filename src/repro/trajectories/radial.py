@@ -1,0 +1,71 @@
+"""Radial (projection-reconstruction) k-space trajectories.
+
+A radial acquisition samples k-space along diametric spokes through the
+origin — the classic MRI non-Cartesian pattern and the one used by the
+paper's real-time reconstruction motivation (Frahm et al. [8]).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["radial_trajectory", "golden_angle_radial"]
+
+#: golden-angle increment in radians (pi / golden ratio)
+GOLDEN_ANGLE = math.pi / ((1.0 + math.sqrt(5.0)) / 2.0)
+
+
+def _spokes(
+    n_spokes: int, n_readout: int, angles: np.ndarray
+) -> np.ndarray:
+    """Assemble spoke coordinates for the given spoke angles.
+
+    Readout positions span ``[-0.5, 0.5)`` with ``n_readout`` points per
+    spoke (endpoint excluded to stay inside the normalized torus).
+    """
+    radii = (np.arange(n_readout) - n_readout / 2.0) / n_readout  # [-0.5, 0.5)
+    kx = np.outer(np.cos(angles), radii)
+    ky = np.outer(np.sin(angles), radii)
+    return np.stack([kx.ravel(), ky.ravel()], axis=1)
+
+
+def radial_trajectory(n_spokes: int, n_readout: int) -> np.ndarray:
+    """Uniform-angle radial trajectory.
+
+    Parameters
+    ----------
+    n_spokes:
+        Number of diametric spokes, spread uniformly over ``[0, pi)``.
+    n_readout:
+        Samples per spoke along the diameter.
+
+    Returns
+    -------
+    ``(n_spokes * n_readout, 2)`` float64 array of normalized
+    coordinates in ``[-0.5, 0.5)``.
+    """
+    if n_spokes < 1 or n_readout < 1:
+        raise ValueError(
+            f"need n_spokes >= 1 and n_readout >= 1, got {n_spokes}, {n_readout}"
+        )
+    angles = np.arange(n_spokes) * (math.pi / n_spokes)
+    return _spokes(n_spokes, n_readout, angles)
+
+
+def golden_angle_radial(n_spokes: int, n_readout: int) -> np.ndarray:
+    """Golden-angle radial trajectory (incoherent spoke ordering).
+
+    Spokes advance by the golden angle (~111.25°), giving near-uniform
+    angular coverage for *any* prefix of spokes — the standard choice
+    for dynamic/real-time MRI.  Samples arrive in acquisition order,
+    i.e. *not* sorted by position: exactly the "effectively random
+    order" stream the paper says defeats CPU caches (§II.C).
+    """
+    if n_spokes < 1 or n_readout < 1:
+        raise ValueError(
+            f"need n_spokes >= 1 and n_readout >= 1, got {n_spokes}, {n_readout}"
+        )
+    angles = np.arange(n_spokes) * GOLDEN_ANGLE
+    return _spokes(n_spokes, n_readout, angles)

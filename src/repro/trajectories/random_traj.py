@@ -1,0 +1,54 @@
+"""Random and jittered sampling patterns.
+
+Random patterns are the adversarial case for cache locality (every
+sample lands in an unrelated region of the grid) and the best case for
+compressed-sensing reconstruction.  The jittered grid is a
+low-discrepancy variant used in tests where near-uniform coverage is
+needed without being exactly Cartesian.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["random_trajectory", "jittered_grid_trajectory"]
+
+
+def random_trajectory(
+    n_samples: int, ndim: int = 2, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Uniform random samples over the normalized torus ``[-0.5, 0.5)^d``."""
+    if n_samples < 1:
+        raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+    if ndim < 1:
+        raise ValueError(f"ndim must be >= 1, got {ndim}")
+    gen = np.random.default_rng(rng)
+    return gen.uniform(-0.5, 0.5, size=(n_samples, ndim))
+
+
+def jittered_grid_trajectory(
+    n_per_dim: int, ndim: int = 2, jitter: float = 0.5,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Cartesian lattice with per-sample uniform jitter.
+
+    Parameters
+    ----------
+    n_per_dim:
+        Lattice points per dimension (total ``n_per_dim**ndim`` samples).
+    jitter:
+        Maximum displacement as a fraction of the lattice cell (``0``
+        gives an exact Cartesian pattern, ``0.5`` fills each cell).
+    """
+    if n_per_dim < 1:
+        raise ValueError(f"n_per_dim must be >= 1, got {n_per_dim}")
+    if not 0.0 <= jitter <= 0.5:
+        raise ValueError(f"jitter must be in [0, 0.5], got {jitter}")
+    gen = np.random.default_rng(rng)
+    axes = [np.arange(n_per_dim) / n_per_dim - 0.5] * ndim
+    mesh = np.meshgrid(*axes, indexing="ij")
+    coords = np.stack([m.ravel() for m in mesh], axis=1)
+    cell = 1.0 / n_per_dim
+    coords = coords + gen.uniform(-jitter * cell, jitter * cell, size=coords.shape)
+    # keep coordinates on the torus
+    return (coords + 0.5) % 1.0 - 0.5

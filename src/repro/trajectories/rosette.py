@@ -1,0 +1,49 @@
+"""Rosette k-space trajectories.
+
+Rosette patterns oscillate radially while rotating, repeatedly
+re-crossing the k-space center.  They stress gridders differently from
+radial/spiral scans: the center of the grid becomes an accumulation
+hot-spot (many samples mapping to the same tiles), which is the
+worst case for binning's duplicate-processing overhead.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["rosette_trajectory"]
+
+
+def rosette_trajectory(
+    n_samples: int, f1: float = 13.0, f2: float = 5.0
+) -> np.ndarray:
+    """Rosette trajectory ``k(t) = 0.5 sin(2 pi f1 t) exp(2 pi i f2 t)``.
+
+    Parameters
+    ----------
+    n_samples:
+        Total number of samples along the curve.
+    f1:
+        Radial oscillation frequency (petal count ~ ``2 * f1``).
+    f2:
+        Rotation frequency; ``f1/f2`` irrational-ish ratios avoid
+        retracing.
+
+    Returns
+    -------
+    ``(n_samples, 2)`` float64 normalized coordinates in ``[-0.5, 0.5)``.
+    """
+    if n_samples < 1:
+        raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+    if f1 <= 0 or f2 <= 0:
+        raise ValueError(f"frequencies must be positive, got f1={f1}, f2={f2}")
+    t = np.arange(n_samples) / n_samples
+    radius = 0.5 * np.sin(2.0 * math.pi * f1 * t)
+    phase = 2.0 * math.pi * f2 * t
+    kx = radius * np.cos(phase)
+    ky = radius * np.sin(phase)
+    # clip the |r| = 0.5 extrema inside the open torus
+    coords = np.stack([kx, ky], axis=1)
+    return np.clip(coords, -0.5, np.nextafter(0.5, 0.0) - 1e-9)

@@ -1,0 +1,62 @@
+"""Archimedean spiral k-space trajectories.
+
+Spiral scans sweep k-space in a small number of interleaved spiral
+arms, covering the plane quickly — the second canonical non-Cartesian
+MRI pattern named by the paper (§II: "spiral and radial scans").
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["spiral_trajectory"]
+
+
+def spiral_trajectory(
+    n_interleaves: int,
+    n_per_interleaf: int,
+    turns: float = 8.0,
+    density_power: float = 1.0,
+) -> np.ndarray:
+    """Interleaved Archimedean spiral trajectory.
+
+    Parameters
+    ----------
+    n_interleaves:
+        Number of rotated spiral arms.
+    n_per_interleaf:
+        Samples along each arm.
+    turns:
+        Revolutions per arm from center to edge.
+    density_power:
+        Radius grows as ``t ** density_power``; ``1`` is the uniform
+        Archimedean spiral, ``< 1`` oversamples the center (variable
+        density spiral).
+
+    Returns
+    -------
+    ``(n_interleaves * n_per_interleaf, 2)`` float64 array of
+    normalized coordinates in ``[-0.5, 0.5)``.
+    """
+    if n_interleaves < 1 or n_per_interleaf < 1:
+        raise ValueError(
+            "need n_interleaves >= 1 and n_per_interleaf >= 1, "
+            f"got {n_interleaves}, {n_per_interleaf}"
+        )
+    if turns <= 0:
+        raise ValueError(f"turns must be positive, got {turns}")
+    if density_power <= 0:
+        raise ValueError(f"density_power must be positive, got {density_power}")
+
+    t = np.arange(n_per_interleaf) / n_per_interleaf  # [0, 1)
+    radius = 0.5 * t**density_power  # stays < 0.5
+    theta = 2.0 * math.pi * turns * t
+    points = []
+    for i in range(n_interleaves):
+        rot = 2.0 * math.pi * i / n_interleaves
+        kx = radius * np.cos(theta + rot)
+        ky = radius * np.sin(theta + rot)
+        points.append(np.stack([kx, ky], axis=1))
+    return np.concatenate(points, axis=0)

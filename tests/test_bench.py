@@ -1,0 +1,151 @@
+"""Unit tests for the benchmark harness (datasets, references, tables)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    FIG6_GRIDDING_SPEEDUP,
+    FIG7_END_TO_END_SPEEDUP,
+    FIG8_ENERGY_J,
+    PAPER_IMAGES,
+    format_speedup_row,
+    format_table,
+    make_dataset,
+    scaled_m,
+)
+from repro.bench.datasets import bench_scale
+
+
+class TestPaperImages:
+    def test_five_images(self):
+        assert len(PAPER_IMAGES) == 5
+
+    def test_recovered_sample_counts(self):
+        assert [im.m for im in PAPER_IMAGES] == [
+            3_772,
+            66_592,
+            1_574_654,
+            104_520,
+            184_660,
+        ]
+
+    def test_grid_dims_are_2n(self):
+        for im in PAPER_IMAGES:
+            assert im.grid_dim == 2 * im.n
+
+    def test_coords_shapes(self):
+        for im in PAPER_IMAGES:
+            pts = im.coords(n_samples=500)
+            assert pts.shape == (500, 2)
+            assert np.all(pts >= -0.5) and np.all(pts < 0.5)
+
+    def test_full_m_default(self):
+        pts = PAPER_IMAGES[0].coords()
+        assert pts.shape == (3_772, 2)
+
+    def test_coords_rejects_zero(self):
+        with pytest.raises(ValueError):
+            PAPER_IMAGES[0].coords(n_samples=0)
+
+    def test_make_dataset(self):
+        coords, vals = make_dataset(PAPER_IMAGES[0], n_samples=1000)
+        assert coords.shape == (1000, 2)
+        assert vals.shape == (1000,)
+        assert vals.dtype == np.complex128
+
+    def test_dataset_center_weighted(self):
+        """Synthetic k-space magnitude decays with radius."""
+        coords, vals = make_dataset(PAPER_IMAGES[1], n_samples=5000)
+        r = np.linalg.norm(coords, axis=1)
+        inner = np.abs(vals[r < 0.1]).mean()
+        outer = np.abs(vals[r > 0.4]).mean()
+        assert inner > 3 * outer
+
+    def test_dataset_deterministic(self):
+        a = make_dataset(PAPER_IMAGES[0], n_samples=100)
+        b = make_dataset(PAPER_IMAGES[0], n_samples=100)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+
+class TestScaling:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() == 16
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "4")
+        assert bench_scale() == 4
+
+    def test_env_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "fast")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+    def test_env_nonpositive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+    def test_scaled_m_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "16")
+        assert scaled_m(PAPER_IMAGES[0]) == 1024  # floored
+        assert scaled_m(PAPER_IMAGES[2]) == 1_574_654 // 16
+
+
+class TestReferenceConsistency:
+    """Cross-checks that pin the recovered numbers to the paper's
+    quoted aggregates."""
+
+    def test_fig6_averages(self):
+        assert np.mean(FIG6_GRIDDING_SPEEDUP["slice_and_dice_gpu"]) > 250
+        assert np.mean(FIG6_GRIDDING_SPEEDUP["jigsaw"]) > 1500
+
+    def test_fig6_ratios(self):
+        snd = np.mean(FIG6_GRIDDING_SPEEDUP["slice_and_dice_gpu"])
+        imp = np.mean(FIG6_GRIDDING_SPEEDUP["impatient"])
+        jig = np.mean(FIG6_GRIDDING_SPEEDUP["jigsaw"])
+        assert snd / imp == pytest.approx(16, abs=1)
+        assert jig / imp == pytest.approx(96, abs=2)
+
+    def test_fig7_averages(self):
+        assert np.mean(FIG7_END_TO_END_SPEEDUP["slice_and_dice_gpu"]) > 118
+        assert np.mean(FIG7_END_TO_END_SPEEDUP["jigsaw"]) == pytest.approx(258, abs=1)
+
+    def test_fig8_quoted_averages(self):
+        assert np.mean(FIG8_ENERGY_J["impatient"]) == pytest.approx(1.95, abs=0.01)
+        assert np.mean(FIG8_ENERGY_J["slice_and_dice_gpu"]) == pytest.approx(
+            108.27e-3, rel=1e-3
+        )
+        assert np.mean(FIG8_ENERGY_J["jigsaw"]) == pytest.approx(83.89e-6, rel=1e-3)
+
+    def test_jigsaw_energy_consistent_with_m(self):
+        """E = 216.86 mW x (M + 12) ns for every image — the identity
+        used to recover M."""
+        for e, im in zip(FIG8_ENERGY_J["jigsaw"], PAPER_IMAGES):
+            assert e == pytest.approx(0.21686 * (im.m + 12) * 1e-9, rel=2e-3)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bbbb"], [[1, 2.34567], ["xy", 3]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "2.346" in out
+
+    def test_format_table_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_format_table_width_mismatch(self):
+        with pytest.raises(ValueError, match="row width"):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_speedup_row(self):
+        row = format_speedup_row("test", 200.0, 100.0)
+        assert "measured/paper=  2.00" in row
+
+    def test_format_speedup_zero_paper(self):
+        with pytest.raises(ValueError):
+            format_speedup_row("x", 1.0, 0.0)

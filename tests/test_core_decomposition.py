@@ -1,0 +1,156 @@
+"""Unit tests for the Slice-and-Dice coordinate decomposition (Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    column_forward_distance,
+    column_tile_index,
+    decompose_coordinates,
+)
+
+
+def decomp(coords, grid=(32, 32), t=8, w=6):
+    return decompose_coordinates(np.asarray(coords, dtype=float), grid, t, w)
+
+
+class TestDecompose:
+    def test_basic_quotient_remainder(self):
+        # x' = 10.25 + 3 = 13.25 -> i=13, tile=1, rel=5, frac=0.25
+        d = decomp([[10.25, 0.0]])
+        assert d.tile[0, 0] == 1
+        assert d.rel[0, 0] == 5
+        assert d.frac[0, 0] == pytest.approx(0.25)
+
+    def test_shift_is_half_window(self):
+        d = decomp([[0.0, 0.0]], w=6)
+        # x' = 3.0 -> i=3, tile=0, rel=3
+        assert d.rel[0, 0] == 3
+        assert d.tile[0, 0] == 0
+
+    def test_wraps_grid_edge(self):
+        d = decomp([[31.5, 0.0]], w=6)
+        # x' = 34.5 mod 32 = 2.5
+        assert d.tile[0, 0] == 0
+        assert d.rel[0, 0] == 2
+        assert d.frac[0, 0] == pytest.approx(0.5)
+
+    def test_tile_counts(self):
+        d = decomp([[0.0, 0.0]], grid=(32, 16), t=8)
+        assert d.tile_counts == (4, 2)
+
+    def test_rejects_window_wider_than_tile(self):
+        with pytest.raises(ValueError, match="exceeds tile size"):
+            decomp([[0.0, 0.0]], t=4, w=6)
+
+    def test_rejects_non_dividing_tile(self):
+        with pytest.raises(ValueError, match="divide"):
+            decomp([[0.0, 0.0]], grid=(30, 30), t=8, w=6)
+
+    def test_rejects_dim_mismatch(self):
+        with pytest.raises(ValueError, match="does not match"):
+            decompose_coordinates(np.zeros((3, 2)), (32, 32, 32), 8, 6)
+
+
+class TestForwardDistance:
+    def test_matches_paper_rule(self):
+        """fwd = rel + T - p (mod T) + frac: Fig. 4's select arithmetic."""
+        d = decomp([[10.25, 20.5]])
+        fwd = column_forward_distance(d, (5, 2))
+        # axis 0: rel=5, p=5 -> 0 + 0.25
+        assert fwd[0, 0] == pytest.approx(0.25)
+        # axis 1: x'=23.5 -> rel=7, frac=0.5; p=2 -> (7-2) + 0.5
+        assert fwd[0, 1] == pytest.approx(5.5)
+
+    def test_wrap_within_tile(self):
+        d = decomp([[10.25, 0.0]])
+        fwd = column_forward_distance(d, (6, 0))
+        # rel=5 < p=6 -> (5-6) mod 8 = 7, + 0.25
+        assert fwd[0, 0] == pytest.approx(7.25)
+
+    def test_range(self, rng=np.random.default_rng(0)):
+        d = decomp(rng.uniform(0, 32, (100, 2)))
+        for p in [(0, 0), (3, 5), (7, 7)]:
+            fwd = column_forward_distance(d, p)
+            assert np.all(fwd >= 0) and np.all(fwd < 8)
+
+    def test_rejects_bad_column(self):
+        d = decomp([[0.0, 0.0]])
+        with pytest.raises(ValueError, match="column"):
+            column_forward_distance(d, (8, 0))
+        with pytest.raises(ValueError, match="column"):
+            column_forward_distance(d, (0, -1))
+        with pytest.raises(ValueError, match="does not match"):
+            column_forward_distance(d, (0, 0, 0))
+
+
+class TestTileIndex:
+    def test_no_wrap(self):
+        d = decomp([[10.25, 20.5]])
+        # axis0: tile=1, rel=5 >= p=5 -> stays 1; axis1: x'=23.5, tile=2,
+        # rel=7 >= p=2 -> stays 2.  linear = 1*4 + 2
+        assert column_tile_index(d, (5, 2))[0] == 6
+
+    def test_wrap_decrements(self):
+        d = decomp([[10.25, 20.5]])
+        # axis0 p=6 > rel=5 -> tile 0; axis1 p=2 -> tile 2
+        assert column_tile_index(d, (6, 2))[0] == 2
+
+    def test_wrap_around_grid(self):
+        d = decomp([[0.0, 0.0]])
+        # x'=3: tile=0, rel=3.  p=4 > 3 -> tile -1 mod 4 = 3 on both axes
+        assert column_tile_index(d, (4, 4))[0] == 3 * 4 + 3
+
+    def test_paper_figure4_example(self):
+        """Fig. 4: N=16, T=8, W=6, sample in tile (1,1), thread (5,2)
+        wraps in X."""
+        d = decompose_coordinates(
+            # choose a sample whose shifted position has rel_x < 5 in
+            # tile (1, 1): e.g. x' = (12.5, 10.5) -> coords = x' - 3
+            np.asarray([[9.5, 7.5]]),
+            (16, 16),
+            8,
+            6,
+        )
+        assert d.tile[0].tolist() == [1, 1]
+        assert d.rel[0].tolist() == [4, 2]
+        fwd = column_forward_distance(d, (5, 2))
+        # x: rel=4 < 5 -> wrap; fwd = (4-5) mod 8 + 0.5 = 7.5 >= W: miss
+        assert fwd[0, 0] == pytest.approx(7.5)
+        idx = column_tile_index(d, (5, 2))
+        # wrapped in x: tile (0, 1) -> linear 0*2+1
+        assert idx[0] == 1
+
+
+class TestEquivalenceWithDirectWindow:
+    """The two-part check must enumerate exactly the naive window."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_affected_columns_match_window(self, seed):
+        rng = np.random.default_rng(seed)
+        g, t, w = 32, 8, 6
+        coords = rng.uniform(0, g, (20, 2))
+        d = decompose_coordinates(coords, (g, g), t, w)
+
+        # direct affected points via the naive construction
+        from repro.gridding.base import window_contributions
+        from repro.gridding import GriddingSetup
+        from repro.kernels import KernelLUT, beatty_kernel
+
+        setup = GriddingSetup((g, g), KernelLUT(beatty_kernel(w, 2.0), 64))
+        idx, _ = window_contributions(setup, coords)
+
+        # Slice-and-Dice affected points per column
+        snd_points = [set() for _ in range(20)]
+        for px in range(t):
+            for py in range(t):
+                fwd = column_forward_distance(d, (px, py))
+                ok = np.all(fwd < w, axis=1)
+                depth = column_tile_index(d, (px, py))
+                for j in np.flatnonzero(ok):
+                    tx, ty = divmod(int(depth[j]), g // t)
+                    point = (tx * t + px) * g + (ty * t + py)
+                    assert point not in snd_points[j], "column hit twice"
+                    snd_points[j].add(point)
+        for j in range(20):
+            assert snd_points[j] == set(idx[j].tolist())

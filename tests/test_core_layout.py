@@ -1,0 +1,92 @@
+"""Unit tests for the dice memory layout."""
+
+import numpy as np
+import pytest
+
+from repro.core import DiceLayout
+
+
+class TestConstruction:
+    def test_properties(self):
+        lay = DiceLayout((32, 32), 8)
+        assert lay.n_columns == 64
+        assert lay.n_tiles == 16
+        assert lay.tile_counts == (4, 4)
+
+    def test_rejects_non_dividing(self):
+        with pytest.raises(ValueError, match="divide"):
+            DiceLayout((30, 32), 8)
+
+    def test_rejects_bad_tile(self):
+        with pytest.raises(ValueError, match="tile_size"):
+            DiceLayout((32, 32), 0)
+
+    def test_rectangular_grid(self):
+        lay = DiceLayout((16, 32), 8)
+        assert lay.tile_counts == (2, 4)
+        assert lay.n_tiles == 8
+
+
+class TestColumns:
+    def test_enumeration(self):
+        lay = DiceLayout((16, 16), 4)
+        cols = lay.columns()
+        assert cols.shape == (16, 2)
+        assert cols[0].tolist() == [0, 0]
+        assert cols[-1].tolist() == [3, 3]
+
+    def test_column_linear_matches_enumeration(self):
+        lay = DiceLayout((16, 16), 4)
+        for row, col in enumerate(lay.columns()):
+            assert lay.column_linear(tuple(col)) == row
+
+    def test_column_linear_validation(self):
+        lay = DiceLayout((16, 16), 4)
+        with pytest.raises(ValueError, match="column"):
+            lay.column_linear((4, 0))
+        with pytest.raises(ValueError, match="does not match"):
+            lay.column_linear((0, 0, 0))
+
+
+class TestTransforms:
+    def test_roundtrip(self, rng=np.random.default_rng(0)):
+        lay = DiceLayout((32, 32), 8)
+        grid = rng.standard_normal((32, 32)) + 1j * rng.standard_normal((32, 32))
+        np.testing.assert_array_equal(lay.dice_to_grid(lay.grid_to_dice(grid)), grid)
+
+    def test_roundtrip_rectangular(self, rng=np.random.default_rng(1)):
+        lay = DiceLayout((16, 32), 8)
+        grid = rng.standard_normal((16, 32))
+        np.testing.assert_array_equal(lay.dice_to_grid(lay.grid_to_dice(grid)), grid)
+
+    def test_element_mapping(self):
+        """grid[x, y] must appear at dice[column(x%T, y%T), tile(x//T, y//T)]."""
+        lay = DiceLayout((16, 16), 4)
+        grid = np.arange(256).reshape(16, 16)
+        dice = lay.grid_to_dice(grid)
+        for x, y in [(0, 0), (5, 3), (15, 15), (7, 9)]:
+            row = lay.column_linear((x % 4, y % 4))
+            depth = (x // 4) * 4 + (y // 4)
+            assert dice[row, depth] == grid[x, y]
+
+    def test_column_rows_are_contiguous_tiles(self):
+        """Each dice row holds one point per tile — the column 'depth'
+        array JIGSAW stores in a private SRAM."""
+        lay = DiceLayout((16, 16), 4)
+        grid = np.arange(256).reshape(16, 16)
+        dice = lay.grid_to_dice(grid)
+        row0 = dice[0]  # column (0, 0): points (4tx, 4ty)
+        expect = [grid[4 * tx, 4 * ty] for tx in range(4) for ty in range(4)]
+        assert row0.tolist() == expect
+
+    def test_shape_validation(self):
+        lay = DiceLayout((16, 16), 4)
+        with pytest.raises(ValueError, match="grid shape"):
+            lay.grid_to_dice(np.zeros((8, 8)))
+        with pytest.raises(ValueError, match="dice shape"):
+            lay.dice_to_grid(np.zeros((4, 4)))
+
+    def test_3d_roundtrip(self, rng=np.random.default_rng(2)):
+        lay = DiceLayout((8, 8, 8), 4)
+        vol = rng.standard_normal((8, 8, 8))
+        np.testing.assert_array_equal(lay.dice_to_grid(lay.grid_to_dice(vol)), vol)

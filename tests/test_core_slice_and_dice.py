@@ -1,0 +1,129 @@
+"""Unit tests for the Slice-and-Dice gridder."""
+
+import numpy as np
+import pytest
+
+from repro.core import SliceAndDiceGridder
+from repro.gridding import GriddingSetup, NaiveGridder
+from repro.kernels import KernelLUT, beatty_kernel
+from tests.conftest import random_samples
+
+
+class TestConstruction:
+    def test_rejects_window_wider_than_tile(self, small_setup):
+        with pytest.raises(ValueError, match="exceeds tile size"):
+            SliceAndDiceGridder(small_setup, tile_size=4)
+
+    def test_rejects_bad_engine(self, small_setup):
+        with pytest.raises(ValueError, match="engine"):
+            SliceAndDiceGridder(small_setup, engine="cuda")
+
+    def test_rejects_bad_blocks(self, small_setup):
+        with pytest.raises(ValueError, match="n_blocks"):
+            SliceAndDiceGridder(small_setup, n_blocks=0)
+
+    def test_default_tile_is_8(self, small_setup):
+        assert SliceAndDiceGridder(small_setup).tile_size == 8
+
+
+class TestCorrectness:
+    def test_matches_naive(self, small_setup, rng):
+        coords, vals = random_samples(rng, 200, small_setup.grid_shape)
+        ref = NaiveGridder(small_setup).grid(coords, vals)
+        out = SliceAndDiceGridder(small_setup).grid(coords, vals)
+        np.testing.assert_allclose(out, ref, rtol=1e-12, atol=1e-12)
+
+    def test_blocked_engine_matches_columns(self, small_setup, rng):
+        coords, vals = random_samples(rng, 150, small_setup.grid_shape)
+        cols = SliceAndDiceGridder(small_setup, engine="columns").grid(coords, vals)
+        blocked = SliceAndDiceGridder(small_setup, engine="blocked", n_blocks=7).grid(
+            coords, vals
+        )
+        np.testing.assert_allclose(blocked, cols, rtol=1e-12, atol=1e-12)
+
+    def test_single_sample_on_grid_point(self, small_setup):
+        out = SliceAndDiceGridder(small_setup).grid(
+            np.asarray([[16.0, 16.0]]), np.asarray([1.0 + 0j])
+        )
+        assert out[16, 16] == pytest.approx(1.0)
+
+    def test_edge_wrapping_matches_naive(self, small_setup):
+        coords = np.asarray([[0.1, 31.9], [31.5, 0.0], [0.0, 0.0]])
+        vals = np.asarray([1.0 + 0j, 1j, 2.0 + 0j])
+        ref = NaiveGridder(small_setup).grid(coords, vals)
+        out = SliceAndDiceGridder(small_setup).grid(coords, vals)
+        np.testing.assert_allclose(out, ref, rtol=1e-12, atol=1e-12)
+
+    @pytest.mark.parametrize("w", [2, 4, 6, 8])
+    def test_all_window_widths(self, w, rng):
+        lut = KernelLUT(beatty_kernel(w, 2.0), 64)
+        setup = GriddingSetup((32, 32), lut)
+        coords, vals = random_samples(rng, 100, (32, 32))
+        ref = NaiveGridder(setup).grid(coords, vals)
+        out = SliceAndDiceGridder(setup).grid(coords, vals)
+        np.testing.assert_allclose(out, ref, rtol=1e-12, atol=1e-12)
+
+    def test_w_equals_t_boundary(self, rng):
+        """W == T is the limit of the one-point-per-column guarantee."""
+        lut = KernelLUT(beatty_kernel(8, 2.0), 64)
+        setup = GriddingSetup((32, 32), lut)
+        coords, vals = random_samples(rng, 100, (32, 32))
+        ref = NaiveGridder(setup).grid(coords, vals)
+        out = SliceAndDiceGridder(setup, tile_size=8).grid(coords, vals)
+        np.testing.assert_allclose(out, ref, rtol=1e-12, atol=1e-12)
+
+    def test_tile_16(self, small_setup, rng):
+        coords, vals = random_samples(rng, 100, small_setup.grid_shape)
+        ref = NaiveGridder(small_setup).grid(coords, vals)
+        out = SliceAndDiceGridder(small_setup, tile_size=16).grid(coords, vals)
+        np.testing.assert_allclose(out, ref, rtol=1e-12, atol=1e-12)
+
+
+class TestStats:
+    def test_boundary_checks_m_times_columns(self, small_setup, rng):
+        coords, vals = random_samples(rng, 77, small_setup.grid_shape)
+        g = SliceAndDiceGridder(small_setup)
+        g.grid(coords, vals)
+        assert g.stats.boundary_checks == 77 * 64
+
+    def test_no_presort_no_duplicates(self, small_setup, rng):
+        coords, vals = random_samples(rng, 50, small_setup.grid_shape)
+        g = SliceAndDiceGridder(small_setup)
+        g.grid(coords, vals)
+        assert g.stats.presort_operations == 0
+        assert g.stats.samples_processed == 50
+
+    def test_interpolations_exact(self, small_setup, rng):
+        coords, vals = random_samples(rng, 50, small_setup.grid_shape)
+        g = SliceAndDiceGridder(small_setup)
+        g.grid(coords, vals)
+        assert g.stats.interpolations == 50 * 36
+
+    def test_complexity_reduction_vs_output_parallel(self, small_setup):
+        """Checks drop by N^d / T^d (the paper's §III claim)."""
+        g = SliceAndDiceGridder(small_setup)
+        reduction = small_setup.n_grid_points / g.layout.n_columns
+        assert reduction == 16.0
+
+
+class TestAddressTrace:
+    def test_trace_addresses_in_dice_space(self, small_setup, rng):
+        coords, vals = random_samples(rng, 40, small_setup.grid_shape)
+        g = SliceAndDiceGridder(small_setup)
+        trace = g.address_trace(coords)
+        assert trace.size == 40 * 36  # every interpolation touches once
+        assert trace.min() >= 0
+        assert trace.max() < 64 * 16
+
+    def test_trace_is_column_sorted(self, small_setup, rng):
+        """Column-major processing: the column id of the trace is
+        nondecreasing — each worker's accesses are clustered."""
+        coords, vals = random_samples(rng, 40, small_setup.grid_shape)
+        g = SliceAndDiceGridder(small_setup)
+        trace = g.address_trace(coords)
+        col_ids = trace // g.layout.n_tiles
+        assert np.all(np.diff(col_ids) >= 0)
+
+    def test_empty_trace(self, small_setup):
+        g = SliceAndDiceGridder(small_setup)
+        assert g.address_trace(np.zeros((0, 2))).size == 0

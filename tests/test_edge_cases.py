@@ -1,0 +1,154 @@
+"""Edge-case hardening across the gridding/NuFFT stack."""
+
+import numpy as np
+import pytest
+
+from repro.core import SliceAndDiceGridder
+from repro.gridding import (
+    BinningGridder,
+    GriddingSetup,
+    NaiveGridder,
+    SparseMatrixGridder,
+)
+from repro.kernels import KernelLUT, beatty_kernel, KaiserBesselKernel
+from repro.nufft import NufftPlan
+from repro.trajectories import random_trajectory
+
+
+class TestOddWindowWidths:
+    @pytest.mark.parametrize("w", [3, 5, 7])
+    def test_gridders_agree_odd_w(self, w, rng):
+        lut = KernelLUT(KaiserBesselKernel(width=w, beta=2.0 * w), 32)
+        setup = GriddingSetup((32, 32), lut)
+        coords = rng.uniform(0, 32, (100, 2))
+        vals = rng.standard_normal(100) + 1j * rng.standard_normal(100)
+        ref = NaiveGridder(setup).grid(coords, vals)
+        for gridder in (
+            SliceAndDiceGridder(setup, tile_size=8),
+            BinningGridder(setup, tile_size=8),
+            SparseMatrixGridder(setup),
+        ):
+            out = gridder.grid(coords, vals)
+            np.testing.assert_allclose(out, ref, rtol=1e-10, atol=1e-12)
+
+    def test_odd_w_point_count(self, rng):
+        from repro.gridding import window_contributions
+
+        lut = KernelLUT(KaiserBesselKernel(width=5, beta=10.0), 32)
+        setup = GriddingSetup((32, 32), lut)
+        idx, _ = window_contributions(setup, rng.uniform(0, 32, (10, 2)))
+        assert idx.shape[1] == 25
+
+
+class TestRectangularGrids:
+    def test_snd_rectangular(self, rng):
+        lut = KernelLUT(beatty_kernel(4, 2.0), 32)
+        setup = GriddingSetup((16, 32), lut)
+        coords = rng.uniform(0, 1, (80, 2)) * np.asarray([16, 32])
+        vals = rng.standard_normal(80) + 1j * rng.standard_normal(80)
+        ref = NaiveGridder(setup).grid(coords, vals)
+        out = SliceAndDiceGridder(setup, tile_size=8).grid(coords, vals)
+        np.testing.assert_allclose(out, ref, rtol=1e-10, atol=1e-12)
+
+    def test_binning_rectangular(self, rng):
+        lut = KernelLUT(beatty_kernel(4, 2.0), 32)
+        setup = GriddingSetup((16, 32), lut)
+        coords = rng.uniform(0, 1, (80, 2)) * np.asarray([16, 32])
+        vals = rng.standard_normal(80) + 1j * rng.standard_normal(80)
+        ref = NaiveGridder(setup).grid(coords, vals)
+        out = BinningGridder(setup, tile_size=8).grid(coords, vals)
+        np.testing.assert_allclose(out, ref, rtol=1e-10, atol=1e-12)
+
+
+class TestBoundaryCoordinates:
+    def test_coordinates_at_grid_edge(self, small_setup):
+        """Exactly G wraps to 0; just below G stays put."""
+        g = NaiveGridder(small_setup)
+        at_edge = g.grid(np.asarray([[32.0, 32.0]]), np.asarray([1.0 + 0j]))
+        at_zero = g.grid(np.asarray([[0.0, 0.0]]), np.asarray([1.0 + 0j]))
+        np.testing.assert_allclose(at_edge, at_zero, rtol=1e-12)
+
+    def test_negative_coordinates_wrap(self, small_setup):
+        g = NaiveGridder(small_setup)
+        a = g.grid(np.asarray([[-1.5, -0.25]]), np.asarray([1.0 + 0j]))
+        b = g.grid(np.asarray([[30.5, 31.75]]), np.asarray([1.0 + 0j]))
+        np.testing.assert_allclose(a, b, rtol=1e-12)
+
+    def test_snd_agrees_on_wrapped_negatives(self, small_setup):
+        coords = np.asarray([[-1.5, -0.25], [-31.0, 63.9]])
+        vals = np.asarray([1.0 + 0j, 2.0 - 1j])
+        ref = NaiveGridder(small_setup).grid(coords, vals)
+        out = SliceAndDiceGridder(small_setup).grid(coords, vals)
+        np.testing.assert_allclose(out, ref, rtol=1e-10, atol=1e-12)
+
+
+class TestDegenerateTables:
+    def test_lut_oversampling_one(self, rng):
+        """L = 1: positions snap to integer grid offsets — coarse but
+        must stay a consistent linear operator across gridders."""
+        lut = KernelLUT(beatty_kernel(4, 2.0), 1)
+        setup = GriddingSetup((16, 16), lut)
+        coords = rng.uniform(0, 16, (40, 2))
+        vals = rng.standard_normal(40) + 1j * rng.standard_normal(40)
+        ref = NaiveGridder(setup).grid(coords, vals)
+        out = SliceAndDiceGridder(setup, tile_size=8).grid(coords, vals)
+        np.testing.assert_allclose(out, ref, rtol=1e-10, atol=1e-12)
+
+    def test_width_one_kernel(self, rng):
+        """W = 1: nearest-neighbor gridding."""
+        from repro.kernels.window import BSplineKernel
+
+        lut = KernelLUT(BSplineKernel(width=1), 16)
+        setup = GriddingSetup((16, 16), lut)
+        coords = rng.uniform(0, 16, (30, 2))
+        vals = rng.standard_normal(30) + 1j * rng.standard_normal(30)
+        grid = NaiveGridder(setup).grid(coords, vals)
+        # each sample lands on exactly one point with weight 0 or 1
+        assert np.count_nonzero(grid) <= 30
+
+
+class TestSingleSampleProblems:
+    def test_one_sample_nufft(self):
+        plan = NufftPlan((16, 16), np.asarray([[0.13, -0.21]]), width=4)
+        img = plan.adjoint(np.asarray([1.0 + 0j]))
+        assert img.shape == (16, 16)
+        # adjoint of one unit sample: |image| ~ 1 everywhere
+        np.testing.assert_allclose(np.abs(img), 1.0, rtol=5e-2)
+
+    def test_duplicate_samples_superpose(self, small_setup):
+        g = SliceAndDiceGridder(small_setup)
+        coords = np.asarray([[10.3, 20.7]])
+        one = g.grid(coords, np.asarray([1.0 + 1j]))
+        two = g.grid(np.repeat(coords, 2, axis=0), np.asarray([0.5 + 0.5j] * 2))
+        np.testing.assert_allclose(two, one, rtol=1e-12)
+
+
+class TestLargeValues:
+    def test_extreme_magnitudes(self, small_setup, rng):
+        coords = rng.uniform(0, 32, (20, 2))
+        vals = (rng.standard_normal(20) + 1j * rng.standard_normal(20)) * 1e12
+        a = NaiveGridder(small_setup).grid(coords, vals)
+        b = SliceAndDiceGridder(small_setup).grid(coords, vals)
+        np.testing.assert_allclose(a, b, rtol=1e-10)
+
+    def test_tiny_magnitudes(self, small_setup, rng):
+        coords = rng.uniform(0, 32, (20, 2))
+        vals = (rng.standard_normal(20) + 1j * rng.standard_normal(20)) * 1e-12
+        a = NaiveGridder(small_setup).grid(coords, vals)
+        b = SliceAndDiceGridder(small_setup).grid(coords, vals)
+        np.testing.assert_allclose(a, b, rtol=1e-10)
+
+    def test_jigsaw_autoscale_handles_huge_values(self):
+        from repro.jigsaw import JigsawConfig, JigsawSimulator
+
+        cfg = JigsawConfig(grid_dim=32, window_width=4, table_oversampling=16)
+        sim = JigsawSimulator(cfg)
+        rng = np.random.default_rng(0)
+        coords = rng.uniform(0, 32, (100, 2))
+        vals = (rng.standard_normal(100) + 1j * rng.standard_normal(100)) * 1e9
+        res = sim.grid_2d(coords, vals)
+        assert res.saturation_events == 0
+        ref = NaiveGridder(
+            GriddingSetup((32, 32), KernelLUT(beatty_kernel(4, 2.0), 16))
+        ).grid(coords, vals)
+        assert np.linalg.norm(res.grid - ref) / np.linalg.norm(ref) < 5e-3

@@ -1,0 +1,44 @@
+"""Smoke tests: every example script must run to completion.
+
+Runs each example as a subprocess from the ``examples/`` directory (the
+scripts import a local ``_util`` helper) and checks for a zero exit and
+its signature output line.  Set ``REPRO_SKIP_EXAMPLE_TESTS=1`` to skip
+(e.g. in quick local iterations); the full scripts total ~1 minute.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+CASES = [
+    ("quickstart.py", "Reconstructed image"),
+    ("gridding_comparison.py", "Equivalence check"),
+    ("trajectory_gallery.py", "Trajectory statistics"),
+    ("jigsaw_hardware_sim.py", "bit-identical"),
+    ("volume_3d.py", "NRMSD"),
+    ("mri_reconstruction.py", "Toeplitz"),
+    ("multicoil_sense.py", "CG-SENSE"),
+    ("paper_figures.py", "report written"),
+]
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_SKIP_EXAMPLE_TESTS") == "1",
+    reason="example smoke tests disabled via REPRO_SKIP_EXAMPLE_TESTS",
+)
+
+
+@pytest.mark.parametrize("script,marker", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, marker):
+    proc = subprocess.run(
+        [sys.executable, script],
+        cwd=EXAMPLES_DIR,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, f"{script} failed:\n{proc.stderr[-2000:]}"
+    assert marker in proc.stdout, f"{script} output missing {marker!r}"

@@ -1,0 +1,97 @@
+"""Unit tests for complex fixed point and Knuth's 3-mult product."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import (
+    FixedComplexArray,
+    QFormat,
+    complex_to_fixed,
+    fixed_to_complex,
+    knuth_complex_multiply,
+)
+
+Q14 = QFormat(1, 14)
+ACC = QFormat(17, 14)
+
+
+class TestFixedComplexArray:
+    def test_roundtrip(self, rng=np.random.default_rng(1)):
+        z = rng.standard_normal(50) * 0.5 + 1j * rng.standard_normal(50) * 0.5
+        arr = complex_to_fixed(z, Q14)
+        back = arr.to_complex()
+        assert np.max(np.abs(back - z)) <= Q14.resolution
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            FixedComplexArray(np.zeros(3), np.zeros(4), Q14)
+
+    def test_len(self):
+        arr = complex_to_fixed(np.zeros(7, dtype=complex), Q14)
+        assert len(arr) == 7
+
+    def test_shape(self):
+        arr = complex_to_fixed(np.zeros(5, dtype=complex), Q14)
+        assert arr.shape == (5,)
+
+    def test_fixed_to_complex_matches(self):
+        re = np.asarray([Q14.quantize(0.5)])
+        im = np.asarray([Q14.quantize(-0.25)])
+        z = fixed_to_complex(re, im, Q14)
+        assert z[0] == pytest.approx(0.5 - 0.25j)
+
+
+class TestKnuthMultiply:
+    def _knuth(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        re, im = knuth_complex_multiply(
+            np.atleast_1d(Q14.quantize(a.real)),
+            np.atleast_1d(Q14.quantize(a.imag)),
+            np.atleast_1d(Q14.quantize(b.real)),
+            np.atleast_1d(Q14.quantize(b.imag)),
+            ACC,
+            Q14.frac_bits,
+        )
+        return np.asarray(ACC.dequantize(re)) + 1j * np.asarray(ACC.dequantize(im))
+
+    def test_matches_float_product(self, rng=np.random.default_rng(2)):
+        a = (rng.standard_normal(200) + 1j * rng.standard_normal(200)) * 0.5
+        b = (rng.standard_normal(200) + 1j * rng.standard_normal(200)) * 0.5
+        got = self._knuth(a, b)
+        # quantization of inputs dominates; bound by 3 LSB worth of error
+        assert np.max(np.abs(got - a * b)) < 4 * Q14.resolution
+
+    def test_unit_times_unit(self):
+        one = np.asarray([1.0 + 0j])
+        assert self._knuth(one, one)[0] == pytest.approx(1.0, abs=1e-3)
+
+    def test_i_squared_is_minus_one(self):
+        i = np.asarray([1j])
+        assert self._knuth(i, i)[0] == pytest.approx(-1.0, abs=1e-3)
+
+    def test_real_by_real_stays_real(self):
+        a = np.asarray([0.75 + 0j])
+        b = np.asarray([0.5 + 0j])
+        out = self._knuth(a, b)
+        assert out[0].imag == 0.0
+        assert out[0].real == pytest.approx(0.375, abs=1e-3)
+
+    def test_exact_identity_vs_schoolbook(self, rng=np.random.default_rng(3)):
+        """Knuth's identity equals (ac - bd) + i(ad + bc) exactly on the
+        wide integer products, before renormalization."""
+        a_re = rng.integers(-1000, 1000, 100)
+        a_im = rng.integers(-1000, 1000, 100)
+        b_re = rng.integers(-1000, 1000, 100)
+        b_im = rng.integers(-1000, 1000, 100)
+        wide = QFormat(40, 0)  # no shift: raw integer result
+        re, im = knuth_complex_multiply(a_re, a_im, b_re, b_im, wide, 0)
+        np.testing.assert_array_equal(re, a_re * b_re - a_im * b_im)
+        np.testing.assert_array_equal(im, a_re * b_im + a_im * b_re)
+
+    def test_output_format_saturation(self):
+        tight = QFormat(1, 4)
+        re, im = knuth_complex_multiply(
+            np.asarray([1000]), np.asarray([0]),
+            np.asarray([1000]), np.asarray([0]),
+            tight, 4,
+        )
+        assert re[0] == tight.max_code

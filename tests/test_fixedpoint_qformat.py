@@ -1,0 +1,148 @@
+"""Unit tests for the Q-format fixed-point substrate."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import QFormat, RoundingMode, OverflowMode
+
+
+class TestFormatMetadata:
+    def test_total_bits(self):
+        assert QFormat(1, 14).total_bits == 16
+
+    def test_scale(self):
+        assert QFormat(1, 14).scale == 16384
+
+    def test_max_code_q1_14(self):
+        assert QFormat(1, 14).max_code == 32767
+
+    def test_min_code_q1_14(self):
+        assert QFormat(1, 14).min_code == -32768
+
+    def test_max_value(self):
+        q = QFormat(1, 14)
+        assert q.max_value == pytest.approx(32767 / 16384)
+
+    def test_resolution(self):
+        assert QFormat(3, 4).resolution == pytest.approx(1 / 16)
+
+    @pytest.mark.parametrize(
+        "int_bits,frac_bits,dtype",
+        [(1, 6, np.int8), (1, 14, np.int16), (17, 14, np.int32), (30, 30, np.int64)],
+    )
+    def test_dtype_selection(self, int_bits, frac_bits, dtype):
+        assert QFormat(int_bits, frac_bits).dtype == np.dtype(dtype)
+
+    def test_str(self):
+        assert str(QFormat(1, 14)) == "Q1.14"
+
+    def test_rejects_negative_int_bits(self):
+        with pytest.raises(ValueError, match="int_bits"):
+            QFormat(-1, 4)
+
+    def test_rejects_negative_frac_bits(self):
+        with pytest.raises(ValueError, match="frac_bits"):
+            QFormat(1, -4)
+
+    def test_rejects_too_wide(self):
+        with pytest.raises(ValueError, match="64"):
+            QFormat(40, 40)
+
+
+class TestQuantize:
+    def test_scalar_roundtrip(self):
+        q = QFormat(1, 14)
+        assert q.dequantize(q.quantize(0.5)) == 0.5
+
+    def test_scalar_returns_int(self):
+        assert isinstance(QFormat(1, 14).quantize(0.25), int)
+
+    def test_array_roundtrip_within_half_lsb(self, rng=np.random.default_rng(0)):
+        q = QFormat(3, 10)
+        x = rng.uniform(-7, 7, 100)
+        err = np.abs(np.asarray(q.dequantize(q.quantize(x))) - x)
+        assert np.all(err <= q.quantization_error_bound() + 1e-12)
+
+    def test_nearest_rounds_half_away_from_zero(self):
+        q = QFormat(7, 0, rounding=RoundingMode.NEAREST)
+        assert q.quantize(0.5) == 1
+        assert q.quantize(-0.5) == -1
+
+    def test_truncate_rounds_toward_neg_inf(self):
+        q = QFormat(7, 0, rounding=RoundingMode.TRUNCATE)
+        assert q.quantize(0.9) == 0
+        assert q.quantize(-0.1) == -1
+
+    def test_nearest_even_ties(self):
+        q = QFormat(7, 0, rounding=RoundingMode.NEAREST_EVEN)
+        assert q.quantize(0.5) == 0
+        assert q.quantize(1.5) == 2
+
+    def test_saturates_positive(self):
+        q = QFormat(1, 14)
+        assert q.quantize(100.0) == q.max_code
+
+    def test_saturates_negative(self):
+        q = QFormat(1, 14)
+        assert q.quantize(-100.0) == q.min_code
+
+    def test_raise_mode(self):
+        q = QFormat(1, 14, overflow=OverflowMode.RAISE)
+        with pytest.raises(OverflowError):
+            q.quantize(10.0)
+
+    def test_wrap_mode(self):
+        q = QFormat(1, 0, overflow=OverflowMode.WRAP)
+        # code 2 wraps to -2 in a 2-bit signed word
+        assert q.clamp(np.asarray([2]))[0] == -2
+
+    def test_zero(self):
+        assert QFormat(1, 14).quantize(0.0) == 0
+
+
+class TestArithmetic:
+    def test_add_plain(self):
+        q = QFormat(7, 8)
+        a, b = q.quantize(1.5), q.quantize(2.25)
+        assert q.dequantize(q.add(a, b)) == pytest.approx(3.75)
+
+    def test_add_saturates(self):
+        q = QFormat(1, 6)
+        top = q.max_code
+        assert q.add(np.asarray([top]), np.asarray([top]))[0] == top
+
+    def test_multiply_exact_halves(self):
+        q = QFormat(3, 12)
+        a = q.quantize(0.5)
+        b = q.quantize(0.25)
+        assert q.dequantize(q.multiply(a, b)) == pytest.approx(0.125)
+
+    def test_multiply_cross_format(self):
+        qa = QFormat(17, 14)
+        qb = QFormat(1, 14)
+        a = qa.quantize(3.0)
+        b = qb.quantize(0.5)
+        out = qa.multiply(a, b, b_format=qb)
+        assert qa.dequantize(out) == pytest.approx(1.5)
+
+    @pytest.mark.parametrize("mode", list(RoundingMode))
+    def test_shift_round_matches_quantize_semantics(self, mode):
+        q = QFormat(7, 4, rounding=mode)
+        # multiplying by one (in Q1.4: code 16) must be identity
+        codes = np.arange(-100, 101)
+        out = q.multiply(codes, np.asarray(16), b_format=QFormat(1, 4, rounding=mode))
+        np.testing.assert_array_equal(out, codes)
+
+    def test_multiply_negative_rounding_symmetry(self):
+        q = QFormat(7, 4, rounding=RoundingMode.NEAREST)
+        pos = q.multiply(np.asarray([5]), np.asarray([8]), b_format=QFormat(1, 4))
+        neg = q.multiply(np.asarray([-5]), np.asarray([8]), b_format=QFormat(1, 4))
+        assert pos[0] == -neg[0]
+
+    def test_quantization_error_bound_nearest(self):
+        q = QFormat(1, 8)
+        assert q.quantization_error_bound() == pytest.approx(q.resolution / 2)
+
+    def test_quantization_error_bound_truncate(self):
+        q = QFormat(1, 8, rounding=RoundingMode.TRUNCATE)
+        assert q.quantization_error_bound() == pytest.approx(q.resolution)

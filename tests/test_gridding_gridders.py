@@ -1,0 +1,173 @@
+"""Unit tests for the individual baseline gridders."""
+
+import numpy as np
+import pytest
+
+from repro.gridding import (
+    BinningGridder,
+    GriddingSetup,
+    NaiveGridder,
+    OutputParallelGridder,
+    make_gridder,
+    available_gridders,
+)
+from repro.kernels import KernelLUT, beatty_kernel
+from tests.conftest import random_samples
+
+
+class TestNaive:
+    def test_loop_equals_vectorized(self, small_setup, rng):
+        coords, vals = random_samples(rng, 30, small_setup.grid_shape)
+        loop = NaiveGridder(small_setup, engine="loop").grid(coords, vals)
+        vec = NaiveGridder(small_setup, engine="vectorized").grid(coords, vals)
+        np.testing.assert_allclose(loop, vec, rtol=1e-12, atol=1e-12)
+
+    def test_rejects_unknown_engine(self, small_setup):
+        with pytest.raises(ValueError, match="engine"):
+            NaiveGridder(small_setup, engine="gpu")
+
+    def test_stats(self, small_setup, rng):
+        coords, vals = random_samples(rng, 25, small_setup.grid_shape)
+        g = NaiveGridder(small_setup)
+        g.grid(coords, vals)
+        assert g.stats.boundary_checks == 25 * 36
+        assert g.stats.interpolations == 25 * 36
+        assert g.stats.samples_processed == 25
+        assert g.stats.presort_operations == 0
+
+    def test_empty_input(self, small_setup):
+        g = NaiveGridder(small_setup)
+        out = g.grid(np.zeros((0, 2)), np.zeros(0, dtype=complex))
+        assert np.all(out == 0)
+
+    def test_value_count_mismatch(self, small_setup):
+        with pytest.raises(ValueError, match="values"):
+            NaiveGridder(small_setup).grid(np.zeros((3, 2)), np.zeros(2, dtype=complex))
+
+    def test_linearity(self, small_setup, rng):
+        coords, vals = random_samples(rng, 20, small_setup.grid_shape)
+        g = NaiveGridder(small_setup)
+        a = g.grid(coords, vals)
+        b = g.grid(coords, 2.5 * vals)
+        np.testing.assert_allclose(b, 2.5 * a, rtol=1e-12)
+
+    def test_mass_conservation(self, small_setup):
+        """Total gridded mass equals value x sum of kernel weights."""
+        coords = np.asarray([[13.3, 7.9]])
+        g = NaiveGridder(small_setup)
+        out = g.grid(coords, np.asarray([1.0 + 0j]))
+        from repro.gridding import window_contributions
+
+        _, wgt = window_contributions(small_setup, coords)
+        assert out.sum() == pytest.approx(wgt.sum(), rel=1e-12)
+
+
+class TestOutputParallel:
+    def test_check_count_is_m_times_grid(self, tiny_setup, rng):
+        coords, vals = random_samples(rng, 10, tiny_setup.grid_shape)
+        g = OutputParallelGridder(tiny_setup)
+        g.grid(coords, vals)
+        assert g.stats.boundary_checks == 10 * 256
+
+    def test_interpolations_match_naive(self, tiny_setup, rng):
+        coords, vals = random_samples(rng, 10, tiny_setup.grid_shape)
+        g = OutputParallelGridder(tiny_setup)
+        g.grid(coords, vals)
+        assert g.stats.interpolations == 10 * 16
+
+    def test_refuses_huge_problems(self):
+        lut = KernelLUT(beatty_kernel(6, 2.0), 32)
+        setup = GriddingSetup((2048, 2048), lut)
+        g = OutputParallelGridder(setup)
+        with pytest.raises(ValueError, match="boundary"):
+            g.grid(np.zeros((1000, 2)), np.zeros(1000, dtype=complex))
+
+
+class TestBinning:
+    def test_rejects_tile_smaller_than_window(self, small_setup):
+        with pytest.raises(ValueError, match="smaller than window"):
+            BinningGridder(small_setup, tile_size=4)
+
+    def test_rejects_non_dividing_tile(self, small_setup):
+        with pytest.raises(ValueError, match="divide"):
+            BinningGridder(small_setup, tile_size=7)
+
+    def test_tile_count(self, small_setup):
+        g = BinningGridder(small_setup, tile_size=8)
+        assert g.n_tiles == 16
+        assert g.tiles_per_axis == (4, 4)
+
+    def test_duplicates_counted(self, small_setup):
+        """A sample whose window straddles a tile boundary lands in two
+        bins per straddled axis."""
+        g = BinningGridder(small_setup, tile_size=8)
+        # straddles the x = 8 tile edge only
+        frac = g.duplicate_fraction(np.asarray([[8.0, 4.0]]))
+        assert frac == pytest.approx(1.0)
+        # straddles both axes: 4 bins
+        frac = g.duplicate_fraction(np.asarray([[8.0, 8.0]]))
+        assert frac == pytest.approx(3.0)
+        # interior: 1 bin
+        frac = g.duplicate_fraction(np.asarray([[4.0, 4.0]]))
+        assert frac == pytest.approx(0.0)
+
+    def test_presort_nonzero(self, small_setup, rng):
+        coords, vals = random_samples(rng, 40, small_setup.grid_shape)
+        g = BinningGridder(small_setup, tile_size=8)
+        g.grid(coords, vals)
+        assert g.stats.presort_operations > 0
+
+    def test_processed_includes_duplicates(self, small_setup, rng):
+        coords, vals = random_samples(rng, 64, small_setup.grid_shape)
+        g = BinningGridder(small_setup, tile_size=8)
+        g.grid(coords, vals)
+        assert g.stats.samples_processed >= 64
+
+    def test_interpolations_exact(self, small_setup, rng):
+        coords, vals = random_samples(rng, 64, small_setup.grid_shape)
+        g = BinningGridder(small_setup, tile_size=8)
+        g.grid(coords, vals)
+        assert g.stats.interpolations == 64 * 36
+
+    def test_boundary_checks_are_bin_times_tile(self, small_setup, rng):
+        coords, vals = random_samples(rng, 30, small_setup.grid_shape)
+        g = BinningGridder(small_setup, tile_size=8)
+        g.grid(coords, vals)
+        assert g.stats.boundary_checks == g.stats.samples_processed * 64
+
+    def test_wrap_assignment(self, small_setup):
+        """A sample near the grid origin must land in bins of the first
+        and last tiles (torus)."""
+        g = BinningGridder(small_setup, tile_size=8)
+        tiles, samples, _ = g.assign_bins(np.asarray([[0.5, 0.5]]))
+        assert len(tiles) == 4  # wraps in both axes
+        assert 0 in tiles  # tile (0, 0)
+        assert 15 in tiles  # tile (3, 3)
+
+    def test_chunking_invariance(self, small_setup, rng, monkeypatch):
+        import repro.gridding.binning as binning
+
+        coords, vals = random_samples(rng, 60, small_setup.grid_shape)
+        full = BinningGridder(small_setup, tile_size=8).grid(coords, vals)
+        monkeypatch.setattr(binning, "_CHUNK", 3)
+        small = BinningGridder(small_setup, tile_size=8).grid(coords, vals)
+        np.testing.assert_allclose(full, small, rtol=1e-12)
+
+
+class TestRegistry:
+    def test_available(self):
+        names = available_gridders()
+        assert set(names) >= {"naive", "output_parallel", "binning", "slice_and_dice"}
+
+    def test_make_unknown(self, small_setup):
+        with pytest.raises(ValueError, match="unknown gridder"):
+            make_gridder("fancy", small_setup)
+
+    @pytest.mark.parametrize("name", ["naive", "binning", "slice_and_dice"])
+    def test_make_each(self, small_setup, name):
+        g = make_gridder(name, small_setup)
+        assert g.name == name
+
+    def test_make_with_options(self, small_setup):
+        g = make_gridder("binning", small_setup, tile_size=16)
+        assert g.tile_size == 16

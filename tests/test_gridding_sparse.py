@@ -1,0 +1,105 @@
+"""Unit tests for the sparse-matrix gridder (MIRT's matrix mode)."""
+
+import numpy as np
+import pytest
+
+from repro.gridding import (
+    GriddingSetup,
+    NaiveGridder,
+    SparseMatrixGridder,
+    make_gridder,
+)
+from repro.kernels import KernelLUT, beatty_kernel
+from tests.conftest import random_samples
+
+
+class TestCorrectness:
+    def test_matches_naive(self, small_setup, rng):
+        coords, vals = random_samples(rng, 200, small_setup.grid_shape)
+        ref = NaiveGridder(small_setup).grid(coords, vals)
+        out = SparseMatrixGridder(small_setup).grid(coords, vals)
+        np.testing.assert_allclose(out, ref, rtol=1e-12, atol=1e-12)
+
+    def test_interp_matches_base(self, small_setup, rng):
+        coords, vals = random_samples(rng, 100, small_setup.grid_shape)
+        grid = rng.standard_normal(small_setup.grid_shape) + 1j * rng.standard_normal(
+            small_setup.grid_shape
+        )
+        ref = NaiveGridder(small_setup).interp(grid, coords)
+        out = SparseMatrixGridder(small_setup).interp(grid, coords)
+        np.testing.assert_allclose(out, ref, rtol=1e-12, atol=1e-12)
+
+    def test_adjoint_pair_exact(self, small_setup, rng):
+        coords, vals = random_samples(rng, 80, small_setup.grid_shape)
+        g = SparseMatrixGridder(small_setup)
+        x = rng.standard_normal(small_setup.grid_shape) + 1j * rng.standard_normal(
+            small_setup.grid_shape
+        )
+        lhs = np.vdot(x, g.grid(coords, vals))
+        rhs = np.vdot(g.interp(x, coords), vals)
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_wrapping(self, small_setup):
+        coords = np.asarray([[0.0, 0.0], [31.9, 31.9]])
+        vals = np.ones(2, dtype=complex)
+        ref = NaiveGridder(small_setup).grid(coords, vals)
+        out = SparseMatrixGridder(small_setup).grid(coords, vals)
+        np.testing.assert_allclose(out, ref, rtol=1e-12, atol=1e-12)
+
+
+class TestCaching:
+    def test_matrix_reused_for_same_coords(self, small_setup, rng):
+        coords, vals = random_samples(rng, 60, small_setup.grid_shape)
+        g = SparseMatrixGridder(small_setup)
+        g.grid(coords, vals)
+        assert g.stats.presort_operations > 0  # built
+        g.grid(coords, 2 * vals)
+        assert g.stats.presort_operations == 0  # reused
+
+    def test_matrix_rebuilt_for_new_coords(self, small_setup, rng):
+        coords, vals = random_samples(rng, 60, small_setup.grid_shape)
+        g = SparseMatrixGridder(small_setup)
+        g.grid(coords, vals)
+        coords2, _ = random_samples(rng, 60, small_setup.grid_shape)
+        g.grid(coords2, vals)
+        assert g.stats.presort_operations > 0
+
+    def test_interp_uses_cached_matrix(self, small_setup, rng):
+        coords, vals = random_samples(rng, 60, small_setup.grid_shape)
+        g = SparseMatrixGridder(small_setup)
+        g.grid(coords, vals)
+        g.interp(np.zeros(small_setup.grid_shape, dtype=complex), coords)
+        assert g.stats.presort_operations == 0
+
+    def test_matrix_nbytes(self, small_setup, rng):
+        g = SparseMatrixGridder(small_setup)
+        assert g.matrix_nbytes == 0
+        coords, vals = random_samples(rng, 60, small_setup.grid_shape)
+        g.grid(coords, vals)
+        # ~ M * W^2 * (8B data + 4B index) + indptr
+        assert g.matrix_nbytes > 60 * 36 * 12 * 0.9
+
+
+class TestStats:
+    def test_no_boundary_checks(self, small_setup, rng):
+        coords, vals = random_samples(rng, 50, small_setup.grid_shape)
+        g = SparseMatrixGridder(small_setup)
+        g.grid(coords, vals)
+        assert g.stats.boundary_checks == 0
+        assert g.stats.interpolations == pytest.approx(50 * 36, abs=36)
+
+    def test_registered(self, small_setup):
+        g = make_gridder("sparse_matrix", small_setup)
+        assert isinstance(g, SparseMatrixGridder)
+
+
+class TestMemoryGrowth:
+    def test_footprint_grows_with_m(self, small_setup, rng):
+        """The §II.A scaling point: matrix storage ~ M * W^d."""
+        sizes = []
+        for m in (100, 400):
+            g = SparseMatrixGridder(small_setup)
+            coords, vals = random_samples(rng, m, small_setup.grid_shape)
+            g.grid(coords, vals)
+            sizes.append(g.matrix_nbytes)
+        assert sizes[1] == pytest.approx(4 * sizes[0], rel=0.1)

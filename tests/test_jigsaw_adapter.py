@@ -1,0 +1,89 @@
+"""Unit tests for the JIGSAW NuFFT-backend adapter."""
+
+import numpy as np
+import pytest
+
+from repro.gridding import GriddingSetup, NaiveGridder
+from repro.jigsaw import JigsawConfig, JigsawGridder
+from repro.kernels import KernelLUT, beatty_kernel
+from repro.nufft import NufftPlan
+from repro.trajectories import random_trajectory
+
+
+@pytest.fixture
+def setup():
+    return GriddingSetup((64, 64), KernelLUT(beatty_kernel(6, 2.0), 32))
+
+
+class TestAdapter:
+    def test_matches_reference_gridding(self, setup, rng):
+        coords = rng.uniform(0, 64, (400, 2))
+        vals = rng.standard_normal(400) + 1j * rng.standard_normal(400)
+        hw = JigsawGridder(setup).grid(coords, vals)
+        ref = NaiveGridder(setup).grid(coords, vals)
+        assert np.linalg.norm(hw - ref) / np.linalg.norm(ref) < 2e-3
+
+    def test_stats_filled(self, setup, rng):
+        coords = rng.uniform(0, 64, (100, 2))
+        g = JigsawGridder(setup)
+        g.grid(coords, np.ones(100, dtype=complex))
+        assert g.stats.boundary_checks == 100 * 64
+        assert g.stats.interpolations == 100 * 36
+        assert g.stats.presort_operations == 0
+
+    def test_cycles_and_energy(self, setup, rng):
+        coords = rng.uniform(0, 64, (250, 2))
+        g = JigsawGridder(setup)
+        g.grid(coords, np.ones(250, dtype=complex))
+        assert g.last_cycles == 262
+        assert g.last_energy_joules > 0
+
+    def test_cycles_before_run_raises(self, setup):
+        g = JigsawGridder(setup)
+        with pytest.raises(RuntimeError, match="no gridding pass"):
+            g.last_cycles
+        with pytest.raises(RuntimeError, match="no gridding pass"):
+            g.last_energy_joules
+
+    def test_rejects_non_square(self):
+        setup = GriddingSetup((32, 64), KernelLUT(beatty_kernel(6, 2.0), 32))
+        with pytest.raises(ValueError, match="square"):
+            JigsawGridder(setup)
+
+    def test_rejects_mismatched_config(self, setup):
+        with pytest.raises(ValueError, match="grid_dim"):
+            JigsawGridder(
+                setup, JigsawConfig(grid_dim=128, window_width=6, table_oversampling=32)
+            )
+        with pytest.raises(ValueError, match="window"):
+            JigsawGridder(
+                setup, JigsawConfig(grid_dim=64, window_width=4, table_oversampling=32)
+            )
+
+    def test_for_problem_constructor(self):
+        g = JigsawGridder.for_problem(64, KernelLUT(beatty_kernel(6, 2.0), 32))
+        assert g.config.grid_dim == 64
+
+    def test_interp_falls_back_to_software(self, setup, rng):
+        coords = rng.uniform(0, 64, (50, 2))
+        grid = rng.standard_normal((64, 64)) + 1j * rng.standard_normal((64, 64))
+        hw = JigsawGridder(setup).interp(grid, coords)
+        ref = NaiveGridder(setup).interp(grid, coords)
+        np.testing.assert_allclose(hw, ref, rtol=1e-12)
+
+
+class TestHardwareInTheLoopNufft:
+    def test_full_plan(self, rng):
+        from repro.nudft import nudft_adjoint
+
+        coords = random_trajectory(300, 2, rng=3)
+        setup = GriddingSetup((64, 64), KernelLUT(beatty_kernel(6, 2.0), 32))
+        plan = NufftPlan(
+            (32, 32), coords, width=6, table_oversampling=32,
+            gridder=JigsawGridder(setup),
+        )
+        vals = rng.standard_normal(300) + 1j * rng.standard_normal(300)
+        img = plan.adjoint(vals)
+        ref = nudft_adjoint(vals, coords, (32, 32))
+        # L=32 coordinate quantization dominates (same as software at L=32)
+        assert np.linalg.norm(img - ref) / np.linalg.norm(ref) < 0.05

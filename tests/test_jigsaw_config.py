@@ -1,0 +1,102 @@
+"""Unit tests for the JIGSAW configuration (Table I validation)."""
+
+import pytest
+
+from repro.jigsaw import JigsawConfig
+
+
+class TestTableIRanges:
+    @pytest.mark.parametrize("n", [8, 64, 256, 1024])
+    def test_valid_grid_dims(self, n):
+        assert JigsawConfig(grid_dim=n).grid_dim == n
+
+    @pytest.mark.parametrize("n", [4, 2048])
+    def test_invalid_grid_dims(self, n):
+        with pytest.raises(ValueError, match="grid_dim"):
+            JigsawConfig(grid_dim=n)
+
+    @pytest.mark.parametrize("w", [1, 4, 6, 8])
+    def test_valid_window(self, w):
+        assert JigsawConfig(window_width=w).window_width == w
+
+    @pytest.mark.parametrize("w", [0, 9])
+    def test_invalid_window(self, w):
+        with pytest.raises(ValueError, match="window_width"):
+            JigsawConfig(window_width=w)
+
+    @pytest.mark.parametrize("ell", [1, 2, 16, 64])
+    def test_valid_table_oversampling(self, ell):
+        assert JigsawConfig(table_oversampling=ell).table_oversampling == ell
+
+    def test_table_oversampling_above_64(self):
+        with pytest.raises(ValueError, match="table_oversampling"):
+            JigsawConfig(table_oversampling=128)
+
+    def test_table_oversampling_non_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            JigsawConfig(table_oversampling=24)
+
+    def test_w_greater_than_t_rejected(self):
+        with pytest.raises(ValueError, match="W <= T"):
+            JigsawConfig(window_width=8, tile_dim=4)
+
+    def test_grid_not_multiple_of_tile(self):
+        with pytest.raises(ValueError, match="divide"):
+            JigsawConfig(grid_dim=100)
+
+    def test_weight_sram_capacity_enforced(self):
+        """W=8 at L=64 exactly fills the 256-entry half-table; any
+        config needing more must be rejected."""
+        cfg = JigsawConfig(window_width=8, table_oversampling=64)
+        assert cfg.half_table_entries == 257  # 256 stored + wired center
+        with pytest.raises(ValueError, match="weight SRAM"):
+            JigsawConfig(
+                window_width=8, table_oversampling=64, weight_sram_entries=128
+            )
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError, match="variant"):
+            JigsawConfig(variant="4d")
+
+
+class TestDerivedProperties:
+    def test_pipeline_count_is_t_squared(self):
+        assert JigsawConfig(tile_dim=8).n_pipelines == 64
+
+    def test_pipeline_depths(self):
+        assert JigsawConfig(variant="2d").pipeline_depth == 12
+        assert JigsawConfig(variant="3d_slice").pipeline_depth == 15
+
+    def test_accumulator_sram_is_8mb_at_1024(self):
+        cfg = JigsawConfig(grid_dim=1024)
+        assert cfg.accumulator_sram_bytes == 8 * 1024 * 1024
+
+    def test_tiles(self):
+        cfg = JigsawConfig(grid_dim=64)
+        assert cfg.tiles_per_axis == 8
+        assert cfg.n_tiles == 64
+        assert cfg.accumulator_words_per_pipeline == 64
+
+    def test_frac_bits(self):
+        assert JigsawConfig(table_oversampling=32).frac_bits == 5
+        assert JigsawConfig(table_oversampling=1).frac_bits == 0
+
+    def test_weight_sram_bytes(self):
+        assert JigsawConfig().weight_sram_bytes == 1024
+
+    def test_formats_are_16_16_32(self):
+        cfg = JigsawConfig()
+        assert cfg.weight_format.total_bits == 16
+        assert cfg.value_format.total_bits == 16
+        assert cfg.accumulator_format.total_bits == 32
+
+    def test_3d_validation(self):
+        with pytest.raises(ValueError, match="grid_dim_z"):
+            JigsawConfig(variant="3d_slice", grid_dim_z=0)
+        with pytest.raises(ValueError, match="window_width_z"):
+            JigsawConfig(variant="3d_slice", window_width_z=9)
+
+    def test_frozen(self):
+        cfg = JigsawConfig()
+        with pytest.raises(Exception):
+            cfg.grid_dim = 512

@@ -1,0 +1,95 @@
+"""Unit tests for the related-work FPGA accelerator models (§VII.C)."""
+
+import numpy as np
+import pytest
+
+from repro.jigsaw import (
+    TiledAcceleratorModel,
+    fifo_binning_cycles,
+    jigsaw_reference_cycles,
+    linked_list_binning_cycles,
+)
+from repro.trajectories import golden_angle_radial, random_trajectory
+
+
+@pytest.fixture
+def streams():
+    g, m = 256, 2000
+    ordered = np.mod(golden_angle_radial(m // 128, 128), 1.0)[:m] * g
+    rng = np.random.default_rng(0)
+    shuffled = ordered[rng.permutation(ordered.shape[0])]
+    return g, ordered, shuffled
+
+
+class TestTiledModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TiledAcceleratorModel(tile_size=0)
+        model = TiledAcceleratorModel()
+        with pytest.raises(ValueError, match="divide"):
+            model.run(np.zeros((1, 2)), 100)
+        with pytest.raises(ValueError, match=r"\(M, 2\)"):
+            model.run(np.zeros((1, 3)), 256)
+
+    def test_single_tile_stream_no_extra_switches(self):
+        """All samples in one interior tile: exactly one switch."""
+        model = TiledAcceleratorModel()
+        coords = np.full((50, 2), 48.0) + np.random.default_rng(1).uniform(
+            0, 4, (50, 2)
+        )
+        stats = model.run(coords, 256)
+        assert stats.tile_switches == 1
+
+    def test_switch_cost_visible(self):
+        """Alternating between far-apart tiles with a single buffer
+        pays the switch penalty every sample."""
+        model = TiledAcceleratorModel(n_open_tiles=1, tile_switch_cycles=64)
+        a = [40.0, 40.0]
+        b = [200.0, 200.0]
+        coords = np.asarray([a, b] * 25)
+        stats = model.run(coords, 256)
+        assert stats.tile_switches == 50
+        assert stats.cycles_per_sample > 60
+
+    def test_more_buffers_fewer_switches(self, streams):
+        g, _, shuffled = streams
+        few = TiledAcceleratorModel(n_open_tiles=1).run(shuffled, g)
+        many = TiledAcceleratorModel(n_open_tiles=16).run(shuffled, g)
+        assert many.tile_switches < few.tile_switches
+
+
+class TestPaperClaims:
+    def test_pattern_dependence_of_fifo_binning(self, streams):
+        """The §VII.C claim: FPGA binning runtime depends on the sample
+        ordering; JIGSAW's does not."""
+        g, ordered, shuffled = streams
+        f_ord = fifo_binning_cycles(ordered, g)
+        f_shuf = fifo_binning_cycles(shuffled, g)
+        assert f_shuf.cycles > 2 * f_ord.cycles  # order sensitivity
+        j_ord = jigsaw_reference_cycles(ordered.shape[0])
+        j_shuf = jigsaw_reference_cycles(shuffled.shape[0])
+        assert j_ord.cycles == j_shuf.cycles  # trajectory-agnostic
+
+    def test_jigsaw_faster_than_both_fpga_models(self, streams):
+        g, ordered, shuffled = streams
+        for coords in (ordered, shuffled):
+            j = jigsaw_reference_cycles(coords.shape[0])
+            assert j.cycles < fifo_binning_cycles(coords, g).cycles
+            assert j.cycles < linked_list_binning_cycles(coords, g).cycles
+
+    def test_linked_list_less_order_sensitive_than_fifo(self, streams):
+        """The presort pass decouples processing from arrival order."""
+        g, ordered, shuffled = streams
+        fifo_ratio = (
+            fifo_binning_cycles(shuffled, g).cycles
+            / fifo_binning_cycles(ordered, g).cycles
+        )
+        list_ratio = (
+            linked_list_binning_cycles(shuffled, g).cycles
+            / linked_list_binning_cycles(ordered, g).cycles
+        )
+        assert list_ratio < fifo_ratio
+
+    def test_jigsaw_one_cycle_per_sample(self):
+        stats = jigsaw_reference_cycles(100_000)
+        assert stats.cycles_per_sample == pytest.approx(1.0, abs=1e-3)

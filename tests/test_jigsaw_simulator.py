@@ -1,0 +1,162 @@
+"""Unit tests for the JIGSAW bit-accurate functional simulator."""
+
+import numpy as np
+import pytest
+
+from repro.gridding import GriddingSetup, NaiveGridder
+from repro.jigsaw import JigsawConfig, JigsawSimulator
+from repro.kernels import KernelLUT, beatty_kernel
+
+
+def reference_grid(coords, vals, g, w, ell):
+    setup = GriddingSetup((g, g), KernelLUT(beatty_kernel(w, 2.0), ell))
+    return NaiveGridder(setup).grid(coords, vals)
+
+
+@pytest.fixture
+def cfg2d():
+    return JigsawConfig(grid_dim=32, window_width=6, table_oversampling=32, variant="2d")
+
+
+@pytest.fixture
+def stream(rng):
+    m = 300
+    coords = rng.uniform(0, 32, (m, 2))
+    vals = rng.standard_normal(m) + 1j * rng.standard_normal(m)
+    return coords, vals
+
+
+class TestFunctional2D:
+    def test_matches_double_reference(self, cfg2d, stream):
+        coords, vals = stream
+        res = JigsawSimulator(cfg2d).grid_2d(coords, vals)
+        ref = reference_grid(coords, vals, 32, 6, 32)
+        err = np.linalg.norm(res.grid - ref) / np.linalg.norm(ref)
+        assert err < 2e-3  # 16-bit quantization floor
+
+    def test_cycle_law(self, cfg2d, stream):
+        coords, vals = stream
+        res = JigsawSimulator(cfg2d).grid_2d(coords, vals)
+        assert res.cycles == len(vals) + 12
+        assert res.runtime_seconds == pytest.approx(res.cycles * 1e-9)
+
+    def test_cycles_independent_of_pattern(self, cfg2d, rng):
+        """The headline property: runtime depends only on M."""
+        sim = JigsawSimulator(cfg2d)
+        m = 200
+        clustered = np.full((m, 2), 16.0) + rng.standard_normal((m, 2)) * 0.1
+        scattered = rng.uniform(0, 32, (m, 2))
+        vals = np.ones(m, dtype=complex)
+        assert sim.grid_2d(clustered, vals).cycles == sim.grid_2d(scattered, vals).cycles
+
+    def test_no_saturation_with_autoscale(self, cfg2d, stream):
+        coords, vals = stream
+        res = JigsawSimulator(cfg2d).grid_2d(coords, vals)
+        assert res.saturation_events == 0
+
+    def test_interpolation_count(self, cfg2d, stream):
+        coords, vals = stream
+        res = JigsawSimulator(cfg2d).grid_2d(coords, vals)
+        assert res.interpolations == len(vals) * 36
+        assert res.boundary_checks == len(vals) * 64
+
+    def test_stream_order_invariance(self, cfg2d, stream):
+        """Bit-exact invariance under input permutation: integer
+        accumulation is associative and commutative."""
+        coords, vals = stream
+        sim = JigsawSimulator(cfg2d, value_scale=4.0)
+        a = sim.grid_2d(coords, vals).grid
+        perm = np.random.default_rng(0).permutation(len(vals))
+        b = sim.grid_2d(coords[perm], vals[perm]).grid
+        np.testing.assert_array_equal(a, b)
+
+    def test_value_scale_roundtrip(self, cfg2d, stream):
+        coords, vals = stream
+        auto = JigsawSimulator(cfg2d).grid_2d(coords, vals).grid
+        fixed = JigsawSimulator(cfg2d, value_scale=8.0).grid_2d(coords, vals).grid
+        # same result up to quantization differences
+        assert np.linalg.norm(auto - fixed) / np.linalg.norm(auto) < 5e-3
+
+    def test_coordinate_quantization_to_l(self, cfg2d):
+        """Coordinates are rounded to 1/L: two coords within 1/(2L)
+        grid the same."""
+        sim = JigsawSimulator(cfg2d, value_scale=1.0)
+        v = np.asarray([0.5 + 0j])
+        a = sim.grid_2d(np.asarray([[10.0, 10.0]]), v).grid
+        b = sim.grid_2d(np.asarray([[10.0 + 1 / 128.0, 10.0]]), v).grid
+        np.testing.assert_array_equal(a, b)
+
+    def test_kernel_width_mismatch_rejected(self, cfg2d):
+        with pytest.raises(ValueError, match="kernel width"):
+            JigsawSimulator(cfg2d, kernel=beatty_kernel(4, 2.0))
+
+    def test_wrong_variant_rejected(self):
+        cfg = JigsawConfig(grid_dim=32, variant="3d_slice", table_oversampling=32)
+        with pytest.raises(ValueError, match="2d"):
+            JigsawSimulator(cfg).grid_2d(np.zeros((1, 2)), np.zeros(1, dtype=complex))
+
+    def test_value_coordinate_count_mismatch(self, cfg2d):
+        with pytest.raises(ValueError, match="values"):
+            JigsawSimulator(cfg2d).grid_2d(np.zeros((2, 2)), np.zeros(3, dtype=complex))
+
+    def test_saturation_detected_when_overdriven(self, cfg2d):
+        """Thousands of coincident max-magnitude samples overflow the
+        Q17.14 accumulator when scaling is disabled."""
+        m = 70_000
+        coords = np.full((m, 2), 16.0)
+        vals = np.full(m, 100.0 + 0j)
+        # deliberately under-scaled: each sample quantizes to ~2.0, so
+        # 70k coincident hits exceed the Q17.14 ceiling of 2^17
+        sim = JigsawSimulator(cfg2d, value_scale=50.0)
+        res = sim.grid_2d(coords, vals)
+        assert res.saturation_events > 0
+
+
+class TestFunctional3D:
+    @pytest.fixture
+    def cfg3d(self):
+        return JigsawConfig(
+            grid_dim=16, grid_dim_z=4, window_width=4, window_width_z=4,
+            table_oversampling=32, variant="3d_slice",
+        )
+
+    def test_matches_3d_reference(self, cfg3d, rng):
+        m = 200
+        coords = np.column_stack(
+            [rng.uniform(0, 16, m), rng.uniform(0, 16, m), rng.uniform(0, 4, m)]
+        )
+        vals = rng.standard_normal(m) + 1j * rng.standard_normal(m)
+        res = JigsawSimulator(cfg3d).grid_3d_slice(coords, vals)
+        setup = GriddingSetup((4, 16, 16), KernelLUT(beatty_kernel(4, 2.0), 32))
+        ref = NaiveGridder(setup).grid(
+            np.column_stack([coords[:, 2], coords[:, 0], coords[:, 1]]), vals
+        )
+        err = np.linalg.norm(res.grid - ref) / np.linalg.norm(ref)
+        assert err < 2e-3
+
+    def test_cycle_law_unsorted(self, cfg3d, rng):
+        m = 100
+        coords = rng.uniform(0, 4, (m, 3)) * np.asarray([4, 4, 1.0])
+        vals = np.ones(m, dtype=complex)
+        res = JigsawSimulator(cfg3d).grid_3d_slice(coords, vals)
+        assert res.cycles == (m + 15) * 4
+
+    def test_cycle_law_z_sorted(self, cfg3d, rng):
+        m = 100
+        coords = rng.uniform(0, 16, (m, 3)) * np.asarray([1, 1, 0.25])
+        vals = np.ones(m, dtype=complex)
+        res = JigsawSimulator(cfg3d).grid_3d_slice(coords, vals, z_sorted=True)
+        assert res.cycles == (m + 15) * 4  # Wz = 4 here
+
+    def test_output_shape(self, cfg3d):
+        res = JigsawSimulator(cfg3d).grid_3d_slice(
+            np.asarray([[8.0, 8.0, 2.0]]), np.asarray([1.0 + 0j])
+        )
+        assert res.grid.shape == (4, 16, 16)
+
+    def test_wrong_variant_rejected(self, cfg2d=None):
+        cfg = JigsawConfig(grid_dim=16, table_oversampling=32, window_width=4)
+        with pytest.raises(ValueError, match="3d_slice"):
+            JigsawSimulator(cfg).grid_3d_slice(
+                np.zeros((1, 3)), np.zeros(1, dtype=complex)
+            )

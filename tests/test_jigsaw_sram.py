@@ -1,0 +1,76 @@
+"""Unit tests for the SRAM macro model."""
+
+import numpy as np
+import pytest
+
+from repro.jigsaw import SramModel
+
+
+class TestConstruction:
+    def test_capacity(self):
+        s = SramModel(256, 32)
+        assert s.bits == 8192
+        assert s.bytes == 1024
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            SramModel(0, 32)
+        with pytest.raises(ValueError):
+            SramModel(16, 0)
+        with pytest.raises(ValueError):
+            SramModel(16, 8, ports=0)
+
+
+class TestAccess:
+    def test_load_then_read(self):
+        s = SramModel(8, 16)
+        s.load(np.arange(8))
+        np.testing.assert_array_equal(s.read(np.arange(8)), np.arange(8))
+
+    def test_load_clears_tail(self):
+        s = SramModel(8, 16)
+        s.load(np.full(8, 3))
+        s.load(np.asarray([1, 2]))
+        assert s.data[5] == 0
+
+    def test_load_overflow_capacity(self):
+        s = SramModel(4, 16)
+        with pytest.raises(ValueError, match="exceed capacity"):
+            s.load(np.arange(5))
+
+    def test_load_overflow_word(self):
+        s = SramModel(4, 8)
+        with pytest.raises(OverflowError):
+            s.load(np.asarray([300]))
+
+    def test_write_then_read(self):
+        s = SramModel(8, 16)
+        s.write(np.asarray([3]), np.asarray([-5]))
+        assert s.read(np.asarray([3]))[0] == -5
+
+    def test_write_overflow(self):
+        s = SramModel(8, 8)
+        with pytest.raises(OverflowError):
+            s.write(np.asarray([0]), np.asarray([200]))
+
+    def test_address_range_checked(self):
+        s = SramModel(8, 16)
+        with pytest.raises(IndexError, match="address"):
+            s.read(np.asarray([8]))
+        with pytest.raises(IndexError, match="address"):
+            s.write(np.asarray([-1]), np.asarray([0]))
+
+
+class TestCounters:
+    def test_counts_accumulate(self):
+        s = SramModel(8, 16)
+        s.read(np.arange(4))
+        s.write(np.arange(2), np.zeros(2))
+        assert s.reads == 4
+        assert s.writes == 2
+
+    def test_reset(self):
+        s = SramModel(8, 16)
+        s.read(np.arange(4))
+        s.reset_counters()
+        assert s.reads == 0 and s.writes == 0

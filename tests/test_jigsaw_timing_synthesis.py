@@ -1,0 +1,164 @@
+"""Unit tests for JIGSAW timing laws, DMA model, pipeline sim, synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.jigsaw import (
+    DmaModel,
+    JigsawConfig,
+    PipelineTrace,
+    gridding_cycles_2d,
+    gridding_cycles_3d_slice,
+    gridding_runtime_seconds,
+    jigsaw_energy,
+    simulate_microarchitecture,
+    synthesize,
+)
+from repro.jigsaw.synthesis import TABLE_II
+
+
+class TestCycleLaws:
+    def test_2d(self):
+        cfg = JigsawConfig()
+        assert gridding_cycles_2d(1000, cfg) == 1012
+
+    def test_2d_zero_samples(self):
+        assert gridding_cycles_2d(0, JigsawConfig()) == 12
+
+    def test_2d_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gridding_cycles_2d(-1, JigsawConfig())
+
+    def test_3d_unsorted(self):
+        cfg = JigsawConfig(variant="3d_slice", grid_dim_z=64)
+        assert gridding_cycles_3d_slice(1000, cfg) == (1000 + 15) * 64
+
+    def test_3d_sorted(self):
+        cfg = JigsawConfig(variant="3d_slice", grid_dim_z=64, window_width_z=6)
+        assert gridding_cycles_3d_slice(1000, cfg, z_sorted=True) == (1000 + 15) * 6
+
+    def test_runtime_at_1ghz(self):
+        assert gridding_runtime_seconds(988, JigsawConfig()) == pytest.approx(1e-6)
+
+    def test_runtime_3d_variant_dispatch(self):
+        cfg = JigsawConfig(variant="3d_slice", grid_dim_z=4)
+        assert gridding_runtime_seconds(10, cfg) == pytest.approx((10 + 15) * 4e-9)
+
+
+class TestDma:
+    def test_bus_bandwidth(self):
+        dma = DmaModel(JigsawConfig())
+        assert dma.bus_bandwidth_bytes_per_s == pytest.approx(16e9)
+
+    def test_readout_two_points_per_cycle(self):
+        dma = DmaModel(JigsawConfig(grid_dim=1024))
+        assert dma.readout_cycles() == 1024 * 1024 // 2
+
+    def test_readout_3d(self):
+        dma = DmaModel(JigsawConfig(grid_dim=64, grid_dim_z=8, variant="3d_slice"))
+        assert dma.readout_cycles() == 64 * 64 * 8 // 2
+
+    def test_device_cycles(self):
+        cfg = JigsawConfig(grid_dim=64)
+        dma = DmaModel(cfg)
+        assert dma.device_cycles(100) == 112 + 64 * 64 // 2
+
+    def test_device_seconds(self):
+        cfg = JigsawConfig(grid_dim=64)
+        dma = DmaModel(cfg)
+        assert dma.device_seconds(100) == pytest.approx(dma.device_cycles(100) * 1e-9)
+
+    def test_input_cycles_validation(self):
+        with pytest.raises(ValueError):
+            DmaModel(JigsawConfig()).input_cycles(-5)
+
+
+class TestMicroarchitecture:
+    @pytest.mark.parametrize("m", [1, 10, 257])
+    def test_total_cycles_equal_m_plus_depth_2d(self, m):
+        trace = simulate_microarchitecture(JigsawConfig(), m)
+        assert trace.total_cycles == m + 12
+
+    def test_empty_stream_takes_no_cycles(self):
+        """With nothing to push through, readout can start at once."""
+        assert simulate_microarchitecture(JigsawConfig(), 0).total_cycles == 0
+
+    @pytest.mark.parametrize("m", [1, 50])
+    def test_total_cycles_3d(self, m):
+        cfg = JigsawConfig(variant="3d_slice")
+        trace = simulate_microarchitecture(cfg, m)
+        assert trace.total_cycles == m + 15
+
+    def test_never_stalls(self):
+        trace = simulate_microarchitecture(JigsawConfig(), 500)
+        assert trace.stalls == 0
+
+    def test_full_occupancy_in_steady_state(self):
+        trace = simulate_microarchitecture(JigsawConfig(), 10_000)
+        for occ in trace.stage_occupancy:
+            assert occ > 0.99
+
+    def test_conflict_counting(self):
+        addrs = np.zeros(100, dtype=np.int64)  # all hit the same address
+        trace = simulate_microarchitecture(JigsawConfig(), 100, addrs)
+        assert trace.accumulate_conflicts == 99
+
+    def test_no_conflicts_distinct_addresses(self):
+        addrs = np.arange(100)
+        trace = simulate_microarchitecture(JigsawConfig(), 100, addrs)
+        assert trace.accumulate_conflicts == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            simulate_microarchitecture(JigsawConfig(), -1)
+
+
+class TestSynthesisTableII:
+    @pytest.mark.parametrize(
+        "variant,with_sram",
+        [("2d", True), ("2d", False), ("3d_slice", True), ("3d_slice", False)],
+    )
+    def test_reproduces_table_ii(self, variant, with_sram):
+        cfg = JigsawConfig(grid_dim=1024, variant=variant)
+        rep = synthesize(cfg, with_accum_sram=with_sram)
+        power_ref, area_ref = TABLE_II[(variant, with_sram)]
+        assert rep.power_mw == pytest.approx(power_ref, rel=1e-6)
+        assert rep.area_mm2 == pytest.approx(area_ref, rel=1e-6)
+
+    def test_sram_dominates_area(self):
+        """~95 % of area is the grid store (§VI.B)."""
+        rep = synthesize(JigsawConfig(grid_dim=1024))
+        assert rep.sram_area_mm2 / rep.area_mm2 > 0.94
+
+    def test_area_scales_with_grid(self):
+        small = synthesize(JigsawConfig(grid_dim=256))
+        large = synthesize(JigsawConfig(grid_dim=1024))
+        assert large.sram_area_mm2 == pytest.approx(16 * small.sram_area_mm2)
+
+    def test_3d_lower_power_than_2d(self):
+        p2 = synthesize(JigsawConfig(grid_dim=1024, variant="2d")).power_mw
+        p3 = synthesize(JigsawConfig(grid_dim=1024, variant="3d_slice")).power_mw
+        assert p3 < p2
+
+    def test_power_w(self):
+        rep = synthesize(JigsawConfig(grid_dim=1024))
+        assert rep.power_w == pytest.approx(rep.power_mw * 1e-3)
+
+
+class TestEnergy:
+    def test_image1_energy_matches_fig8(self):
+        """Fig. 8's 821 nJ for Image 1 (M = 3772) at the N=1024 build."""
+        e = jigsaw_energy(3772, JigsawConfig(grid_dim=1024))
+        assert e == pytest.approx(821e-9, rel=0.005)
+
+    def test_fig8_average(self):
+        ms = (3_772, 66_592, 1_574_654, 104_520, 184_660)
+        cfg = JigsawConfig(grid_dim=1024)
+        avg = np.mean([jigsaw_energy(m, cfg) for m in ms])
+        assert avg == pytest.approx(83.89e-6, rel=0.005)
+
+    def test_energy_linear_in_m(self):
+        cfg = JigsawConfig(grid_dim=1024)
+        e1 = jigsaw_energy(10_000, cfg)
+        e2 = jigsaw_energy(20_000, cfg)
+        assert e2 / e1 == pytest.approx(2.0, rel=1e-3)

@@ -1,0 +1,96 @@
+"""Unit tests for apodization (de-apodization) weights."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    KernelLUT,
+    apodization_weights,
+    beatty_kernel,
+    numeric_apodization,
+)
+
+
+@pytest.fixture
+def kernel():
+    return beatty_kernel(6, 2.0)
+
+
+@pytest.fixture
+def lut(kernel):
+    return KernelLUT(kernel, 512)
+
+
+class TestAnalytic:
+    def test_shape(self, kernel):
+        assert apodization_weights(kernel, 32, 64).shape == (32,)
+
+    def test_symmetric_about_center(self, kernel):
+        w = apodization_weights(kernel, 32, 64)
+        np.testing.assert_allclose(w[16 + 5], w[16 - 5], rtol=1e-10)
+
+    def test_center_is_minimum(self, kernel):
+        """De-apodization grows away from the center (the kernel FT
+        decays), so the center weight is the smallest."""
+        w = apodization_weights(kernel, 32, 64)
+        assert np.argmin(w) == 16
+
+    def test_positive(self, kernel):
+        assert np.all(apodization_weights(kernel, 48, 96) > 0)
+
+    def test_rejects_bad_sizes(self, kernel):
+        with pytest.raises(ValueError, match="grid_size >= n"):
+            apodization_weights(kernel, 64, 32)
+
+    def test_center_value_is_inverse_ft_at_zero(self, kernel):
+        w = apodization_weights(kernel, 32, 64)
+        assert w[16] == pytest.approx(1.0 / kernel.fourier(0.0), rel=1e-12)
+
+
+class TestNumeric:
+    def test_matches_analytic_within_aliasing(self, kernel, lut):
+        """The DFT of the sampled kernel approximates the continuous FT
+        (Poisson summation), so the two weight sets must agree closely
+        at sigma=2."""
+        n, g = 32, 64
+        analytic = apodization_weights(kernel, n, g)
+        numeric = numeric_apodization(lut, n, g)
+        np.testing.assert_allclose(numeric, analytic, rtol=2e-3)
+
+    def test_shape(self, lut):
+        assert numeric_apodization(lut, 24, 48).shape == (24,)
+
+    def test_rejects_window_wider_than_grid(self, kernel):
+        lut = KernelLUT(kernel, 8)
+        with pytest.raises(ValueError, match="smaller than window"):
+            numeric_apodization(lut, 2, 4)
+
+    def test_rejects_bad_sizes(self, lut):
+        with pytest.raises(ValueError, match="grid_size >= n"):
+            numeric_apodization(lut, 64, 32)
+
+    def test_positive(self, lut):
+        assert np.all(numeric_apodization(lut, 32, 64) > 0)
+
+    def test_odd_image_size(self, lut):
+        w = numeric_apodization(lut, 31, 64)
+        assert w.shape == (31,)
+        # centered layout: index 15 is the DC pixel
+        assert np.argmin(w) == 15
+
+    def test_cancels_lut_quantization(self, kernel):
+        """Using the numeric weights, a coarse LUT must still make
+        gridding+FFT exact for a DC-only dataset (sample at the k-space
+        origin hits table points exactly)."""
+        from repro.nufft import NufftPlan
+
+        coarse = 16
+        plan = NufftPlan(
+            (16, 16),
+            np.zeros((1, 2)),
+            kernel=kernel,
+            table_oversampling=coarse,
+        )
+        img = plan.adjoint(np.ones(1, dtype=complex))
+        # adjoint of a unit DC sample is the all-ones image
+        np.testing.assert_allclose(img, np.ones((16, 16)), rtol=1e-9)

@@ -1,0 +1,92 @@
+"""Unit tests for Beatty parameter selection."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.kernels import beatty_beta, beatty_kernel, suggest_width
+from repro.kernels.window import KaiserBesselKernel
+
+
+class TestBeattyBeta:
+    def test_reference_value_w6_sigma2(self):
+        # direct evaluation of the published formula
+        expected = math.pi * math.sqrt((6 / 2.0) ** 2 * (2.0 - 0.5) ** 2 - 0.8)
+        assert beatty_beta(6, 2.0) == pytest.approx(expected)
+
+    def test_wider_window_larger_beta(self):
+        assert beatty_beta(8, 2.0) > beatty_beta(4, 2.0)
+
+    def test_smaller_sigma_smaller_beta(self):
+        assert beatty_beta(6, 1.25) < beatty_beta(6, 2.0)
+
+    def test_rejects_sigma_leq_1(self):
+        with pytest.raises(ValueError, match="exceed 1"):
+            beatty_beta(6, 1.0)
+
+    def test_rejects_tiny_width(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            beatty_beta(0.5, 2.0)
+
+    def test_rejects_invalid_combination(self):
+        # W=1 at sigma just above 1: radicand goes negative
+        with pytest.raises(ValueError, match="too narrow"):
+            beatty_beta(1, 1.05)
+
+
+class TestSuggestWidth:
+    def test_returns_even(self):
+        for sigma in (1.25, 1.5, 2.0):
+            assert suggest_width(sigma) % 2 == 0
+
+    def test_smaller_sigma_needs_wider_window(self):
+        assert suggest_width(1.25) >= suggest_width(2.0)
+
+    def test_tighter_error_needs_wider_window(self):
+        assert suggest_width(2.0, 1e-6) >= suggest_width(2.0, 1e-2)
+
+    def test_clamped_range(self):
+        assert 2 <= suggest_width(1.01, 1e-12) <= 16
+
+    def test_rejects_bad_error(self):
+        with pytest.raises(ValueError, match="target_error"):
+            suggest_width(2.0, 1.5)
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError, match="exceed 0.5"):
+            suggest_width(0.4)
+
+
+class TestBeattyKernel:
+    def test_constructs_kb(self):
+        k = beatty_kernel(6, 2.0)
+        assert isinstance(k, KaiserBesselKernel)
+        assert k.width == 6
+        assert k.beta == pytest.approx(beatty_beta(6, 2.0))
+
+    def test_beatty_beta_accuracy_sweep(self):
+        """NuFFT error with the Beatty beta should beat clearly off
+        values — the formula is supposed to be near-optimal."""
+        from repro.nudft import nudft_adjoint
+        from repro.nufft import NufftPlan
+        from repro.trajectories import random_trajectory
+
+        rng = np.random.default_rng(0)
+        coords = random_trajectory(200, 2, rng=1)
+        vals = rng.standard_normal(200) + 1j * rng.standard_normal(200)
+        ref = nudft_adjoint(vals, coords, (16, 16))
+
+        def err(beta: float) -> float:
+            plan = NufftPlan(
+                (16, 16),
+                coords,
+                kernel=KaiserBesselKernel(width=6, beta=beta),
+                table_oversampling=4096,
+            )
+            out = plan.adjoint(vals)
+            return float(np.linalg.norm(out - ref) / np.linalg.norm(ref))
+
+        best = beatty_beta(6, 2.0)
+        assert err(best) < err(best * 0.6)
+        assert err(best) < err(best * 1.5)

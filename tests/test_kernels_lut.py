@@ -1,0 +1,110 @@
+"""Unit tests for the oversampled kernel lookup table."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import QFormat
+from repro.kernels import KernelLUT, beatty_kernel
+from repro.kernels.window import TriangleKernel
+
+
+@pytest.fixture
+def lut() -> KernelLUT:
+    return KernelLUT(beatty_kernel(6, 2.0), 32)
+
+
+class TestConstruction:
+    def test_entry_count(self, lut):
+        assert lut.n_entries == 6 * 32
+        assert lut.table.shape == (6 * 32 + 1,)
+
+    def test_half_table_size(self, lut):
+        assert lut.storage_entries == 6 * 32 // 2 + 1
+
+    def test_symmetry_exact(self, lut):
+        np.testing.assert_array_equal(lut.table, lut.table[::-1])
+
+    def test_center_is_peak(self, lut):
+        assert lut.table[lut.n_entries // 2] == pytest.approx(1.0)
+
+    def test_edges_near_zero(self, lut):
+        assert lut.table[0] < 1e-3
+        assert lut.table[-1] < 1e-3
+
+    def test_rejects_non_integer_oversampling(self):
+        with pytest.raises(ValueError, match="positive integer"):
+            KernelLUT(beatty_kernel(6, 2.0), 2.5)
+
+    def test_rejects_zero_oversampling(self):
+        with pytest.raises(ValueError, match="positive integer"):
+            KernelLUT(beatty_kernel(6, 2.0), 0)
+
+    def test_paper_max_configuration_fits_256(self):
+        """W=8, L=64 must need exactly the 256-entry weight SRAM (+1
+        shared center point)."""
+        lut = KernelLUT(beatty_kernel(8, 2.0), 64)
+        assert lut.storage_entries == 257  # 256 intervals + center
+
+
+class TestIndexing:
+    def test_index_of_rounds_to_nearest(self, lut):
+        assert lut.index_of(0.0) == 0
+        assert lut.index_of(1.0 / 32 * 0.49) == 0
+        assert lut.index_of(1.0 / 32 * 0.51) == 1
+
+    def test_index_clipped_at_edges(self, lut):
+        assert lut.index_of(1000.0) == lut.n_entries
+        assert lut.index_of(np.asarray([-0.2]))[0] == 0
+
+    def test_mirror_maps_to_half(self, lut):
+        idx = np.arange(lut.n_entries + 1)
+        mirrored = lut.mirror(idx)
+        assert np.all(mirrored <= lut.n_entries // 2)
+        np.testing.assert_array_equal(lut.table[idx], lut.table[lut.n_entries - idx])
+
+    def test_mirror_reads_match_full_table(self, lut):
+        idx = np.arange(lut.n_entries + 1)
+        np.testing.assert_array_equal(lut.half_table[lut.mirror(idx)], lut.table[idx])
+
+
+class TestLookup:
+    def test_lookup_matches_kernel_on_table_points(self, lut):
+        fwd = np.arange(lut.n_entries + 1) / lut.oversampling
+        np.testing.assert_allclose(lut.lookup(fwd), lut.lookup_exact(fwd), atol=1e-12)
+
+    def test_quantization_error_bounded_by_derivative(self, lut):
+        # max error ~ max|phi'| * (1/2L); KB W=6 beta~13 has |phi'|<~1.2
+        assert lut.max_abs_quantization_error() < 1.2 / (2 * lut.oversampling) * 1.5
+
+    def test_finer_table_smaller_error(self):
+        k = beatty_kernel(6, 2.0)
+        coarse = KernelLUT(k, 8).max_abs_quantization_error()
+        fine = KernelLUT(k, 256).max_abs_quantization_error()
+        assert fine < coarse / 8
+
+    def test_lookup_of_center(self, lut):
+        assert lut.lookup(3.0) == pytest.approx(1.0)
+
+    def test_triangle_lut_is_exact_on_grid(self):
+        lut = KernelLUT(TriangleKernel(width=2), 16)
+        fwd = np.arange(33) / 16.0
+        np.testing.assert_allclose(
+            lut.lookup(fwd), np.maximum(0, 1 - np.abs(fwd - 1.0)), atol=1e-12
+        )
+
+
+class TestQuantizedTable:
+    def test_codes_within_format(self, lut):
+        fmt = QFormat(1, 14)
+        codes = lut.quantized(fmt)
+        assert codes.max() <= fmt.max_code
+        assert codes.min() >= 0  # the KB window is nonnegative
+
+    def test_dequantized_close_to_float_table(self, lut):
+        fmt = QFormat(1, 14)
+        back = np.asarray(fmt.dequantize(lut.quantized(fmt)))
+        assert np.max(np.abs(back - lut.table)) <= fmt.resolution / 2 + 1e-12
+
+    def test_quantized_symmetry_preserved(self, lut):
+        codes = lut.quantized(QFormat(1, 14))
+        np.testing.assert_array_equal(codes, codes[::-1])

@@ -1,0 +1,149 @@
+"""Unit tests for the interpolation window functions."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    BSplineKernel,
+    GaussianKernel,
+    KaiserBesselKernel,
+    TriangleKernel,
+    make_kernel,
+)
+
+ALL_KERNELS = [
+    KaiserBesselKernel(width=6, beta=13.0),
+    GaussianKernel(width=6),
+    BSplineKernel(width=4),
+    TriangleKernel(width=2),
+]
+
+
+@pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: type(k).__name__)
+class TestCommonProperties:
+    def test_peak_at_zero(self, kernel):
+        assert kernel.is_normalized()
+
+    def test_even_symmetry(self, kernel):
+        u = np.linspace(0.01, kernel.half_width * 0.99, 25)
+        np.testing.assert_allclose(kernel(u), kernel(-u), rtol=1e-12)
+
+    def test_zero_outside_support(self, kernel):
+        assert kernel(kernel.half_width + 0.01) == 0.0
+        assert kernel(-kernel.half_width - 5.0) == 0.0
+
+    def test_nonnegative_inside(self, kernel):
+        u = np.linspace(-kernel.half_width, kernel.half_width, 101)
+        assert np.all(np.asarray(kernel(u)) >= -1e-12)
+
+    def test_monotone_decreasing_from_center(self, kernel):
+        u = np.linspace(0.0, kernel.half_width, 50)
+        vals = np.asarray(kernel(u))
+        assert np.all(np.diff(vals) <= 1e-12)
+
+    def test_scalar_in_scalar_out(self, kernel):
+        assert isinstance(kernel(0.3), float)
+
+    def test_fourier_matches_numeric_integral(self, kernel):
+        """Phi(f) must agree with brute-force numerical quadrature."""
+        u = np.linspace(-kernel.half_width, kernel.half_width, 20001)
+        du = u[1] - u[0]
+        phi = np.asarray(kernel(u))
+        for f in (0.0, 0.05, 0.13):
+            numeric = np.sum(phi * np.cos(2 * np.pi * f * u)) * du
+            analytic = kernel.fourier(f)
+            # Gaussian uses the untruncated FT: allow its truncation gap
+            tol = 2e-2 if isinstance(kernel, GaussianKernel) else 1e-4
+            assert analytic == pytest.approx(numeric, rel=tol, abs=1e-3)
+
+    def test_fourier_even(self, kernel):
+        f = np.linspace(0.0, 0.3, 7)
+        np.testing.assert_allclose(kernel.fourier(f), kernel.fourier(-f), rtol=1e-12)
+
+
+class TestKaiserBessel:
+    def test_edge_value_small(self):
+        k = KaiserBesselKernel(width=6, beta=13.0)
+        assert float(k(2.999)) < 1e-3
+
+    def test_beta_controls_concentration(self):
+        lo = KaiserBesselKernel(width=6, beta=5.0)
+        hi = KaiserBesselKernel(width=6, beta=15.0)
+        assert float(hi(2.0)) < float(lo(2.0))
+
+    def test_fourier_imaginary_branch_continuous(self):
+        """The sinh->sin continuation must be smooth across beta = pi W f."""
+        k = KaiserBesselKernel(width=6, beta=10.0)
+        f0 = k.beta / (np.pi * k.width)
+        below = k.fourier(f0 * (1 - 1e-7))
+        above = k.fourier(f0 * (1 + 1e-7))
+        assert below == pytest.approx(above, rel=1e-4)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError, match="width"):
+            KaiserBesselKernel(width=0, beta=10.0)
+
+    def test_rejects_bad_beta(self):
+        with pytest.raises(ValueError, match="beta"):
+            KaiserBesselKernel(width=6, beta=-1.0)
+
+
+class TestGaussian:
+    def test_default_sigma(self):
+        k = GaussianKernel(width=4)
+        assert k.sigma == pytest.approx(0.33 * 2.0)
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError, match="sigma"):
+            GaussianKernel(width=4, sigma=-1.0)
+
+
+class TestBSpline:
+    def test_rejects_non_integer_width(self):
+        with pytest.raises(ValueError, match="integer"):
+            BSplineKernel(width=2.5)
+
+    @pytest.mark.parametrize("order", [1, 2, 3, 4, 6])
+    def test_partition_of_unity(self, order):
+        """Unnormalized B-splines sum to 1 over integer shifts."""
+        k = BSplineKernel(width=order)
+        x = np.linspace(-0.5, 0.5, 11)
+        total = sum(
+            np.asarray(k(x - j)) * k._peak for j in range(-order, order + 1)
+        )
+        np.testing.assert_allclose(total, 1.0, rtol=1e-9)
+
+    def test_order2_is_triangle(self):
+        k = BSplineKernel(width=2)
+        u = np.linspace(-1, 1, 21)
+        np.testing.assert_allclose(k(u), np.maximum(0, 1 - np.abs(u)), atol=1e-12)
+
+
+class TestTriangle:
+    def test_half_height_at_quarter_width(self):
+        k = TriangleKernel(width=4)
+        assert float(k(1.0)) == pytest.approx(0.5)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("kaiser_bessel", KaiserBesselKernel),
+            ("gaussian", GaussianKernel),
+            ("bspline", BSplineKernel),
+            ("triangle", TriangleKernel),
+        ],
+    )
+    def test_make_kernel(self, name, cls):
+        assert isinstance(make_kernel(name, 4), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            make_kernel("hann", 4)
+
+    def test_kb_default_beta_is_beatty(self):
+        from repro.kernels import beatty_beta
+
+        k = make_kernel("kaiser_bessel", 6)
+        assert k.beta == pytest.approx(beatty_beta(6, 2.0))

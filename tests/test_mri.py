@@ -1,0 +1,264 @@
+"""Unit tests for the multi-coil MRI substrate."""
+
+import numpy as np
+import pytest
+
+from repro.mri import (
+    Acquisition,
+    RealtimeScenario,
+    SenseOperator,
+    birdcage_maps,
+    coil_combine_adjoint,
+    frame_rate_fps,
+    keeps_up,
+    sense_reconstruction,
+    sos_normalize,
+)
+from repro.nufft import NufftPlan
+from repro.phantoms import shepp_logan_2d
+from repro.recon import rel_l2_error
+from repro.trajectories import golden_angle_radial, ramp_density_compensation
+
+
+class TestCoilMaps:
+    def test_shape(self):
+        maps = birdcage_maps(8, 32)
+        assert maps.shape == (8, 32, 32)
+
+    def test_complex_with_phase_variation(self):
+        maps = birdcage_maps(4, 32)
+        assert np.iscomplexobj(maps)
+        assert np.std(np.angle(maps[0])) > 0.1
+
+    def test_coils_peak_near_their_side(self):
+        maps = birdcage_maps(4, 64, radius=1.2)
+        # coil 0 sits at angle 0 -> +x side (columns in our convention)
+        mag = np.abs(maps[0])
+        left = mag[:, : 16].mean()
+        right = mag[:, 48:].mean()
+        assert right > left
+
+    def test_distinct_coils(self):
+        maps = birdcage_maps(4, 32)
+        assert np.linalg.norm(maps[0] - maps[1]) > 0.1
+
+    def test_sos_normalize_unit(self):
+        maps = sos_normalize(birdcage_maps(8, 32))
+        sos = np.sum(np.abs(maps) ** 2, axis=0)
+        np.testing.assert_allclose(sos, 1.0, rtol=1e-10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            birdcage_maps(0, 32)
+        with pytest.raises(ValueError):
+            birdcage_maps(4, 1)
+        with pytest.raises(ValueError):
+            birdcage_maps(4, 32, radius=-1)
+        with pytest.raises(ValueError, match="coils"):
+            sos_normalize(np.ones(5))
+
+
+@pytest.fixture(scope="module")
+def sense_problem():
+    n = 32
+    phantom = shepp_logan_2d(n).astype(complex)
+    coords = golden_angle_radial(int(1.2 * n), 2 * n)
+    plan = NufftPlan((n, n), coords, width=4)
+    maps = sos_normalize(birdcage_maps(6, n))
+    op = SenseOperator(plan, maps)
+    kspace = op.forward(phantom)
+    return op, phantom, kspace
+
+
+class TestSenseOperator:
+    def test_forward_shape(self, sense_problem):
+        op, phantom, kspace = sense_problem
+        assert kspace.shape == (6, op.n_samples)
+
+    def test_adjoint_identity(self, sense_problem, rng):
+        op, _, _ = sense_problem
+        x = rng.standard_normal((32, 32)) + 1j * rng.standard_normal((32, 32))
+        y = rng.standard_normal((6, op.n_samples)) + 1j * rng.standard_normal(
+            (6, op.n_samples)
+        )
+        lhs = np.vdot(y, op.forward(x))
+        rhs = np.vdot(op.adjoint(y), x)
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_normal_equals_adjoint_forward(self, sense_problem, rng):
+        op, _, _ = sense_problem
+        x = rng.standard_normal((32, 32)) + 1j * rng.standard_normal((32, 32))
+        np.testing.assert_allclose(
+            op.normal(x), op.adjoint(op.forward(x)), rtol=1e-10
+        )
+
+    def test_validation(self, sense_problem):
+        op, _, _ = sense_problem
+        with pytest.raises(ValueError, match="image shape"):
+            op.forward(np.zeros((8, 8), dtype=complex))
+        with pytest.raises(ValueError, match="kspace"):
+            op.adjoint(np.zeros((2, 3), dtype=complex))
+        with pytest.raises(ValueError, match="maps"):
+            SenseOperator(op.plan, np.zeros((2, 8, 8), dtype=complex))
+
+
+class TestSenseRecon:
+    def test_cg_sense_recovers_phantom(self, sense_problem):
+        op, phantom, kspace = sense_problem
+        dcf = ramp_density_compensation(op.plan.coords)
+        res = sense_reconstruction(op, kspace, weights=dcf, n_iterations=12)
+        assert rel_l2_error(res.image, phantom) < 0.25
+        assert res.residual_norms[-1] < res.residual_norms[0]
+
+    def test_cg_beats_adjoint(self, sense_problem):
+        op, phantom, kspace = sense_problem
+        dcf = ramp_density_compensation(op.plan.coords)
+        adj = coil_combine_adjoint(op, kspace, weights=dcf)
+        s = np.vdot(adj, phantom) / np.vdot(adj, adj)
+        cg = sense_reconstruction(op, kspace, weights=dcf, n_iterations=12)
+        assert rel_l2_error(cg.image, phantom) < rel_l2_error(adj * s, phantom)
+
+    def test_zero_data(self, sense_problem):
+        op, _, _ = sense_problem
+        res = sense_reconstruction(
+            op, np.zeros((6, op.n_samples), dtype=complex)
+        )
+        assert res.converged
+        assert np.all(res.image == 0)
+
+    def test_validation(self, sense_problem):
+        op, _, kspace = sense_problem
+        with pytest.raises(ValueError, match="kspace"):
+            sense_reconstruction(op, kspace[:2])
+        with pytest.raises(ValueError, match="n_iterations"):
+            sense_reconstruction(op, kspace, n_iterations=0)
+        with pytest.raises(ValueError, match="nonnegative"):
+            sense_reconstruction(op, kspace, weights=-np.ones(op.n_samples))
+        with pytest.raises(ValueError, match="weights"):
+            coil_combine_adjoint(op, kspace, weights=np.ones(3))
+
+
+class TestAcquisition:
+    def test_roundtrip(self, tmp_path, rng):
+        coords = golden_angle_radial(8, 16)
+        kspace = rng.standard_normal((4, coords.shape[0])) + 1j * rng.standard_normal(
+            (4, coords.shape[0])
+        )
+        maps = birdcage_maps(4, 16)
+        acq = Acquisition(coords, kspace, (16, 16), maps=maps,
+                          meta={"sequence": "radial"})
+        path = str(tmp_path / "acq.npz")
+        acq.save(path)
+        back = Acquisition.load(path)
+        np.testing.assert_array_equal(back.coords, acq.coords)
+        np.testing.assert_array_equal(back.kspace, acq.kspace)
+        np.testing.assert_array_equal(back.maps, maps)
+        assert back.meta == {"sequence": "radial"}
+        assert back.image_shape == (16, 16)
+
+    def test_roundtrip_without_maps(self, tmp_path):
+        acq = Acquisition(np.zeros((5, 2)), np.zeros((1, 5)), (8, 8))
+        path = str(tmp_path / "a.npz")
+        acq.save(path)
+        assert Acquisition.load(path).maps is None
+
+    def test_properties(self):
+        acq = Acquisition(np.zeros((5, 2)), np.zeros((3, 5)), (8, 8))
+        assert acq.n_samples == 5
+        assert acq.n_coils == 3
+        assert acq.ndim == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="samples"):
+            Acquisition(np.zeros((5, 2)), np.zeros((1, 4)), (8, 8))
+        with pytest.raises(ValueError, match="rank"):
+            Acquisition(np.zeros((5, 2)), np.zeros((1, 5)), (8, 8, 8))
+        with pytest.raises(ValueError, match="maps"):
+            Acquisition(np.zeros((5, 2)), np.zeros((2, 5)), (8, 8),
+                        maps=np.zeros((3, 8, 8)))
+
+
+class TestRealtime:
+    def test_defaults_sane(self):
+        sc = RealtimeScenario()
+        assert sc.samples_per_frame == 34 * 384
+        assert sc.grid_dim == 384
+
+    def test_only_accelerated_recon_keeps_up(self):
+        """The paper's §I story, quantified: CPU and Impatient cannot
+        sustain a 50 fps radial protocol; SnD GPU and JIGSAW can."""
+        from repro.perfmodel import (
+            AsicJigsawModel,
+            CpuMirtModel,
+            GpuImpatientModel,
+            GpuSliceDiceModel,
+        )
+
+        sc = RealtimeScenario()
+        assert not keeps_up(sc, CpuMirtModel())
+        assert not keeps_up(sc, GpuImpatientModel())
+        assert keeps_up(sc, GpuSliceDiceModel())
+        assert keeps_up(sc, AsicJigsawModel())
+
+    def test_frame_rate_scales_with_coils(self):
+        from repro.perfmodel import GpuSliceDiceModel
+
+        m = GpuSliceDiceModel()
+        one = frame_rate_fps(RealtimeScenario(n_coils=1), m)
+        eight = frame_rate_fps(RealtimeScenario(n_coils=8), m)
+        assert one == pytest.approx(8 * eight, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RealtimeScenario(n_coils=0)
+        with pytest.raises(ValueError):
+            RealtimeScenario(tr_seconds=0)
+
+
+class TestVoronoiDcf:
+    def test_unit_mean(self):
+        from repro.trajectories import voronoi_density_compensation
+
+        w = voronoi_density_compensation(golden_angle_radial(16, 32))
+        assert np.mean(w) == pytest.approx(1.0)
+        assert np.all(w >= 0)
+
+    def test_uniform_grid_gets_equal_weights(self):
+        from repro.trajectories import (
+            cartesian_trajectory,
+            voronoi_density_compensation,
+        )
+
+        w = voronoi_density_compensation(cartesian_trajectory(12))
+        np.testing.assert_allclose(w, 1.0, rtol=1e-9)
+
+    def test_correlates_with_ramp_for_radial(self):
+        from repro.trajectories import voronoi_density_compensation
+
+        coords = golden_angle_radial(24, 48)
+        w = voronoi_density_compensation(coords)
+        ramp = ramp_density_compensation(coords)
+        assert np.corrcoef(w, ramp)[0, 1] > 0.6
+
+    def test_duplicates_share_area(self):
+        from repro.trajectories import voronoi_density_compensation
+
+        base = golden_angle_radial(8, 16)
+        dup = np.concatenate([base, base[:1]], axis=0)
+        w = voronoi_density_compensation(dup)
+        # the duplicated generator's two copies split one cell
+        assert w[0] == pytest.approx(w[-1])
+
+    def test_small_input_fallback(self):
+        from repro.trajectories import voronoi_density_compensation
+
+        w = voronoi_density_compensation(np.zeros((2, 2)))
+        np.testing.assert_array_equal(w, 1.0)
+
+    def test_validation(self):
+        from repro.trajectories import voronoi_density_compensation
+
+        with pytest.raises(ValueError, match=r"\(M, 2\)"):
+            voronoi_density_compensation(np.zeros((5, 3)))
+        with pytest.raises(ValueError, match="quantile"):
+            voronoi_density_compensation(np.zeros((5, 2)), max_weight_quantile=0)

@@ -1,0 +1,117 @@
+"""NuFFT accuracy against the exact NuDFT (the correctness oracle)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nudft import nudft_adjoint, nudft_forward
+from repro.nufft import NufftPlan
+from repro.trajectories import cartesian_trajectory, random_trajectory
+
+
+def rel_err(a, b):
+    return np.linalg.norm(a - b) / np.linalg.norm(b)
+
+
+class TestAgainstNuDFT:
+    @pytest.fixture
+    def problem(self):
+        rng = np.random.default_rng(7)
+        coords = random_trajectory(400, 2, rng=8)
+        vals = rng.standard_normal(400) + 1j * rng.standard_normal(400)
+        img = rng.standard_normal((24, 24)) + 1j * rng.standard_normal((24, 24))
+        return coords, vals, img
+
+    def test_adjoint_accuracy_default(self, problem):
+        coords, vals, _ = problem
+        plan = NufftPlan((24, 24), coords)
+        assert rel_err(plan.adjoint(vals), nudft_adjoint(vals, coords, (24, 24))) < 1e-3
+
+    def test_forward_accuracy_default(self, problem):
+        coords, _, img = problem
+        plan = NufftPlan((24, 24), coords)
+        assert rel_err(plan.forward(img), nudft_forward(img, coords)) < 1e-3
+
+    def test_accuracy_improves_with_table_oversampling(self, problem):
+        """Positions are rounded to 1/L (the paper's design) so error
+        is ~1/L until the aliasing floor."""
+        coords, vals, _ = problem
+        ref = nudft_adjoint(vals, coords, (24, 24))
+        errs = [
+            rel_err(NufftPlan((24, 24), coords, table_oversampling=L).adjoint(vals), ref)
+            for L in (32, 256, 2048)
+        ]
+        assert errs[1] < errs[0] / 4
+        assert errs[2] < errs[1] / 4
+
+    def test_accuracy_improves_with_width_at_high_l(self, problem):
+        coords, vals, _ = problem
+        ref = nudft_adjoint(vals, coords, (24, 24))
+        e4 = rel_err(
+            NufftPlan((24, 24), coords, width=4, table_oversampling=2**15).adjoint(vals),
+            ref,
+        )
+        e8 = rel_err(
+            NufftPlan((24, 24), coords, width=8, table_oversampling=2**15).adjoint(vals),
+            ref,
+        )
+        assert e8 < e4 / 5
+
+    def test_reduced_oversampling_with_wider_window(self, problem):
+        """Beatty: sigma=1.5 needs a wider window for the same accuracy
+        (the paper's §II.B trade-off)."""
+        coords, vals, _ = problem
+        ref = nudft_adjoint(vals, coords, (24, 24))
+        narrow = NufftPlan(
+            (24, 24), coords, oversampling=1.5, width=4, table_oversampling=4096,
+            gridder="naive",
+        )
+        wide = NufftPlan(
+            (24, 24), coords, oversampling=1.5, width=10, table_oversampling=4096,
+            gridder="naive",
+        )
+        assert rel_err(wide.adjoint(vals), ref) < rel_err(narrow.adjoint(vals), ref)
+
+    def test_cartesian_is_near_exact(self):
+        """On-grid samples hit LUT entries exactly: NuFFT == DFT to
+        rounding error."""
+        n = 16
+        rng = np.random.default_rng(3)
+        coords = cartesian_trajectory(n)
+        vals = rng.standard_normal(n * n) + 1j * rng.standard_normal(n * n)
+        plan = NufftPlan((n, n), coords, table_oversampling=64)
+        ref = nudft_adjoint(vals, coords, (n, n))
+        assert rel_err(plan.adjoint(vals), ref) < 1e-9
+
+
+class TestAdjointPair:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_forward_adjoint_inner_product(self, seed):
+        rng = np.random.default_rng(seed)
+        coords = random_trajectory(60, 2, rng=seed)
+        plan = NufftPlan((16, 16), coords, width=4, table_oversampling=64)
+        x = rng.standard_normal((16, 16)) + 1j * rng.standard_normal((16, 16))
+        y = rng.standard_normal(60) + 1j * rng.standard_normal(60)
+        lhs = np.vdot(y, plan.forward(x))
+        rhs = np.vdot(plan.adjoint(y), x)
+        assert abs(lhs - rhs) < 1e-10 * max(abs(lhs), 1.0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_gram_operator_is_psd(self, seed):
+        rng = np.random.default_rng(seed)
+        coords = random_trajectory(50, 2, rng=seed + 1)
+        plan = NufftPlan((16, 16), coords, width=4, table_oversampling=64)
+        x = rng.standard_normal((16, 16)) + 1j * rng.standard_normal((16, 16))
+        quad = np.vdot(x, plan.adjoint(plan.forward(x))).real
+        assert quad >= -1e-9
+
+
+class Test1D:
+    def test_1d_adjoint(self):
+        rng = np.random.default_rng(5)
+        coords = random_trajectory(80, 1, rng=6)
+        vals = rng.standard_normal(80) + 1j * rng.standard_normal(80)
+        plan = NufftPlan((32,), coords, width=6)
+        assert rel_err(plan.adjoint(vals), nudft_adjoint(vals, coords, (32,))) < 1e-3

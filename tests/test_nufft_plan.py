@@ -1,0 +1,141 @@
+"""Unit tests for the NuFFT plan (construction, shapes, timings)."""
+
+import numpy as np
+import pytest
+
+from repro.nufft import NufftPlan
+from repro.kernels import GaussianKernel
+from repro.trajectories import random_trajectory
+
+
+@pytest.fixture
+def coords():
+    return random_trajectory(100, 2, rng=0)
+
+
+class TestConstruction:
+    def test_grid_shape_sigma2(self, coords):
+        plan = NufftPlan((32, 32), coords)
+        assert plan.grid_shape == (64, 64)
+
+    def test_grid_shape_sigma_1_5_rounds_even(self, coords):
+        plan = NufftPlan((32, 32), coords, oversampling=1.5, width=8, gridder="naive")
+        assert plan.grid_shape == (48, 48)
+
+    def test_rejects_small_image(self, coords):
+        with pytest.raises(ValueError, match="image dims"):
+            NufftPlan((1, 1), coords)
+
+    def test_rejects_sigma_leq_1(self, coords):
+        with pytest.raises(ValueError, match="oversampling"):
+            NufftPlan((32, 32), coords, oversampling=1.0)
+
+    def test_rejects_coord_rank_mismatch(self):
+        with pytest.raises(ValueError, match="dimension"):
+            NufftPlan((32, 32), np.zeros((5, 3)))
+
+    def test_custom_kernel(self, coords):
+        plan = NufftPlan((32, 32), coords, kernel=GaussianKernel(width=6))
+        assert isinstance(plan.kernel, GaussianKernel)
+
+    def test_gridder_instance_passthrough(self, coords):
+        from repro.gridding import GriddingSetup, NaiveGridder
+        from repro.kernels import KernelLUT, beatty_kernel
+
+        setup = GriddingSetup((64, 64), KernelLUT(beatty_kernel(6, 2.0), 512))
+        g = NaiveGridder(setup)
+        plan = NufftPlan((32, 32), coords, gridder=g)
+        assert plan.gridder is g
+
+    def test_grid_coords_in_range(self, coords):
+        plan = NufftPlan((32, 32), coords)
+        assert plan.grid_coords.min() >= 0
+        assert plan.grid_coords.max() < 64
+
+    def test_n_samples(self, coords):
+        assert NufftPlan((32, 32), coords).n_samples == 100
+
+
+class TestShapesAndValidation:
+    def test_adjoint_output_shape(self, coords):
+        plan = NufftPlan((32, 32), coords)
+        assert plan.adjoint(np.ones(100, dtype=complex)).shape == (32, 32)
+
+    def test_forward_output_shape(self, coords):
+        plan = NufftPlan((32, 32), coords)
+        assert plan.forward(np.ones((32, 32), dtype=complex)).shape == (100,)
+
+    def test_adjoint_value_count_mismatch(self, coords):
+        plan = NufftPlan((32, 32), coords)
+        with pytest.raises(ValueError, match="values"):
+            plan.adjoint(np.ones(50, dtype=complex))
+
+    def test_forward_image_shape_mismatch(self, coords):
+        plan = NufftPlan((32, 32), coords)
+        with pytest.raises(ValueError, match="image shape"):
+            plan.forward(np.ones((16, 16), dtype=complex))
+
+    def test_rectangular_image(self):
+        coords = random_trajectory(64, 2, rng=1)
+        plan = NufftPlan((16, 32), coords, width=4)
+        img = plan.adjoint(np.ones(64, dtype=complex))
+        assert img.shape == (16, 32)
+        assert plan.forward(img).shape == (64,)
+
+
+class TestTimings:
+    def test_timings_populated_adjoint(self, coords):
+        plan = NufftPlan((32, 32), coords)
+        plan.adjoint(np.ones(100, dtype=complex))
+        t = plan.timings
+        assert t.gridding > 0 and t.fft > 0 and t.apodization > 0
+        assert t.total == pytest.approx(t.gridding + t.fft + t.apodization)
+
+    def test_timings_populated_forward(self, coords):
+        plan = NufftPlan((32, 32), coords)
+        plan.forward(np.ones((32, 32), dtype=complex))
+        assert plan.timings.total > 0
+
+    def test_gridding_share_in_unit_interval(self, coords):
+        plan = NufftPlan((32, 32), coords)
+        plan.adjoint(np.ones(100, dtype=complex))
+        assert 0.0 < plan.timings.gridding_share() < 1.0
+
+    def test_zero_timings_share(self):
+        from repro.nufft import NufftTimings
+
+        assert NufftTimings().gridding_share() == 0.0
+
+
+class TestGridderBackends:
+    @pytest.mark.parametrize("name", ["naive", "binning", "slice_and_dice"])
+    def test_backends_give_same_image(self, coords, name):
+        ref = NufftPlan((32, 32), coords, gridder="naive")
+        plan = NufftPlan((32, 32), coords, gridder=name)
+        v = np.exp(2j * np.pi * np.arange(100) / 7)
+        np.testing.assert_allclose(plan.adjoint(v), ref.adjoint(v), rtol=1e-9, atol=1e-12)
+
+
+class TestPrecision:
+    def test_single_precision_error_floor(self, coords):
+        """Single precision must land near the float32 epsilon floor,
+        far above double but far below the kernel approximation."""
+        rng = np.random.default_rng(9)
+        vals = rng.standard_normal(100) + 1j * rng.standard_normal(100)
+        double = NufftPlan((32, 32), coords, table_oversampling=2**14,
+                           gridder="naive")
+        single = NufftPlan((32, 32), coords, table_oversampling=2**14,
+                           gridder="naive", precision="single")
+        a = double.adjoint(vals)
+        b = single.adjoint(vals)
+        err = np.linalg.norm(a - b) / np.linalg.norm(a)
+        assert 1e-8 < err < 1e-5
+
+    def test_single_precision_forward_runs(self, coords):
+        plan = NufftPlan((32, 32), coords, precision="single")
+        out = plan.forward(np.ones((32, 32), dtype=complex))
+        assert out.shape == (100,)
+
+    def test_rejects_unknown_precision(self, coords):
+        with pytest.raises(ValueError, match="precision"):
+            NufftPlan((32, 32), coords, precision="half")

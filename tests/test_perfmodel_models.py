@@ -1,0 +1,280 @@
+"""Unit tests for the calibrated CPU/GPU/ASIC performance models."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    FIG6_GRIDDING_SPEEDUP,
+    FIG7_END_TO_END_SPEEDUP,
+    FIG8_ENERGY_J,
+    PAPER_IMAGES,
+)
+from repro.bench.reference import MIRT_GRIDDING_SECONDS
+from repro.perfmodel import (
+    AsicJigsawModel,
+    CpuMirtModel,
+    GpuEnergyModel,
+    GpuImpatientModel,
+    GpuSliceDiceModel,
+)
+from repro.perfmodel.hostfft import device_rest_seconds, cpu_nufft_seconds
+
+
+class TestCpuModel:
+    def test_exact_on_calibration_points(self):
+        assert np.max(np.abs(CpuMirtModel.calibration_residuals())) < 1e-9
+
+    def test_monotone_in_m(self):
+        m = CpuMirtModel()
+        assert m.gridding_seconds(200_000, 512) > m.gridding_seconds(100_000, 512)
+
+    def test_point_cost_monotone_in_grid(self):
+        m = CpuMirtModel()
+        assert m.point_cost_seconds(1024) >= m.point_cost_seconds(128)
+
+    def test_setup_overhead_positive(self):
+        assert CpuMirtModel().setup_seconds > 0
+
+    def test_nufft_uses_996_percent_share(self):
+        m = CpuMirtModel()
+        g = m.gridding_seconds(100_000, 512)
+        assert m.nufft_seconds(100_000, 512) == pytest.approx(g / 0.996)
+
+    def test_validation(self):
+        m = CpuMirtModel()
+        with pytest.raises(ValueError):
+            m.gridding_seconds(-1, 512)
+        with pytest.raises(ValueError):
+            m.point_cost_seconds(0)
+        with pytest.raises(ValueError):
+            CpuMirtModel(window_width=0)
+
+
+class TestGpuModels:
+    def test_snd_exact_on_calibration_points(self):
+        assert np.max(np.abs(GpuSliceDiceModel().calibration_residuals())) < 1e-9
+
+    def test_impatient_fit_within_60_percent(self):
+        assert np.max(np.abs(GpuImpatientModel().calibration_residuals())) < 0.6
+
+    def test_snd_launch_overhead_microseconds(self):
+        """~10 us kernel-launch class overhead falls out of the data."""
+        launch = GpuSliceDiceModel().launch_seconds
+        assert 1e-6 < launch < 100e-6
+
+    def test_paper_counters_attached(self):
+        assert GpuSliceDiceModel.l2_hit_rate == pytest.approx(0.98)
+        assert GpuImpatientModel.occupancy == pytest.approx(0.47)
+
+    def test_snd_faster_than_impatient_everywhere(self):
+        snd, imp = GpuSliceDiceModel(), GpuImpatientModel()
+        for im in PAPER_IMAGES:
+            assert snd.gridding_seconds(im.m, im.grid_dim) < imp.gridding_seconds(
+                im.m, im.grid_dim
+            )
+
+    def test_validation(self):
+        snd = GpuSliceDiceModel()
+        with pytest.raises(ValueError):
+            snd.gridding_seconds(-1, 128)
+        with pytest.raises(ValueError):
+            snd.sample_cost_seconds(0)
+        imp = GpuImpatientModel()
+        with pytest.raises(ValueError):
+            imp.gridding_seconds(1, 0)
+
+
+class TestAsicModel:
+    def test_gridding_is_cycle_law(self):
+        m = AsicJigsawModel()
+        assert m.gridding_seconds(1000) == pytest.approx(1012e-9)
+
+    def test_share_averages_to_quarter(self):
+        """§VI: gridding consumes ~25 % of JIGSAW's NuFFT time."""
+        m = AsicJigsawModel()
+        shares = [m.gridding_share(im.m, im.grid_dim) for im in PAPER_IMAGES]
+        assert np.mean(shares) == pytest.approx(0.25, abs=0.05)
+
+
+class TestFigureReproduction:
+    """The headline check: modelled speedups land on the paper's bars."""
+
+    @pytest.mark.parametrize("i", range(5))
+    def test_fig6_slice_and_dice(self, i):
+        im = PAPER_IMAGES[i]
+        cpu, snd = CpuMirtModel(), GpuSliceDiceModel()
+        speedup = cpu.gridding_seconds(im.m, im.grid_dim) / snd.gridding_seconds(
+            im.m, im.grid_dim
+        )
+        assert speedup == pytest.approx(
+            FIG6_GRIDDING_SPEEDUP["slice_and_dice_gpu"][i], rel=0.02
+        )
+
+    @pytest.mark.parametrize("i", range(5))
+    def test_fig6_jigsaw(self, i):
+        im = PAPER_IMAGES[i]
+        cpu, asic = CpuMirtModel(), AsicJigsawModel()
+        speedup = cpu.gridding_seconds(im.m, im.grid_dim) / asic.gridding_seconds(im.m)
+        assert speedup == pytest.approx(FIG6_GRIDDING_SPEEDUP["jigsaw"][i], rel=0.02)
+
+    @pytest.mark.parametrize("i", range(5))
+    def test_fig6_impatient_shape(self, i):
+        im = PAPER_IMAGES[i]
+        cpu, imp = CpuMirtModel(), GpuImpatientModel()
+        speedup = cpu.gridding_seconds(im.m, im.grid_dim) / imp.gridding_seconds(
+            im.m, im.grid_dim
+        )
+        assert speedup == pytest.approx(
+            FIG6_GRIDDING_SPEEDUP["impatient"][i], rel=0.65
+        )
+
+    @pytest.mark.parametrize("i", range(5))
+    def test_fig7_slice_and_dice(self, i):
+        im = PAPER_IMAGES[i]
+        cpu, snd = CpuMirtModel(), GpuSliceDiceModel()
+        speedup = cpu.nufft_seconds(im.m, im.grid_dim) / snd.nufft_seconds(
+            im.m, im.grid_dim
+        )
+        assert speedup == pytest.approx(
+            FIG7_END_TO_END_SPEEDUP["slice_and_dice_gpu"][i], rel=0.05
+        )
+
+    @pytest.mark.parametrize("i", range(5))
+    def test_fig7_jigsaw(self, i):
+        im = PAPER_IMAGES[i]
+        cpu, asic = CpuMirtModel(), AsicJigsawModel()
+        speedup = cpu.nufft_seconds(im.m, im.grid_dim) / asic.nufft_seconds(
+            im.m, im.grid_dim
+        )
+        assert speedup == pytest.approx(FIG7_END_TO_END_SPEEDUP["jigsaw"][i], rel=0.05)
+
+    def test_fig6_averages(self):
+        cpu, snd, asic = CpuMirtModel(), GpuSliceDiceModel(), AsicJigsawModel()
+        snd_avg = np.mean(
+            [
+                cpu.gridding_seconds(im.m, im.grid_dim)
+                / snd.gridding_seconds(im.m, im.grid_dim)
+                for im in PAPER_IMAGES
+            ]
+        )
+        jig_avg = np.mean(
+            [
+                cpu.gridding_seconds(im.m, im.grid_dim) / asic.gridding_seconds(im.m)
+                for im in PAPER_IMAGES
+            ]
+        )
+        assert snd_avg > 250  # "over 250x"
+        assert jig_avg > 1500  # "over 1500x"
+
+
+class TestEnergyModel:
+    def test_snd_energy_within_5_percent(self):
+        em = GpuEnergyModel("slice_and_dice_gpu")
+        assert np.max(np.abs(em.calibration_residuals())) < 0.05
+
+    def test_impatient_energy_within_factor_2(self):
+        em = GpuEnergyModel("impatient")
+        assert np.max(np.abs(em.calibration_residuals())) < 1.5
+
+    def test_effective_powers_sane(self):
+        """Titan Xp board: effective draw must be between idle (~15 W)
+        and TDP (250 W)."""
+        for impl in ("slice_and_dice_gpu", "impatient"):
+            p = GpuEnergyModel(impl).effective_power_w
+            assert 15 < p < 250
+
+    def test_unknown_implementation(self):
+        with pytest.raises(ValueError, match="implementation"):
+            GpuEnergyModel("tpu")
+
+    def test_dispatch_function(self):
+        from repro.perfmodel import gridding_energy_joules
+
+        e_jig = gridding_energy_joules("jigsaw", 3772, 128)
+        assert e_jig == pytest.approx(821e-9, rel=0.005)
+        e_snd = gridding_energy_joules("slice_and_dice_gpu", 3772, 128)
+        assert e_snd > e_jig * 100  # orders of magnitude apart
+
+    def test_fig8_energy_ordering(self):
+        """Impatient >> SnD GPU >> JIGSAW on every image."""
+        from repro.perfmodel import gridding_energy_joules
+
+        for im in PAPER_IMAGES:
+            e_imp = gridding_energy_joules("impatient", im.m, im.grid_dim)
+            e_snd = gridding_energy_joules("slice_and_dice_gpu", im.m, im.grid_dim)
+            e_jig = gridding_energy_joules("jigsaw", im.m, im.grid_dim)
+            assert e_imp > e_snd > e_jig
+
+
+class TestHostFft:
+    def test_monotone_in_grid(self):
+        assert device_rest_seconds(1024) > device_rest_seconds(128)
+
+    def test_extrapolation_below(self):
+        assert 0 < device_rest_seconds(32) < device_rest_seconds(128)
+
+    def test_extrapolation_above(self):
+        assert device_rest_seconds(2048) > device_rest_seconds(1024)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            device_rest_seconds(0)
+
+    def test_cpu_share(self):
+        assert cpu_nufft_seconds(0.996) == pytest.approx(1.0)
+
+
+class TestSweep:
+    def test_speedup_series_monotone_for_jigsaw(self):
+        """JIGSAW's speedup over MIRT falls as M grows (MIRT's fixed
+        setup amortizes; JIGSAW has none to amortize)."""
+        from repro.perfmodel.sweep import speedup_series
+
+        cpu, asic = CpuMirtModel(), AsicJigsawModel()
+        ms = np.asarray([1_000, 10_000, 100_000, 1_000_000])
+        s = speedup_series(cpu, asic, 512, ms)
+        assert np.all(s > 1)
+        assert s[0] > s[-1]
+
+    def test_end_to_end_series(self):
+        from repro.perfmodel.sweep import speedup_series
+
+        cpu, snd = CpuMirtModel(), GpuSliceDiceModel()
+        s = speedup_series(cpu, snd, 512, np.asarray([50_000]), end_to_end=True)
+        assert s.shape == (1,)
+        assert s[0] > 10
+
+    def test_crossover_solver(self):
+        from repro.perfmodel.sweep import crossover_m
+
+        # a: 10us launch + 1ns/sample; b: 0 + 2ns/sample -> crossover at 10k
+        a = lambda m: 10e-6 + 1e-9 * m
+        b = lambda m: 2e-9 * m
+        assert crossover_m(a, b) == 10_000
+
+    def test_crossover_none(self):
+        from repro.perfmodel.sweep import crossover_m
+
+        assert crossover_m(lambda m: 1.0, lambda m: 0.5, m_hi=1000) is None
+
+    def test_crossover_immediate(self):
+        from repro.perfmodel.sweep import crossover_m
+
+        assert crossover_m(lambda m: 0.0, lambda m: 1.0) == 1
+
+    def test_jigsaw_beats_gpus_from_m_equals_one(self):
+        """No launch overhead: JIGSAW wins at every stream length
+        against both calibrated GPU models."""
+        from repro.perfmodel.sweep import jigsaw_crossover_m
+
+        for model in (GpuSliceDiceModel(), GpuImpatientModel()):
+            assert jigsaw_crossover_m(model, 512) is None
+
+    def test_validation(self):
+        from repro.perfmodel.sweep import crossover_m, speedup_series
+
+        with pytest.raises(ValueError):
+            speedup_series(CpuMirtModel(), AsicJigsawModel(), 512,
+                           np.asarray([-1]))
+        with pytest.raises(ValueError):
+            crossover_m(lambda m: 0, lambda m: 0, m_lo=5, m_hi=1)

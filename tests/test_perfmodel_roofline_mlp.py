@@ -1,0 +1,127 @@
+"""Unit tests for the roofline and MLP analyses."""
+
+import numpy as np
+import pytest
+
+from repro.gridding import GriddingStats
+from repro.perfmodel import (
+    I9_9900KS,
+    TITAN_XP,
+    MachineRoofline,
+    distinct_lines_profile,
+    gridding_roofline,
+    stream_count,
+)
+
+
+class TestRoofline:
+    def test_ridge(self):
+        m = MachineRoofline("toy", peak_gflops=100.0, peak_bandwidth_gbs=50.0)
+        assert m.ridge_intensity == pytest.approx(2.0)
+
+    def test_attainable_clamped_by_compute(self):
+        m = MachineRoofline("toy", 100.0, 50.0)
+        assert m.attainable_gflops(10.0) == 100.0
+
+    def test_attainable_bandwidth_bound(self):
+        m = MachineRoofline("toy", 100.0, 50.0)
+        assert m.attainable_gflops(0.5) == pytest.approx(25.0)
+
+    def test_attainable_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            I9_9900KS.attainable_gflops(0.0)
+
+    def test_gridding_is_memory_bound_at_high_miss_rate(self):
+        """The §II claim: with near-random grid access, gridding sits
+        far left of the ridge on both testbed machines."""
+        stats = GriddingStats(
+            interpolations=1_000_000, grid_accesses=1_000_000,
+            samples_processed=30_000,
+        )
+        for machine in (I9_9900KS, TITAN_XP):
+            pt = gridding_roofline(stats, miss_rate=0.9, machine=machine)
+            assert pt.memory_bound
+
+    def test_caching_moves_toward_compute_bound(self):
+        stats = GriddingStats(
+            interpolations=1_000_000, grid_accesses=1_000_000,
+            samples_processed=30_000,
+        )
+        hot = gridding_roofline(stats, miss_rate=0.02, machine=TITAN_XP)
+        cold = gridding_roofline(stats, miss_rate=0.9, machine=TITAN_XP)
+        assert hot.intensity > 5 * cold.intensity
+        assert hot.runtime_seconds < cold.runtime_seconds
+
+    def test_runtime_positive(self):
+        stats = GriddingStats(interpolations=100, grid_accesses=100,
+                              samples_processed=10)
+        assert gridding_roofline(stats, 0.5, I9_9900KS).runtime_seconds > 0
+
+    def test_miss_rate_validated(self):
+        stats = GriddingStats(interpolations=1, grid_accesses=1, samples_processed=1)
+        with pytest.raises(ValueError):
+            gridding_roofline(stats, 1.5, I9_9900KS)
+
+
+class TestMlp:
+    def test_sequential_trace_few_lines_per_window(self):
+        trace = np.arange(640)  # 8 elements per 64B line
+        counts = distinct_lines_profile(trace, window=64)
+        assert counts.max() <= 9
+
+    def test_random_trace_many_lines_per_window(self):
+        rng = np.random.default_rng(0)
+        trace = rng.integers(0, 1_000_000, 640)
+        counts = distinct_lines_profile(trace, window=64)
+        assert counts.min() > 50
+
+    def test_short_trace(self):
+        counts = distinct_lines_profile(np.asarray([1, 2, 3]), window=64)
+        assert counts.shape == (1,)
+        assert counts[0] == 1  # all in one line
+
+    def test_window_validated(self):
+        with pytest.raises(ValueError):
+            distinct_lines_profile(np.arange(10), window=0)
+
+    def test_stream_count_contiguous(self):
+        assert stream_count(np.arange(100)) == 1
+
+    def test_stream_count_two_streams(self):
+        trace = np.concatenate([np.arange(50), 100_000 + np.arange(50)])
+        assert stream_count(trace) == 2
+
+    def test_stream_count_empty(self):
+        assert stream_count(np.zeros(0, dtype=np.int64)) == 0
+
+    def test_snd_working_set_bounded_naive_unbounded(self):
+        """§III: the dice layout confines any stretch of the access
+        stream to a handful of private column arrays (bounded working
+        set -> misses resolvable in parallel without thrash), while the
+        naive input-driven stream touches ever more distinct lines as
+        the window grows (random grid access)."""
+        from repro.core import SliceAndDiceGridder
+        from repro.gridding import GriddingSetup, NaiveGridder
+        from repro.kernels import KernelLUT, beatty_kernel
+
+        rng = np.random.default_rng(1)
+        g = 128
+        setup = GriddingSetup((g, g), KernelLUT(beatty_kernel(6, 2.0), 32))
+        coords = rng.uniform(0, g, (3000, 2))
+        naive_trace = NaiveGridder(setup).address_trace(coords)
+        snd = SliceAndDiceGridder(setup)
+        snd_trace = snd.address_trace(coords)
+
+        big = 256
+        naive_lines = distinct_lines_profile(naive_trace, window=big).mean()
+        snd_lines = distinct_lines_profile(snd_trace, window=big).mean()
+        assert snd_lines < naive_lines
+        # SnD window working set is bounded by ~2 column arrays
+        per_column_lines = snd.layout.n_tiles * 8 / 64  # complex64 entries
+        assert distinct_lines_profile(snd_trace, window=big).max() <= 2 * per_column_lines
+
+        # naive keeps growing with the window; SnD saturates
+        naive_small = distinct_lines_profile(naive_trace, window=64).mean()
+        snd_small = distinct_lines_profile(snd_trace, window=64).mean()
+        assert naive_lines / naive_small > 2.0
+        assert snd_lines / snd_small < 2.0

@@ -1,0 +1,123 @@
+"""Unit tests for the phantom generators."""
+
+import numpy as np
+import pytest
+
+from repro.phantoms import (
+    liver_like_phantom,
+    phantom_3d_stack,
+    shepp_logan_2d,
+    smooth_random_phantom,
+)
+
+
+class TestSheppLogan:
+    def test_shape(self):
+        assert shepp_logan_2d(64).shape == (64, 64)
+
+    def test_value_range(self):
+        img = shepp_logan_2d(128)
+        assert img.min() >= -1e-12
+        assert img.max() <= 1.0 + 1e-12
+
+    def test_background_zero(self):
+        img = shepp_logan_2d(128)
+        assert img[0, 0] == 0.0
+        assert img[-1, -1] == 0.0
+
+    def test_skull_brighter_than_brain(self):
+        img = shepp_logan_2d(256)
+        # skull rim (outer ellipse only, top of head) vs interior gray
+        assert img[10, 128] > img[128, 128]
+
+    def test_left_right_ventricles_symmetric_in_intensity(self):
+        img = shepp_logan_2d(256)
+        # the two dark ventricles have equal intensity
+        left = img[128, 96]
+        right = img[128, 160]
+        assert left == pytest.approx(right, abs=1e-12)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(shepp_logan_2d(64), shepp_logan_2d(64))
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            shepp_logan_2d(0)
+
+    @pytest.mark.parametrize("n", [16, 33, 100])
+    def test_various_sizes(self, n):
+        assert shepp_logan_2d(n).shape == (n, n)
+
+
+class TestLiverLike:
+    def test_shape_and_range(self):
+        img = liver_like_phantom(96, rng=0)
+        assert img.shape == (96, 96)
+        assert img.min() >= 0.0 and img.max() == pytest.approx(1.0)
+
+    def test_reproducible(self):
+        np.testing.assert_array_equal(
+            liver_like_phantom(64, rng=3), liver_like_phantom(64, rng=3)
+        )
+
+    def test_different_seeds_differ(self):
+        a = liver_like_phantom(64, rng=0)
+        b = liver_like_phantom(64, rng=1)
+        assert np.any(a != b)
+
+    def test_background_dark(self):
+        img = liver_like_phantom(128, rng=0)
+        assert img[0, 0] == 0.0
+
+    def test_smooth_spectrum(self):
+        """Soft-tissue stand-in must have faster spectral decay than the
+        piecewise-constant Shepp-Logan."""
+        n = 128
+        def hf_fraction(img):
+            spec = np.abs(np.fft.fftshift(np.fft.fft2(img)))
+            c = n // 2
+            r = np.hypot(*np.meshgrid(np.arange(n) - c, np.arange(n) - c))
+            return spec[r > n / 4].sum() / spec.sum()
+
+        assert hf_fraction(liver_like_phantom(n, rng=0)) < hf_fraction(
+            shepp_logan_2d(n)
+        )
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            liver_like_phantom(4)
+
+
+class TestSmoothRandom:
+    def test_range(self):
+        img = smooth_random_phantom(64, rng=0)
+        assert img.min() == pytest.approx(0.0)
+        assert img.max() == pytest.approx(1.0)
+
+    def test_smoothness_parameter(self):
+        rough = smooth_random_phantom(64, smoothness=2, rng=0)
+        smooth = smooth_random_phantom(64, smoothness=16, rng=0)
+        assert np.mean(np.abs(np.diff(smooth, axis=0))) < np.mean(
+            np.abs(np.diff(rough, axis=0))
+        )
+
+    def test_rejects_bad(self):
+        with pytest.raises(ValueError):
+            smooth_random_phantom(2)
+        with pytest.raises(ValueError):
+            smooth_random_phantom(64, smoothness=0)
+
+
+class TestPhantom3D:
+    def test_shape(self):
+        vol = phantom_3d_stack(32, 8, rng=0)
+        assert vol.shape == (8, 32, 32)
+
+    def test_envelope_fades_at_ends(self):
+        vol = phantom_3d_stack(32, 16, rng=0)
+        assert vol[0].max() < vol[8].max()
+        assert vol[-1].max() < vol[8].max()
+
+    def test_rejects_bad_nz(self):
+        with pytest.raises(ValueError):
+            phantom_3d_stack(32, 0)

@@ -1,0 +1,175 @@
+"""Property-based tests on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core import DiceLayout, decompose_coordinates, column_forward_distance, column_tile_index
+from repro.fixedpoint import QFormat, RoundingMode, knuth_complex_multiply
+from repro.jigsaw import JigsawConfig, z_bin_samples
+from repro.perfmodel import CacheModel
+
+
+class TestQFormatProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        int_bits=st.integers(1, 15),
+        frac_bits=st.integers(0, 15),
+        value=st.floats(-100, 100, allow_nan=False),
+    )
+    def test_quantize_error_bounded(self, int_bits, frac_bits, value):
+        q = QFormat(int_bits, frac_bits)
+        assume(q.min_value <= value <= q.max_value)
+        back = q.dequantize(q.quantize(value))
+        assert abs(back - value) <= q.quantization_error_bound() + 1e-12
+
+    @settings(max_examples=100, deadline=None)
+    @given(value=st.floats(-1000, 1000, allow_nan=False))
+    def test_quantize_idempotent(self, value):
+        q = QFormat(7, 8)
+        once = q.quantize(value)
+        twice = q.quantize(q.dequantize(once))
+        assert once == twice
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        a=st.integers(-30000, 30000),
+        b=st.integers(-30000, 30000),
+        c=st.integers(-30000, 30000),
+        d=st.integers(-30000, 30000),
+    )
+    def test_knuth_matches_schoolbook_exactly(self, a, b, c, d):
+        wide = QFormat(62, 0)
+        re, im = knuth_complex_multiply(
+            np.asarray([a]), np.asarray([b]), np.asarray([c]), np.asarray([d]),
+            wide, 0,
+        )
+        z = complex(a, b) * complex(c, d)
+        assert re[0] == z.real and im[0] == z.imag
+
+    @settings(max_examples=50, deadline=None)
+    @given(codes=st.lists(st.integers(-128, 127), min_size=1, max_size=20))
+    def test_saturating_add_bounded(self, codes):
+        q = QFormat(3, 4)
+        acc = np.asarray([0])
+        for c in codes:
+            acc = q.add(acc, np.asarray([c]))
+        assert q.min_code <= acc[0] <= q.max_code
+
+
+class TestDecompositionProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        t=st.sampled_from([4, 8, 16]),
+        w=st.integers(1, 4),
+    )
+    def test_reconstruction_identity(self, seed, t, w):
+        """tile * T + rel + frac must reconstruct the shifted coordinate."""
+        rng = np.random.default_rng(seed)
+        g = 4 * t
+        coords = rng.uniform(0, g, (20, 2))
+        dec = decompose_coordinates(coords, (g, g), t, w)
+        shifted = np.mod(coords + w / 2.0, g)
+        rebuilt = dec.tile * t + dec.rel + dec.frac
+        np.testing.assert_allclose(rebuilt, shifted, atol=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_each_sample_affects_exactly_w_squared_columns(self, seed):
+        rng = np.random.default_rng(seed)
+        g, t, w = 32, 8, 6
+        coords = rng.uniform(0, g, (15, 2))
+        dec = decompose_coordinates(coords, (g, g), t, w)
+        hits = np.zeros(15, dtype=int)
+        for px in range(t):
+            for py in range(t):
+                fwd = column_forward_distance(dec, (px, py))
+                hits += np.all(fwd < w, axis=1)
+        assert np.all(hits == w * w)
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_tile_index_in_range(self, seed):
+        rng = np.random.default_rng(seed)
+        g, t, w = 32, 8, 6
+        coords = rng.uniform(0, g, (15, 2))
+        dec = decompose_coordinates(coords, (g, g), t, w)
+        n_tiles = (g // t) ** 2
+        for p in [(0, 0), (7, 3), (5, 5)]:
+            idx = column_tile_index(dec, p)
+            assert np.all((0 <= idx) & (idx < n_tiles))
+
+
+class TestDiceLayoutProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        t=st.sampled_from([2, 4, 8]),
+        mult=st.integers(2, 4),
+    )
+    def test_roundtrip_any_geometry(self, seed, t, mult):
+        g = t * mult
+        rng = np.random.default_rng(seed)
+        lay = DiceLayout((g, g), t)
+        grid = rng.standard_normal((g, g))
+        np.testing.assert_array_equal(lay.dice_to_grid(lay.grid_to_dice(grid)), grid)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_transform_is_permutation(self, seed):
+        """grid_to_dice must be a pure relabeling: multiset preserved."""
+        rng = np.random.default_rng(seed)
+        lay = DiceLayout((16, 16), 4)
+        grid = rng.standard_normal((16, 16))
+        dice = lay.grid_to_dice(grid)
+        assert sorted(dice.ravel().tolist()) == sorted(grid.ravel().tolist())
+
+
+class TestCacheProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), n=st.integers(1, 200))
+    def test_misses_bounded_by_accesses(self, seed, n):
+        rng = np.random.default_rng(seed)
+        trace = rng.integers(0, 10_000, n)
+        stats = CacheModel(4096, line_bytes=64, associativity=4).simulate(trace)
+        assert 0 <= stats.misses <= stats.accesses == n
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_bigger_cache_never_worse_lru(self, seed):
+        """LRU has the inclusion property: more capacity (same sets x
+        more ways) cannot increase misses."""
+        rng = np.random.default_rng(seed)
+        trace = rng.integers(0, 2_000, 400)
+        small = CacheModel(64 * 16 * 2, line_bytes=64, associativity=2)
+        big = CacheModel(64 * 16 * 8, line_bytes=64, associativity=8)
+        assert small.n_sets == big.n_sets  # same sets, more ways
+        assert big.simulate(trace).misses <= small.simulate(trace).misses
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_repeating_trace_second_pass_no_worse(self, seed):
+        rng = np.random.default_rng(seed)
+        once = rng.integers(0, 40, 50)  # small working set
+        cache = CacheModel(64 * 64, line_bytes=64, associativity=8)
+        one = cache.simulate(once)
+        two = CacheModel(64 * 64, line_bytes=64, associativity=8).simulate(
+            np.concatenate([once, once])
+        )
+        assert two.misses <= one.misses + 1  # second pass hits (fits)
+
+
+class TestZBinningProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), wz=st.integers(1, 8))
+    def test_entry_count_is_m_times_wz(self, seed, wz):
+        cfg = JigsawConfig(
+            grid_dim=16, grid_dim_z=8, window_width=4, window_width_z=wz,
+            table_oversampling=16, variant="3d_slice",
+        )
+        rng = np.random.default_rng(seed)
+        coords = rng.uniform(0, 8, (30, 3))
+        zb = z_bin_samples(coords, cfg)
+        assert zb.entries == 30 * wz
+        assert sum(len(s) for s in zb.slice_samples) == 30 * wz

@@ -1,0 +1,36 @@
+"""Unit tests for the installation self-check."""
+
+import pytest
+
+from repro.selfcheck import SelfCheckError, run_self_check
+
+
+class TestSelfCheck:
+    def test_passes_on_healthy_install(self, capsys):
+        report = run_self_check(verbose=True)
+        out = capsys.readouterr().out
+        assert "self-check" in out
+        assert report.gridder_max_deviation < 1e-9
+        assert report.jigsaw_cycles_ok
+        assert report.table2_ok
+        assert set(report.checks_run) == {
+            "gridder_agreement",
+            "nufft_accuracy",
+            "adjointness",
+            "jigsaw",
+            "table2",
+        }
+
+    def test_quiet_mode(self, capsys):
+        run_self_check(verbose=False)
+        assert capsys.readouterr().out == ""
+
+    def test_summary_format(self):
+        report = run_self_check(verbose=False)
+        s = report.summary()
+        assert "Table II" in s and "cycle law" in s
+
+    def test_deterministic_given_seed(self):
+        a = run_self_check(verbose=False, seed=3)
+        b = run_self_check(verbose=False, seed=3)
+        assert a.nufft_vs_nudft_error == b.nufft_vs_nudft_error

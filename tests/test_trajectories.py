@@ -1,0 +1,181 @@
+"""Unit tests for the sampling trajectory generators."""
+
+import numpy as np
+import pytest
+
+from repro.trajectories import (
+    cartesian_trajectory,
+    golden_angle_radial,
+    jittered_grid_trajectory,
+    radial_trajectory,
+    random_trajectory,
+    rosette_trajectory,
+    spiral_trajectory,
+    stack_of_stars_3d,
+)
+
+ALL_2D = [
+    ("radial", lambda: radial_trajectory(16, 32)),
+    ("golden", lambda: golden_angle_radial(16, 32)),
+    ("spiral", lambda: spiral_trajectory(4, 128)),
+    ("random", lambda: random_trajectory(512, 2, rng=0)),
+    ("rosette", lambda: rosette_trajectory(512)),
+    ("cartesian", lambda: cartesian_trajectory(16)),
+    ("jittered", lambda: jittered_grid_trajectory(16, rng=0)),
+]
+
+
+@pytest.mark.parametrize("name,factory", ALL_2D, ids=[n for n, _ in ALL_2D])
+class TestCommon2D:
+    def test_shape(self, name, factory):
+        pts = factory()
+        assert pts.ndim == 2 and pts.shape[1] == 2
+
+    def test_within_normalized_torus(self, name, factory):
+        pts = factory()
+        assert np.all(pts >= -0.5) and np.all(pts < 0.5)
+
+    def test_finite(self, name, factory):
+        assert np.all(np.isfinite(factory()))
+
+    def test_deterministic(self, name, factory):
+        np.testing.assert_array_equal(factory(), factory())
+
+
+class TestRadial:
+    def test_sample_count(self):
+        assert radial_trajectory(10, 64).shape == (640, 2)
+
+    def test_spokes_pass_through_origin(self):
+        pts = radial_trajectory(8, 64).reshape(8, 64, 2)
+        # the readout index at n/2 is exactly the center
+        np.testing.assert_allclose(pts[:, 32], 0.0, atol=1e-15)
+
+    def test_uniform_angles(self):
+        pts = radial_trajectory(4, 16).reshape(4, 16, 2)
+        ang = np.arctan2(pts[:, -1, 1], pts[:, -1, 0])
+        diffs = np.diff(ang)
+        np.testing.assert_allclose(diffs, diffs[0], atol=1e-12)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            radial_trajectory(0, 64)
+        with pytest.raises(ValueError):
+            radial_trajectory(4, 0)
+
+    def test_golden_angle_prefix_coverage(self):
+        """Any prefix of golden-angle spokes covers angles roughly
+        uniformly: the largest angular gap shrinks as spokes accrue."""
+        def max_gap(n):
+            pts = golden_angle_radial(n, 8).reshape(n, 8, 2)
+            ang = np.sort(np.arctan2(pts[:, -1, 1], pts[:, -1, 0]) % np.pi)
+            gaps = np.diff(np.concatenate([ang, [ang[0] + np.pi]]))
+            return gaps.max()
+
+        assert max_gap(55) < max_gap(13) < max_gap(3)
+
+
+class TestSpiral:
+    def test_sample_count(self):
+        assert spiral_trajectory(3, 100).shape == (300, 2)
+
+    def test_starts_at_center(self):
+        pts = spiral_trajectory(1, 100)
+        assert np.linalg.norm(pts[0]) < 1e-12
+
+    def test_radius_monotone_for_uniform_density(self):
+        pts = spiral_trajectory(1, 256)
+        r = np.linalg.norm(pts, axis=1)
+        assert np.all(np.diff(r) >= -1e-12)
+
+    def test_variable_density_oversamples_center(self):
+        uni = spiral_trajectory(1, 1024, density_power=1.0)
+        vd = spiral_trajectory(1, 1024, density_power=0.5)
+        center_uni = np.mean(np.linalg.norm(uni, axis=1) < 0.1)
+        center_vd = np.mean(np.linalg.norm(vd, axis=1) < 0.1)
+        assert center_vd < center_uni  # power<1 pushes radius up faster
+
+    def test_interleaves_are_rotations(self):
+        pts = spiral_trajectory(2, 64).reshape(2, 64, 2)
+        r0 = np.linalg.norm(pts[0], axis=1)
+        r1 = np.linalg.norm(pts[1], axis=1)
+        np.testing.assert_allclose(r0, r1, atol=1e-12)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            spiral_trajectory(0, 10)
+        with pytest.raises(ValueError):
+            spiral_trajectory(1, 10, turns=-1)
+        with pytest.raises(ValueError):
+            spiral_trajectory(1, 10, density_power=0)
+
+
+class TestRandomAndJittered:
+    def test_random_seeded_reproducible(self):
+        a = random_trajectory(100, 2, rng=7)
+        b = random_trajectory(100, 2, rng=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_random_3d(self):
+        assert random_trajectory(10, 3, rng=0).shape == (10, 3)
+
+    def test_random_rejects_bad(self):
+        with pytest.raises(ValueError):
+            random_trajectory(0)
+        with pytest.raises(ValueError):
+            random_trajectory(5, 0)
+
+    def test_jitter_zero_is_cartesian(self):
+        j = jittered_grid_trajectory(8, jitter=0.0, rng=0)
+        c = cartesian_trajectory(8)
+        np.testing.assert_allclose(np.sort(j.ravel()), np.sort(c.ravel()), atol=1e-12)
+
+    def test_jitter_bounds_validated(self):
+        with pytest.raises(ValueError, match="jitter"):
+            jittered_grid_trajectory(8, jitter=0.6)
+
+
+class TestCartesian:
+    def test_count(self):
+        assert cartesian_trajectory(8).shape == (64, 2)
+
+    def test_contains_dc(self):
+        pts = cartesian_trajectory(8)
+        assert np.any(np.all(pts == 0.0, axis=1))
+
+    def test_1d(self):
+        pts = cartesian_trajectory(8, ndim=1)
+        np.testing.assert_allclose(pts.ravel(), (np.arange(8) - 4) / 8)
+
+
+class TestRosette:
+    def test_recrosses_center(self):
+        pts = rosette_trajectory(4096)
+        r = np.linalg.norm(pts, axis=1)
+        crossings = np.sum((r[:-1] > 0.05) & (r[1:] <= 0.05))
+        assert crossings > 5
+
+    def test_rejects_bad_freqs(self):
+        with pytest.raises(ValueError):
+            rosette_trajectory(100, f1=-1)
+
+
+class TestStackOfStars:
+    def test_shape(self):
+        pts = stack_of_stars_3d(4, 16, nz=6)
+        assert pts.shape == (6 * 4 * 16, 3)
+
+    def test_kz_planes(self):
+        pts = stack_of_stars_3d(2, 8, nz=4)
+        assert len(np.unique(pts[:, 2])) == 4
+
+    def test_jitter_z(self):
+        pts = stack_of_stars_3d(2, 8, nz=4, jitter_z=0.3, rng=0)
+        assert len(np.unique(pts[:, 2])) == 4
+        assert np.all(pts[:, 2] >= -0.5) and np.all(pts[:, 2] < 0.5)
+
+    def test_rejects_bad(self):
+        with pytest.raises(ValueError):
+            stack_of_stars_3d(2, 8, nz=0)
+        with pytest.raises(ValueError):
+            stack_of_stars_3d(2, 8, nz=4, jitter_z=0.9)

@@ -1,0 +1,109 @@
+"""Unit tests for density compensation estimators."""
+
+import numpy as np
+import pytest
+
+from repro.nufft import NufftPlan
+from repro.trajectories import (
+    cell_counting_density_compensation,
+    pipe_menon_density_compensation,
+    radial_trajectory,
+    ramp_density_compensation,
+    random_trajectory,
+)
+
+
+class TestRamp:
+    def test_unit_mean(self):
+        w = ramp_density_compensation(radial_trajectory(16, 32))
+        assert np.mean(w) == pytest.approx(1.0)
+
+    def test_positive(self):
+        w = ramp_density_compensation(radial_trajectory(16, 32))
+        assert np.all(w > 0)
+
+    def test_proportional_to_radius(self):
+        coords = radial_trajectory(4, 64)
+        w = ramp_density_compensation(coords)
+        r = np.linalg.norm(coords, axis=1)
+        big = r > 0.1
+        ratio = w[big] / r[big]
+        np.testing.assert_allclose(ratio, ratio[0], rtol=1e-12)
+
+    def test_center_not_zero(self):
+        coords = np.zeros((5, 2))
+        assert np.all(ramp_density_compensation(coords) > 0)
+
+
+class TestCellCounting:
+    def test_unit_mean(self):
+        coords = random_trajectory(500, 2, rng=0)
+        w = cell_counting_density_compensation(coords, (16, 16))
+        assert np.mean(w) == pytest.approx(1.0)
+
+    def test_downweights_duplicates(self):
+        coords = np.concatenate([np.zeros((10, 2)), random_trajectory(10, 2, rng=1)])
+        w = cell_counting_density_compensation(coords, (32, 32))
+        assert w[0] < w[-1]
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError, match="does not match"):
+            cell_counting_density_compensation(np.zeros((5, 2)), (8, 8, 8))
+
+    def test_uniform_grid_gets_uniform_weights(self):
+        from repro.trajectories import cartesian_trajectory
+
+        coords = cartesian_trajectory(16)
+        w = cell_counting_density_compensation(coords, (16, 16))
+        np.testing.assert_allclose(w, 1.0)
+
+
+class TestPipeMenon:
+    def test_flattens_density(self):
+        """After Pipe-Menon, the gridded weighted density is much
+        flatter than for uniform weights."""
+        coords = radial_trajectory(24, 48)
+        plan = NufftPlan((24, 24), coords, width=4)
+        fwd = lambda g: plan.gridder.interp(g, plan.grid_coords)
+        adj = lambda v: plan.gridder.grid(plan.grid_coords, v)
+        w = pipe_menon_density_compensation(coords, fwd, adj, n_iterations=12)
+
+        def flatness(weights):
+            dens = np.real(fwd(adj(weights.astype(complex))))
+            return np.std(dens) / np.mean(dens)
+
+        assert flatness(w) < 0.25 * flatness(np.ones(len(w)))
+
+    def test_unit_mean(self):
+        coords = radial_trajectory(8, 16)
+        plan = NufftPlan((16, 16), coords, width=4)
+        w = pipe_menon_density_compensation(
+            coords,
+            lambda g: plan.gridder.interp(g, plan.grid_coords),
+            lambda v: plan.gridder.grid(plan.grid_coords, v),
+            n_iterations=3,
+        )
+        assert np.mean(w) == pytest.approx(1.0)
+
+    def test_approximates_ramp_for_radial(self):
+        """For radial patterns Pipe-Menon should correlate strongly
+        with the analytic ramp."""
+        coords = radial_trajectory(32, 64)
+        plan = NufftPlan((32, 32), coords, width=4)
+        w = pipe_menon_density_compensation(
+            coords,
+            lambda g: plan.gridder.interp(g, plan.grid_coords),
+            lambda v: plan.gridder.grid(plan.grid_coords, v),
+            n_iterations=15,
+        )
+        ramp = ramp_density_compensation(coords)
+        corr = np.corrcoef(w, ramp)[0, 1]
+        # kernel-width effects flatten the extremes, so correlation is
+        # strong but not perfect
+        assert corr > 0.85
+
+    def test_rejects_bad_iterations(self):
+        with pytest.raises(ValueError, match="n_iterations"):
+            pipe_menon_density_compensation(
+                np.zeros((4, 2)), lambda g: g, lambda v: v, n_iterations=0
+            )
