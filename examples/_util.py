@@ -1,5 +1,11 @@
 """Small shared helpers for the example scripts (no plotting deps).
 
+Importing this module also makes ``repro`` importable when the package
+is not installed: if ``import repro`` would fail, the repository's
+``src/`` directory is prepended to ``sys.path``.  Examples import
+``_util`` *before* ``repro`` so that ``python examples/quickstart.py``
+works standalone from any working directory.
+
 Images are written as binary PGM (viewable with any image viewer) and
 previewed in the terminal as ASCII art so the examples work in a bare
 console environment.
@@ -7,7 +13,16 @@ console environment.
 
 from __future__ import annotations
 
+import importlib.util
 import os
+import sys
+
+if importlib.util.find_spec("repro") is None:
+    _SRC = os.path.abspath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src")
+    )
+    if os.path.isdir(_SRC) and _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
 
 import numpy as np
 

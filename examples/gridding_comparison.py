@@ -14,6 +14,10 @@ import time
 
 import numpy as np
 
+# _util must be imported before repro: it bootstraps sys.path when the
+# package is not installed, so the examples run standalone
+from _util import banner
+
 from repro.bench import format_table
 from repro.core import SliceAndDiceGridder
 from repro.gridding import (
@@ -25,8 +29,6 @@ from repro.gridding import (
 from repro.kernels import KernelLUT, beatty_kernel
 from repro.perfmodel import CacheModel
 from repro.trajectories import golden_angle_radial
-
-from _util import banner
 
 G = 128  # oversampled grid
 M = 20_000

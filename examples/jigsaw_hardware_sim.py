@@ -13,6 +13,10 @@ Run:  python examples/jigsaw_hardware_sim.py
 
 import numpy as np
 
+# _util must be imported before repro: it bootstraps sys.path when the
+# package is not installed, so the examples run standalone
+from _util import banner
+
 from repro import JigsawConfig, JigsawSimulator, golden_angle_radial
 from repro.bench import format_table
 from repro.gridding import GriddingSetup, NaiveGridder
@@ -25,8 +29,6 @@ from repro.jigsaw import (
 from repro.kernels import KernelLUT, beatty_kernel
 from repro.recon import nrmsd_percent
 from repro.trajectories import stack_of_stars_3d
-
-from _util import banner
 
 GRID = 256  # oversampled target grid (N in Table I)
 W = 6

@@ -19,11 +19,13 @@ import time
 
 import numpy as np
 
+# _util must be imported before repro: it bootstraps sys.path when the
+# package is not installed, so the examples run standalone
+from _util import ascii_preview, banner, save_pgm
+
 from repro import NufftPlan, liver_like_phantom, spiral_trajectory
 from repro.recon import adjoint_reconstruction, cg_reconstruction, rel_l2_error
 from repro.trajectories import pipe_menon_density_compensation
-
-from _util import ascii_preview, banner, save_pgm
 
 N = 96
 UNDERSAMPLING = 2.0  # acquired samples ~ N^2 / UNDERSAMPLING

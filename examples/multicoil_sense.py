@@ -15,6 +15,10 @@ import time
 
 import numpy as np
 
+# _util must be imported before repro: it bootstraps sys.path when the
+# package is not installed, so the examples run standalone
+from _util import ascii_preview, banner, save_pgm
+
 from repro import NufftPlan, golden_angle_radial, shepp_logan_2d
 from repro.bench import format_table
 from repro.mri import (
@@ -31,8 +35,6 @@ from repro.trajectories import (
     ramp_density_compensation,
     voronoi_density_compensation,
 )
-
-from _util import ascii_preview, banner, save_pgm
 
 N = 96
 N_COILS = 8

@@ -11,11 +11,13 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
+# _util must be imported before repro: it bootstraps sys.path when the
+# package is not installed, so the examples run standalone
+from _util import ascii_preview, banner, save_pgm
+
 from repro import NufftPlan, golden_angle_radial, shepp_logan_2d
 from repro.nudft import nudft_forward
 from repro.recon import adjoint_reconstruction, rel_l2_error
-
-from _util import ascii_preview, banner, save_pgm
 
 N = 128  # image size
 

@@ -11,6 +11,10 @@ Run:  python examples/trajectory_gallery.py
 
 import numpy as np
 
+# _util must be imported before repro: it bootstraps sys.path when the
+# package is not installed, so the examples run standalone
+from _util import banner, save_pgm
+
 from repro.bench import format_table
 from repro.gridding import BinningGridder, GriddingSetup
 from repro.jigsaw import JigsawConfig, gridding_cycles_2d
@@ -23,8 +27,6 @@ from repro.trajectories import (
     rosette_trajectory,
     spiral_trajectory,
 )
-
-from _util import banner, save_pgm
 
 M = 16_384
 G = 128

@@ -13,6 +13,10 @@ Run:  python examples/volume_3d.py
 
 import numpy as np
 
+# _util must be imported before repro: it bootstraps sys.path when the
+# package is not installed, so the examples run standalone
+from _util import ascii_preview, banner, save_pgm
+
 from repro.bench import format_table
 from repro.jigsaw import (
     JigsawConfig,
@@ -24,8 +28,6 @@ from repro.nufft import NufftPlan
 from repro.phantoms import phantom_3d_stack
 from repro.recon import nrmsd_percent
 from repro.trajectories import stack_of_stars_3d
-
-from _util import ascii_preview, banner, save_pgm
 
 N = 32   # in-plane image size
 NZ = 8   # slices

@@ -195,8 +195,16 @@ class NufftPlan:
 
     # ------------------------------------------------------------------
     def adjoint(self, values: np.ndarray) -> np.ndarray:
-        """Adjoint NuFFT: M samples -> image (gridding, FFT, de-apodize)."""
-        values = np.asarray(values, dtype=np.complex128).ravel()
+        """Adjoint NuFFT: M samples -> image (gridding, FFT, de-apodize).
+
+        A stacked ``(K, M)`` input is routed to :meth:`adjoint_batch`
+        (returning ``(K,) + image_shape``) so multi-coil callers can
+        use one entry point.
+        """
+        values = np.asarray(values, dtype=np.complex128)
+        if values.ndim == 2:
+            return self.adjoint_batch(values)
+        values = values.ravel()
         if values.shape[0] != self.n_samples:
             raise ValueError(f"{values.shape[0]} values for {self.n_samples} samples")
 
@@ -214,8 +222,14 @@ class NufftPlan:
         return image
 
     def forward(self, image: np.ndarray) -> np.ndarray:
-        """Forward NuFFT: image -> M samples (de-apodize, FFT, interpolate)."""
+        """Forward NuFFT: image -> M samples (de-apodize, FFT, interpolate).
+
+        A stacked ``(K,) + image_shape`` input is routed to
+        :meth:`forward_batch` (returning ``(K, M)``).
+        """
         image = np.asarray(image, dtype=np.complex128)
+        if image.ndim == self.ndim + 1 and tuple(image.shape[1:]) == self.image_shape:
+            return self.forward_batch(image)
         if tuple(image.shape) != self.image_shape:
             raise ValueError(f"image shape {image.shape} != plan {self.image_shape}")
 
@@ -254,15 +268,20 @@ class NufftPlan:
             raise ValueError(
                 f"images must be (B,) + {self.image_shape}, got {images.shape}"
             )
-        out = np.empty((images.shape[0], self.n_samples), dtype=np.complex128)
-        total = NufftTimings()
-        for b in range(images.shape[0]):
-            out[b] = self.forward(images[b])
-            total.gridding += self.timings.gridding
-            total.fft += self.timings.fft
-            total.apodization += self.timings.apodization
-        self.timings = total
-        return out
+        n_batch = images.shape[0]
+
+        t0 = time.perf_counter()
+        padded = np.empty((n_batch,) + self.grid_shape, dtype=np.complex128)
+        for b in range(n_batch):
+            prepared = self._round(self._apodize(self._round(images[b]), conjugate=True))
+            padded[b] = self._pad(prepared)
+        t1 = time.perf_counter()
+        grids = self._round(np.fft.fftn(padded, axes=tuple(range(1, self.ndim + 1))))
+        t2 = time.perf_counter()
+        samples = self._round(self.gridder.interp_batch(grids, self.grid_coords))
+        t3 = time.perf_counter()
+        self.timings = NufftTimings(gridding=t3 - t2, fft=t2 - t1, apodization=t1 - t0)
+        return samples
 
     def adjoint_batch(self, values: np.ndarray) -> np.ndarray:
         """Adjoint NuFFT of a stack of sample vectors sharing this plan.
@@ -281,14 +300,23 @@ class NufftPlan:
             raise ValueError(
                 f"values must be (B, {self.n_samples}), got {values.shape}"
             )
-        out = np.empty((values.shape[0],) + self.image_shape, dtype=np.complex128)
-        total = NufftTimings()
-        for b in range(values.shape[0]):
-            out[b] = self.adjoint(values[b])
-            total.gridding += self.timings.gridding
-            total.fft += self.timings.fft
-            total.apodization += self.timings.apodization
-        self.timings = total
+        n_batch = values.shape[0]
+
+        t0 = time.perf_counter()
+        grids = self._round(
+            self.gridder.grid_batch(self.grid_coords, self._round(values))
+        )
+        t1 = time.perf_counter()
+        spectra = self._round(
+            np.fft.ifftn(grids, axes=tuple(range(1, self.ndim + 1)))
+            * float(np.prod(self.grid_shape))
+        )
+        t2 = time.perf_counter()
+        out = np.empty((n_batch,) + self.image_shape, dtype=np.complex128)
+        for b in range(n_batch):
+            out[b] = self._round(self._apodize(self._crop(spectra[b])))
+        t3 = time.perf_counter()
+        self.timings = NufftTimings(gridding=t1 - t0, fft=t2 - t1, apodization=t3 - t2)
         return out
 
     # ------------------------------------------------------------------

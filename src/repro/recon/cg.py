@@ -68,8 +68,24 @@ def cg_reconstruction(
     Returns
     -------
     :class:`CgResult` with the image and residual history.
+
+    Notes
+    -----
+    ``kspace`` may also be a stacked ``(K, M)`` array of independent
+    right-hand sides sharing the trajectory (e.g. per-coil data or
+    dynamic frames).  The ``K`` systems are then iterated together
+    with per-system step sizes, and every iteration applies the Gram
+    operator through the *batched* NuFFT path — one gridder select
+    pass (with cached tables) for all ``K`` systems.  The result image
+    has shape ``(K,) + image_shape`` and the residual history records
+    the worst (max) relative residual across systems.
     """
-    kspace = np.asarray(kspace, dtype=np.complex128).ravel()
+    kspace = np.asarray(kspace, dtype=np.complex128)
+    if kspace.ndim == 2:
+        return _cg_reconstruction_batched(
+            plan, kspace, weights, n_iterations, tolerance, regularization, toeplitz
+        )
+    kspace = kspace.ravel()
     if kspace.shape[0] != plan.n_samples:
         raise ValueError(
             f"{kspace.shape[0]} samples for {plan.n_samples} trajectory points"
@@ -126,6 +142,103 @@ def cg_reconstruction(
             result.converged = True
             break
         p = r + (rs_new / rs_old) * p
+        rs_old = rs_new
+    result.image = x
+    return result
+
+
+def _cg_reconstruction_batched(
+    plan: NufftPlan,
+    kspace: np.ndarray,
+    weights: np.ndarray | None,
+    n_iterations: int,
+    tolerance: float,
+    regularization: float,
+    toeplitz: bool,
+) -> CgResult:
+    """Blocked CG over ``K`` independent right-hand sides.
+
+    Each system keeps its own ``alpha``/``beta`` scalars (this is K
+    independent CG recursions run in lock step, not a block-Krylov
+    method), but every Gram application goes through
+    :meth:`NufftPlan.forward_batch` / :meth:`NufftPlan.adjoint_batch`
+    so the gridder's select pass and cached tables are shared across
+    the batch.  A system whose residual drops below tolerance is
+    frozen (its step sizes are forced to zero) while the rest iterate.
+    """
+    if kspace.shape[1] != plan.n_samples:
+        raise ValueError(
+            f"{kspace.shape[1]} samples for {plan.n_samples} trajectory points"
+        )
+    if n_iterations < 1:
+        raise ValueError(f"n_iterations must be >= 1, got {n_iterations}")
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be positive, got {tolerance}")
+    if regularization < 0:
+        raise ValueError(f"regularization must be >= 0, got {regularization}")
+    k_rhs = kspace.shape[0]
+    if weights is None:
+        w = np.ones(plan.n_samples)
+    else:
+        w = np.asarray(weights, dtype=np.float64).ravel()
+        if w.shape[0] != plan.n_samples:
+            raise ValueError(f"{w.shape[0]} weights for {plan.n_samples} samples")
+        if np.any(w < 0):
+            raise ValueError("weights must be nonnegative")
+
+    if toeplitz:
+        gram_op = ToeplitzGram(plan, weights=w)
+
+        def gram(x: np.ndarray) -> np.ndarray:
+            out = np.empty_like(x)
+            for k in range(k_rhs):
+                out[k] = gram_op.apply(x[k])
+            return out + regularization * x
+
+    else:
+
+        def gram(x: np.ndarray) -> np.ndarray:
+            return plan.adjoint_batch(w * plan.forward_batch(x)) + regularization * x
+
+    sum_axes = tuple(range(1, plan.ndim + 1))
+
+    def dots(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.sum(np.conj(a) * b, axis=sum_axes).real
+
+    b = plan.adjoint_batch(w * kspace)
+    x = np.zeros((k_rhs,) + plan.image_shape, dtype=np.complex128)
+    r = b.copy()
+    p = r.copy()
+    rs_old = dots(r, r)
+    b_norm = np.sqrt(dots(b, b))
+    active = b_norm > 0.0
+    if not np.any(active):
+        return CgResult(image=x, residual_norms=[0.0], n_iterations=0, converged=True)
+    safe_norm = np.where(active, b_norm, 1.0)
+
+    result = CgResult(image=x, residual_norms=[1.0])
+    for it in range(1, n_iterations + 1):
+        ap = gram(p)
+        denom = dots(p, ap)
+        # freeze converged / broken-down systems: zero step keeps their
+        # state fixed while the remaining systems iterate
+        step_ok = active & (denom > 0)
+        if not np.any(step_ok):
+            break
+        alpha = np.where(step_ok, rs_old / np.where(denom > 0, denom, 1.0), 0.0)
+        shape = (k_rhs,) + (1,) * plan.ndim
+        x = x + alpha.reshape(shape) * p
+        r = r - alpha.reshape(shape) * ap
+        rs_new = dots(r, r)
+        rel = np.sqrt(rs_new) / safe_norm
+        result.residual_norms.append(float(np.max(np.where(active, rel, 0.0))))
+        result.n_iterations = it
+        active = active & (rel >= tolerance) & (denom > 0)
+        if not np.any(active):
+            result.converged = True
+            break
+        beta = np.where(rs_old > 0, rs_new / np.where(rs_old > 0, rs_old, 1.0), 0.0)
+        p = r + beta.reshape(shape) * p
         rs_old = rs_new
     result.image = x
     return result

@@ -2,8 +2,11 @@
 
 Runs each example as a subprocess from the ``examples/`` directory (the
 scripts import a local ``_util`` helper) and checks for a zero exit and
-its signature output line.  Set ``REPRO_SKIP_EXAMPLE_TESTS=1`` to skip
-(e.g. in quick local iterations); the full scripts total ~1 minute.
+its signature output line.  The subprocess environment gets the
+*absolute* path of ``src/`` prepended to ``PYTHONPATH`` — a relative
+entry (e.g. the tier-1 ``PYTHONPATH=src``) would not resolve from the
+``examples/`` working directory.  Set ``REPRO_SKIP_EXAMPLE_TESTS=1`` to
+skip (e.g. in quick local iterations); the full scripts total ~1 minute.
 """
 
 import os
@@ -13,6 +16,15 @@ import sys
 import pytest
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+SRC_DIR = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+
+def _subprocess_env() -> dict[str, str]:
+    """Environment with the absolute ``src/`` path leading PYTHONPATH."""
+    env = os.environ.copy()
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = SRC_DIR + (os.pathsep + existing if existing else "")
+    return env
 
 CASES = [
     ("quickstart.py", "Reconstructed image"),
@@ -36,6 +48,7 @@ def test_example_runs(script, marker):
     proc = subprocess.run(
         [sys.executable, script],
         cwd=EXAMPLES_DIR,
+        env=_subprocess_env(),
         capture_output=True,
         text=True,
         timeout=600,

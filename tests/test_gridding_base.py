@@ -120,6 +120,9 @@ class TestStats:
             "lut_lookups",
             "simd_active_lanes",
             "simd_lane_slots",
+            "cache_hits",
+            "cache_misses",
+            "table_build_seconds",
         }
 
 
