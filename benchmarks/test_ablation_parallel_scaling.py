@@ -1,0 +1,161 @@
+"""Ablation — multicore scaling of the column-sharded engine.
+
+The paper's zero-synchronization claim (§III/§IV) implies near-linear
+strong scaling: columns never share an output word, so a P-worker pool
+does ``1/P`` of the boundary-check work each with no locks and no
+reduction pass.  This benchmark measures exactly that on the host CPU:
+the same 2-D (and a smaller 3-D) problem gridded with the serial
+engine and with the process-backed parallel engine at P = 1, 2, 4
+workers, plus the batched multi-RHS path.
+
+Speedups are *recorded* (printed tables) on every machine; the >= 2x
+acceptance threshold at 4 workers is asserted only when the host
+actually has >= 4 CPUs — on fewer cores there is no parallel hardware
+to measure, and the engine itself would auto-select serial execution.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import ParallelSliceAndDiceGridder, SliceAndDiceGridder
+from repro.core.parallel import _processes_available
+from repro.gridding import GriddingSetup
+from repro.kernels import KernelLUT, beatty_kernel
+from repro.trajectories import random_trajectory
+
+from conftest import print_table
+
+#: the ISSUE acceptance problem: 2-D 256^2 grid, M >= 2e5 samples
+G_2D = 256
+M_2D = 200_000
+G_3D = 32
+M_3D = 20_000
+K = 4  # RHS count for the batched case
+WORKER_COUNTS = (1, 2, 4)
+
+HAVE_CORES = (os.cpu_count() or 1) >= 4
+needs_processes = pytest.mark.skipif(
+    not _processes_available(),
+    reason="fork + shared_memory not available on this platform",
+)
+
+
+def _problem(ndim: int):
+    if ndim == 2:
+        g, m, shape = G_2D, M_2D, (G_2D, G_2D)
+    else:
+        g, m, shape = G_3D, M_3D, (G_3D, G_3D, G_3D)
+    setup = GriddingSetup(shape, KernelLUT(beatty_kernel(6, 2.0), 32))
+    coords = np.mod(random_trajectory(m, ndim, rng=0), 1.0) * g
+    rng = np.random.default_rng(7)
+    values = rng.standard_normal(m) + 1j * rng.standard_normal(m)
+    return setup, coords, values
+
+
+def _parallel(setup, workers: int) -> ParallelSliceAndDiceGridder:
+    return ParallelSliceAndDiceGridder(
+        setup, tile_size=8, workers=workers, backend="process", min_parallel_ops=0
+    )
+
+
+def _time(fn, repeats: int = 3) -> float:
+    """Best-of-N wall clock with one untimed warm-up (fork, caches)."""
+    fn()
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@needs_processes
+@pytest.mark.parametrize("ndim", [2, 3])
+def test_parallel_grid_scaling(ndim):
+    """Serial vs P-worker gridding; asserts >= 2x at P=4 on >= 4 cores."""
+    setup, coords, values = _problem(ndim)
+    serial = SliceAndDiceGridder(setup, tile_size=8)
+    ref = serial.grid(coords, values)
+    t_serial = _time(lambda: serial.grid(coords, values))
+
+    rows = [["serial", "-", f"{t_serial * 1e3:.1f}", "1.00x", "-"]]
+    speedups = {}
+    for p in WORKER_COUNTS:
+        gridder = _parallel(setup, p)
+        out = gridder.grid(coords, values)
+        assert np.array_equal(out, ref)  # the speedup must be of the same bits
+        t = _time(lambda: gridder.grid(coords, values))
+        speedups[p] = t_serial / t
+        rows.append(
+            [
+                f"{p} worker(s)",
+                gridder.stats.parallel_backend,
+                f"{t * 1e3:.1f}",
+                f"{speedups[p]:.2f}x",
+                str(len(gridder.stats.shard_plan)),
+            ]
+        )
+    dims = "x".join(str(s) for s in setup.grid_shape)
+    print_table(
+        f"Parallel Slice-and-Dice gridding, {dims}, M={coords.shape[0]}, "
+        f"host cores={os.cpu_count()}",
+        ["configuration", "backend", "best (ms)", "speedup", "shards"],
+        rows,
+    )
+    if ndim == 2 and HAVE_CORES:
+        assert speedups[4] >= 2.0, (
+            f"expected >= 2x at 4 workers on a >= 4-core host, got "
+            f"{speedups[4]:.2f}x"
+        )
+
+
+@needs_processes
+def test_parallel_batched_scaling():
+    """The batched multi-RHS path also scales: one select pass, K RHS,
+    columns sharded over the pool."""
+    setup, coords, _ = _problem(2)
+    rng = np.random.default_rng(11)
+    stack = rng.standard_normal((K, M_2D)) + 1j * rng.standard_normal((K, M_2D))
+    serial = SliceAndDiceGridder(setup, tile_size=8)
+    ref = serial.grid_batch(coords, stack)
+    t_serial = _time(lambda: serial.grid_batch(coords, stack), repeats=2)
+
+    rows = [["serial", f"{t_serial * 1e3:.1f}", "1.00x"]]
+    for p in WORKER_COUNTS[1:]:
+        gridder = _parallel(setup, p)
+        assert np.array_equal(gridder.grid_batch(coords, stack), ref)
+        t = _time(lambda: gridder.grid_batch(coords, stack), repeats=2)
+        rows.append([f"{p} worker(s)", f"{t * 1e3:.1f}", f"{t_serial / t:.2f}x"])
+    print_table(
+        f"Parallel batched gridding, K={K} RHS, {G_2D}x{G_2D}, M={M_2D}",
+        ["configuration", "best (ms)", "speedup"],
+        rows,
+    )
+
+
+@needs_processes
+def test_parallel_interp_scaling():
+    """The forward direction (sample-sharded) scales the same way."""
+    setup, coords, _ = _problem(2)
+    rng = np.random.default_rng(13)
+    grid = rng.standard_normal(setup.grid_shape) + 1j * rng.standard_normal(
+        setup.grid_shape
+    )
+    serial = SliceAndDiceGridder(setup, tile_size=8)
+    ref = serial.interp(grid, coords)
+    t_serial = _time(lambda: serial.interp(grid, coords), repeats=2)
+
+    rows = [["serial", f"{t_serial * 1e3:.1f}", "1.00x"]]
+    for p in WORKER_COUNTS[1:]:
+        gridder = _parallel(setup, p)
+        assert np.array_equal(gridder.interp(grid, coords), ref)
+        t = _time(lambda: gridder.interp(grid, coords), repeats=2)
+        rows.append([f"{p} worker(s)", f"{t * 1e3:.1f}", f"{t_serial / t:.2f}x"])
+    print_table(
+        f"Parallel interpolation (forward), {G_2D}x{G_2D}, M={M_2D}",
+        ["configuration", "best (ms)", "speedup"],
+        rows,
+    )

@@ -22,6 +22,9 @@ Public surface:
   layout and its grid <-> dice transforms.
 - :class:`~repro.core.SliceAndDiceGridder` — the gridder, in both the
   faithful column-parallel schedule and the GPU-style blocked variant.
+- :class:`~repro.core.ParallelSliceAndDiceGridder` — the multicore
+  engine: columns sharded across a worker pool with shared-memory
+  accumulators, bit-identical to the serial gridder.
 """
 
 from .decomposition import (
@@ -31,6 +34,7 @@ from .decomposition import (
     column_tile_index,
 )
 from .layout import DiceLayout
+from .parallel import ParallelSliceAndDiceGridder, shard_plan
 from .slice_and_dice import SliceAndDiceGridder
 
 __all__ = [
@@ -39,5 +43,7 @@ __all__ = [
     "column_forward_distance",
     "column_tile_index",
     "DiceLayout",
+    "ParallelSliceAndDiceGridder",
+    "shard_plan",
     "SliceAndDiceGridder",
 ]

@@ -273,6 +273,8 @@ class SliceAndDiceGridder(Gridder):
         dice: np.ndarray,
         lo: int,
         hi: int,
+        row_lo: int = 0,
+        row_hi: int | None = None,
     ) -> int:
         """Run the column-parallel model over one sample-stream slice.
 
@@ -282,6 +284,13 @@ class SliceAndDiceGridder(Gridder):
         ``dice`` (shape ``(K, n_columns, n_tiles)``) in place and
         returns the number of passing checks for this slice (per select
         pass, not multiplied by K).
+
+        ``row_lo``/``row_hi`` restrict the pass to a contiguous slab of
+        column (row) indices.  Columns are independent — each writes
+        only its own ``dice[:, row]`` — so slab results are bit-equal
+        to the corresponding rows of a full pass; this is the hook the
+        multicore engine (:class:`ParallelSliceAndDiceGridder`) shards
+        on.
         """
         setup = self.setup
         dec, masks, weights, tiles = tables
@@ -289,7 +298,11 @@ class SliceAndDiceGridder(Gridder):
         n_tiles = self.layout.n_tiles
         k_rhs = values_stack.shape[0]
         interpolations = 0
-        for row, column in enumerate(self.layout.columns()):
+        columns = self.layout.columns()
+        if row_hi is None:
+            row_hi = columns.shape[0]
+        for row in range(row_lo, row_hi):
+            column = columns[row]
             affected = masks[0][column[0]][lo:hi]
             for axis in range(1, setup.ndim):
                 affected = affected & masks[axis][column[axis]][lo:hi]
@@ -380,22 +393,7 @@ class SliceAndDiceGridder(Gridder):
         for k in range(k_rhs):
             dice[k] = self.layout.grid_to_dice(grid_stack[k])
         out = np.zeros((k_rhs, m), dtype=np.complex128)
-        interpolations = 0
-        for row, column in enumerate(self.layout.columns()):
-            affected = masks[0][column[0]]
-            for axis in range(1, setup.ndim):
-                affected = affected & masks[axis][column[axis]]
-            hit = np.flatnonzero(affected)
-            if hit.size == 0:
-                continue
-            interpolations += hit.size
-            wgt = weights[0][column[0]][hit]
-            depth = tiles[0][column[0]][hit]
-            for axis in range(1, setup.ndim):
-                wgt = wgt * weights[axis][column[axis]][hit]
-                depth = depth * counts[axis] + tiles[axis][column[axis]][hit]
-            for k in range(k_rhs):
-                out[k, hit] += dice[k, row, depth] * wgt
+        interpolations = self._interp_stream((dec, masks, weights, tiles), dice, out, 0, m)
         d = setup.ndim
         event, build_seconds = self._last_cache_event
         self.stats = GriddingStats(
@@ -410,6 +408,48 @@ class SliceAndDiceGridder(Gridder):
             table_build_seconds=build_seconds,
         )
         return out
+
+    def _interp_stream(
+        self,
+        tables: tuple,
+        dice: np.ndarray,
+        out: np.ndarray,
+        lo: int,
+        hi: int,
+    ) -> int:
+        """Forward-interpolate the sample slab ``[lo, hi)`` against all columns.
+
+        Scans every column in row order, accumulating each column's
+        contribution ``dice[k, row, depth] * wgt`` into ``out[k, hit]``
+        for the passing samples of the slab.  Because a sample's
+        contributions arrive in the same (row) order regardless of how
+        the sample stream is slabbed, slab outputs are bit-equal to the
+        corresponding slice of a full pass — the transpose of the
+        column sharding: in the forward direction each worker privately
+        owns a slice of the *sample* stream instead of the columns.
+        Returns the number of passing checks for this slab.
+        """
+        setup = self.setup
+        dec, masks, weights, tiles = tables
+        counts = dec.tile_counts
+        k_rhs = dice.shape[0]
+        interpolations = 0
+        for row, column in enumerate(self.layout.columns()):
+            affected = masks[0][column[0]][lo:hi]
+            for axis in range(1, setup.ndim):
+                affected = affected & masks[axis][column[axis]][lo:hi]
+            hit = np.flatnonzero(affected) + lo
+            if hit.size == 0:
+                continue
+            interpolations += hit.size
+            wgt = weights[0][column[0]][hit]
+            depth = tiles[0][column[0]][hit]
+            for axis in range(1, setup.ndim):
+                wgt = wgt * weights[axis][column[axis]][hit]
+                depth = depth * counts[axis] + tiles[axis][column[axis]][hit]
+            for k in range(k_rhs):
+                out[k, hit] += dice[k, row, depth] * wgt
+        return interpolations
 
     # ------------------------------------------------------------------
     def address_trace(self, coords: np.ndarray) -> np.ndarray:

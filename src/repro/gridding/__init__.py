@@ -12,9 +12,14 @@ reproduce the paper's operation-count and locality arguments:
   boundary checking (§II.C "output-oriented parallelism").
 - :class:`BinningGridder` — geometric tiling with pre-sorted bins (the
   Impatient GPU baseline [10]), including duplicate sample handling.
+- :class:`SparseMatrixGridder` — MIRT's build-once sparse-matrix mode
+  (§VII.A).
 
-The paper's own contribution, Slice-and-Dice, lives in
-:mod:`repro.core` and implements the same :class:`Gridder` interface.
+The paper's own contribution, Slice-and-Dice (serial and multicore),
+lives in :mod:`repro.core` and implements the same :class:`Gridder`
+interface.  All engines — including those — are reachable by name
+through the registry (:func:`available_gridders`, :func:`make_gridder`,
+:func:`register_gridder`); see ``docs/engines.md`` for the full guide.
 """
 
 from .base import Gridder, GriddingSetup, GriddingStats, window_contributions
@@ -22,7 +27,7 @@ from .naive import NaiveGridder
 from .output_parallel import OutputParallelGridder
 from .binning import BinningGridder
 from .sparse_matrix import SparseMatrixGridder
-from .registry import available_gridders, make_gridder
+from .registry import available_gridders, make_gridder, register_gridder
 
 __all__ = [
     "Gridder",
@@ -35,4 +40,5 @@ __all__ = [
     "SparseMatrixGridder",
     "available_gridders",
     "make_gridder",
+    "register_gridder",
 ]

@@ -75,6 +75,31 @@ class GriddingStats:
         Wall-clock seconds spent building precomputed tables during
         this call (0.0 on a cache hit) — makes the amortization
         benefit observable rather than asserted.
+    workers_used:
+        Worker count of the most recent multicore pass (the
+        ``slice_and_dice_parallel`` engine).  ``0`` for engines without
+        a worker pool; ``1`` when the parallel engine fell back to its
+        serial path.
+    parallel_backend:
+        ``"process"``, ``"thread"``, or ``"serial"`` — how the most
+        recent parallel pass actually ran (after auto-selection and
+        graceful degradation).  Empty for non-parallel engines.
+    shard_plan:
+        The contiguous ``(lo, hi)`` slabs the sharded quantity (columns
+        for gridding, samples for interpolation) was split into, one
+        per worker.  Empty for non-parallel engines.
+    worker_seconds:
+        Wall-clock seconds each worker spent in its shard (same order
+        as ``shard_plan``) — exposes load balance, not just totals.
+
+    Examples
+    --------
+    >>> s = GriddingStats(boundary_checks=64, interpolations=36)
+    >>> s.as_dict()["boundary_checks"]
+    64
+    >>> t = GriddingStats(boundary_checks=1)
+    >>> t.accumulate(s); t.boundary_checks
+    65
     """
 
     boundary_checks: int = 0
@@ -88,6 +113,10 @@ class GriddingStats:
     cache_hits: int = 0
     cache_misses: int = 0
     table_build_seconds: float = 0.0
+    workers_used: int = 0
+    parallel_backend: str = ""
+    shard_plan: tuple = ()
+    worker_seconds: tuple = ()
 
     @property
     def simd_efficiency(self) -> float:
@@ -96,7 +125,14 @@ class GriddingStats:
             return 0.0
         return self.simd_active_lanes / self.simd_lane_slots
 
-    def as_dict(self) -> dict[str, int | float]:
+    def as_dict(self) -> dict[str, int | float | str | tuple]:
+        """All counters as a plain dict (stable keys, benchmark tables).
+
+        Returns
+        -------
+        Mapping with one entry per dataclass field, in declaration
+        order.
+        """
         return {
             "boundary_checks": self.boundary_checks,
             "interpolations": self.interpolations,
@@ -109,10 +145,20 @@ class GriddingStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "table_build_seconds": self.table_build_seconds,
+            "workers_used": self.workers_used,
+            "parallel_backend": self.parallel_backend,
+            "shard_plan": self.shard_plan,
+            "worker_seconds": self.worker_seconds,
         }
 
     def accumulate(self, other: "GriddingStats") -> None:
-        """Add another pass' counters into this one (batch aggregation)."""
+        """Add another pass' counters into this one (batch aggregation).
+
+        Additive counters are summed; the parallel-schedule fields
+        (``workers_used``, ``parallel_backend``, ``shard_plan``,
+        ``worker_seconds``) describe one pass, not a sum, so the most
+        recent pass that actually ran a worker pool wins.
+        """
         self.boundary_checks += other.boundary_checks
         self.interpolations += other.interpolations
         self.samples_processed += other.samples_processed
@@ -124,6 +170,11 @@ class GriddingStats:
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.table_build_seconds += other.table_build_seconds
+        if other.workers_used:
+            self.workers_used = other.workers_used
+            self.parallel_backend = other.parallel_backend
+            self.shard_plan = other.shard_plan
+            self.worker_seconds = other.worker_seconds
 
 
 @dataclass
@@ -138,6 +189,19 @@ class GriddingSetup:
     lut:
         Kernel lookup table (defines window width ``W`` and table
         oversampling ``L``).
+
+    Raises
+    ------
+    ValueError
+        If any grid dimension is < 1 or smaller than the window width
+        (the wrapped window would self-overlap).
+
+    Examples
+    --------
+    >>> from repro.kernels import KernelLUT, beatty_kernel
+    >>> setup = GriddingSetup((32, 32), KernelLUT(beatty_kernel(6, 2.0), 64))
+    >>> setup.ndim, setup.width, setup.n_grid_points
+    (2, 6, 1024)
     """
 
     grid_shape: tuple[int, ...]
@@ -278,6 +342,23 @@ class Gridder(abc.ABC):
         Returns
         -------
         Complex128 array of ``setup.grid_shape``.
+
+        Raises
+        ------
+        ValueError
+            If ``coords`` is not ``(M, d)`` for this setup's rank or
+            the value count does not match the coordinate count.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro.gridding import GriddingSetup, make_gridder
+        >>> from repro.kernels import KernelLUT, beatty_kernel
+        >>> setup = GriddingSetup((16, 16), KernelLUT(beatty_kernel(4, 2.0), 32))
+        >>> g = make_gridder("naive", setup)
+        >>> grid = g.grid(np.array([[3.5, 8.0]]), np.array([1.0 + 0j]))
+        >>> grid.shape, g.stats.interpolations
+        ((16, 16), 16)
         """
         coords = self.setup.check_coords(coords)
         values = np.asarray(values, dtype=np.complex128).ravel()
@@ -315,6 +396,24 @@ class Gridder(abc.ABC):
         Returns
         -------
         Complex128 array of ``(K,) + setup.grid_shape``.
+
+        Raises
+        ------
+        ValueError
+            If ``values_stack`` is not ``(K, M)`` for the given
+            coordinates.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro.gridding import GriddingSetup, make_gridder
+        >>> from repro.kernels import KernelLUT, beatty_kernel
+        >>> setup = GriddingSetup((16, 16), KernelLUT(beatty_kernel(4, 2.0), 32))
+        >>> g = make_gridder("slice_and_dice", setup)
+        >>> coords = np.array([[3.5, 8.0], [12.0, 1.25]])
+        >>> stack = np.ones((3, 2), dtype=complex)       # K=3 RHS, M=2
+        >>> g.grid_batch(coords, stack).shape
+        (3, 16, 16)
         """
         coords, values_stack = self._check_batch_values(coords, values_stack)
         out = np.empty((values_stack.shape[0],) + self.setup.grid_shape, dtype=np.complex128)
@@ -342,6 +441,22 @@ class Gridder(abc.ABC):
         Returns
         -------
         Complex128 array of ``(K, M)`` samples.
+
+        Raises
+        ------
+        ValueError
+            If ``grid_stack`` is not ``(K,) + setup.grid_shape``.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro.gridding import GriddingSetup, make_gridder
+        >>> from repro.kernels import KernelLUT, beatty_kernel
+        >>> setup = GriddingSetup((16, 16), KernelLUT(beatty_kernel(4, 2.0), 32))
+        >>> g = make_gridder("slice_and_dice", setup)
+        >>> grids = np.ones((2, 16, 16), dtype=complex)  # K=2 grids
+        >>> g.interp_batch(grids, np.array([[3.5, 8.0]])).shape
+        (2, 1)
         """
         grid_stack = self._check_batch_grids(grid_stack)
         out = np.empty((grid_stack.shape[0], np.atleast_2d(coords).shape[0]), dtype=np.complex128)
@@ -384,6 +499,32 @@ class Gridder(abc.ABC):
         The exact adjoint of :meth:`grid` — uses the same window
         weights, so ``<grid(v), g> == <v, interp(g)>`` holds to
         rounding error for every gridder.
+
+        Parameters
+        ----------
+        grid:
+            Complex array of ``setup.grid_shape``.
+        coords:
+            ``(M, d)`` sample coordinates in grid units ``[0, G)``.
+
+        Returns
+        -------
+        ``(M,)`` complex128 interpolated sample values.
+
+        Raises
+        ------
+        ValueError
+            If ``grid`` does not match ``setup.grid_shape``.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro.gridding import GriddingSetup, make_gridder
+        >>> from repro.kernels import KernelLUT, beatty_kernel
+        >>> setup = GriddingSetup((16, 16), KernelLUT(beatty_kernel(4, 2.0), 32))
+        >>> g = make_gridder("naive", setup)
+        >>> g.interp(np.ones((16, 16), dtype=complex), np.array([[3.5, 8.0]])).shape
+        (1,)
         """
         if tuple(grid.shape) != self.setup.grid_shape:
             raise ValueError(

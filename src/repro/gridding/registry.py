@@ -2,7 +2,16 @@
 
 Central lookup used by the NuFFT plan, the benchmark harness, and the
 equivalence test suite (which iterates every registered gridder and
-asserts identical output grids).
+asserts identical output grids).  Registered engines (see
+``docs/engines.md`` for the full comparison):
+
+- ``"naive"`` — serial input-driven CPU baseline,
+- ``"output_parallel"`` — all-pairs output-driven baseline,
+- ``"binning"`` — pre-sorted tile/bin (Impatient-style) baseline,
+- ``"sparse_matrix"`` — precomputed CSR interpolation matrix (MIRT),
+- ``"slice_and_dice"`` — the paper's binning-free column model,
+- ``"slice_and_dice_parallel"`` — the column model sharded across a
+  multicore worker pool (bit-identical to the serial engine).
 """
 
 from __future__ import annotations
@@ -20,12 +29,40 @@ _REGISTRY: dict[str, Callable[..., Gridder]] = {}
 
 
 def register_gridder(name: str, factory: Callable[..., Gridder]) -> None:
-    """Register a gridder factory under ``name`` (idempotent)."""
+    """Register a gridder factory under ``name`` (idempotent).
+
+    Parameters
+    ----------
+    name:
+        Short identifier used by :func:`make_gridder` and benchmark
+        tables; re-registering a name replaces the factory.
+    factory:
+        Callable ``factory(setup, **kwargs) -> Gridder``.
+
+    Examples
+    --------
+    >>> from repro.gridding import register_gridder, available_gridders
+    >>> from repro.gridding.naive import NaiveGridder
+    >>> register_gridder("naive", NaiveGridder)  # idempotent re-registration
+    >>> "naive" in available_gridders()
+    True
+    """
     _REGISTRY[name] = factory
 
 
 def available_gridders() -> tuple[str, ...]:
-    """Names of all registered gridding algorithms."""
+    """Names of all registered gridding algorithms, sorted.
+
+    Returns
+    -------
+    Tuple of registry keys accepted by :func:`make_gridder`.
+
+    Examples
+    --------
+    >>> from repro.gridding import available_gridders
+    >>> {"naive", "slice_and_dice", "slice_and_dice_parallel"} <= set(available_gridders())
+    True
+    """
     _ensure_core()
     return tuple(sorted(_REGISTRY))
 
@@ -33,10 +70,32 @@ def available_gridders() -> tuple[str, ...]:
 def make_gridder(name: str, setup: GriddingSetup, **kwargs) -> Gridder:
     """Construct the gridder ``name`` for ``setup``.
 
+    Parameters
+    ----------
+    name:
+        A key from :func:`available_gridders`.
+    setup:
+        The shared problem description (grid shape + kernel LUT).
+    **kwargs:
+        Forwarded to the engine's constructor (e.g. ``tile_size=8`` for
+        the tiled engines, ``workers=4`` for the parallel engine).
+
+    Returns
+    -------
+    A fresh :class:`Gridder` instance.
+
     Raises
     ------
     ValueError
         For unknown names (the message lists the alternatives).
+
+    Examples
+    --------
+    >>> from repro.gridding import GriddingSetup, make_gridder
+    >>> from repro.kernels import KernelLUT, beatty_kernel
+    >>> setup = GriddingSetup((32, 32), KernelLUT(beatty_kernel(6, 2.0), 64))
+    >>> make_gridder("slice_and_dice_parallel", setup, workers=2).name
+    'slice_and_dice_parallel'
     """
     _ensure_core()
     try:
@@ -49,11 +108,12 @@ def make_gridder(name: str, setup: GriddingSetup, **kwargs) -> Gridder:
 
 
 def _ensure_core() -> None:
-    """Register the Slice-and-Dice gridder lazily (avoids import cycle)."""
+    """Register the Slice-and-Dice gridders lazily (avoids import cycle)."""
     if "slice_and_dice" not in _REGISTRY:
-        from ..core import SliceAndDiceGridder
+        from ..core import ParallelSliceAndDiceGridder, SliceAndDiceGridder
 
         register_gridder("slice_and_dice", SliceAndDiceGridder)
+        register_gridder("slice_and_dice_parallel", ParallelSliceAndDiceGridder)
 
 
 register_gridder("naive", NaiveGridder)

@@ -32,8 +32,31 @@ class SenseOperator:
     ----------
     plan:
         Shared single-coil NuFFT plan (trajectory + gridder backend).
+        Engine selection flows through here: build the plan with
+        ``gridder="slice_and_dice_parallel"`` and every coil transform
+        this operator performs runs on the multicore worker pool,
+        bit-identically to the serial engine (the per-coil batch is
+        gridded in one column-sharded pass).
     maps:
         ``(C,) + image_shape`` complex coil sensitivities.
+
+    Raises
+    ------
+    ValueError
+        If ``maps`` is not ``(C,) + plan.image_shape``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.mri import SenseOperator, birdcage_maps
+    >>> from repro.nufft import NufftPlan
+    >>> from repro.trajectories import radial_trajectory
+    >>> coords = radial_trajectory(16, 32)
+    >>> plan = NufftPlan((16, 16), coords, gridder="slice_and_dice_parallel",
+    ...                  gridder_options={"workers": 2, "backend": "thread"})
+    >>> op = SenseOperator(plan, birdcage_maps(4, 16))
+    >>> op.forward(np.ones((16, 16), dtype=complex)).shape
+    (4, 512)
     """
 
     def __init__(self, plan: NufftPlan, maps: np.ndarray):

@@ -49,7 +49,12 @@ def cg_reconstruction(
     Parameters
     ----------
     plan:
-        NuFFT plan (trajectory + gridder backend).
+        NuFFT plan (trajectory + gridder backend).  Engine selection
+        flows through here: a plan built with
+        ``gridder="slice_and_dice_parallel"`` runs every per-iteration
+        gridding/interpolation pass on the multicore worker pool —
+        bit-identical gridding means bit-identical CG iterates, so the
+        reconstruction matches the serial engine exactly.
     kspace:
         ``(M,)`` complex samples.
     weights:

@@ -1,0 +1,61 @@
+"""Documentation health: runnable snippets and live links.
+
+Two invariants, both also enforced by the CI docs job:
+
+1. every ``>>>`` snippet in ``docs/*.md`` executes and produces the
+   shown output (``doctest.testfile``), so the documentation cannot
+   drift from the code it describes;
+2. every relative markdown link in ``README.md`` and ``docs/`` points
+   at a file that exists (``tools/check_links.py``).
+"""
+
+from __future__ import annotations
+
+import doctest
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted((ROOT / "docs").glob("*.md"))
+
+OPTIONFLAGS = doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+def test_doc_snippets_execute(path):
+    result = doctest.testfile(
+        str(path),
+        module_relative=False,
+        optionflags=OPTIONFLAGS,
+        verbose=False,
+    )
+    assert result.failed == 0, f"{result.failed} failing doctest(s) in {path.name}"
+
+
+def test_engines_guide_has_snippets():
+    """The engine guide must stay executable documentation, not prose."""
+    text = (ROOT / "docs" / "engines.md").read_text(encoding="utf-8")
+    assert text.count(">>>") >= 10
+    for name in (
+        "naive",
+        "output_parallel",
+        "binning",
+        "sparse_matrix",
+        "slice_and_dice",
+        "slice_and_dice_parallel",
+    ):
+        assert f"`{name}`" in text, f"engine {name} missing from docs/engines.md"
+
+
+def test_no_dead_links():
+    sys.path.insert(0, str(ROOT / "tools"))
+    try:
+        from check_links import dead_links, iter_doc_files
+    finally:
+        sys.path.pop(0)
+    failures = []
+    for path in iter_doc_files(ROOT):
+        failures += [(str(path), t, why) for t, why in dead_links(path, ROOT)]
+    assert failures == []

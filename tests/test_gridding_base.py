@@ -123,6 +123,10 @@ class TestStats:
             "cache_hits",
             "cache_misses",
             "table_build_seconds",
+            "workers_used",
+            "parallel_backend",
+            "shard_plan",
+            "worker_seconds",
         }
 
 

@@ -13,7 +13,21 @@ from repro.gridding import GriddingSetup, available_gridders, make_gridder
 from repro.kernels import KernelLUT, beatty_kernel
 from tests.conftest import random_samples
 
-GRIDDERS = ["naive", "output_parallel", "binning", "slice_and_dice"]
+GRIDDERS = [
+    "naive",
+    "output_parallel",
+    "binning",
+    "slice_and_dice",
+    "slice_and_dice_parallel",
+]
+
+#: force the parallel engine onto its thread pool even for tiny test
+#: problems (auto-selection would fall back to serial and hide bugs)
+PARALLEL_KW = {"workers": 2, "backend": "thread", "min_parallel_ops": 0}
+
+
+def engine_kwargs(name: str) -> dict:
+    return dict(PARALLEL_KW) if name == "slice_and_dice_parallel" else {}
 
 
 def build_setup(g: int, w: int, lut_l: int = 64) -> GriddingSetup:
@@ -26,7 +40,7 @@ class TestPairwise:
         setup = build_setup(32, 6)
         coords, vals = random_samples(rng, 300, (32, 32))
         ref = make_gridder("naive", setup).grid(coords, vals)
-        out = make_gridder(name, setup).grid(coords, vals)
+        out = make_gridder(name, setup, **engine_kwargs(name)).grid(coords, vals)
         np.testing.assert_allclose(out, ref, rtol=1e-10, atol=1e-12)
 
     def test_matches_naive_clustered(self, name, rng):
@@ -36,7 +50,7 @@ class TestPairwise:
         coords = 16 + rng.standard_normal((200, 2)) * 1.5
         vals = rng.standard_normal(200) + 1j * rng.standard_normal(200)
         ref = make_gridder("naive", setup).grid(coords, vals)
-        out = make_gridder(name, setup).grid(coords, vals)
+        out = make_gridder(name, setup, **engine_kwargs(name)).grid(coords, vals)
         np.testing.assert_allclose(out, ref, rtol=1e-10, atol=1e-12)
 
     def test_matches_naive_on_tile_edges(self, name):
@@ -66,7 +80,9 @@ class TestPropertyBased:
         vals = rng.standard_normal(m) + 1j * rng.standard_normal(m)
         grids = {}
         for name in GRIDDERS:
-            kwargs = {"tile_size": 8} if name in ("binning", "slice_and_dice") else {}
+            kwargs = engine_kwargs(name)
+            if name in ("binning", "slice_and_dice", "slice_and_dice_parallel"):
+                kwargs["tile_size"] = 8
             grids[name] = make_gridder(name, setup, **kwargs).grid(coords, vals)
         ref = grids["naive"]
         for name in GRIDDERS[1:]:

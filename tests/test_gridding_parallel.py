@@ -1,0 +1,433 @@
+"""Tests for the multicore column-sharded Slice-and-Dice engine.
+
+The contract under test (ISSUE: the tentpole invariant) is that
+``slice_and_dice_parallel`` is **bit-identical** — ``np.array_equal``,
+not allclose — to the serial ``slice_and_dice`` engine on every public
+entry point, for every backend of the degradation ladder, while never
+leaking shared-memory segments and while reporting its shard schedule
+in ``GriddingStats``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import ParallelSliceAndDiceGridder, SliceAndDiceGridder, shard_plan
+from repro.core import parallel as parallel_mod
+from repro.gridding import GriddingSetup, make_gridder
+from repro.kernels import KernelLUT, beatty_kernel
+from tests.conftest import random_samples
+
+needs_processes = pytest.mark.skipif(
+    not parallel_mod._processes_available(),
+    reason="fork + shared_memory not available on this platform",
+)
+
+BACKENDS = ["thread"] + (["process"] if parallel_mod._processes_available() else [])
+
+#: force the pool even on tiny test problems
+FORCE = {"min_parallel_ops": 0}
+
+
+def build_setup(shape, w=4, lut_l=32) -> GriddingSetup:
+    return GriddingSetup(tuple(shape), KernelLUT(beatty_kernel(w, 2.0), lut_l))
+
+
+def make_pair(setup, **kw):
+    """(serial, parallel) gridders sharing one problem setup."""
+    tile = kw.pop("tile_size", 8)
+    serial = SliceAndDiceGridder(setup, tile_size=tile)
+    par = ParallelSliceAndDiceGridder(setup, tile_size=tile, **FORCE, **kw)
+    return serial, par
+
+
+class TestShardPlan:
+    def test_covers_range_contiguously(self):
+        for n_items in (1, 2, 7, 64, 1000):
+            for n_shards in (1, 2, 3, 8, 2000):
+                plan = shard_plan(n_items, n_shards)
+                assert plan[0][0] == 0
+                assert plan[-1][1] == n_items
+                for (_, hi), (lo2, _) in zip(plan, plan[1:]):
+                    assert hi == lo2
+                assert all(lo < hi for lo, hi in plan)
+
+    def test_capped_by_items(self):
+        assert len(shard_plan(3, 8)) == 3
+        assert shard_plan(3, 8) == ((0, 1), (1, 2), (2, 3))
+
+    def test_empty(self):
+        assert shard_plan(0, 4) == ()
+
+    def test_near_equal_slabs(self):
+        sizes = [hi - lo for lo, hi in shard_plan(100, 7)]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == 100
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestBitIdentity:
+    """np.array_equal against the serial engine — not merely allclose."""
+
+    @pytest.mark.parametrize("shape", [(32, 32), (16, 16, 16)])
+    def test_grid(self, backend, shape, rng):
+        setup = build_setup(shape)
+        serial, par = make_pair(setup, workers=3, backend=backend)
+        coords, vals = random_samples(rng, 200, shape)
+        ref = serial.grid(coords, vals)
+        out = par.grid(coords, vals)
+        assert np.array_equal(out, ref)
+        assert par.stats.parallel_backend == backend
+
+    @pytest.mark.parametrize("k_rhs", [1, 2, 5])
+    def test_grid_batch(self, backend, k_rhs, rng):
+        shape = (32, 32)
+        setup = build_setup(shape)
+        serial, par = make_pair(setup, workers=2, backend=backend)
+        coords, _ = random_samples(rng, 150, shape)
+        stack = rng.standard_normal((k_rhs, 150)) + 1j * rng.standard_normal(
+            (k_rhs, 150)
+        )
+        ref = serial.grid_batch(coords, stack)
+        out = par.grid_batch(coords, stack)
+        assert np.array_equal(out, ref)
+
+    @pytest.mark.parametrize("shape", [(32, 32), (16, 16, 16)])
+    def test_interp(self, backend, shape, rng):
+        setup = build_setup(shape)
+        serial, par = make_pair(setup, workers=3, backend=backend)
+        coords, _ = random_samples(rng, 200, shape)
+        grid = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+        ref = serial.interp(grid, coords)
+        out = par.interp(grid, coords)
+        assert np.array_equal(out, ref)
+
+    @pytest.mark.parametrize("k_rhs", [1, 3])
+    def test_interp_batch(self, backend, k_rhs, rng):
+        shape = (32, 32)
+        setup = build_setup(shape)
+        serial, par = make_pair(setup, workers=2, backend=backend)
+        coords, _ = random_samples(rng, 120, shape)
+        stack = rng.standard_normal((k_rhs,) + shape) + 1j * rng.standard_normal(
+            (k_rhs,) + shape
+        )
+        ref = serial.interp_batch(stack, coords)
+        out = par.interp_batch(stack, coords)
+        assert np.array_equal(out, ref)
+
+    def test_single_sample(self, backend, rng):
+        """M=1 still shards (columns are the sharded axis for gridding)."""
+        setup = build_setup((32, 32))
+        serial, par = make_pair(setup, workers=4, backend=backend)
+        coords = np.asarray([[7.3, 21.9]])
+        vals = np.asarray([1.0 - 2.0j])
+        assert np.array_equal(par.grid(coords, vals), serial.grid(coords, vals))
+
+
+class TestWorkerResolution:
+    def test_workers_capped_by_columns(self, rng):
+        """More workers than T^d columns → pool capped at column count."""
+        setup = build_setup((16, 16))
+        serial, par = make_pair(setup, workers=500, backend="thread")
+        coords, vals = random_samples(rng, 50, (16, 16))
+        out = par.grid(coords, vals)
+        n_columns = par.layout.n_columns
+        assert par.stats.workers_used == n_columns
+        assert len(par.stats.shard_plan) == n_columns
+        assert np.array_equal(out, serial.grid(coords, vals))
+
+    def test_workers_one_is_serial(self, rng):
+        setup = build_setup((16, 16))
+        _, par = make_pair(setup, workers=1, backend="auto")
+        coords, vals = random_samples(rng, 50, (16, 16))
+        par.grid(coords, vals)
+        assert par.stats.parallel_backend == "serial"
+        assert par.stats.workers_used == 1
+
+    def test_auto_on_single_core_is_serial(self, rng, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        setup = build_setup((16, 16))
+        _, par = make_pair(setup, workers="auto", backend="auto")
+        coords, vals = random_samples(rng, 50, (16, 16))
+        par.grid(coords, vals)
+        assert par.stats.parallel_backend == "serial"
+
+    def test_auto_on_multicore_uses_pool(self, rng, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        setup = build_setup((16, 16))
+        serial, par = make_pair(setup, workers="auto", backend="thread")
+        coords, vals = random_samples(rng, 50, (16, 16))
+        out = par.grid(coords, vals)
+        assert par.stats.workers_used == 4
+        assert par.stats.parallel_backend == "thread"
+        assert np.array_equal(out, serial.grid(coords, vals))
+
+    def test_tiny_problem_falls_back_to_serial(self, rng):
+        """Below min_parallel_ops boundary checks the pool is skipped."""
+        setup = build_setup((16, 16))
+        par = ParallelSliceAndDiceGridder(
+            setup, workers=2, backend="thread", min_parallel_ops=1 << 30
+        )
+        coords, vals = random_samples(rng, 10, (16, 16))
+        par.grid(coords, vals)
+        assert par.stats.parallel_backend == "serial"
+
+    def test_backend_serial_forces_serial(self, rng):
+        setup = build_setup((16, 16))
+        _, par = make_pair(setup, workers=4, backend="serial")
+        coords, vals = random_samples(rng, 50, (16, 16))
+        par.grid(coords, vals)
+        assert par.stats.parallel_backend == "serial"
+
+    def test_serial_fallback_is_bit_identical(self, rng):
+        setup = build_setup((16, 16))
+        serial = SliceAndDiceGridder(setup)
+        _, par = make_pair(setup, workers=1)
+        coords, vals = random_samples(rng, 50, (16, 16))
+        assert np.array_equal(par.grid(coords, vals), serial.grid(coords, vals))
+        grid = rng.standard_normal((16, 16)) + 1j * rng.standard_normal((16, 16))
+        assert np.array_equal(par.interp(grid, coords), serial.interp(grid, coords))
+
+
+class TestValidation:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            ParallelSliceAndDiceGridder(build_setup((16, 16)), workers=0)
+
+    def test_rejects_bool_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            ParallelSliceAndDiceGridder(build_setup((16, 16)), workers=True)
+
+    def test_rejects_string_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            ParallelSliceAndDiceGridder(build_setup((16, 16)), workers="many")
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            ParallelSliceAndDiceGridder(build_setup((16, 16)), backend="mpi")
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError, match="min_parallel_ops"):
+            ParallelSliceAndDiceGridder(build_setup((16, 16)), min_parallel_ops=-1)
+
+    def test_registry_construction(self):
+        g = make_gridder("slice_and_dice_parallel", build_setup((16, 16)), workers=2)
+        assert g.name == "slice_and_dice_parallel"
+        assert isinstance(g, ParallelSliceAndDiceGridder)
+
+
+def _shm_entries():
+    """Names currently present in /dev/shm (POSIX shared memory)."""
+    try:
+        return set(os.listdir("/dev/shm"))
+    except OSError:  # pragma: no cover - platform without /dev/shm
+        return None
+
+
+@needs_processes
+class TestSharedMemoryHygiene:
+    def test_no_segments_leaked_on_success(self, rng):
+        setup = build_setup((32, 32))
+        _, par = make_pair(setup, workers=2, backend="process")
+        coords, vals = random_samples(rng, 100, (32, 32))
+        before = _shm_entries()
+        par.grid(coords, vals)
+        after = _shm_entries()
+        if before is not None:
+            assert after - before == set()
+
+    def test_cleanup_when_spawn_fails(self, rng, monkeypatch):
+        """A failure before the workers even start must unlink both
+        segments (the allocation happens first)."""
+        setup = build_setup((32, 32))
+        _, par = make_pair(setup, workers=2, backend="process")
+        coords, vals = random_samples(rng, 100, (32, 32))
+
+        def boom(*args, **kwargs):
+            raise OSError("fork failed")
+
+        monkeypatch.setattr(par, "_spawn_workers", boom)
+        before = _shm_entries()
+        with pytest.raises(OSError, match="fork failed"):
+            par.grid(coords, vals)
+        after = _shm_entries()
+        if before is not None:
+            assert after - before == set()
+        assert parallel_mod._FORK_WORK is None
+
+    def test_cleanup_when_worker_dies(self, rng, monkeypatch):
+        """A crashing child surfaces as RuntimeError in the parent and
+        still leaves /dev/shm clean."""
+        setup = build_setup((32, 32))
+        _, par = make_pair(setup, workers=2, backend="process")
+        coords, vals = random_samples(rng, 100, (32, 32))
+
+        def crash(*args, **kwargs):
+            raise RuntimeError("worker bug")
+
+        # the work closure calls _process_stream; forked children inherit
+        # the patched bound method, die nonzero, and the parent reports it
+        monkeypatch.setattr(par, "_process_stream", crash)
+        before = _shm_entries()
+        with pytest.raises(RuntimeError, match="exited nonzero"):
+            par.grid(coords, vals)
+        after = _shm_entries()
+        if before is not None:
+            assert after - before == set()
+        assert parallel_mod._FORK_WORK is None
+
+    def test_shared_memory_unavailable_degrades_to_threads(self, rng, monkeypatch):
+        """backend='process' with no allocatable shared memory silently
+        runs the thread pool instead (and says so in stats)."""
+        setup = build_setup((32, 32))
+        serial, par = make_pair(setup, workers=2, backend="process")
+        coords, vals = random_samples(rng, 100, (32, 32))
+
+        def no_shm(self, *args, **kwargs):
+            raise parallel_mod._SharedMemoryUnavailable("/dev/shm full")
+
+        monkeypatch.setattr(
+            ParallelSliceAndDiceGridder, "_run_processes", no_shm
+        )
+        out = par.grid(coords, vals)
+        assert par.stats.parallel_backend == "thread"
+        assert np.array_equal(out, serial.grid(coords, vals))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestStatsReporting:
+    def test_shard_plan_covers_columns(self, backend, rng):
+        setup = build_setup((32, 32))
+        _, par = make_pair(setup, workers=3, backend=backend)
+        coords, vals = random_samples(rng, 100, (32, 32))
+        par.grid(coords, vals)
+        plan = par.stats.shard_plan
+        assert plan[0][0] == 0
+        assert plan[-1][1] == par.layout.n_columns
+        for (_, hi), (lo2, _) in zip(plan, plan[1:]):
+            assert hi == lo2
+        assert par.stats.workers_used == len(plan) == 3
+        assert len(par.stats.worker_seconds) == 3
+        assert all(s >= 0.0 for s in par.stats.worker_seconds)
+
+    def test_interp_shard_plan_covers_samples(self, backend, rng):
+        setup = build_setup((32, 32))
+        _, par = make_pair(setup, workers=2, backend=backend)
+        coords, _ = random_samples(rng, 101, (32, 32))
+        grid = rng.standard_normal((32, 32)) + 1j * rng.standard_normal((32, 32))
+        par.interp(grid, coords)
+        plan = par.stats.shard_plan
+        assert plan[0][0] == 0
+        assert plan[-1][1] == 101  # samples, not columns
+        assert par.stats.workers_used == 2
+
+    def test_counters_match_serial(self, backend, rng):
+        """Model counters (boundary checks, interpolations, ...) must
+        not depend on the schedule."""
+        setup = build_setup((32, 32))
+        serial, par = make_pair(setup, workers=2, backend=backend)
+        coords, vals = random_samples(rng, 100, (32, 32))
+        serial.grid(coords, vals)
+        par.grid(coords, vals)
+        ref = serial.stats.as_dict()
+        got = par.stats.as_dict()
+        for key in (
+            "boundary_checks",
+            "interpolations",
+            "samples_processed",
+            "presort_operations",
+            "grid_accesses",
+            "lut_lookups",
+        ):
+            assert got[key] == ref[key], key
+
+    def test_as_dict_carries_schedule(self, backend, rng):
+        setup = build_setup((32, 32))
+        _, par = make_pair(setup, workers=2, backend=backend)
+        coords, vals = random_samples(rng, 100, (32, 32))
+        par.grid(coords, vals)
+        d = par.stats.as_dict()
+        assert d["parallel_backend"] == backend
+        assert d["workers_used"] == 2
+        assert len(d["shard_plan"]) == 2
+
+
+class TestTableCacheInteraction:
+    def test_cache_hit_on_repeat_trajectory(self, rng):
+        setup = build_setup((32, 32))
+        _, par = make_pair(setup, workers=2, backend="thread")
+        coords, vals = random_samples(rng, 100, (32, 32))
+        par.grid(coords, vals)
+        assert par.stats.cache_misses == 1
+        par.grid(coords, vals)
+        assert par.stats.cache_hits == 1
+        assert par.stats.cache_misses == 0
+
+    def test_serial_fallback_counts_one_cache_event(self, rng):
+        """The fallback path must not prefetch-then-refetch tables
+        (which would record a bogus hit on a cold cache)."""
+        setup = build_setup((32, 32))
+        par = ParallelSliceAndDiceGridder(
+            setup, workers=2, backend="thread", min_parallel_ops=1 << 30
+        )
+        coords, vals = random_samples(rng, 100, (32, 32))
+        par.grid(coords, vals)
+        assert par.stats.cache_misses == 1
+        assert par.stats.cache_hits == 0
+
+
+class TestEndToEnd:
+    """The engine plumbed through plan / SENSE / CG is still bit-exact."""
+
+    OPTS = {"workers": 2, "backend": "thread", "min_parallel_ops": 0}
+
+    def _plans(self, rng):
+        from repro.nufft import NufftPlan
+        from repro.trajectories import radial_trajectory
+
+        coords = radial_trajectory(12, 24)
+        serial = NufftPlan((16, 16), coords, gridder="slice_and_dice")
+        par = NufftPlan(
+            (16, 16),
+            coords,
+            gridder="slice_and_dice_parallel",
+            gridder_options=dict(self.OPTS),
+        )
+        return serial, par
+
+    def test_nufft_plan_round_trip(self, rng):
+        serial, par = self._plans(rng)
+        img = rng.standard_normal((16, 16)) + 1j * rng.standard_normal((16, 16))
+        assert np.array_equal(par.forward(img), serial.forward(img))
+        y = rng.standard_normal(serial.n_samples) + 1j * rng.standard_normal(
+            serial.n_samples
+        )
+        assert np.array_equal(par.adjoint(y), serial.adjoint(y))
+
+    def test_sense_operator(self, rng):
+        from repro.mri import SenseOperator, birdcage_maps
+
+        serial, par = self._plans(rng)
+        maps = birdcage_maps(3, 16)
+        img = rng.standard_normal((16, 16)) + 1j * rng.standard_normal((16, 16))
+        op_s = SenseOperator(serial, maps)
+        op_p = SenseOperator(par, maps)
+        y_s = op_s.forward(img)
+        y_p = op_p.forward(img)
+        assert np.array_equal(y_p, y_s)
+        assert np.array_equal(op_p.adjoint(y_p), op_s.adjoint(y_s))
+
+    def test_cg_reconstruction_identical_iterates(self, rng):
+        from repro.recon import cg_reconstruction
+
+        serial, par = self._plans(rng)
+        y = rng.standard_normal(serial.n_samples) + 1j * rng.standard_normal(
+            serial.n_samples
+        )
+        res_s = cg_reconstruction(serial, y, n_iterations=5)
+        res_p = cg_reconstruction(par, y, n_iterations=5)
+        assert np.array_equal(res_p.image, res_s.image)
+        assert res_p.residual_norms == res_s.residual_norms

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Dead-link check for the repository's markdown documentation.
+
+Scans ``README.md`` and ``docs/*.md`` for markdown links and inline
+file references and verifies that every *relative* target exists on
+disk (anchors are stripped; external ``http(s)``/``mailto`` targets are
+skipped).  Exits nonzero listing every dead link — run by the CI docs
+job and by ``tests/test_docs.py``.
+
+Usage::
+
+    python tools/check_links.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: [text](target) — markdown inline links
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: schemes that are not filesystem paths
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_doc_files(root: Path):
+    """The markdown files the check covers."""
+    readme = root / "README.md"
+    if readme.exists():
+        yield readme
+    docs = root / "docs"
+    if docs.is_dir():
+        yield from sorted(docs.glob("*.md"))
+
+
+def dead_links(path: Path, root: Path) -> list[tuple[str, str]]:
+    """(target, reason) for every broken relative link in ``path``."""
+    bad = []
+    text = path.read_text(encoding="utf-8")
+    for target in _LINK.findall(text):
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        plain = target.split("#", 1)[0]
+        if not plain:
+            continue
+        resolved = (path.parent / plain).resolve()
+        try:
+            resolved.relative_to(root.resolve())
+        except ValueError:
+            bad.append((target, "escapes the repository"))
+            continue
+        if not resolved.exists():
+            bad.append((target, "target does not exist"))
+    return bad
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    n_files = 0
+    failures = []
+    for path in iter_doc_files(root):
+        n_files += 1
+        for target, reason in dead_links(path, root):
+            failures.append(f"{path.relative_to(root)}: {target} ({reason})")
+    if failures:
+        print("dead links found:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(f"checked {n_files} markdown files: all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
