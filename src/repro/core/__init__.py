@@ -25,8 +25,14 @@ Public surface:
 - :class:`~repro.core.ParallelSliceAndDiceGridder` — the multicore
   engine: columns sharded across a worker pool with shared-memory
   accumulators, bit-identical to the serial gridder.
+- :class:`~repro.core.CompiledSliceAndDiceGridder` — the select pass
+  compiled once per trajectory into a :class:`~repro.core.CompiledPlan`
+  (flat sample/address/weight arrays); every repeat call is a gather
+  plus bincount accumulates with zero select work, bit-identical to
+  the serial gridder.
 """
 
+from .compiled import CompiledPlan, CompiledSliceAndDiceGridder
 from .decomposition import (
     CoordinateDecomposition,
     decompose_coordinates,
@@ -35,9 +41,11 @@ from .decomposition import (
 )
 from .layout import DiceLayout
 from .parallel import ParallelSliceAndDiceGridder, shard_plan
-from .slice_and_dice import SliceAndDiceGridder
+from .slice_and_dice import SliceAndDiceGridder, TableFetch
 
 __all__ = [
+    "CompiledPlan",
+    "CompiledSliceAndDiceGridder",
     "CoordinateDecomposition",
     "decompose_coordinates",
     "column_forward_distance",
@@ -46,4 +54,5 @@ __all__ = [
     "ParallelSliceAndDiceGridder",
     "shard_plan",
     "SliceAndDiceGridder",
+    "TableFetch",
 ]

@@ -60,7 +60,13 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from ..gridding.base import GriddingSetup, GriddingStats
-from .slice_and_dice import SliceAndDiceGridder
+from .slice_and_dice import SliceAndDiceGridder, TableFetch
+from .compiled import (
+    CompiledSliceAndDiceGridder,
+    plan_grid_rows,
+    plan_interp_samples,
+    plan_stats,
+)
 
 try:  # pragma: no cover - present since Python 3.8, but degrade anyway
     from multiprocessing import shared_memory as _shared_memory
@@ -166,6 +172,17 @@ class ParallelSliceAndDiceGridder(SliceAndDiceGridder):
         Serial-fallback threshold on the boundary-check count
         ``M * T^d`` — below it, pool startup costs more than it saves.
         Set ``0`` to force the pool even for tiny problems (tests).
+    inner_engine:
+        What each worker runs on its shard: ``"columns"`` (default) —
+        the streaming column scan — or ``"compiled"`` — slices of a
+        trajectory-compiled scatter plan
+        (:class:`repro.core.compiled.CompiledSliceAndDiceGridder`).
+        With ``"compiled"``, gridding workers own contiguous *row
+        slabs* of the row-major plan (``row_starts`` gives each slab's
+        plan slice) and interpolation workers own contiguous *sample
+        slabs* via the plan's stable sample-major view — both
+        bit-identical to the serial engines, and iteration 2+ on a
+        cached trajectory does zero select work in every worker.
     table_cache_size:
         Trajectory-keyed select-table cache size (see the serial class).
 
@@ -202,6 +219,7 @@ class ParallelSliceAndDiceGridder(SliceAndDiceGridder):
         workers: int | str = "auto",
         backend: str = "auto",
         min_parallel_ops: int = 1 << 16,
+        inner_engine: str = "columns",
         table_cache_size: int = 4,
     ):
         super().__init__(
@@ -222,9 +240,27 @@ class ParallelSliceAndDiceGridder(SliceAndDiceGridder):
             )
         if min_parallel_ops < 0:
             raise ValueError(f"min_parallel_ops must be >= 0, got {min_parallel_ops}")
+        if inner_engine not in ("columns", "compiled"):
+            raise ValueError(
+                f"inner_engine must be 'columns' or 'compiled', got {inner_engine!r}"
+            )
         self.workers = workers
         self.backend = backend
         self.min_parallel_ops = int(min_parallel_ops)
+        self.inner_engine = inner_engine
+        # plan provider for inner_engine="compiled": reuses the compiled
+        # engine's plan cache/fingerprint machinery; its stats are unused
+        self._plan_source = (
+            CompiledSliceAndDiceGridder(setup, tile_size=tile_size)
+            if inner_engine == "compiled"
+            else None
+        )
+
+    def invalidate_cache(self) -> None:
+        """Drop cached select tables and (if compiled) cached plans."""
+        super().invalidate_cache()
+        if self._plan_source is not None:
+            self._plan_source.invalidate_cache()
 
     # ------------------------------------------------------------------
     # schedule resolution
@@ -363,25 +399,73 @@ class ParallelSliceAndDiceGridder(SliceAndDiceGridder):
     # ------------------------------------------------------------------
     # gridding (adjoint): shard the columns
     # ------------------------------------------------------------------
+    def _set_pass_stats(self, m: int, n_rhs: int, interpolations: int, meta) -> None:
+        """Per-call stats from either inner engine's fetch metadata.
+
+        ``meta`` is the :class:`TableFetch` of a ``"columns"`` pass or
+        the ``(CompiledPlan, hit)`` pair of a ``"compiled"`` pass.
+        """
+        if isinstance(meta, TableFetch):
+            self._fill_stats(
+                m,
+                n_rhs=n_rhs,
+                interpolations=interpolations,
+                lane_slots=m * self.layout.n_columns,
+                fetch=meta,
+            )
+        else:
+            plan_obj, hit = meta
+            self.stats = plan_stats(
+                self.setup.ndim, self.layout.n_columns, m, n_rhs, plan_obj, hit
+            )
+
     def _run_grid(self, coords: np.ndarray, values_stack: np.ndarray):
         """Column-sharded dice accumulation for a ``(K, M)`` value stack.
 
-        Returns ``(dice, interpolations, plan, backend, seconds)``.
+        Returns ``(dice, interpolations, meta, shards, backend,
+        seconds)`` — ``meta`` as in :meth:`_set_pass_stats`.  With
+        ``inner_engine="compiled"`` each worker accumulates its row
+        slab's contiguous slice of the row-major scatter plan instead
+        of scanning columns; the slab outputs are the same disjoint
+        dice rows, so the ownership (and bit-identity) argument is
+        unchanged.
         """
         m = coords.shape[0]
         n_rows = self.layout.n_columns
+        k_rhs = values_stack.shape[0]
         n_workers = self._resolve_workers(n_rows)
         backend = self._resolve_backend()
+        out_shape = (k_rhs, n_rows, self.layout.n_tiles)
+
+        if self.inner_engine == "compiled":
+            plan_obj, hit = self._plan_source._fetch_plan(coords)
+            if self._serial_fallback(m, n_workers, backend):
+                t0 = time.perf_counter()
+                dice = np.zeros(out_shape, dtype=np.complex128)
+                interpolations = plan_grid_rows(
+                    plan_obj, values_stack, dice, 0, n_rows
+                )
+                return dice, interpolations, (plan_obj, hit), ((0, n_rows),), \
+                    "serial", (time.perf_counter() - t0,)
+            shards = shard_plan(n_rows, n_workers)
+
+            def work(out, row_lo, row_hi):
+                return plan_grid_rows(plan_obj, values_stack, out, row_lo, row_hi)
+
+            dice, interpolations, seconds, backend = self._dispatch(
+                work, out_shape, shards, backend
+            )
+            return dice, interpolations, (plan_obj, hit), shards, backend, seconds
+
         if self._serial_fallback(m, n_workers, backend):
             t0 = time.perf_counter()
-            dice, interpolations, _ = self._run_engine(coords, values_stack)
-            return dice, interpolations, ((0, n_rows),), "serial", (
+            dice, interpolations, _, fetch = self._run_engine(coords, values_stack)
+            return dice, interpolations, fetch, ((0, n_rows),), "serial", (
                 time.perf_counter() - t0,
             )
 
-        tables = self._per_axis_tables(coords)
-        plan = shard_plan(n_rows, n_workers)
-        out_shape = (values_stack.shape[0], n_rows, self.layout.n_tiles)
+        tables, fetch = self._fetch_tables(coords)
+        shards = shard_plan(n_rows, n_workers)
 
         def work(out, row_lo, row_hi):
             return self._process_stream(
@@ -389,22 +473,17 @@ class ParallelSliceAndDiceGridder(SliceAndDiceGridder):
             )
 
         dice, interpolations, seconds, backend = self._dispatch(
-            work, out_shape, plan, backend
+            work, out_shape, shards, backend
         )
-        return dice, interpolations, plan, backend, seconds
+        return dice, interpolations, fetch, shards, backend, seconds
 
     def _grid_impl(self, coords: np.ndarray, values: np.ndarray, grid: np.ndarray) -> None:
-        dice, interpolations, plan, backend, seconds = self._run_grid(
+        dice, interpolations, meta, shards, backend, seconds = self._run_grid(
             coords, values[None, :]
         )
         grid += self.layout.dice_to_grid(dice[0])
-        self._fill_stats(
-            coords.shape[0],
-            n_rhs=1,
-            interpolations=interpolations,
-            lane_slots=coords.shape[0] * self.layout.n_columns,
-        )
-        self._annotate(plan, backend, seconds)
+        self._set_pass_stats(coords.shape[0], 1, interpolations, meta)
+        self._annotate(shards, backend, seconds)
 
     def grid_batch(self, coords: np.ndarray, values_stack: np.ndarray) -> np.ndarray:
         """Column-sharded batched gridding: one select pass, ``K`` RHS.
@@ -418,19 +497,14 @@ class ParallelSliceAndDiceGridder(SliceAndDiceGridder):
         self.stats = GriddingStats()
         if coords.shape[0] == 0:
             return np.zeros((k_rhs,) + self.setup.grid_shape, dtype=np.complex128)
-        dice, interpolations, plan, backend, seconds = self._run_grid(
+        dice, interpolations, meta, shards, backend, seconds = self._run_grid(
             coords, values_stack
         )
         out = np.empty((k_rhs,) + self.setup.grid_shape, dtype=np.complex128)
         for k in range(k_rhs):
             out[k] = self.layout.dice_to_grid(dice[k])
-        self._fill_stats(
-            coords.shape[0],
-            n_rhs=k_rhs,
-            interpolations=interpolations,
-            lane_slots=coords.shape[0] * self.layout.n_columns,
-        )
-        self._annotate(plan, backend, seconds)
+        self._set_pass_stats(coords.shape[0], k_rhs, interpolations, meta)
+        self._annotate(shards, backend, seconds)
         return out
 
     # ------------------------------------------------------------------
@@ -452,42 +526,56 @@ class ParallelSliceAndDiceGridder(SliceAndDiceGridder):
         self.stats = GriddingStats()
         if m == 0:
             return np.zeros((k_rhs, 0), dtype=np.complex128)
-        tables = self._per_axis_tables(coords)
         dice = np.empty(
             (k_rhs, self.layout.n_columns, self.layout.n_tiles), dtype=np.complex128
         )
         for k in range(k_rhs):
             dice[k] = self.layout.grid_to_dice(grid_stack[k])
 
+        if self.inner_engine == "compiled":
+            plan_obj, hit = self._plan_source._fetch_plan(coords)
+            meta = (plan_obj, hit)
+            dice_flat = dice.reshape(k_rhs, -1)
+            # materialize the sample-major view once, pre-dispatch:
+            # workers then share it read-only (copy-on-write under fork)
+            plan_obj.sample_view()
+
+            def stream(out, lo, hi):
+                return plan_interp_samples(plan_obj, dice_flat, out, lo, hi)
+
+        else:
+            tables, meta = self._fetch_tables(coords)
+
+            def stream(out, lo, hi):
+                return self._interp_stream(tables, dice, out, lo, hi)
+
         n_workers = self._resolve_workers(m)
         backend = self._resolve_backend()
         if self._serial_fallback(m, n_workers, backend):
             t0 = time.perf_counter()
             out = np.zeros((k_rhs, m), dtype=np.complex128)
-            interpolations = self._interp_stream(tables, dice, out, 0, m)
-            plan, backend, seconds = ((0, m),), "serial", (time.perf_counter() - t0,)
+            interpolations = stream(out, 0, m)
+            shards, backend, seconds = ((0, m),), "serial", (time.perf_counter() - t0,)
         else:
-            plan = shard_plan(m, n_workers)
-
-            def work(out, lo, hi):
-                return self._interp_stream(tables, dice, out, lo, hi)
-
+            shards = shard_plan(m, n_workers)
             out, interpolations, seconds, backend = self._dispatch(
-                work, (k_rhs, m), plan, backend
+                stream, (k_rhs, m), shards, backend
             )
 
-        d = self.setup.ndim
-        event, build_seconds = self._last_cache_event
-        self.stats = GriddingStats(
-            boundary_checks=m * self.layout.n_columns,
-            interpolations=interpolations * k_rhs,
-            samples_processed=m,
-            presort_operations=0,
-            grid_accesses=interpolations * k_rhs,
-            lut_lookups=interpolations * d,
-            cache_hits=1 if event == "hit" else 0,
-            cache_misses=1 if event == "miss" else 0,
-            table_build_seconds=build_seconds,
-        )
-        self._annotate(plan, backend, seconds)
+        if isinstance(meta, TableFetch):
+            self.stats = GriddingStats(
+                boundary_checks=m * self.layout.n_columns,
+                interpolations=interpolations * k_rhs,
+                samples_processed=m,
+                presort_operations=0,
+                grid_accesses=interpolations * k_rhs,
+                lut_lookups=interpolations * self.setup.ndim,
+                cache_hits=1 if meta.hit else 0,
+                cache_misses=0 if meta.hit else 1,
+                table_build_seconds=meta.build_seconds,
+                table_bytes=meta.table_bytes,
+            )
+        else:
+            self._set_pass_stats(m, k_rhs, interpolations, meta)
+        self._annotate(shards, backend, seconds)
         return out

@@ -36,13 +36,22 @@ fixed trajectory (one per coil per CG iteration — the paper's
   entirely.  The fingerprint reads O(1) samples, so an in-place
   mutation that preserves the probed entries is *not* detected — call
   :meth:`invalidate_cache` after mutating a coordinate array in place.
-  Cache events and build time are reported in ``stats.cache_hits``,
-  ``stats.cache_misses`` and ``stats.table_build_seconds``.
+  Cache events, build time, and resident table bytes are reported
+  per call in ``stats.cache_hits``, ``stats.cache_misses``,
+  ``stats.table_build_seconds`` and ``stats.table_bytes``; eviction
+  is true LRU (a re-hit trajectory moves to most-recently-used).
+
+The select pass is also *compilable*: :meth:`_flatten_select` runs the
+column loop once and records every passing ``(sample, column)`` pair as
+flat index/weight arrays — the hook :class:`repro.core.compiled.
+CompiledSliceAndDiceGridder` builds its trajectory-compiled scatter
+plans on.
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -54,7 +63,37 @@ from .decomposition import (
 )
 from .layout import DiceLayout
 
-__all__ = ["SliceAndDiceGridder"]
+__all__ = ["SliceAndDiceGridder", "TableFetch"]
+
+
+@dataclass(frozen=True)
+class TableFetch:
+    """Outcome of one per-axis-table fetch, threaded to the stats of
+    exactly the call that performed it (never shared between calls).
+
+    Attributes
+    ----------
+    hit:
+        True when cached tables were reused, False when they were
+        (re)built.
+    build_seconds:
+        Wall-clock seconds of the table build (0.0 on a hit).
+    table_bytes:
+        Resident bytes of the tables the call used (masks + weights +
+        tile indices across all axes).
+    """
+
+    hit: bool
+    build_seconds: float
+    table_bytes: int
+
+
+def _tables_nbytes(tables: tuple) -> int:
+    """Total bytes of the per-axis mask/weight/tile arrays."""
+    _, masks, weights, tiles = tables
+    return int(
+        sum(a.nbytes for group in (masks, weights, tiles) for a in group)
+    )
 
 
 class SliceAndDiceGridder(Gridder):
@@ -74,8 +113,10 @@ class SliceAndDiceGridder(Gridder):
         Sample-stream partitions for the blocked engine (ignored
         otherwise).
     table_cache_size:
-        Number of trajectories whose select tables are kept (FIFO
-        eviction).  ``0`` disables caching entirely.
+        Number of trajectories whose select tables are kept (LRU
+        eviction — a re-hit trajectory is safe from eviction until
+        ``table_cache_size`` *other* trajectories displace it).  ``0``
+        disables caching entirely.
     """
 
     name = "slice_and_dice"
@@ -104,10 +145,9 @@ class SliceAndDiceGridder(Gridder):
                 f"window width {setup.width} exceeds tile size {tile_size}; "
                 "the one-point-per-column guarantee (W <= T) would break"
             )
-        #: fingerprint -> (dec, masks, weights, tiles); insertion-ordered
+        #: fingerprint -> (dec, masks, weights, tiles); ordered oldest
+        #: -> most recently used (dict order doubles as the LRU order)
         self._table_cache: dict[tuple, tuple] = {}
-        #: ("hit" | "miss", build_seconds) of the most recent table fetch
-        self._last_cache_event: tuple[str, float] = ("miss", 0.0)
 
     @property
     def tile_size(self) -> int:
@@ -145,26 +185,32 @@ class SliceAndDiceGridder(Gridder):
             float(coords[::step].sum()),
         )
 
-    def _per_axis_tables(self, coords: np.ndarray):
-        """Per-axis, per-column-index select results, cached per trajectory.
+    def _fetch_tables(self, coords: np.ndarray) -> tuple[tuple, TableFetch]:
+        """Per-axis select tables plus this fetch's cache event.
 
         The separable two-part check lets each axis be evaluated once
         for all ``T`` column indices and reused across the ``T^d``
         column combinations (the same sharing the hardware gets from
         its row/column select units).  Returns per-axis arrays of shape
-        ``(T, M)``: pass masks, LUT weights, and wrapped tile
-        coordinates, plus the decomposition itself.
+        ``(T, M)`` — pass masks, LUT weights, and wrapped tile
+        coordinates (stored in the minimal unsigned dtype that holds
+        ``max(tile_counts) - 1``) — plus the decomposition itself,
+        bundled with a :class:`TableFetch` describing *this* fetch.
 
-        Results are memoized keyed on :meth:`_coords_fingerprint`;
-        ``self._last_cache_event`` records hit/miss and build time for
-        the stats of the enclosing call.
+        Results are memoized keyed on :meth:`_coords_fingerprint` with
+        true LRU eviction: a hit moves the entry to most-recently-used,
+        so a trajectory in active use survives interleaved traffic on
+        other trajectories.  The fetch outcome is returned, not stored,
+        so the stats of one call can never leak into another.
         """
         key = self._coords_fingerprint(coords) if self.table_cache_size else None
         if key is not None:
             cached = self._table_cache.get(key)
             if cached is not None:
-                self._last_cache_event = ("hit", 0.0)
-                return cached
+                # move-to-end: mark as most recently used
+                self._table_cache.pop(key)
+                self._table_cache[key] = cached
+                return cached, TableFetch(True, 0.0, _tables_nbytes(cached))
 
         t_start = time.perf_counter()
         setup = self.setup
@@ -181,7 +227,10 @@ class SliceAndDiceGridder(Gridder):
             count = dec.tile_counts[axis]
             mk = np.empty((t, m), dtype=bool)
             wt = np.empty((t, m), dtype=np.float64)
-            tl = np.empty((t, m), dtype=np.int64)
+            # tile indices lie in [0, count): the minimal unsigned dtype
+            # (usually uint8/uint16) quarters the table footprint vs the
+            # historical int64 without touching any computed value
+            tl = np.empty((t, m), dtype=np.min_scalar_type(max(count - 1, 0)))
             for p in range(t):
                 fwd = np.mod(rel - p, t) + frac
                 mk[p] = fwd < w
@@ -197,17 +246,22 @@ class SliceAndDiceGridder(Gridder):
             while len(self._table_cache) >= self.table_cache_size:
                 self._table_cache.pop(next(iter(self._table_cache)))
             self._table_cache[key] = result
-        self._last_cache_event = ("miss", build_seconds)
-        return result
+        return result, TableFetch(False, build_seconds, _tables_nbytes(result))
+
+    def _per_axis_tables(self, coords: np.ndarray):
+        """Tables only (compatibility wrapper around :meth:`_fetch_tables`)."""
+        return self._fetch_tables(coords)[0]
 
     # ------------------------------------------------------------------
     # gridding (adjoint)
     # ------------------------------------------------------------------
     def _grid_impl(self, coords: np.ndarray, values: np.ndarray, grid: np.ndarray) -> None:
-        dice, interpolations, lane_slots = self._run_engine(coords, values[None, :])
+        dice, interpolations, lane_slots, fetch = self._run_engine(
+            coords, values[None, :]
+        )
         grid += self.layout.dice_to_grid(dice[0])
         self._fill_stats(coords.shape[0], n_rhs=1, interpolations=interpolations,
-                         lane_slots=lane_slots)
+                         lane_slots=lane_slots, fetch=fetch)
 
     def grid_batch(self, coords: np.ndarray, values_stack: np.ndarray) -> np.ndarray:
         """Batched multi-RHS gridding: one select pass, ``K`` accumulates.
@@ -224,24 +278,27 @@ class SliceAndDiceGridder(Gridder):
         self.stats = GriddingStats()
         if coords.shape[0] == 0:
             return np.zeros((k_rhs,) + self.setup.grid_shape, dtype=np.complex128)
-        dice, interpolations, lane_slots = self._run_engine(coords, values_stack)
+        dice, interpolations, lane_slots, fetch = self._run_engine(
+            coords, values_stack
+        )
         out = np.empty((k_rhs,) + self.setup.grid_shape, dtype=np.complex128)
         for k in range(k_rhs):
             out[k] = self.layout.dice_to_grid(dice[k])
         self._fill_stats(coords.shape[0], n_rhs=k_rhs, interpolations=interpolations,
-                         lane_slots=lane_slots)
+                         lane_slots=lane_slots, fetch=fetch)
         return out
 
     def _run_engine(
         self, coords: np.ndarray, values_stack: np.ndarray
-    ) -> tuple[np.ndarray, int, int]:
+    ) -> tuple[np.ndarray, int, int, TableFetch]:
         """Run the configured engine over a ``(K, M)`` value stack.
 
         Returns the ``(K, n_columns, n_tiles)`` dice, the number of
         passing checks (per select pass, i.e. *not* multiplied by K),
-        and the SIMD lane slots actually issued.
+        the SIMD lane slots actually issued, and this call's table
+        fetch event.
         """
-        tables = self._per_axis_tables(coords)
+        tables, fetch = self._fetch_tables(coords)
         k_rhs = values_stack.shape[0]
         m = coords.shape[0]
         dice = np.zeros(
@@ -264,7 +321,7 @@ class SliceAndDiceGridder(Gridder):
                 # its T^d lanes scan only the [lo, hi) slice, not the
                 # whole stream (empty blocks launch no lanes at all)
                 lane_slots += (hi - lo) * self.layout.n_columns
-        return dice, interpolations, lane_slots
+        return dice, interpolations, lane_slots, fetch
 
     def _process_stream(
         self,
@@ -292,9 +349,6 @@ class SliceAndDiceGridder(Gridder):
         multicore engine (:class:`ParallelSliceAndDiceGridder`) shards
         on.
         """
-        setup = self.setup
-        dec, masks, weights, tiles = tables
-        counts = dec.tile_counts
         n_tiles = self.layout.n_tiles
         k_rhs = values_stack.shape[0]
         interpolations = 0
@@ -302,19 +356,10 @@ class SliceAndDiceGridder(Gridder):
         if row_hi is None:
             row_hi = columns.shape[0]
         for row in range(row_lo, row_hi):
-            column = columns[row]
-            affected = masks[0][column[0]][lo:hi]
-            for axis in range(1, setup.ndim):
-                affected = affected & masks[axis][column[axis]][lo:hi]
-            hit = np.flatnonzero(affected) + lo
+            hit, wgt, depth = self._select_column(tables, columns[row], lo, hi)
             if hit.size == 0:
                 continue
             interpolations += hit.size
-            wgt = weights[0][column[0]][hit]
-            depth = tiles[0][column[0]][hit]
-            for axis in range(1, setup.ndim):
-                wgt = wgt * weights[axis][column[axis]][hit]
-                depth = depth * counts[axis] + tiles[axis][column[axis]][hit]
             for k in range(k_rhs):
                 contrib = values_stack[k, hit] * wgt
                 dice[k, row] += np.bincount(
@@ -322,16 +367,95 @@ class SliceAndDiceGridder(Gridder):
                 ) + 1j * np.bincount(depth, weights=contrib.imag, minlength=n_tiles)
         return interpolations
 
+    def _select_column(
+        self, tables: tuple, column: np.ndarray, lo: int, hi: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One column's select results over the sample slab ``[lo, hi)``.
+
+        Returns ``(hit, wgt, depth)``: the passing sample indices
+        (ascending), their combined separable weights, and their global
+        tile addresses.  This is the coordinate-only half of the column
+        model — shared verbatim by gridding, interpolation, and the
+        scatter-plan compiler (:meth:`_flatten_select`), which is what
+        makes all three bit-comparable.
+        """
+        setup = self.setup
+        dec, masks, weights, tiles = tables
+        counts = dec.tile_counts
+        affected = masks[0][column[0]][lo:hi]
+        for axis in range(1, setup.ndim):
+            affected = affected & masks[axis][column[axis]][lo:hi]
+        hit = np.flatnonzero(affected) + lo
+        if hit.size == 0:
+            return hit, hit.astype(np.float64), hit
+        wgt = weights[0][column[0]][hit]
+        depth = tiles[0][column[0]][hit].astype(np.int64)
+        for axis in range(1, setup.ndim):
+            wgt = wgt * weights[axis][column[axis]][hit]
+            depth = depth * counts[axis] + tiles[axis][column[axis]][hit]
+        return hit, wgt, depth
+
+    def _flatten_select(
+        self, tables: tuple
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Flatten the select tables into flat scatter-plan arrays.
+
+        Runs the column loop once over the whole sample stream and
+        concatenates the per-column select results in row-major order:
+
+        - ``sample_idx`` — int64 ``(nnz,)`` passing sample indices,
+        - ``flat_idx`` — int64 ``(nnz,)`` global dice addresses
+          ``row * n_tiles + depth``,
+        - ``weight`` — float64 ``(nnz,)`` combined separable weights,
+        - ``row_starts`` — int64 ``(T^d + 1,)`` offsets of each row's
+          slice in the flat arrays (``row_starts[r]:row_starts[r+1]``),
+
+        with ``nnz`` exactly the ``M * W^d`` passing checks.  Row-major
+        order with ascending samples inside each row preserves *both*
+        accumulation orders of the serial engine: entries of one
+        ``(row, depth)`` dice word appear in ascending sample order
+        (gridding), and entries of one sample appear in ascending row
+        order (interpolation) — the bit-identity argument of
+        :class:`repro.core.compiled.CompiledSliceAndDiceGridder`.
+        """
+        dec = tables[0]
+        m = dec.n_samples
+        n_tiles = self.layout.n_tiles
+        columns = self.layout.columns()
+        n_rows = columns.shape[0]
+        sample_pieces: list[np.ndarray] = []
+        flat_pieces: list[np.ndarray] = []
+        weight_pieces: list[np.ndarray] = []
+        row_starts = np.zeros(n_rows + 1, dtype=np.int64)
+        for row in range(n_rows):
+            hit, wgt, depth = self._select_column(tables, columns[row], 0, m)
+            row_starts[row + 1] = row_starts[row] + hit.size
+            if hit.size == 0:
+                continue
+            sample_pieces.append(hit)
+            flat_pieces.append(row * n_tiles + depth)
+            weight_pieces.append(wgt)
+        if not sample_pieces:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty.copy(), np.zeros(0, dtype=np.float64), row_starts
+        return (
+            np.concatenate(sample_pieces),
+            np.concatenate(flat_pieces),
+            np.concatenate(weight_pieces),
+            row_starts,
+        )
+
     def _fill_stats(
-        self, m: int, n_rhs: int, interpolations: int, lane_slots: int
+        self, m: int, n_rhs: int, interpolations: int, lane_slots: int,
+        fetch: TableFetch,
     ) -> None:
         """Populate stats for a (possibly batched) pass.
 
         Select work (checks, LUT reads, lane issue) is shared across the
-        batch; value work (MACs, dice accesses) scales with ``n_rhs``.
+        batch; value work (MACs, dice accesses) scales with ``n_rhs``;
+        ``fetch`` is the table-cache event of *this* call.
         """
         d = self.setup.ndim
-        event, build_seconds = self._last_cache_event
         self.stats = GriddingStats(
             boundary_checks=m * self.layout.n_columns,
             interpolations=interpolations * n_rhs,
@@ -344,9 +468,10 @@ class SliceAndDiceGridder(Gridder):
             # 56 %, vs binning's W^d/B^d (a few percent at B=32)
             simd_active_lanes=interpolations,
             simd_lane_slots=lane_slots,
-            cache_hits=1 if event == "hit" else 0,
-            cache_misses=1 if event == "miss" else 0,
-            table_build_seconds=build_seconds,
+            cache_hits=1 if fetch.hit else 0,
+            cache_misses=0 if fetch.hit else 1,
+            table_build_seconds=fetch.build_seconds,
+            table_bytes=fetch.table_bytes,
         )
 
     # ------------------------------------------------------------------
@@ -384,28 +509,25 @@ class SliceAndDiceGridder(Gridder):
         self.stats = GriddingStats()
         if m == 0:
             return np.zeros((k_rhs, 0), dtype=np.complex128)
-        setup = self.setup
-        dec, masks, weights, tiles = self._per_axis_tables(coords)
-        counts = dec.tile_counts
+        tables, fetch = self._fetch_tables(coords)
         dice = np.empty(
             (k_rhs, self.layout.n_columns, self.layout.n_tiles), dtype=np.complex128
         )
         for k in range(k_rhs):
             dice[k] = self.layout.grid_to_dice(grid_stack[k])
         out = np.zeros((k_rhs, m), dtype=np.complex128)
-        interpolations = self._interp_stream((dec, masks, weights, tiles), dice, out, 0, m)
-        d = setup.ndim
-        event, build_seconds = self._last_cache_event
+        interpolations = self._interp_stream(tables, dice, out, 0, m)
         self.stats = GriddingStats(
             boundary_checks=m * self.layout.n_columns,
             interpolations=interpolations * k_rhs,
             samples_processed=m,
             presort_operations=0,
             grid_accesses=interpolations * k_rhs,
-            lut_lookups=interpolations * d,
-            cache_hits=1 if event == "hit" else 0,
-            cache_misses=1 if event == "miss" else 0,
-            table_build_seconds=build_seconds,
+            lut_lookups=interpolations * self.setup.ndim,
+            cache_hits=1 if fetch.hit else 0,
+            cache_misses=0 if fetch.hit else 1,
+            table_build_seconds=fetch.build_seconds,
+            table_bytes=fetch.table_bytes,
         )
         return out
 
@@ -429,24 +551,13 @@ class SliceAndDiceGridder(Gridder):
         owns a slice of the *sample* stream instead of the columns.
         Returns the number of passing checks for this slab.
         """
-        setup = self.setup
-        dec, masks, weights, tiles = tables
-        counts = dec.tile_counts
         k_rhs = dice.shape[0]
         interpolations = 0
         for row, column in enumerate(self.layout.columns()):
-            affected = masks[0][column[0]][lo:hi]
-            for axis in range(1, setup.ndim):
-                affected = affected & masks[axis][column[axis]][lo:hi]
-            hit = np.flatnonzero(affected) + lo
+            hit, wgt, depth = self._select_column(tables, column, lo, hi)
             if hit.size == 0:
                 continue
             interpolations += hit.size
-            wgt = weights[0][column[0]][hit]
-            depth = tiles[0][column[0]][hit]
-            for axis in range(1, setup.ndim):
-                wgt = wgt * weights[axis][column[axis]][hit]
-                depth = depth * counts[axis] + tiles[axis][column[axis]][hit]
             for k in range(k_rhs):
                 out[k, hit] += dice[k, row, depth] * wgt
         return interpolations

@@ -75,6 +75,19 @@ class GriddingStats:
         Wall-clock seconds spent building precomputed tables during
         this call (0.0 on a cache hit) — makes the amortization
         benefit observable rather than asserted.
+    table_bytes:
+        Resident bytes of the per-axis select tables this call used
+        (masks + weights + tile indices).  Zero for gridders without
+        tables, and zero for the compiled engine once the plan is
+        built (the tables are transient there).
+    plan_compile_seconds:
+        Wall-clock seconds spent compiling a trajectory scatter plan
+        during this call (the ``slice_and_dice_compiled`` engine);
+        0.0 on a plan-cache hit.
+    plan_nnz:
+        Nonzeros of the compiled scatter plan the call executed —
+        exactly the ``M * W^d`` passing checks.  Zero for engines
+        without a compiled plan.
     workers_used:
         Worker count of the most recent multicore pass (the
         ``slice_and_dice_parallel`` engine).  ``0`` for engines without
@@ -113,6 +126,9 @@ class GriddingStats:
     cache_hits: int = 0
     cache_misses: int = 0
     table_build_seconds: float = 0.0
+    table_bytes: int = 0
+    plan_compile_seconds: float = 0.0
+    plan_nnz: int = 0
     workers_used: int = 0
     parallel_backend: str = ""
     shard_plan: tuple = ()
@@ -145,6 +161,9 @@ class GriddingStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "table_build_seconds": self.table_build_seconds,
+            "table_bytes": self.table_bytes,
+            "plan_compile_seconds": self.plan_compile_seconds,
+            "plan_nnz": self.plan_nnz,
             "workers_used": self.workers_used,
             "parallel_backend": self.parallel_backend,
             "shard_plan": self.shard_plan,
@@ -154,10 +173,12 @@ class GriddingStats:
     def accumulate(self, other: "GriddingStats") -> None:
         """Add another pass' counters into this one (batch aggregation).
 
-        Additive counters are summed; the parallel-schedule fields
-        (``workers_used``, ``parallel_backend``, ``shard_plan``,
-        ``worker_seconds``) describe one pass, not a sum, so the most
-        recent pass that actually ran a worker pool wins.
+        Additive counters are summed; the gauge fields describe one
+        pass, not a sum, so the most recent pass that set them wins:
+        ``table_bytes``/``plan_nnz`` take the latest nonzero value, and
+        the parallel-schedule fields (``workers_used``,
+        ``parallel_backend``, ``shard_plan``, ``worker_seconds``) take
+        the most recent pass that actually ran a worker pool.
         """
         self.boundary_checks += other.boundary_checks
         self.interpolations += other.interpolations
@@ -170,6 +191,11 @@ class GriddingStats:
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.table_build_seconds += other.table_build_seconds
+        self.plan_compile_seconds += other.plan_compile_seconds
+        if other.table_bytes:
+            self.table_bytes = other.table_bytes
+        if other.plan_nnz:
+            self.plan_nnz = other.plan_nnz
         if other.workers_used:
             self.workers_used = other.workers_used
             self.parallel_backend = other.parallel_backend
@@ -232,14 +258,27 @@ class GriddingSetup:
         return int(np.prod(self.grid_shape))
 
     def check_coords(self, coords: np.ndarray) -> np.ndarray:
-        """Validate and canonicalize coordinates to ``[0, G)`` grid units."""
+        """Validate and canonicalize coordinates to ``[0, G)`` grid units.
+
+        Coordinates already in range are returned as-is (no copy —
+        ``fmod`` on every call costs more than the whole compiled-plan
+        dispatch); out-of-range or NaN coordinates take the torus-wrap
+        path and get a fresh array.
+        """
         coords = np.atleast_2d(np.asarray(coords, dtype=np.float64))
         if coords.ndim != 2 or coords.shape[1] != self.ndim:
             raise ValueError(
                 f"coords must have shape (M, {self.ndim}), got {coords.shape}"
             )
-        out = np.mod(coords, np.asarray(self.grid_shape, dtype=np.float64))
-        return out
+        shape = np.asarray(self.grid_shape, dtype=np.float64)
+        # Flat amin/amax against the smallest dim: conservative for
+        # rectangular grids (may wrap coords that were already in range,
+        # which is harmless) but a single contiguous reduce each.
+        if coords.size == 0 or (
+            np.amin(coords) >= 0.0 and np.amax(coords) < min(self.grid_shape)
+        ):
+            return coords
+        return np.mod(coords, shape)
 
 
 def window_contributions(

@@ -11,7 +11,10 @@ asserts identical output grids).  Registered engines (see
 - ``"sparse_matrix"`` — precomputed CSR interpolation matrix (MIRT),
 - ``"slice_and_dice"`` — the paper's binning-free column model,
 - ``"slice_and_dice_parallel"`` — the column model sharded across a
-  multicore worker pool (bit-identical to the serial engine).
+  multicore worker pool (bit-identical to the serial engine),
+- ``"slice_and_dice_compiled"`` — the select pass compiled once per
+  trajectory into flat scatter-plan arrays; repeat calls are a gather
+  plus bincount accumulates (bit-identical to the serial engine).
 """
 
 from __future__ import annotations
@@ -110,10 +113,15 @@ def make_gridder(name: str, setup: GriddingSetup, **kwargs) -> Gridder:
 def _ensure_core() -> None:
     """Register the Slice-and-Dice gridders lazily (avoids import cycle)."""
     if "slice_and_dice" not in _REGISTRY:
-        from ..core import ParallelSliceAndDiceGridder, SliceAndDiceGridder
+        from ..core import (
+            CompiledSliceAndDiceGridder,
+            ParallelSliceAndDiceGridder,
+            SliceAndDiceGridder,
+        )
 
         register_gridder("slice_and_dice", SliceAndDiceGridder)
         register_gridder("slice_and_dice_parallel", ParallelSliceAndDiceGridder)
+        register_gridder("slice_and_dice_compiled", CompiledSliceAndDiceGridder)
 
 
 register_gridder("naive", NaiveGridder)

@@ -69,13 +69,17 @@ class NufftPlan:
         LUT oversampling factor ``L``.
     gridder:
         Registered gridder name (``"naive"``, ``"binning"``,
-        ``"slice_and_dice"``, ``"slice_and_dice_parallel"``, ...) or an
-        already-built :class:`Gridder`.  The parallel engine makes the
-        whole plan — and everything layered on it
-        (:class:`repro.mri.SenseOperator`,
+        ``"slice_and_dice"``, ``"slice_and_dice_parallel"``,
+        ``"slice_and_dice_compiled"``, ...) or an already-built
+        :class:`Gridder`.  The parallel engine makes the whole plan —
+        and everything layered on it (:class:`repro.mri.SenseOperator`,
         :func:`repro.recon.cg_reconstruction`) — run its gridding and
         interpolation on a multicore worker pool, bit-identically to
-        the serial engine; see ``docs/engines.md``.
+        the serial engine.  The compiled engine compiles the select
+        pass into a scatter plan on the first forward/adjoint call and
+        reuses it for every later call on the plan's fixed trajectory
+        — the right default for iterative use, where iteration 2+ does
+        zero select work, also bit-identically; see ``docs/engines.md``.
     gridder_options:
         Extra keyword arguments for the gridder factory, e.g.
         ``{"tile_size": 8}`` for the tiled engines or
@@ -109,6 +113,17 @@ class NufftPlan:
     >>> bool(np.array_equal(par.adjoint(np.ones(coords.shape[0], dtype=complex)),
     ...                     image))
     True
+
+    So is the compiled engine — the first call compiles the trajectory's
+    scatter plan, every later call reuses it with zero select work:
+
+    >>> com = NufftPlan((64, 64), coords, gridder="slice_and_dice_compiled")
+    >>> bool(np.array_equal(com.adjoint(np.ones(coords.shape[0], dtype=complex)),
+    ...                     image))
+    True
+    >>> _ = com.adjoint(np.ones(coords.shape[0], dtype=complex))
+    >>> com.gridder.stats.cache_hits, com.gridder.stats.boundary_checks
+    (1, 0)
     """
 
     def __init__(

@@ -1,0 +1,345 @@
+"""Compiled scatter-plan engine: bit-identity, caches, stats, sharding.
+
+Covers the `slice_and_dice_compiled` engine (`repro.core.compiled`) and
+the satellite fixes that ride with it: true-LRU table-cache eviction,
+minimal-dtype tile tables + `table_bytes`, and per-call (not stale)
+cache events on interleaved grid/interp traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CompiledSliceAndDiceGridder,
+    ParallelSliceAndDiceGridder,
+    SliceAndDiceGridder,
+)
+from repro.gridding import GriddingSetup, make_gridder
+from repro.kernels import KernelLUT, beatty_kernel
+from tests.conftest import random_samples
+
+PARALLEL_KW = {"workers": 2, "backend": "thread", "min_parallel_ops": 0}
+
+
+def setup_3d() -> GriddingSetup:
+    return GriddingSetup((16, 16, 16), KernelLUT(beatty_kernel(4, 2.0), 32))
+
+
+def random_grid_stack(rng, k, grid_shape):
+    return rng.standard_normal((k,) + grid_shape) + 1j * rng.standard_normal(
+        (k,) + grid_shape
+    )
+
+
+# ----------------------------------------------------------------------
+# bit-identity to the serial engine (the numerical contract)
+# ----------------------------------------------------------------------
+class TestBitIdentity:
+    def test_grid_bit_identical_2d(self, small_setup, rng):
+        coords, values = random_samples(rng, 400, small_setup.grid_shape)
+        ser = SliceAndDiceGridder(small_setup)
+        com = CompiledSliceAndDiceGridder(small_setup)
+        assert np.array_equal(com.grid(coords, values), ser.grid(coords, values))
+        # second call exercises the plan-hit path — still bit-identical
+        assert np.array_equal(com.grid(coords, values), ser.grid(coords, values))
+
+    def test_grid_bit_identical_3d(self, rng):
+        setup = setup_3d()
+        coords, values = random_samples(rng, 200, setup.grid_shape)
+        ser = SliceAndDiceGridder(setup)
+        com = CompiledSliceAndDiceGridder(setup)
+        assert np.array_equal(com.grid(coords, values), ser.grid(coords, values))
+
+    def test_grid_batch_bit_identical(self, small_setup, rng):
+        coords, _ = random_samples(rng, 300, small_setup.grid_shape)
+        stack = rng.standard_normal((4, 300)) + 1j * rng.standard_normal((4, 300))
+        ser = SliceAndDiceGridder(small_setup)
+        com = CompiledSliceAndDiceGridder(small_setup)
+        assert np.array_equal(
+            com.grid_batch(coords, stack), ser.grid_batch(coords, stack)
+        )
+
+    def test_interp_bit_identical_2d(self, small_setup, rng):
+        coords, _ = random_samples(rng, 400, small_setup.grid_shape)
+        grid = random_grid_stack(rng, 1, small_setup.grid_shape)[0]
+        ser = SliceAndDiceGridder(small_setup)
+        com = CompiledSliceAndDiceGridder(small_setup)
+        assert np.array_equal(com.interp(grid, coords), ser.interp(grid, coords))
+        assert np.array_equal(com.interp(grid, coords), ser.interp(grid, coords))
+
+    def test_interp_batch_bit_identical_3d(self, rng):
+        setup = setup_3d()
+        coords, _ = random_samples(rng, 150, setup.grid_shape)
+        gstack = random_grid_stack(rng, 3, setup.grid_shape)
+        ser = SliceAndDiceGridder(setup)
+        com = CompiledSliceAndDiceGridder(setup)
+        assert np.array_equal(
+            com.interp_batch(gstack, coords), ser.interp_batch(gstack, coords)
+        )
+
+    def test_address_trace_matches_serial(self, small_setup, rng):
+        coords, _ = random_samples(rng, 100, small_setup.grid_shape)
+        ser = SliceAndDiceGridder(small_setup)
+        com = CompiledSliceAndDiceGridder(small_setup)
+        assert np.array_equal(com.address_trace(coords), ser.address_trace(coords))
+
+
+class TestCsrBackend:
+    def test_csr_allclose_both_directions(self, small_setup, rng):
+        coords, values = random_samples(rng, 400, small_setup.grid_shape)
+        gstack = random_grid_stack(rng, 3, small_setup.grid_shape)
+        ser = SliceAndDiceGridder(small_setup)
+        csr = CompiledSliceAndDiceGridder(small_setup, backend="csr")
+        # documented contract: allclose(rtol=1e-12), not bit-identity
+        np.testing.assert_allclose(
+            csr.grid(coords, values), ser.grid(coords, values), rtol=1e-12
+        )
+        np.testing.assert_allclose(
+            csr.interp_batch(gstack, coords),
+            ser.interp_batch(gstack, coords),
+            rtol=1e-12,
+        )
+
+    def test_csr_matrix_has_no_duplicates(self, tiny_setup, rng):
+        # W <= T guarantees unique (sample, row) pairs, so COO->CSR
+        # conversion must not have merged anything
+        coords, _ = random_samples(rng, 100, tiny_setup.grid_shape)
+        com = CompiledSliceAndDiceGridder(tiny_setup, backend="csr")
+        plan, _ = com._fetch_plan(tiny_setup.check_coords(coords))
+        assert plan.csr().nnz == plan.nnz
+
+    def test_invalid_backend_rejected(self, tiny_setup):
+        with pytest.raises(ValueError, match="backend"):
+            CompiledSliceAndDiceGridder(tiny_setup, backend="dense")
+
+
+# ----------------------------------------------------------------------
+# plan cache behaviour and per-call stats
+# ----------------------------------------------------------------------
+class TestPlanCache:
+    def test_miss_then_hit_events(self, small_setup, rng):
+        coords, values = random_samples(rng, 200, small_setup.grid_shape)
+        com = CompiledSliceAndDiceGridder(small_setup)
+        com.grid(coords, values)
+        assert (com.stats.cache_misses, com.stats.cache_hits) == (1, 0)
+        assert com.stats.boundary_checks == 200 * com.layout.n_columns
+        assert com.stats.plan_compile_seconds > 0
+        assert com.stats.table_bytes > 0
+        com.grid(coords, values)
+        assert (com.stats.cache_misses, com.stats.cache_hits) == (0, 1)
+        assert com.stats.boundary_checks == 0
+        assert com.stats.lut_lookups == 0
+        assert com.stats.plan_compile_seconds == 0.0
+        # no divergence on the gather: every lane slot does useful work
+        assert com.stats.simd_lane_slots == com.stats.simd_active_lanes
+
+    def test_plan_nnz_counts_passing_checks(self, tiny_setup, rng):
+        # interior samples pass exactly W^d checks per sample
+        m, w = 50, tiny_setup.width
+        coords = rng.uniform(w, 16 - w, size=(m, 2))
+        com = CompiledSliceAndDiceGridder(tiny_setup)
+        com.grid(coords, np.ones(m, dtype=complex))
+        assert com.stats.plan_nnz == m * w**2
+        assert com.stats.interpolations == m * w**2
+
+    def test_grid_and_interp_share_one_plan(self, small_setup, rng):
+        coords, values = random_samples(rng, 200, small_setup.grid_shape)
+        grid = random_grid_stack(rng, 1, small_setup.grid_shape)[0]
+        com = CompiledSliceAndDiceGridder(small_setup)
+        com.grid(coords, values)          # compiles
+        com.interp(grid, coords)          # must reuse, not recompile
+        assert (com.stats.cache_hits, com.stats.cache_misses) == (1, 0)
+
+    def test_invalidate_cache_forces_recompile(self, small_setup, rng):
+        coords, values = random_samples(rng, 200, small_setup.grid_shape)
+        com = CompiledSliceAndDiceGridder(small_setup)
+        com.grid(coords, values)
+        com.invalidate_cache()
+        com.grid(coords, values)
+        assert com.stats.cache_misses == 1
+
+    def test_plan_cache_lru_eviction(self, small_setup, rng):
+        com = CompiledSliceAndDiceGridder(small_setup, plan_cache_size=2)
+        trajs = [
+            random_samples(rng, 50 + i, small_setup.grid_shape)[0]
+            for i in range(3)
+        ]
+        values = [np.ones(50 + i, dtype=complex) for i in range(3)]
+        com.grid(trajs[0], values[0])     # miss A
+        com.grid(trajs[1], values[1])     # miss B
+        com.grid(trajs[0], values[0])     # hit A -> A most recently used
+        com.grid(trajs[2], values[2])     # miss C -> evicts B, not A
+        com.grid(trajs[0], values[0])
+        assert com.stats.cache_hits == 1  # A survived
+        com.grid(trajs[1], values[1])
+        assert com.stats.cache_misses == 1  # B was evicted
+
+    def test_plan_cache_disabled(self, small_setup, rng):
+        coords, values = random_samples(rng, 100, small_setup.grid_shape)
+        com = CompiledSliceAndDiceGridder(small_setup, plan_cache_size=0)
+        com.grid(coords, values)
+        com.grid(coords, values)
+        assert com.stats.cache_misses == 1  # recompiled every call
+
+    def test_zero_samples(self, tiny_setup):
+        com = CompiledSliceAndDiceGridder(tiny_setup)
+        empty = np.zeros((0, 2))
+        out = com.grid_batch(empty, np.zeros((2, 0), dtype=complex))
+        assert out.shape == (2,) + tiny_setup.grid_shape and not out.any()
+        gstack = np.zeros((2,) + tiny_setup.grid_shape, dtype=complex)
+        assert com.interp_batch(gstack, empty).shape == (2, 0)
+        assert com.address_trace(empty).size == 0
+
+
+# ----------------------------------------------------------------------
+# satellite: true-LRU table-cache eviction (serial engine)
+# ----------------------------------------------------------------------
+class TestTableCacheLru:
+    def test_rehit_entry_survives_eviction(self, small_setup, rng):
+        ser = SliceAndDiceGridder(small_setup, table_cache_size=2)
+        trajs = [
+            random_samples(rng, 50 + i, small_setup.grid_shape)[0]
+            for i in range(3)
+        ]
+        values = [np.ones(50 + i, dtype=complex) for i in range(3)]
+        ser.grid(trajs[0], values[0])     # miss A
+        ser.grid(trajs[1], values[1])     # miss B
+        ser.grid(trajs[0], values[0])     # hit A — under FIFO this would
+        assert ser.stats.cache_hits == 1  # not protect A from eviction
+        ser.grid(trajs[2], values[2])     # miss C -> must evict B (LRU)
+        ser.grid(trajs[0], values[0])
+        assert ser.stats.cache_hits == 1, "re-hit entry was evicted (FIFO?)"
+        ser.grid(trajs[1], values[1])
+        assert ser.stats.cache_misses == 1
+
+
+# ----------------------------------------------------------------------
+# satellite: minimal-dtype tile tables + table_bytes
+# ----------------------------------------------------------------------
+class TestTableMemory:
+    def test_tiles_use_minimal_dtype(self, small_setup, rng):
+        coords, _ = random_samples(rng, 100, small_setup.grid_shape)
+        ser = SliceAndDiceGridder(small_setup)
+        _, _, _, tiles = ser._per_axis_tables(small_setup.check_coords(coords))
+        # 32/8 = 4 tiles per axis -> uint8 suffices
+        assert all(t.dtype == np.uint8 for t in tiles)
+
+    def test_table_bytes_reported_and_shrunk(self, small_setup, rng):
+        coords, values = random_samples(rng, 100, small_setup.grid_shape)
+        ser = SliceAndDiceGridder(small_setup)
+        ser.grid(coords, values)
+        reported = ser.stats.table_bytes
+        assert reported > 0
+        t, m, d = ser.tile_size, 100, 2
+        # masks (1 B) + weights (8 B) + tiles (1 B, not the historical
+        # 8 B int64) per (T, M) entry per axis
+        assert reported == d * t * m * (1 + 8 + 1)
+        assert reported < d * t * m * (1 + 8 + 8)  # the shrink
+        # hits report the resident bytes too
+        ser.grid(coords, values)
+        assert ser.stats.table_bytes == reported
+
+    def test_minimal_dtype_does_not_change_output(self, rng):
+        # 3D with mixed tile counts exercises the int64 promotion in
+        # depth arithmetic (NEP 50: small uint * int would overflow)
+        setup = setup_3d()
+        coords, values = random_samples(rng, 200, setup.grid_shape)
+        ser = SliceAndDiceGridder(setup)
+        naive = make_gridder("naive", setup)
+        np.testing.assert_allclose(
+            ser.grid(coords, values), naive.grid(coords, values), atol=1e-12
+        )
+
+
+# ----------------------------------------------------------------------
+# satellite: per-call cache events on interleaved grid/interp traffic
+# ----------------------------------------------------------------------
+class TestInterleavedStats:
+    @pytest.mark.parametrize("cls", [SliceAndDiceGridder, CompiledSliceAndDiceGridder])
+    def test_interp_after_grid_on_other_trajectory(self, small_setup, rng, cls):
+        """Stats must reflect the call that produced them, never a
+        previous call's build on a different fingerprint."""
+        a, values = random_samples(rng, 120, small_setup.grid_shape)
+        b, _ = random_samples(rng, 80, small_setup.grid_shape)
+        grid = random_grid_stack(rng, 1, small_setup.grid_shape)[0]
+        g = cls(small_setup)
+        g.grid(a, values)                      # miss: builds A
+        assert g.stats.cache_misses == 1
+        g.interp(grid, b)                      # different trajectory: miss
+        assert (g.stats.cache_misses, g.stats.cache_hits) == (1, 0)
+        assert g.stats.samples_processed == 80
+        g.interp(grid, a)                      # back to A: per-call hit
+        assert (g.stats.cache_misses, g.stats.cache_hits) == (0, 1)
+        assert g.stats.table_build_seconds == 0.0
+        g.grid(b, np.ones(80, dtype=complex))  # B again: hit, build=0
+        assert (g.stats.cache_misses, g.stats.cache_hits) == (0, 1)
+        assert g.stats.table_build_seconds == 0.0
+
+
+# ----------------------------------------------------------------------
+# parallel engine with the compiled inner engine
+# ----------------------------------------------------------------------
+class TestParallelCompiledInner:
+    def test_bit_identity_grid_and_interp(self, small_setup, rng):
+        coords, values = random_samples(rng, 300, small_setup.grid_shape)
+        gstack = random_grid_stack(rng, 3, small_setup.grid_shape)
+        stack = rng.standard_normal((3, 300)) + 1j * rng.standard_normal((3, 300))
+        ser = SliceAndDiceGridder(small_setup)
+        par = ParallelSliceAndDiceGridder(
+            small_setup, inner_engine="compiled", **PARALLEL_KW
+        )
+        assert np.array_equal(par.grid(coords, values), ser.grid(coords, values))
+        assert par.stats.parallel_backend == "thread"
+        assert par.stats.workers_used == 2
+        assert np.array_equal(
+            par.grid_batch(coords, stack), ser.grid_batch(coords, stack)
+        )
+        assert np.array_equal(
+            par.interp_batch(gstack, coords), ser.interp_batch(gstack, coords)
+        )
+
+    def test_plan_reused_across_sharded_calls(self, small_setup, rng):
+        coords, values = random_samples(rng, 300, small_setup.grid_shape)
+        par = ParallelSliceAndDiceGridder(
+            small_setup, inner_engine="compiled", **PARALLEL_KW
+        )
+        par.grid(coords, values)
+        assert par.stats.cache_misses == 1
+        par.grid(coords, values)
+        assert par.stats.cache_hits == 1
+        assert par.stats.boundary_checks == 0
+        par.invalidate_cache()
+        par.grid(coords, values)
+        assert par.stats.cache_misses == 1
+
+    def test_invalid_inner_engine_rejected(self, tiny_setup):
+        with pytest.raises(ValueError, match="inner_engine"):
+            ParallelSliceAndDiceGridder(tiny_setup, inner_engine="gpu")
+
+
+# ----------------------------------------------------------------------
+# registry / plan integration
+# ----------------------------------------------------------------------
+class TestIntegration:
+    def test_registered_name(self, tiny_setup):
+        g = make_gridder("slice_and_dice_compiled", tiny_setup)
+        assert g.name == "slice_and_dice_compiled"
+
+    def test_nufft_plan_roundtrip_matches_serial(self, rng):
+        from repro.nufft import NufftPlan
+        from repro.trajectories import radial_trajectory
+
+        coords = radial_trajectory(16, 32)
+        ser = NufftPlan((16, 16), coords, gridder="slice_and_dice")
+        com = NufftPlan((16, 16), coords, gridder="slice_and_dice_compiled")
+        img = rng.standard_normal((16, 16)) + 1j * rng.standard_normal((16, 16))
+        assert np.array_equal(com.forward(img), ser.forward(img))
+        ksp = rng.standard_normal(coords.shape[0]) + 1j * rng.standard_normal(
+            coords.shape[0]
+        )
+        assert np.array_equal(com.adjoint(ksp), ser.adjoint(ksp))
+        # iteration 2+: zero select work
+        com.adjoint(ksp)
+        assert com.gridder.stats.boundary_checks == 0

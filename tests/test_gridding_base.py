@@ -123,6 +123,9 @@ class TestStats:
             "cache_hits",
             "cache_misses",
             "table_build_seconds",
+            "table_bytes",
+            "plan_compile_seconds",
+            "plan_nnz",
             "workers_used",
             "parallel_backend",
             "shard_plan",

@@ -1,0 +1,201 @@
+#!/usr/bin/env python
+"""Trajectory gridding benchmark with a committed regression baseline.
+
+Times warm (table-/plan-cache hit) and cold gridding for the serial
+engine and both compiled-plan backends on a fixed random trajectory,
+then **appends** one record per engine to ``BENCH_gridding.json`` at
+the repository root.  The committed file doubles as the regression
+baseline: ``--check`` compares each engine's warm speedup over the
+serial engine against the last committed record for the same
+``(mode, engine, m, grid, width)`` shape and fails (exit 1) on a
+more-than-2x regression.
+
+Usage::
+
+    python tools/bench_trajectory.py              # full size, append
+    python tools/bench_trajectory.py --smoke      # CI-sized problem
+    python tools/bench_trajectory.py --smoke --check   # CI gate
+    python tools/bench_trajectory.py --dry-run    # print, don't write
+
+The full problem matches the ablation benchmark
+(``benchmarks/test_ablation_compiled_plan.py``): M = 65536 samples on
+a 256^2 grid with W = 4.  Smoke mode shrinks to M = 8192 on 128^2 so
+the CI job finishes in seconds while still exercising every code path
+(plan compile, plan hit, CSR matvec).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.gridding import GriddingSetup, make_gridder  # noqa: E402
+from repro.kernels import KernelLUT, beatty_kernel  # noqa: E402
+from repro.trajectories import random_trajectory  # noqa: E402
+
+#: engine name -> extra make_gridder kwargs
+ENGINES = {
+    "slice_and_dice": {},
+    "slice_and_dice_compiled": {},
+    "slice_and_dice_compiled[csr]": {"backend": "csr"},
+}
+
+SIZES = {
+    "full": {"m": 65536, "grid": 256, "width": 4},
+    "smoke": {"m": 8192, "grid": 128, "width": 4},
+}
+
+#: --check fails when warm speedup drops below baseline / this factor
+REGRESSION_FACTOR = 2.0
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    """Best-of-N wall clock with one untimed warm-up call."""
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_benchmark(mode: str) -> list[dict]:
+    """One record per engine for the given problem size."""
+    size = SIZES[mode]
+    m, g, w = size["m"], size["grid"], size["width"]
+    setup = GriddingSetup((g, g), KernelLUT(beatty_kernel(w, 2.0), 64))
+    coords = np.mod(random_trajectory(m, 2, rng=0), 1.0) * g
+    rng = np.random.default_rng(7)
+    values = rng.standard_normal(m) + 1j * rng.standard_normal(m)
+
+    records = []
+    serial_warm = None
+    for engine, kwargs in ENGINES.items():
+        name = engine.split("[", 1)[0]
+        gridder = make_gridder(name, setup, **kwargs)
+        t0 = time.perf_counter()
+        gridder.grid(coords, values)  # cold: table build / plan compile
+        cold = time.perf_counter() - t0
+        misses = gridder.stats.cache_misses
+        warm = _best_of(lambda: gridder.grid(coords, values))
+        hits = gridder.stats.cache_hits
+        if serial_warm is None:  # dict order: serial engine runs first
+            serial_warm = warm
+        records.append(
+            {
+                "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+                "mode": mode,
+                "engine": engine,
+                "m": m,
+                "grid": g,
+                "width": w,
+                "seconds_cold": round(cold, 6),
+                "seconds_warm": round(warm, 6),
+                "plan_hits": int(hits),
+                "plan_misses": int(misses),
+                "warm_speedup_vs_serial": round(serial_warm / warm, 3),
+            }
+        )
+    return records
+
+
+def load_records(path: Path) -> list[dict]:
+    if not path.exists():
+        return []
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def check_regressions(baseline: list[dict], current: list[dict]) -> list[str]:
+    """Failure messages for every engine slower than baseline / 2."""
+    failures = []
+    for rec in current:
+        key = (rec["mode"], rec["engine"], rec["m"], rec["grid"], rec["width"])
+        prior = [
+            b
+            for b in baseline
+            if (b["mode"], b["engine"], b["m"], b["grid"], b["width"]) == key
+        ]
+        if not prior:
+            continue  # no committed baseline for this shape yet
+        base = prior[-1]["warm_speedup_vs_serial"]
+        now = rec["warm_speedup_vs_serial"]
+        if now < base / REGRESSION_FACTOR:
+            failures.append(
+                f"{rec['engine']} ({rec['mode']}): warm speedup {now:.2f}x "
+                f"is more than {REGRESSION_FACTOR:.0f}x below the committed "
+                f"baseline {base:.2f}x"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized problem (M=8192, 128^2) instead of the full size",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) on a >2x warm-speedup regression vs the "
+        "committed baseline",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print records without appending to the output file",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_gridding.json",
+        help="records file (default: BENCH_gridding.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    mode = "smoke" if args.smoke else "full"
+    baseline = load_records(args.output)
+    records = run_benchmark(mode)
+
+    header = f"{'engine':<28} {'cold':>9} {'warm':>9} {'vs serial':>10}"
+    print(header)
+    print("-" * len(header))
+    for rec in records:
+        print(
+            f"{rec['engine']:<28} {rec['seconds_cold']:>8.4f}s "
+            f"{rec['seconds_warm']:>8.4f}s "
+            f"{rec['warm_speedup_vs_serial']:>9.2f}x"
+        )
+
+    status = 0
+    if args.check:
+        failures = check_regressions(baseline, records)
+        if failures:
+            print("\nperformance regressions detected:")
+            for line in failures:
+                print(f"  {line}")
+            status = 1
+        else:
+            print("\nno regression vs committed baseline")
+
+    if not args.dry_run and status == 0:
+        baseline.extend(records)
+        args.output.write_text(
+            json.dumps(baseline, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"appended {len(records)} records to {args.output.name}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
