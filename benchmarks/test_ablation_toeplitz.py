@@ -87,3 +87,59 @@ def test_toeplitz_amortizes_gridding(problem):
     # allow generous slack: both are fast at this size, but toeplitz
     # must not be dramatically slower
     assert t_toep < 2.0 * t_direct
+
+
+def test_toeplitz_beats_compiled_csr_cg_at_scale():
+    """The headline fast-path gate: on a 256^2 radial problem the
+    Toeplitz normal operator makes a 10-iteration CG solve at least 2x
+    faster than per-iteration gridding on the compiled-CSR engine —
+    the repo's fastest gridder — while reconstructing the same image
+    to the plans' approximation accuracy."""
+    from repro.trajectories import radial_trajectory
+
+    n = 256
+    coords = radial_trajectory(402, 512)
+    plan = NufftPlan(
+        (n, n),
+        coords,
+        gridder="slice_and_dice_compiled",
+        gridder_options={"backend": "csr"},
+    )
+    m = coords.shape[0]
+    kspace = np.exp(2j * np.pi * np.arange(m) / 11)
+    w = np.ones(m)
+    # warm the compiled scatter plan + buffer pool in both directions
+    plan.adjoint(kspace)
+    plan.forward(np.zeros((n, n), dtype=complex))
+
+    def best_of(fn, repeats=2):
+        best, result = float("inf"), None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - t0)
+        return best, result
+
+    t_grid, r_grid = best_of(
+        lambda: cg_reconstruction(plan, kspace, w, n_iterations=10, tolerance=1e-30)
+    )
+    t_toep, r_toep = best_of(
+        lambda: cg_reconstruction(
+            plan, kspace, w, n_iterations=10, tolerance=1e-30, normal="toeplitz"
+        )
+    )
+    speedup = t_grid / t_toep
+    scale = np.max(np.abs(r_grid.image))
+    delta = np.max(np.abs(r_grid.image - r_toep.image)) / scale
+    print_table(
+        "10-iteration CG at 256^2 radial (M=205824)",
+        ["variant", "seconds", "speedup", "image delta"],
+        [
+            ["compiled-CSR gridding", f"{t_grid:.3f}", "1.00x", "-"],
+            ["toeplitz", f"{t_toep:.3f}", f"{speedup:.2f}x", f"{delta:.2e}"],
+        ],
+    )
+    # same reconstruction (up to the two operators' shared NuFFT
+    # approximation error, table-limited at default settings)
+    assert delta < 2e-3
+    assert speedup >= 2.0

@@ -35,7 +35,19 @@ def test_nufft_wall_clock(benchmark, paper_problem, gridder_name):
         plan.adjoint, args=(values,), rounds=2, iterations=1, warmup_rounds=1
     )
     assert img.shape == (image.n, image.n)
-    benchmark.extra_info["gridding_share"] = round(plan.timings.gridding_share(), 4)
+    t = plan.timings
+    # the four stages (gridding, FFT, apodization, copy/pool traffic)
+    # partition the transform: their shares must sum to exactly 1
+    shares = (
+        t.gridding / t.total,
+        t.fft / t.total,
+        t.apodization / t.total,
+        t.copy_seconds / t.total,
+    )
+    assert sum(shares) == pytest.approx(1.0, abs=1e-12)
+    benchmark.extra_info["gridding_share"] = round(t.gridding_share(), 4)
+    benchmark.extra_info["fft_share"] = round(shares[1], 4)
+    benchmark.extra_info["fft_backend"] = t.fft_backend
 
 
 def test_fig7_modelled_speedups():

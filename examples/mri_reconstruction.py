@@ -82,7 +82,8 @@ def main() -> None:
     banner("4. CG with Toeplitz-embedded Gram (Impatient's strategy)")
     t0 = time.perf_counter()
     cg_t = cg_reconstruction(plan, kspace, weights=dcf, n_iterations=12,
-                             regularization=1e-3 * plan.n_samples, toeplitz=True)
+                             regularization=1e-3 * plan.n_samples,
+                             normal="toeplitz")
     t_toep = time.perf_counter() - t0
     print(f"time {t_toep:.2f} s   error {score(cg_t.image):.3f}   "
           f"(gridding paid once; iterations are two {2 * N}^2 FFTs)")

@@ -48,7 +48,13 @@ from .kernels import (
     beatty_kernel,
 )
 from .nudft import nudft_forward, nudft_adjoint, NudftOperator
-from .nufft import NufftPlan, ToeplitzGram
+from .nufft import (
+    NufftPlan,
+    ToeplitzGram,
+    ToeplitzNormalOperator,
+    available_fft_backends,
+    get_fft_backend,
+)
 from .jigsaw import JigsawConfig, JigsawSimulator
 from .trajectories import (
     radial_trajectory,
@@ -85,6 +91,9 @@ __all__ = [
     "NudftOperator",
     "NufftPlan",
     "ToeplitzGram",
+    "ToeplitzNormalOperator",
+    "available_fft_backends",
+    "get_fft_backend",
     "JigsawConfig",
     "JigsawSimulator",
     "radial_trajectory",

@@ -408,12 +408,16 @@ class CompiledSliceAndDiceGridder(SliceAndDiceGridder):
         grid += self.layout.dice_to_grid(
             dice_flat[0].reshape(plan.n_rows, plan.n_tiles)
         )
+        self._release_buffer(dice_flat)
         self.stats = plan_stats(
             self.setup.ndim, self.layout.n_columns, coords.shape[0], 1, plan, hit
         )
 
     def grid_batch(
-        self, coords: np.ndarray, values_stack: np.ndarray
+        self,
+        coords: np.ndarray,
+        values_stack: np.ndarray,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
         """Batched adjoint gridding from the compiled plan.
 
@@ -424,15 +428,28 @@ class CompiledSliceAndDiceGridder(SliceAndDiceGridder):
         coords, values_stack = self._check_batch_values(coords, values_stack)
         k_rhs = values_stack.shape[0]
         self.stats = GriddingStats()
+        stacked_shape = (k_rhs,) + self.setup.grid_shape
+        if out is not None and (
+            tuple(out.shape) != stacked_shape or out.dtype != np.complex128
+        ):
+            raise ValueError(
+                f"out must be complex128 of shape {stacked_shape}, got "
+                f"{out.dtype} {out.shape}"
+            )
         if coords.shape[0] == 0:
-            return np.zeros((k_rhs,) + self.setup.grid_shape, dtype=np.complex128)
+            if out is None:
+                return np.zeros(stacked_shape, dtype=np.complex128)
+            out[...] = 0
+            return out
         plan, hit = self._fetch_plan(coords)
         dice_flat = self._apply_grid(plan, values_stack)
-        out = np.empty((k_rhs,) + self.setup.grid_shape, dtype=np.complex128)
+        if out is None:
+            out = np.empty(stacked_shape, dtype=np.complex128)
         for k in range(k_rhs):
             out[k] = self.layout.dice_to_grid(
                 dice_flat[k].reshape(plan.n_rows, plan.n_tiles)
             )
+        self._release_buffer(dice_flat)
         self.stats = plan_stats(
             self.setup.ndim, self.layout.n_columns, coords.shape[0], k_rhs,
             plan, hit,
@@ -449,11 +466,11 @@ class CompiledSliceAndDiceGridder(SliceAndDiceGridder):
             mat = plan.csr()
             if k_rhs == 1:
                 return (mat @ values_stack[0])[None]
-            dice_flat = np.empty((k_rhs, n_flat), dtype=np.complex128)
+            dice_flat = self._acquire_buffer((k_rhs, n_flat), zero=False)
             for k in range(k_rhs):
                 dice_flat[k] = mat @ values_stack[k]
             return dice_flat
-        dice_flat = np.zeros((k_rhs, n_flat), dtype=np.complex128)
+        dice_flat = self._acquire_buffer((k_rhs, n_flat), zero=True)
         if plan.nnz:
             sample, flat, wgt = plan.sample_idx, plan.flat_idx, plan.weight
             for k in range(k_rhs):
@@ -487,8 +504,8 @@ class CompiledSliceAndDiceGridder(SliceAndDiceGridder):
         if m == 0:
             return np.zeros((k_rhs, 0), dtype=np.complex128)
         plan, hit = self._fetch_plan(coords)
-        dice_flat = np.empty(
-            (k_rhs, plan.n_rows * plan.n_tiles), dtype=np.complex128
+        dice_flat = self._acquire_buffer(
+            (k_rhs, plan.n_rows * plan.n_tiles), zero=False
         )
         for k in range(k_rhs):
             dice_flat[k] = self.layout.grid_to_dice(grid_stack[k]).reshape(-1)
@@ -511,6 +528,7 @@ class CompiledSliceAndDiceGridder(SliceAndDiceGridder):
                     im *= wgt
                     out[k].real = np.bincount(sample, weights=re, minlength=m)
                     out[k].imag = np.bincount(sample, weights=im, minlength=m)
+        self._release_buffer(dice_flat)
         self.stats = plan_stats(
             self.setup.ndim, self.layout.n_columns, m, k_rhs, plan, hit
         )

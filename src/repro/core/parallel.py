@@ -485,22 +485,42 @@ class ParallelSliceAndDiceGridder(SliceAndDiceGridder):
         self._set_pass_stats(coords.shape[0], 1, interpolations, meta)
         self._annotate(shards, backend, seconds)
 
-    def grid_batch(self, coords: np.ndarray, values_stack: np.ndarray) -> np.ndarray:
+    def grid_batch(
+        self,
+        coords: np.ndarray,
+        values_stack: np.ndarray,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Column-sharded batched gridding: one select pass, ``K`` RHS.
 
         Same contract as the serial :meth:`SliceAndDiceGridder.grid_batch`
         (bit-identical output, select work paid once per batch); the
-        shard plan covers columns and is reported in ``stats``.
+        shard plan covers columns and is reported in ``stats``.  The
+        dice itself is *not* pooled here — the process backend places it
+        in :mod:`multiprocessing.shared_memory`, which a regular
+        in-process buffer pool cannot hand out.
         """
         coords, values_stack = self._check_batch_values(coords, values_stack)
         k_rhs = values_stack.shape[0]
         self.stats = GriddingStats()
+        stacked_shape = (k_rhs,) + self.setup.grid_shape
+        if out is not None and (
+            tuple(out.shape) != stacked_shape or out.dtype != np.complex128
+        ):
+            raise ValueError(
+                f"out must be complex128 of shape {stacked_shape}, got "
+                f"{out.dtype} {out.shape}"
+            )
         if coords.shape[0] == 0:
-            return np.zeros((k_rhs,) + self.setup.grid_shape, dtype=np.complex128)
+            if out is None:
+                return np.zeros(stacked_shape, dtype=np.complex128)
+            out[...] = 0
+            return out
         dice, interpolations, meta, shards, backend, seconds = self._run_grid(
             coords, values_stack
         )
-        out = np.empty((k_rhs,) + self.setup.grid_shape, dtype=np.complex128)
+        if out is None:
+            out = np.empty(stacked_shape, dtype=np.complex128)
         for k in range(k_rhs):
             out[k] = self.layout.dice_to_grid(dice[k])
         self._set_pass_stats(coords.shape[0], k_rhs, interpolations, meta)

@@ -260,10 +260,16 @@ class SliceAndDiceGridder(Gridder):
             coords, values[None, :]
         )
         grid += self.layout.dice_to_grid(dice[0])
+        self._release_buffer(dice)
         self._fill_stats(coords.shape[0], n_rhs=1, interpolations=interpolations,
                          lane_slots=lane_slots, fetch=fetch)
 
-    def grid_batch(self, coords: np.ndarray, values_stack: np.ndarray) -> np.ndarray:
+    def grid_batch(
+        self,
+        coords: np.ndarray,
+        values_stack: np.ndarray,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Batched multi-RHS gridding: one select pass, ``K`` accumulates.
 
         Bit-identical to stacking ``K`` single :meth:`grid` calls (the
@@ -276,14 +282,27 @@ class SliceAndDiceGridder(Gridder):
         coords, values_stack = self._check_batch_values(coords, values_stack)
         k_rhs = values_stack.shape[0]
         self.stats = GriddingStats()
+        stacked_shape = (k_rhs,) + self.setup.grid_shape
+        if out is not None and (
+            tuple(out.shape) != stacked_shape or out.dtype != np.complex128
+        ):
+            raise ValueError(
+                f"out must be complex128 of shape {stacked_shape}, got "
+                f"{out.dtype} {out.shape}"
+            )
         if coords.shape[0] == 0:
-            return np.zeros((k_rhs,) + self.setup.grid_shape, dtype=np.complex128)
+            if out is None:
+                return np.zeros(stacked_shape, dtype=np.complex128)
+            out[...] = 0
+            return out
         dice, interpolations, lane_slots, fetch = self._run_engine(
             coords, values_stack
         )
-        out = np.empty((k_rhs,) + self.setup.grid_shape, dtype=np.complex128)
+        if out is None:
+            out = np.empty(stacked_shape, dtype=np.complex128)
         for k in range(k_rhs):
             out[k] = self.layout.dice_to_grid(dice[k])
+        self._release_buffer(dice)
         self._fill_stats(coords.shape[0], n_rhs=k_rhs, interpolations=interpolations,
                          lane_slots=lane_slots, fetch=fetch)
         return out
@@ -301,8 +320,10 @@ class SliceAndDiceGridder(Gridder):
         tables, fetch = self._fetch_tables(coords)
         k_rhs = values_stack.shape[0]
         m = coords.shape[0]
-        dice = np.zeros(
-            (k_rhs, self.layout.n_columns, self.layout.n_tiles), dtype=np.complex128
+        # the dice is the engine's largest transient (K x G^d complex
+        # words); acquired from the plan-injected pool when present
+        dice = self._acquire_buffer(
+            (k_rhs, self.layout.n_columns, self.layout.n_tiles), zero=True
         )
         if self.engine == "columns":
             interpolations = self._process_stream(tables, values_stack, dice, 0, m)
@@ -510,13 +531,14 @@ class SliceAndDiceGridder(Gridder):
         if m == 0:
             return np.zeros((k_rhs, 0), dtype=np.complex128)
         tables, fetch = self._fetch_tables(coords)
-        dice = np.empty(
-            (k_rhs, self.layout.n_columns, self.layout.n_tiles), dtype=np.complex128
+        dice = self._acquire_buffer(
+            (k_rhs, self.layout.n_columns, self.layout.n_tiles), zero=False
         )
         for k in range(k_rhs):
             dice[k] = self.layout.grid_to_dice(grid_stack[k])
         out = np.zeros((k_rhs, m), dtype=np.complex128)
         interpolations = self._interp_stream(tables, dice, out, 0, m)
+        self._release_buffer(dice)
         self.stats = GriddingStats(
             boundary_checks=m * self.layout.n_columns,
             interpolations=interpolations * k_rhs,

@@ -29,8 +29,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..kernels import KernelLUT
+from .buffers import GridBufferPool
 
-__all__ = ["GriddingStats", "GriddingSetup", "Gridder", "window_contributions"]
+__all__ = [
+    "GriddingStats",
+    "GriddingSetup",
+    "Gridder",
+    "GridBufferPool",
+    "window_contributions",
+]
 
 
 @dataclass
@@ -361,13 +368,52 @@ class Gridder(abc.ABC):
     def __init__(self, setup: GriddingSetup):
         self.setup = setup
         self.stats = GriddingStats()
+        #: optional :class:`GridBufferPool` for output grids and the
+        #: engines' internal dice buffers; ``None`` allocates fresh
+        #: arrays (the historical behaviour).  A :class:`repro.nufft.
+        #: NufftPlan` injects its pool here so per-iteration transforms
+        #: stop churning the allocator.
+        self.buffer_pool: GridBufferPool | None = None
+
+    # ------------------------------------------------------------------
+    # buffer management
+    # ------------------------------------------------------------------
+    def _acquire_buffer(self, shape: tuple[int, ...], zero: bool = True) -> np.ndarray:
+        """A complex128 scratch/output buffer, pooled when a pool is set."""
+        if self.buffer_pool is not None:
+            return self.buffer_pool.acquire(shape, np.complex128, zero=zero)
+        return (np.zeros if zero else np.empty)(shape, dtype=np.complex128)
+
+    def _release_buffer(self, buf: np.ndarray) -> None:
+        """Return an internal scratch buffer to the pool (no-op unpooled)."""
+        if self.buffer_pool is not None:
+            self.buffer_pool.release(buf)
+
+    def _out_grid(self, out: np.ndarray | None, shape: tuple[int, ...]) -> np.ndarray:
+        """Validate/zero a caller-provided output array, or allocate one.
+
+        Caller-provided buffers (e.g. a plan's pooled grid) are zeroed
+        here so every ``grid``/``grid_batch`` implementation can assume
+        a clean accumulator, exactly as with a fresh ``np.zeros``.
+        """
+        if out is None:
+            return np.zeros(shape, dtype=np.complex128)
+        if tuple(out.shape) != tuple(shape) or out.dtype != np.complex128:
+            raise ValueError(
+                f"out must be complex128 of shape {tuple(shape)}, got "
+                f"{out.dtype} {out.shape}"
+            )
+        out[...] = 0
+        return out
 
     # ------------------------------------------------------------------
     @abc.abstractmethod
     def _grid_impl(self, coords: np.ndarray, values: np.ndarray, grid: np.ndarray) -> None:
         """Accumulate samples into ``grid`` (already zeroed), filling stats."""
 
-    def grid(self, coords: np.ndarray, values: np.ndarray) -> np.ndarray:
+    def grid(
+        self, coords: np.ndarray, values: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
         """Adjoint gridding: scatter ``values`` at ``coords`` onto the grid.
 
         Parameters
@@ -377,6 +423,10 @@ class Gridder(abc.ABC):
             (values outside are wrapped onto the torus).
         values:
             ``(M,)`` complex sample values.
+        out:
+            Optional complex128 output array of ``setup.grid_shape``
+            (e.g. a pooled buffer); it is zeroed and accumulated into,
+            bit-identically to a fresh allocation.
 
         Returns
         -------
@@ -406,13 +456,18 @@ class Gridder(abc.ABC):
                 f"{values.shape[0]} values but {coords.shape[0]} coordinates"
             )
         self.stats = GriddingStats()
-        grid = np.zeros(self.setup.grid_shape, dtype=np.complex128)
+        grid = self._out_grid(out, self.setup.grid_shape)
         if coords.shape[0]:
             self._grid_impl(coords, values, grid)
         return grid
 
     # ------------------------------------------------------------------
-    def grid_batch(self, coords: np.ndarray, values_stack: np.ndarray) -> np.ndarray:
+    def grid_batch(
+        self,
+        coords: np.ndarray,
+        values_stack: np.ndarray,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Adjoint gridding of ``K`` value vectors sharing one trajectory.
 
         The multi-RHS entry point for multi-coil / multi-frame MRI: one
@@ -455,7 +510,14 @@ class Gridder(abc.ABC):
         (3, 16, 16)
         """
         coords, values_stack = self._check_batch_values(coords, values_stack)
-        out = np.empty((values_stack.shape[0],) + self.setup.grid_shape, dtype=np.complex128)
+        stacked_shape = (values_stack.shape[0],) + self.setup.grid_shape
+        if out is None:
+            out = np.empty(stacked_shape, dtype=np.complex128)
+        elif tuple(out.shape) != stacked_shape or out.dtype != np.complex128:
+            raise ValueError(
+                f"out must be complex128 of shape {stacked_shape}, got "
+                f"{out.dtype} {out.shape}"
+            )
         total = GriddingStats()
         for k in range(values_stack.shape[0]):
             out[k] = self.grid(coords, values_stack[k])

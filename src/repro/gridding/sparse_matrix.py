@@ -94,17 +94,33 @@ class SparseMatrixGridder(Gridder):
             lut_lookups=build_ops * self.setup.ndim,
         )
 
-    def grid_batch(self, coords: np.ndarray, values_stack: np.ndarray) -> np.ndarray:
+    def grid_batch(
+        self,
+        coords: np.ndarray,
+        values_stack: np.ndarray,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Batched adjoint ``C^H V`` — one matrix build, K mat-vecs."""
         coords, values_stack = self._check_batch_values(coords, values_stack)
         k = values_stack.shape[0]
+        stacked_shape = (k,) + self.setup.grid_shape
+        if out is not None and (
+            tuple(out.shape) != stacked_shape or out.dtype != np.complex128
+        ):
+            raise ValueError(
+                f"out must be complex128 of shape {stacked_shape}, got "
+                f"{out.dtype} {out.shape}"
+            )
         if coords.shape[0] == 0:
             self.stats = GriddingStats()
-            return np.zeros((k,) + self.setup.grid_shape, dtype=np.complex128)
+            if out is None:
+                return np.zeros(stacked_shape, dtype=np.complex128)
+            out[...] = 0
+            return out
         mat = self._ensure_matrix(coords)
         m = coords.shape[0]
         build_ops = m * (self.setup.width ** self.setup.ndim) if self._built_this_call else 0
-        out = (mat.conj().T @ values_stack.T).T  # C is real so conj is free
+        result = (mat.conj().T @ values_stack.T).T  # C is real so conj is free
         self.stats = GriddingStats(
             boundary_checks=0,
             interpolations=int(mat.nnz) * k,
@@ -113,7 +129,10 @@ class SparseMatrixGridder(Gridder):
             grid_accesses=int(mat.nnz) * k,
             lut_lookups=build_ops * self.setup.ndim,
         )
-        return np.ascontiguousarray(out).reshape((k,) + self.setup.grid_shape)
+        if out is None:
+            return np.ascontiguousarray(result).reshape(stacked_shape)
+        out[...] = result.reshape(stacked_shape)
+        return out
 
     def interp_batch(self, grid_stack: np.ndarray, coords: np.ndarray) -> np.ndarray:
         """Batched forward ``C G`` — one matrix build, K mat-vecs."""

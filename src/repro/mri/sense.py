@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..nufft import NufftPlan
+from ..nufft import NufftPlan, ToeplitzNormalOperator
 
 __all__ = ["SenseOperator", "coil_combine_adjoint", "sense_reconstruction"]
 
@@ -72,6 +72,7 @@ class SenseOperator:
             )
         self.plan = plan
         self.maps = maps
+        self._toeplitz_cache: tuple[tuple | None, ToeplitzNormalOperator] | None = None
 
     @property
     def n_coils(self) -> int:
@@ -110,9 +111,44 @@ class SenseOperator:
         coil_images = self.plan.adjoint_batch(kspace)
         return np.sum(np.conj(self.maps) * coil_images, axis=0)
 
-    def normal(self, image: np.ndarray, weights: np.ndarray | None = None) -> np.ndarray:
-        """Apply the Gram operator ``E^H W E`` (batched over coils)."""
+    def _toeplitz_gram(self, weights: np.ndarray | None) -> ToeplitzNormalOperator:
+        """The Toeplitz embedding of ``A^H W A``, cached per weights."""
+        if weights is None:
+            key: tuple | None = None
+        else:
+            arr = np.ascontiguousarray(weights)
+            key = (arr.shape, hash(arr.tobytes()))
+        if self._toeplitz_cache is None or self._toeplitz_cache[0] != key:
+            self._toeplitz_cache = (
+                key,
+                ToeplitzNormalOperator(self.plan, weights=weights),
+            )
+        return self._toeplitz_cache[1]
+
+    def normal(
+        self,
+        image: np.ndarray,
+        weights: np.ndarray | None = None,
+        method: str = "gridding",
+    ) -> np.ndarray:
+        """Apply the Gram operator ``E^H W E`` (batched over coils).
+
+        ``method="gridding"`` (default) runs a batched forward+adjoint
+        NuFFT pair.  ``method="toeplitz"`` applies the cached
+        :class:`~repro.nufft.ToeplitzNormalOperator` per coil image in
+        one batched FFT pair — no per-iteration gridding; the single
+        up-front PSF build is amortized over all CG iterations (the
+        operator is rebuilt only when ``weights`` change).
+        """
         image = np.asarray(image, dtype=np.complex128)
+        if method == "toeplitz":
+            gram = self._toeplitz_gram(weights)
+            coil_images = gram.apply_batch(self.maps * image[None, ...])
+            return np.sum(np.conj(self.maps) * coil_images, axis=0)
+        if method != "gridding":
+            raise ValueError(
+                f"method must be 'gridding' or 'toeplitz', got {method!r}"
+            )
         y = self.plan.forward_batch(self.maps * image[None, ...])
         if weights is not None:
             y = y * weights
@@ -158,6 +194,7 @@ def sense_reconstruction(
     n_iterations: int = 15,
     tolerance: float = 1e-6,
     regularization: float = 0.0,
+    normal: str = "gridding",
 ) -> SenseResult:
     """CG-SENSE iterative reconstruction.
 
@@ -172,7 +209,15 @@ def sense_reconstruction(
         preconditioner inside the normal operator.
     n_iterations, tolerance, regularization:
         CG controls (Tikhonov ``lambda >= 0``).
+    normal:
+        ``"gridding"`` (default) or ``"toeplitz"`` — how each CG
+        iteration applies ``A^H W A`` per coil (see
+        :meth:`SenseOperator.normal`).
     """
+    if normal not in ("gridding", "toeplitz"):
+        raise ValueError(
+            f"normal must be 'gridding' or 'toeplitz', got {normal!r}"
+        )
     kspace = np.asarray(kspace, dtype=np.complex128)
     if kspace.shape != (operator.n_coils, operator.n_samples):
         raise ValueError(
@@ -207,7 +252,7 @@ def sense_reconstruction(
 
     result = SenseResult(image=x, residual_norms=[1.0])
     for it in range(1, n_iterations + 1):
-        ap = operator.normal(p, weights=w) + regularization * p
+        ap = operator.normal(p, weights=w, method=normal) + regularization * p
         denom = float(np.vdot(p, ap).real)
         if denom <= 0:
             break

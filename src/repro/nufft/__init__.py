@@ -13,12 +13,35 @@ with per-step timing so benchmarks can reproduce the paper's headline
 end-to-end comparisons.
 
 :mod:`~repro.nufft.toeplitz` implements the Toeplitz-embedding
-evaluation of the Gram operator ``A^H A`` used by the Impatient
-baseline [10] for iterative reconstruction.
+evaluation of the normal operator ``A^H W A`` used by the Impatient
+baseline [10] for iterative reconstruction, and
+:mod:`~repro.nufft.fft_backend` the pluggable FFT backends (numpy /
+multithreaded scipy / optional pyfftw) the plans route their
+oversampled-grid transforms through.
 """
 
+from .fft_backend import (
+    FftBackend,
+    GridBufferPool,
+    available_fft_backends,
+    fft_backend_available,
+    get_fft_backend,
+    register_fft_backend,
+)
 from .plan import NufftPlan, NufftTimings
-from .toeplitz import ToeplitzGram
+from .toeplitz import ToeplitzGram, ToeplitzNormalOperator
 from .minmax import MinMaxNufftPlan
 
-__all__ = ["NufftPlan", "NufftTimings", "ToeplitzGram", "MinMaxNufftPlan"]
+__all__ = [
+    "NufftPlan",
+    "NufftTimings",
+    "ToeplitzGram",
+    "ToeplitzNormalOperator",
+    "MinMaxNufftPlan",
+    "FftBackend",
+    "GridBufferPool",
+    "available_fft_backends",
+    "fft_backend_available",
+    "get_fft_backend",
+    "register_fft_backend",
+]

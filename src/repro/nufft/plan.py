@@ -17,29 +17,52 @@ makes CG reconstruction converge.
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..gridding import Gridder, GriddingSetup, make_gridder
+from ..gridding.buffers import GridBufferPool
 from ..kernels import KernelLUT, numeric_apodization, beatty_kernel
 from ..kernels.window import KernelSpec
+from .fft_backend import FftBackend, get_fft_backend
 
 __all__ = ["NufftPlan", "NufftTimings"]
 
 
 @dataclass
 class NufftTimings:
-    """Wall-clock seconds of the most recent transform, per step."""
+    """Wall-clock seconds of the most recent transform, per step.
+
+    ``copy_seconds`` charges the host-side buffer traffic that is
+    neither arithmetic nor windowing: pool acquire/release (including
+    the memset of a reused accumulator).  ``total`` sums all four
+    stages, so the per-stage shares of the Fig. 7 analysis add to 1.
+
+    ``peak_bytes`` counts the full-grid (oversampled, complex128)
+    transient allocations the transform performed: buffer-pool misses
+    plus the FFT output and any non-pooled grid temporaries.  Warm
+    pooled calls drop this to the single unavoidable FFT output, which
+    is how the fused path's "two fewer grid temporaries per
+    forward/adjoint pair" is asserted in the tests.
+    """
 
     gridding: float = 0.0
     fft: float = 0.0
     apodization: float = 0.0
+    copy_seconds: float = 0.0
+    #: FFT backend that executed the transform (``numpy``/``scipy``/...)
+    fft_backend: str = "numpy"
+    #: worker threads the FFT backend was configured with
+    fft_workers: int = 1
+    #: full-grid transient bytes allocated during the call
+    peak_bytes: int = 0
 
     @property
     def total(self) -> float:
-        return self.gridding + self.fft + self.apodization
+        return self.gridding + self.fft + self.apodization + self.copy_seconds
 
     def gridding_share(self) -> float:
         """Fraction of total time spent gridding (the paper's 99.6 %)."""
@@ -93,6 +116,28 @@ class NufftPlan:
         array, and the FFT are rounded to complex64 at each step, so
         the output carries float32 arithmetic error — the Fig. 9
         comparator.
+    fft_backend:
+        FFT implementation for the oversampled-grid transforms:
+        ``"auto"`` (default — SciPy's multithreaded pocketfft when
+        importable, else NumPy), ``"numpy"`` (the bit-compatibility
+        reference), ``"scipy"``, ``"pyfftw"`` (optional, plan-cached),
+        or an :class:`~repro.nufft.fft_backend.FftBackend` instance.
+        Per the paper's Amdahl analysis (§VII, Fig. 7) the host FFT
+        dominates once gridding is accelerated, so this stage is the
+        one worth making pluggable.
+    fft_workers:
+        Worker threads for multithreaded backends (default: all
+        cores).  Ignored by ``numpy``.
+    fused:
+        Fuse apodization with zero-padding (forward) and cropping
+        (adjoint) so the window weights are applied directly while
+        moving data between image and oversampled grid — no separate
+        full-grid pass, no intermediate copies.  Also routes the
+        oversampled accumulator through the plan's
+        :class:`~repro.gridding.buffers.GridBufferPool`.  Bit-identical
+        to the unfused pipeline; automatically disabled for
+        ``precision="single"`` (which needs the stepwise rounding
+        points of the legacy path).
 
     Examples
     --------
@@ -138,6 +183,9 @@ class NufftPlan:
         gridder: str | Gridder = "slice_and_dice",
         gridder_options: dict | None = None,
         precision: str = "double",
+        fft_backend: str | FftBackend = "auto",
+        fft_workers: int | None = None,
+        fused: bool = True,
     ):
         if precision not in ("double", "single"):
             raise ValueError(
@@ -192,7 +240,18 @@ class NufftPlan:
             numeric_apodization(self.lut, n, g)
             for n, g in zip(self.image_shape, self.grid_shape)
         ]
-        self.timings = NufftTimings()
+        self._apod_conj = [np.conj(w) for w in self._apod]
+
+        self._fft = get_fft_backend(fft_backend, workers=fft_workers)
+        #: pooled oversampled-grid buffers, shared with the gridder's
+        #: internal dice/scratch allocations
+        self.buffer_pool = GridBufferPool()
+        self.gridder.buffer_pool = self.buffer_pool
+        self._fused = bool(fused) and precision == "double"
+        self._corner_blocks_cache: list | None = None
+        self.timings = NufftTimings(
+            fft_backend=self._fft.name, fft_workers=self._fft.workers
+        )
 
     def _round(self, array: np.ndarray) -> np.ndarray:
         """Round to the plan's working precision (single: complex64)."""
@@ -225,6 +284,95 @@ class NufftPlan:
             out *= wa.reshape(shape)
         return out
 
+    # -- fused apodize+pad / crop+deapodize kernels --------------------
+    def _corner_blocks(self) -> list:
+        """The ``2^d`` corner blocks of the centered pad/crop mapping.
+
+        Centered pixel ``p = idx - N//2`` lands at grid index
+        ``p mod G``; per axis that splits the image into two contiguous
+        runs (``idx < N//2`` wraps to the top of the grid, the rest
+        starts at 0), so the full mapping is a Cartesian product of
+        pure slices — no index arrays, no ``np.take``.  Each block
+        carries its per-axis weight segments pre-reshaped for
+        broadcasting, plus their conjugates for the forward direction.
+        """
+        if self._corner_blocks_cache is not None:
+            return self._corner_blocks_cache
+        per_axis = []
+        for axis, (n, g) in enumerate(zip(self.image_shape, self.grid_shape)):
+            s = n // 2
+            segments = []
+            for img_sl, grid_sl in (
+                (slice(0, s), slice(g - s, g)),
+                (slice(s, n), slice(0, n - s)),
+            ):
+                shape = [1] * self.ndim
+                shape[axis] = img_sl.stop - img_sl.start
+                segments.append(
+                    (
+                        img_sl,
+                        grid_sl,
+                        self._apod[axis][img_sl].reshape(shape),
+                        self._apod_conj[axis][img_sl].reshape(shape),
+                    )
+                )
+            per_axis.append(segments)
+        blocks = []
+        for combo in itertools.product(*per_axis):
+            blocks.append(
+                (
+                    tuple(c[0] for c in combo),
+                    tuple(c[1] for c in combo),
+                    [c[2] for c in combo],
+                    [c[3] for c in combo],
+                )
+            )
+        self._corner_blocks_cache = blocks
+        return blocks
+
+    def _fused_apodize_pad(
+        self, image: np.ndarray, out: np.ndarray, conjugate: bool = True
+    ) -> None:
+        """Apodize ``image`` directly into the zeroed grid buffer ``out``.
+
+        Replaces the legacy ``_apodize`` (image copy + d in-place
+        passes) followed by ``_pad`` (fresh zeroed grid + fancy-index
+        scatter): each corner block is multiplied straight into its
+        destination view, applying the axis weights in the same
+        elementwise order as the legacy path — bit-identical output,
+        zero intermediate full-size arrays.
+        """
+        for img_sl, grid_sl, weights, conj_weights in self._corner_blocks():
+            ws = conj_weights if conjugate else weights
+            dst = out[grid_sl]
+            np.multiply(image[img_sl], ws[0], out=dst)
+            for w in ws[1:]:
+                dst *= w
+
+    def _fused_crop_deapodize(
+        self, spectrum: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Gather the centered image out of ``spectrum``, de-apodized.
+
+        Fuses the legacy ``_crop`` (per-axis ``np.take`` gather, one
+        intermediate per axis) with ``_apodize`` (copy + d passes) into
+        one sliced multiply per corner block; same elementwise multiply
+        order, bit-identical result.
+        """
+        if out is None:
+            out = np.empty(self.image_shape, dtype=np.complex128)
+        for img_sl, grid_sl, weights, _ in self._corner_blocks():
+            dst = out[img_sl]
+            np.multiply(spectrum[grid_sl], weights[0], out=dst)
+            for w in weights[1:]:
+                dst *= w
+        return out
+
+    @property
+    def _grid_nbytes(self) -> int:
+        """Bytes of one complex128 oversampled grid."""
+        return int(np.prod(self.grid_shape)) * 16
+
     # ------------------------------------------------------------------
     def adjoint(self, values: np.ndarray) -> np.ndarray:
         """Adjoint NuFFT: M samples -> image (gridding, FFT, de-apodize).
@@ -255,17 +403,46 @@ class NufftPlan:
         if values.shape[0] != self.n_samples:
             raise ValueError(f"{values.shape[0]} values for {self.n_samples} samples")
 
-        t0 = time.perf_counter()
-        grid = self._round(self.gridder.grid(self.grid_coords, self._round(values)))
-        t1 = time.perf_counter()
-        spectrum = self._round(
-            np.fft.ifftn(grid) * float(np.prod(self.grid_shape))
+        pool = self.buffer_pool
+        miss0 = pool.miss_bytes
+        if self._fused:
+            tc0 = time.perf_counter()
+            grid_buf = pool.acquire(self.grid_shape, zero=False)
+            t0 = time.perf_counter()
+            grid = self.gridder.grid(self.grid_coords, values, out=grid_buf)
+            t1 = time.perf_counter()
+            # norm="forward" is the unnormalized inverse DFT — the old
+            # ifftn(grid) * prod(grid_shape) without the extra
+            # full-grid scaling pass
+            spectrum = self._fft.ifftn(grid, norm="forward")
+            t2 = time.perf_counter()
+            image = self._fused_crop_deapodize(spectrum)
+            t3 = time.perf_counter()
+            pool.release(grid_buf)
+            tc1 = time.perf_counter()
+            copy = (t0 - tc0) + (tc1 - t3)
+            peak = (pool.miss_bytes - miss0) + spectrum.nbytes
+        else:
+            t0 = time.perf_counter()
+            grid = self._round(self.gridder.grid(self.grid_coords, self._round(values)))
+            t1 = time.perf_counter()
+            spectrum = self._round(self._fft.ifftn(grid, norm="forward"))
+            t2 = time.perf_counter()
+            image = self._crop(spectrum)
+            image = self._round(self._apodize(image))
+            t3 = time.perf_counter()
+            copy = 0.0
+            # non-pooled gridder output + FFT output
+            peak = (pool.miss_bytes - miss0) + 2 * self._grid_nbytes
+        self.timings = NufftTimings(
+            gridding=t1 - t0,
+            fft=t2 - t1,
+            apodization=t3 - t2,
+            copy_seconds=copy,
+            fft_backend=self._fft.name,
+            fft_workers=self._fft.workers,
+            peak_bytes=peak,
         )
-        t2 = time.perf_counter()
-        image = self._crop(spectrum)
-        image = self._round(self._apodize(image))
-        t3 = time.perf_counter()
-        self.timings = NufftTimings(gridding=t1 - t0, fft=t2 - t1, apodization=t3 - t2)
         return image
 
     def forward(self, image: np.ndarray) -> np.ndarray:
@@ -295,15 +472,43 @@ class NufftPlan:
         if tuple(image.shape) != self.image_shape:
             raise ValueError(f"image shape {image.shape} != plan {self.image_shape}")
 
-        t0 = time.perf_counter()
-        prepared = self._round(self._apodize(self._round(image), conjugate=True))
-        padded = self._pad(prepared)
-        t1 = time.perf_counter()
-        grid = self._round(np.fft.fftn(padded))
-        t2 = time.perf_counter()
-        samples = self._round(self.gridder.interp(grid, self.grid_coords))
-        t3 = time.perf_counter()
-        self.timings = NufftTimings(gridding=t3 - t2, fft=t2 - t1, apodization=t1 - t0)
+        pool = self.buffer_pool
+        miss0 = pool.miss_bytes
+        if self._fused:
+            tc0 = time.perf_counter()
+            padded = pool.acquire(self.grid_shape, zero=True)
+            t0 = time.perf_counter()
+            self._fused_apodize_pad(image, padded, conjugate=True)
+            t1 = time.perf_counter()
+            grid = self._fft.fftn(padded)
+            t2 = time.perf_counter()
+            samples = self.gridder.interp(grid, self.grid_coords)
+            t3 = time.perf_counter()
+            pool.release(padded)
+            tc1 = time.perf_counter()
+            copy = (t0 - tc0) + (tc1 - t3)
+            peak = (pool.miss_bytes - miss0) + grid.nbytes
+        else:
+            t0 = time.perf_counter()
+            prepared = self._round(self._apodize(self._round(image), conjugate=True))
+            padded = self._pad(prepared)
+            t1 = time.perf_counter()
+            grid = self._round(self._fft.fftn(padded))
+            t2 = time.perf_counter()
+            samples = self._round(self.gridder.interp(grid, self.grid_coords))
+            t3 = time.perf_counter()
+            copy = 0.0
+            # non-pooled _pad grid + FFT output
+            peak = (pool.miss_bytes - miss0) + 2 * self._grid_nbytes
+        self.timings = NufftTimings(
+            gridding=t3 - t2,
+            fft=t2 - t1,
+            apodization=t1 - t0,
+            copy_seconds=copy,
+            fft_backend=self._fft.name,
+            fft_workers=self._fft.workers,
+            peak_bytes=peak,
+        )
         return samples
 
     # ------------------------------------------------------------------
@@ -332,17 +537,52 @@ class NufftPlan:
             )
         n_batch = images.shape[0]
 
-        t0 = time.perf_counter()
-        padded = np.empty((n_batch,) + self.grid_shape, dtype=np.complex128)
-        for b in range(n_batch):
-            prepared = self._round(self._apodize(self._round(images[b]), conjugate=True))
-            padded[b] = self._pad(prepared)
-        t1 = time.perf_counter()
-        grids = self._round(np.fft.fftn(padded, axes=tuple(range(1, self.ndim + 1))))
-        t2 = time.perf_counter()
-        samples = self._round(self.gridder.interp_batch(grids, self.grid_coords))
-        t3 = time.perf_counter()
-        self.timings = NufftTimings(gridding=t3 - t2, fft=t2 - t1, apodization=t1 - t0)
+        axes = tuple(range(1, self.ndim + 1))
+        pool = self.buffer_pool
+        miss0 = pool.miss_bytes
+        if self._fused:
+            tc0 = time.perf_counter()
+            padded = pool.acquire((n_batch,) + self.grid_shape, zero=True)
+            t0 = time.perf_counter()
+            for b in range(n_batch):
+                self._fused_apodize_pad(images[b], padded[b], conjugate=True)
+            t1 = time.perf_counter()
+            grids = self._fft.fftn(padded, axes=axes)
+            t2 = time.perf_counter()
+            samples = self.gridder.interp_batch(grids, self.grid_coords)
+            t3 = time.perf_counter()
+            pool.release(padded)
+            tc1 = time.perf_counter()
+            copy = (t0 - tc0) + (tc1 - t3)
+            peak = (pool.miss_bytes - miss0) + grids.nbytes
+        else:
+            t0 = time.perf_counter()
+            padded = np.empty((n_batch,) + self.grid_shape, dtype=np.complex128)
+            for b in range(n_batch):
+                prepared = self._round(
+                    self._apodize(self._round(images[b]), conjugate=True)
+                )
+                padded[b] = self._pad(prepared)
+            t1 = time.perf_counter()
+            grids = self._round(self._fft.fftn(padded, axes=axes))
+            t2 = time.perf_counter()
+            samples = self._round(self.gridder.interp_batch(grids, self.grid_coords))
+            t3 = time.perf_counter()
+            copy = 0.0
+            # stacked pad target + per-image _pad temporaries + FFT output
+            peak = (
+                (pool.miss_bytes - miss0)
+                + (2 * n_batch + n_batch) * self._grid_nbytes
+            )
+        self.timings = NufftTimings(
+            gridding=t3 - t2,
+            fft=t2 - t1,
+            apodization=t1 - t0,
+            copy_seconds=copy,
+            fft_backend=self._fft.name,
+            fft_workers=self._fft.workers,
+            peak_bytes=peak,
+        )
         return samples
 
     def adjoint_batch(self, values: np.ndarray) -> np.ndarray:
@@ -364,21 +604,48 @@ class NufftPlan:
             )
         n_batch = values.shape[0]
 
-        t0 = time.perf_counter()
-        grids = self._round(
-            self.gridder.grid_batch(self.grid_coords, self._round(values))
-        )
-        t1 = time.perf_counter()
-        spectra = self._round(
-            np.fft.ifftn(grids, axes=tuple(range(1, self.ndim + 1)))
-            * float(np.prod(self.grid_shape))
-        )
-        t2 = time.perf_counter()
+        axes = tuple(range(1, self.ndim + 1))
+        pool = self.buffer_pool
+        miss0 = pool.miss_bytes
         out = np.empty((n_batch,) + self.image_shape, dtype=np.complex128)
-        for b in range(n_batch):
-            out[b] = self._round(self._apodize(self._crop(spectra[b])))
-        t3 = time.perf_counter()
-        self.timings = NufftTimings(gridding=t1 - t0, fft=t2 - t1, apodization=t3 - t2)
+        if self._fused:
+            tc0 = time.perf_counter()
+            grid_buf = pool.acquire((n_batch,) + self.grid_shape, zero=False)
+            t0 = time.perf_counter()
+            grids = self.gridder.grid_batch(self.grid_coords, values, out=grid_buf)
+            t1 = time.perf_counter()
+            spectra = self._fft.ifftn(grids, axes=axes, norm="forward")
+            t2 = time.perf_counter()
+            for b in range(n_batch):
+                self._fused_crop_deapodize(spectra[b], out=out[b])
+            t3 = time.perf_counter()
+            pool.release(grid_buf)
+            tc1 = time.perf_counter()
+            copy = (t0 - tc0) + (tc1 - t3)
+            peak = (pool.miss_bytes - miss0) + spectra.nbytes
+        else:
+            t0 = time.perf_counter()
+            grids = self._round(
+                self.gridder.grid_batch(self.grid_coords, self._round(values))
+            )
+            t1 = time.perf_counter()
+            spectra = self._round(self._fft.ifftn(grids, axes=axes, norm="forward"))
+            t2 = time.perf_counter()
+            for b in range(n_batch):
+                out[b] = self._round(self._apodize(self._crop(spectra[b])))
+            t3 = time.perf_counter()
+            copy = 0.0
+            # stacked gridder output + stacked FFT output
+            peak = (pool.miss_bytes - miss0) + 2 * n_batch * self._grid_nbytes
+        self.timings = NufftTimings(
+            gridding=t1 - t0,
+            fft=t2 - t1,
+            apodization=t3 - t2,
+            copy_seconds=copy,
+            fft_backend=self._fft.name,
+            fft_workers=self._fft.workers,
+            peak_bytes=peak,
+        )
         return out
 
     # ------------------------------------------------------------------

@@ -8,10 +8,10 @@ equations
 with CG, where ``A`` is the forward NuFFT.  This is the §I "iterative
 image reconstruction" workload — each iteration costs a
 forward + adjoint NuFFT pair, which is exactly why the paper cares
-about gridding throughput.  Passing ``toeplitz=True`` swaps the
-per-iteration NuFFT pair for the FFT-only Toeplitz Gram operator
-(Impatient's strategy [10]): gridding is then paid only once, up
-front.
+about gridding throughput.  Passing ``normal="toeplitz"`` (or the
+legacy ``toeplitz=True``) swaps the per-iteration NuFFT pair for the
+FFT-only :class:`~repro.nufft.ToeplitzNormalOperator` (Impatient's
+strategy [10]): gridding is then paid only once, up front.
 """
 
 from __future__ import annotations
@@ -20,9 +20,22 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..nufft import NufftPlan, ToeplitzGram
+from ..nufft import NufftPlan, ToeplitzNormalOperator
 
 __all__ = ["CgResult", "cg_reconstruction"]
+
+
+def _resolve_normal(normal: str | None, toeplitz: bool) -> str:
+    """Reconcile the ``normal=`` name with the legacy ``toeplitz`` flag."""
+    if normal is None:
+        return "toeplitz" if toeplitz else "gridding"
+    if normal not in ("gridding", "toeplitz"):
+        raise ValueError(
+            f"normal must be 'gridding' or 'toeplitz', got {normal!r}"
+        )
+    if toeplitz and normal == "gridding":
+        raise ValueError("normal='gridding' conflicts with toeplitz=True")
+    return normal
 
 
 @dataclass
@@ -43,6 +56,8 @@ def cg_reconstruction(
     tolerance: float = 1e-6,
     regularization: float = 0.0,
     toeplitz: bool = False,
+    normal: str | None = None,
+    normal_options: dict | None = None,
 ) -> CgResult:
     """Iteratively reconstruct ``kspace`` samples into an image.
 
@@ -74,8 +89,21 @@ def cg_reconstruction(
     regularization:
         Tikhonov ``lambda`` (>= 0).
     toeplitz:
-        Apply the Gram operator via Toeplitz embedding (two FFTs per
-        iteration, no gridding) instead of forward+adjoint NuFFTs.
+        Legacy boolean for ``normal="toeplitz"`` (kept for
+        backwards compatibility; prefer ``normal``).
+    normal:
+        How to apply the normal operator ``A^H W A`` each iteration:
+        ``"gridding"`` (default) runs a forward+adjoint NuFFT pair;
+        ``"toeplitz"`` builds a
+        :class:`~repro.nufft.ToeplitzNormalOperator` once (a single
+        up-front gridding pass) and applies it with two ``2N`` FFTs
+        per iteration — Impatient's strategy [10], the fast path for
+        iteration counts beyond a handful.
+    normal_options:
+        Extra keyword arguments for
+        :class:`~repro.nufft.ToeplitzNormalOperator` when
+        ``normal="toeplitz"`` (e.g. ``{"psf": "nudft"}`` for the exact
+        kernel on small problems).
 
     Returns
     -------
@@ -92,10 +120,18 @@ def cg_reconstruction(
     has shape ``(K,) + image_shape`` and the residual history records
     the worst (max) relative residual across systems.
     """
+    normal = _resolve_normal(normal, toeplitz)
     kspace = np.asarray(kspace, dtype=np.complex128)
     if kspace.ndim == 2:
         return _cg_reconstruction_batched(
-            plan, kspace, weights, n_iterations, tolerance, regularization, toeplitz
+            plan,
+            kspace,
+            weights,
+            n_iterations,
+            tolerance,
+            regularization,
+            normal,
+            normal_options,
         )
     kspace = kspace.ravel()
     if kspace.shape[0] != plan.n_samples:
@@ -117,8 +153,8 @@ def cg_reconstruction(
         if np.any(w < 0):
             raise ValueError("weights must be nonnegative")
 
-    if toeplitz:
-        gram_op = ToeplitzGram(plan, weights=w)
+    if normal == "toeplitz":
+        gram_op = ToeplitzNormalOperator(plan, weights=w, **(normal_options or {}))
 
         def gram(x: np.ndarray) -> np.ndarray:
             return gram_op.apply(x) + regularization * x
@@ -166,7 +202,8 @@ def _cg_reconstruction_batched(
     n_iterations: int,
     tolerance: float,
     regularization: float,
-    toeplitz: bool,
+    normal: str,
+    normal_options: dict | None = None,
 ) -> CgResult:
     """Blocked CG over ``K`` independent right-hand sides.
 
@@ -198,14 +235,12 @@ def _cg_reconstruction_batched(
         if np.any(w < 0):
             raise ValueError("weights must be nonnegative")
 
-    if toeplitz:
-        gram_op = ToeplitzGram(plan, weights=w)
+    if normal == "toeplitz":
+        gram_op = ToeplitzNormalOperator(plan, weights=w, **(normal_options or {}))
 
         def gram(x: np.ndarray) -> np.ndarray:
-            out = np.empty_like(x)
-            for k in range(k_rhs):
-                out[k] = gram_op.apply(x[k])
-            return out + regularization * x
+            # one batched FFT pair for all K systems
+            return gram_op.apply_batch(x) + regularization * x
 
     else:
 

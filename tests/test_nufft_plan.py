@@ -89,7 +89,14 @@ class TestTimings:
         plan.adjoint(np.ones(100, dtype=complex))
         t = plan.timings
         assert t.gridding > 0 and t.fft > 0 and t.apodization > 0
-        assert t.total == pytest.approx(t.gridding + t.fft + t.apodization)
+        assert t.copy_seconds >= 0
+        # the four stages partition the call: shares must sum to 1
+        assert t.total == pytest.approx(
+            t.gridding + t.fft + t.apodization + t.copy_seconds
+        )
+        assert t.fft_backend in ("numpy", "scipy", "pyfftw")
+        assert t.fft_workers >= 1
+        assert t.peak_bytes > 0
 
     def test_timings_populated_forward(self, coords):
         plan = NufftPlan((32, 32), coords)

@@ -1,0 +1,304 @@
+"""Toeplitz normal operator: equivalence, Hermitian-PSD, CG agreement.
+
+Two accuracy regimes are tested deliberately:
+
+- ``psf="nudft"`` builds the kernel from the *exact* discrete sum, so
+  the Toeplitz operator IS the NuDFT Gram ``A^H W A`` up to FFT
+  roundoff — equivalence is asserted at ``rtol=1e-6`` (it holds to
+  ~1e-12) against the explicit NuDFT normal operator, across
+  trajectory families and dimensions.
+- ``psf="nufft"`` (the production default) matches the explicit NuFFT
+  Gram only to the plan's own approximation error (table-limited,
+  ~1e-3 relative at default settings); those tests use tolerances tied
+  to the plan accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mri import SenseOperator, birdcage_maps, sense_reconstruction
+from repro.nudft import NudftOperator
+from repro.nufft import NufftPlan, ToeplitzGram, ToeplitzNormalOperator
+from repro.recon import cg_reconstruction
+from repro.trajectories import (
+    radial_trajectory,
+    random_trajectory,
+    spiral_trajectory,
+)
+
+try:
+    from hypothesis import given, settings, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover
+    HAVE_HYPOTHESIS = False
+
+
+def _rand_image(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=shape) + 1j * rng.normal(size=shape)
+
+
+TRAJECTORIES = [
+    ("radial-2d", radial_trajectory(16, 32), (16, 16)),
+    ("spiral-2d", spiral_trajectory(3, 240), (16, 16)),
+    ("random-2d", random_trajectory(300, 2, rng=7), (16, 16)),
+    ("random-3d", random_trajectory(200, 3, rng=8), (8, 8, 8)),
+]
+
+
+class TestExactEquivalence:
+    """psf="nudft": the operator equals the explicit NuDFT Gram."""
+
+    @pytest.mark.parametrize(
+        "label,coords,shape", TRAJECTORIES, ids=[t[0] for t in TRAJECTORIES]
+    )
+    def test_matches_explicit_normal(self, label, coords, shape):
+        plan = NufftPlan(shape, coords)
+        rng = np.random.default_rng(1)
+        w = 0.5 + rng.random(coords.shape[0])
+        gram = ToeplitzNormalOperator(plan, weights=w, psf="nudft")
+        oracle = NudftOperator(coords, shape)
+        x = _rand_image(shape, seed=2)
+        explicit = oracle.adjoint(w * oracle.forward(x))
+        result = gram.apply(x)
+        scale = np.max(np.abs(explicit))
+        np.testing.assert_allclose(
+            result, explicit, rtol=1e-6, atol=1e-9 * scale
+        )
+
+    def test_unweighted_defaults_to_ones(self):
+        coords = radial_trajectory(12, 24)
+        plan = NufftPlan((16, 16), coords)
+        gram = ToeplitzNormalOperator(plan, psf="nudft")
+        oracle = NudftOperator(coords, (16, 16))
+        x = _rand_image((16, 16), seed=3)
+        explicit = oracle.adjoint(oracle.forward(x))
+        scale = np.max(np.abs(explicit))
+        np.testing.assert_allclose(
+            gram.apply(x), explicit, rtol=1e-6, atol=1e-9 * scale
+        )
+
+    def test_batched_matches_loop(self):
+        coords = random_trajectory(250, 2, rng=9)
+        plan = NufftPlan((16, 16), coords)
+        gram = ToeplitzNormalOperator(plan, psf="nudft")
+        stack = np.stack([_rand_image((16, 16), seed=s) for s in range(4)])
+        batched = gram.apply_batch(stack)
+        assert batched.shape == stack.shape
+        for k in range(4):
+            np.testing.assert_allclose(
+                batched[k], gram.apply(stack[k]), rtol=1e-10, atol=1e-12
+            )
+
+    def test_stacked_input_routes_to_batch(self):
+        coords = radial_trajectory(8, 16)
+        plan = NufftPlan((16, 16), coords)
+        gram = ToeplitzNormalOperator(plan, psf="nudft")
+        stack = np.stack([_rand_image((16, 16), seed=5)] * 2)
+        assert gram.apply(stack).shape == stack.shape
+
+
+class TestNufftPsfConsistency:
+    """psf="nufft": agreement with the explicit NuFFT Gram at plan accuracy."""
+
+    @pytest.mark.parametrize(
+        "label,coords,shape", TRAJECTORIES, ids=[t[0] for t in TRAJECTORIES]
+    )
+    def test_close_to_explicit_gram(self, label, coords, shape):
+        plan = NufftPlan(shape, coords)
+        rng = np.random.default_rng(4)
+        w = 0.5 + rng.random(coords.shape[0])
+        gram = ToeplitzNormalOperator(plan, weights=w)
+        x = _rand_image(shape, seed=6)
+        explicit = plan.adjoint(w * plan.forward(x))
+        scale = np.max(np.abs(explicit))
+        # both sides carry the plan's independent O(1e-3) table-limited
+        # approximation error; the bound is a regression guard
+        np.testing.assert_allclose(
+            gram.apply(x), explicit, atol=5e-3 * scale
+        )
+
+    def test_accuracy_improves_with_table_oversampling(self):
+        coords = radial_trajectory(16, 32)
+        x = _rand_image((16, 16), seed=7)
+        errs = []
+        for table in (512, 8192):
+            plan = NufftPlan((16, 16), coords, table_oversampling=table)
+            gram = ToeplitzNormalOperator(plan)
+            explicit = plan.adjoint(plan.forward(x))
+            errs.append(np.max(np.abs(gram.apply(x) - explicit)))
+        assert errs[1] < errs[0]
+
+    def test_backcompat_alias(self):
+        assert ToeplitzGram is ToeplitzNormalOperator
+
+    def test_rejects_bad_psf_and_shapes(self):
+        coords = radial_trajectory(8, 16)
+        plan = NufftPlan((16, 16), coords)
+        with pytest.raises(ValueError, match="psf"):
+            ToeplitzNormalOperator(plan, psf="magic")
+        with pytest.raises(ValueError, match="weights"):
+            ToeplitzNormalOperator(plan, weights=np.ones(3))
+        gram = ToeplitzNormalOperator(plan)
+        with pytest.raises(ValueError, match="image shape"):
+            gram.apply(np.ones((8, 8), dtype=complex))
+
+
+class TestHermitianPsd:
+    def test_exactly_hermitian_by_construction(self):
+        coords = random_trajectory(200, 2, rng=11)
+        plan = NufftPlan((16, 16), coords)
+        gram = ToeplitzNormalOperator(plan)
+        x = _rand_image((16, 16), seed=8)
+        y = _rand_image((16, 16), seed=9)
+        lhs = np.vdot(y, gram.apply(x))
+        rhs = np.vdot(gram.apply(y), x)
+        assert abs(lhs - rhs) <= 1e-10 * abs(lhs)
+
+    def test_kernel_spectrum_is_real_when_hermitian(self):
+        coords = radial_trajectory(8, 16)
+        plan = NufftPlan((16, 16), coords)
+        gram = ToeplitzNormalOperator(plan, hermitian=True)
+        assert not np.iscomplexobj(gram._kernel_fft)
+
+    if HAVE_HYPOTHESIS:
+
+        @settings(max_examples=20, deadline=None)
+        @given(
+            seed=st.integers(min_value=0, max_value=10_000),
+            m=st.integers(min_value=5, max_value=40),
+        )
+        def test_quadratic_form_nonnegative(self, seed, m):
+            # with the exact PSF the operator is the NuDFT Gram
+            # A^H W A: Hermitian PSD, so x^H T x is real and >= 0
+            rng = np.random.default_rng(seed)
+            coords = rng.uniform(-0.5, 0.5, size=(m, 2))
+            w = rng.random(m)  # nonnegative weights
+            plan = NufftPlan((8, 8), coords)
+            gram = ToeplitzNormalOperator(plan, weights=w, psf="nudft")
+            x = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+            tx = gram.apply(x)
+            quad = np.vdot(x, tx)
+            scale = max(np.vdot(x, x).real * m, 1.0)
+            assert abs(quad.imag) <= 1e-9 * scale
+            assert quad.real >= -1e-9 * scale
+
+
+class TestCgIntegration:
+    def test_normal_kwarg_validation(self):
+        coords = radial_trajectory(8, 16)
+        plan = NufftPlan((16, 16), coords)
+        v = np.ones(coords.shape[0], dtype=complex)
+        with pytest.raises(ValueError, match="normal"):
+            cg_reconstruction(plan, v, normal="magic")
+        with pytest.raises(ValueError, match="conflicts"):
+            cg_reconstruction(plan, v, normal="gridding", toeplitz=True)
+
+    def test_toeplitz_bool_backcompat(self):
+        coords = radial_trajectory(12, 24)
+        plan = NufftPlan((16, 16), coords)
+        kspace = plan.forward(_rand_image((16, 16), seed=10))
+        old = cg_reconstruction(plan, kspace, n_iterations=5, toeplitz=True)
+        new = cg_reconstruction(plan, kspace, n_iterations=5, normal="toeplitz")
+        np.testing.assert_allclose(old.image, new.image, rtol=1e-12, atol=1e-12)
+
+    def test_cg_images_agree_across_normal_operators(self):
+        # high-accuracy plan so the two normal operators differ by much
+        # less than the reconstruction scale
+        coords = radial_trajectory(24, 48)
+        plan = NufftPlan((32, 32), coords, table_oversampling=8192)
+        truth = _rand_image((32, 32), seed=11)
+        kspace = plan.forward(truth)
+        w = np.ones(coords.shape[0])
+        grid = cg_reconstruction(plan, kspace, w, n_iterations=12, tolerance=1e-12)
+        toep = cg_reconstruction(
+            plan, kspace, w, n_iterations=12, tolerance=1e-12, normal="toeplitz"
+        )
+        scale = np.max(np.abs(grid.image))
+        assert np.max(np.abs(grid.image - toep.image)) <= 2e-3 * scale
+
+    def test_cg_toeplitz_converges(self):
+        coords = radial_trajectory(16, 32)
+        plan = NufftPlan((16, 16), coords)
+        kspace = plan.forward(_rand_image((16, 16), seed=12))
+        result = cg_reconstruction(plan, kspace, n_iterations=30, normal="toeplitz")
+        assert result.residual_norms[-1] < result.residual_norms[0]
+
+    def test_batched_cg_toeplitz_matches_single(self):
+        coords = radial_trajectory(12, 24)
+        plan = NufftPlan((16, 16), coords)
+        k1 = plan.forward(_rand_image((16, 16), seed=13))
+        k2 = plan.forward(_rand_image((16, 16), seed=14))
+        stacked = cg_reconstruction(
+            plan, np.stack([k1, k2]), n_iterations=6, normal="toeplitz"
+        )
+        for k, kspace in enumerate((k1, k2)):
+            single = cg_reconstruction(
+                plan, kspace, n_iterations=6, normal="toeplitz"
+            )
+            np.testing.assert_allclose(
+                stacked.image[k], single.image, rtol=1e-8, atol=1e-10
+            )
+
+    def test_normal_options_exact_psf(self):
+        coords = radial_trajectory(12, 24)
+        plan = NufftPlan((16, 16), coords)
+        kspace = plan.forward(_rand_image((16, 16), seed=15))
+        result = cg_reconstruction(
+            plan,
+            kspace,
+            n_iterations=5,
+            normal="toeplitz",
+            normal_options={"psf": "nudft"},
+        )
+        assert result.image.shape == (16, 16)
+
+
+class TestSenseToeplitz:
+    def test_normal_methods_agree(self):
+        coords = radial_trajectory(16, 32)
+        plan = NufftPlan((16, 16), coords, table_oversampling=8192)
+        op = SenseOperator(plan, birdcage_maps(4, 16))
+        x = _rand_image((16, 16), seed=16)
+        w = np.ones(coords.shape[0])
+        grid = op.normal(x, weights=w, method="gridding")
+        toep = op.normal(x, weights=w, method="toeplitz")
+        scale = np.max(np.abs(grid))
+        assert np.max(np.abs(grid - toep)) <= 1e-3 * scale
+
+    def test_method_validation(self):
+        coords = radial_trajectory(8, 16)
+        plan = NufftPlan((16, 16), coords)
+        op = SenseOperator(plan, birdcage_maps(2, 16))
+        with pytest.raises(ValueError, match="method"):
+            op.normal(_rand_image((16, 16)), method="magic")
+
+    def test_toeplitz_operator_cached_per_weights(self):
+        coords = radial_trajectory(8, 16)
+        plan = NufftPlan((16, 16), coords)
+        op = SenseOperator(plan, birdcage_maps(2, 16))
+        x = _rand_image((16, 16), seed=17)
+        w = np.ones(coords.shape[0])
+        op.normal(x, weights=w, method="toeplitz")
+        first = op._toeplitz_cache[1]
+        op.normal(2 * x, weights=w, method="toeplitz")
+        assert op._toeplitz_cache[1] is first
+        op.normal(x, weights=2 * w, method="toeplitz")
+        assert op._toeplitz_cache[1] is not first
+
+    def test_sense_reconstruction_toeplitz(self):
+        coords = radial_trajectory(16, 32)
+        plan = NufftPlan((16, 16), coords, table_oversampling=8192)
+        maps = birdcage_maps(4, 16)
+        op = SenseOperator(plan, maps)
+        truth = _rand_image((16, 16), seed=18)
+        kspace = op.forward(truth)
+        grid = sense_reconstruction(op, kspace, n_iterations=8)
+        toep = sense_reconstruction(op, kspace, n_iterations=8, normal="toeplitz")
+        scale = np.max(np.abs(grid.image))
+        assert np.max(np.abs(grid.image - toep.image)) <= 2e-3 * scale
+        with pytest.raises(ValueError, match="normal"):
+            sense_reconstruction(op, kspace, normal="magic")
