@@ -25,10 +25,23 @@ Package map (see DESIGN.md for the full inventory):
 - :mod:`repro.fixedpoint` — Q-format arithmetic substrate
 - :mod:`repro.perfmodel` — calibrated testbed performance models
 - :mod:`repro.recon` — adjoint & CG reconstruction
+- :mod:`repro.errors`, :mod:`repro.robustness` — typed failure
+  taxonomy, input-quality gates, and the deterministic fault-injection
+  harness (see docs/robustness.md)
 - :mod:`repro.bench` — datasets and paper reference numbers
 """
 
 from .core import SliceAndDiceGridder, DiceLayout
+from .errors import (
+    ReproError,
+    CoordinateError,
+    DataQualityError,
+    EngineFailure,
+    BackendFailure,
+    SolverBreakdown,
+    DegradationEvent,
+)
+from .robustness import DataQualityReport, inject_faults
 from .gridding import (
     Gridder,
     GriddingSetup,
@@ -72,6 +85,15 @@ __version__ = "1.0.0"
 __all__ = [
     "SliceAndDiceGridder",
     "DiceLayout",
+    "ReproError",
+    "CoordinateError",
+    "DataQualityError",
+    "EngineFailure",
+    "BackendFailure",
+    "SolverBreakdown",
+    "DegradationEvent",
+    "DataQualityReport",
+    "inject_faults",
     "Gridder",
     "GriddingSetup",
     "GriddingStats",

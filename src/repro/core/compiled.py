@@ -405,89 +405,88 @@ class CompiledSliceAndDiceGridder(SliceAndDiceGridder):
     ) -> None:
         plan, hit = self._fetch_plan(coords)
         dice_flat = self._apply_grid(plan, values[None, :])
-        grid += self.layout.dice_to_grid(
-            dice_flat[0].reshape(plan.n_rows, plan.n_tiles)
-        )
-        self._release_buffer(dice_flat)
+        try:
+            grid += self.layout.dice_to_grid(
+                dice_flat[0].reshape(plan.n_rows, plan.n_tiles)
+            )
+        finally:
+            self._release_buffer(dice_flat)
         self.stats = plan_stats(
             self.setup.ndim, self.layout.n_columns, coords.shape[0], 1, plan, hit
         )
 
-    def grid_batch(
+    def _grid_batch_impl(
         self,
         coords: np.ndarray,
         values_stack: np.ndarray,
-        out: np.ndarray | None = None,
-    ) -> np.ndarray:
+        out: np.ndarray,
+    ) -> None:
         """Batched adjoint gridding from the compiled plan.
 
         One plan fetch (hit after the first call per trajectory), then
         per RHS a gather and two ``bincount`` accumulates (or one CSR
         matvec with ``backend="csr"``).
         """
-        coords, values_stack = self._check_batch_values(coords, values_stack)
         k_rhs = values_stack.shape[0]
-        self.stats = GriddingStats()
-        stacked_shape = (k_rhs,) + self.setup.grid_shape
-        if out is not None and (
-            tuple(out.shape) != stacked_shape or out.dtype != np.complex128
-        ):
-            raise ValueError(
-                f"out must be complex128 of shape {stacked_shape}, got "
-                f"{out.dtype} {out.shape}"
-            )
-        if coords.shape[0] == 0:
-            if out is None:
-                return np.zeros(stacked_shape, dtype=np.complex128)
-            out[...] = 0
-            return out
         plan, hit = self._fetch_plan(coords)
         dice_flat = self._apply_grid(plan, values_stack)
-        if out is None:
-            out = np.empty(stacked_shape, dtype=np.complex128)
-        for k in range(k_rhs):
-            out[k] = self.layout.dice_to_grid(
-                dice_flat[k].reshape(plan.n_rows, plan.n_tiles)
-            )
-        self._release_buffer(dice_flat)
+        try:
+            for k in range(k_rhs):
+                out[k] = self.layout.dice_to_grid(
+                    dice_flat[k].reshape(plan.n_rows, plan.n_tiles)
+                )
+        finally:
+            self._release_buffer(dice_flat)
         self.stats = plan_stats(
             self.setup.ndim, self.layout.n_columns, coords.shape[0], k_rhs,
             plan, hit,
         )
-        return out
 
     def _apply_grid(
         self, plan: CompiledPlan, values_stack: np.ndarray
     ) -> np.ndarray:
-        """``(K, n_rows * n_tiles)`` raveled dice for a value stack."""
+        """``(K, n_rows * n_tiles)`` raveled dice for a value stack.
+
+        The dice always comes from :meth:`_acquire_buffer` (the CSR
+        ``K=1`` path used to return a fresh matvec result, which the
+        caller's release then pushed into the pool unacquired —
+        corrupting the pool's outstanding-balance accounting) and is
+        released back on any failure mid-fill.
+        """
         k_rhs = values_stack.shape[0]
         n_flat = plan.n_rows * plan.n_tiles
         if self.backend == "csr":
             mat = plan.csr()
-            if k_rhs == 1:
-                return (mat @ values_stack[0])[None]
             dice_flat = self._acquire_buffer((k_rhs, n_flat), zero=False)
-            for k in range(k_rhs):
-                dice_flat[k] = mat @ values_stack[k]
+            try:
+                for k in range(k_rhs):
+                    dice_flat[k] = mat @ values_stack[k]
+            except BaseException:
+                self._release_buffer(dice_flat)
+                raise
             return dice_flat
         dice_flat = self._acquire_buffer((k_rhs, n_flat), zero=True)
-        if plan.nnz:
-            sample, flat, wgt = plan.sample_idx, plan.flat_idx, plan.weight
-            for k in range(k_rhs):
-                # real/imag gathered separately: bincount's weight pass
-                # then runs on contiguous float64 with no complex temp
-                re = values_stack[k].real[sample]
-                im = values_stack[k].imag[sample]
-                re *= wgt
-                im *= wgt
-                dice_flat[k].real = np.bincount(flat, weights=re, minlength=n_flat)
-                dice_flat[k].imag = np.bincount(flat, weights=im, minlength=n_flat)
+        try:
+            if plan.nnz:
+                sample, flat, wgt = plan.sample_idx, plan.flat_idx, plan.weight
+                for k in range(k_rhs):
+                    # real/imag gathered separately: bincount's weight pass
+                    # then runs on contiguous float64 with no complex temp
+                    re = values_stack[k].real[sample]
+                    im = values_stack[k].imag[sample]
+                    re *= wgt
+                    im *= wgt
+                    dice_flat[k].real = np.bincount(flat, weights=re, minlength=n_flat)
+                    dice_flat[k].imag = np.bincount(flat, weights=im, minlength=n_flat)
+        except BaseException:
+            self._release_buffer(dice_flat)
+            raise
         return dice_flat
 
     # ------------------------------------------------------------------
     # interpolation (forward): gather + segment-sum / CSR matvec
     # ------------------------------------------------------------------
-    def interp_batch(
+    def _interp_batch_impl(
         self, grid_stack: np.ndarray, coords: np.ndarray
     ) -> np.ndarray:
         """Batched forward interpolation from the compiled plan.
@@ -496,39 +495,36 @@ class CompiledSliceAndDiceGridder(SliceAndDiceGridder):
         at ``flat_idx``, weight, and segment-sum per sample (``A^T x``
         with ``backend="csr"``).
         """
-        grid_stack = self._check_batch_grids(grid_stack)
-        coords = self.setup.check_coords(coords)
         k_rhs = grid_stack.shape[0]
         m = coords.shape[0]
-        self.stats = GriddingStats()
-        if m == 0:
-            return np.zeros((k_rhs, 0), dtype=np.complex128)
         plan, hit = self._fetch_plan(coords)
         dice_flat = self._acquire_buffer(
             (k_rhs, plan.n_rows * plan.n_tiles), zero=False
         )
-        for k in range(k_rhs):
-            dice_flat[k] = self.layout.grid_to_dice(grid_stack[k]).reshape(-1)
-        if self.backend == "csr":
-            mat_t = plan.csr().T  # CSC view, no copy
-            if k_rhs == 1:
-                out = (mat_t @ dice_flat[0])[None]
+        try:
+            for k in range(k_rhs):
+                dice_flat[k] = self.layout.grid_to_dice(grid_stack[k]).reshape(-1)
+            if self.backend == "csr":
+                mat_t = plan.csr().T  # CSC view, no copy
+                if k_rhs == 1:
+                    out = (mat_t @ dice_flat[0])[None]
+                else:
+                    out = np.empty((k_rhs, m), dtype=np.complex128)
+                    for k in range(k_rhs):
+                        out[k] = mat_t @ dice_flat[k]
             else:
-                out = np.empty((k_rhs, m), dtype=np.complex128)
-                for k in range(k_rhs):
-                    out[k] = mat_t @ dice_flat[k]
-        else:
-            out = np.zeros((k_rhs, m), dtype=np.complex128)
-            if plan.nnz:
-                sample, flat, wgt = plan.sample_idx, plan.flat_idx, plan.weight
-                for k in range(k_rhs):
-                    re = dice_flat[k].real[flat]
-                    im = dice_flat[k].imag[flat]
-                    re *= wgt
-                    im *= wgt
-                    out[k].real = np.bincount(sample, weights=re, minlength=m)
-                    out[k].imag = np.bincount(sample, weights=im, minlength=m)
-        self._release_buffer(dice_flat)
+                out = np.zeros((k_rhs, m), dtype=np.complex128)
+                if plan.nnz:
+                    sample, flat, wgt = plan.sample_idx, plan.flat_idx, plan.weight
+                    for k in range(k_rhs):
+                        re = dice_flat[k].real[flat]
+                        im = dice_flat[k].imag[flat]
+                        re *= wgt
+                        im *= wgt
+                        out[k].real = np.bincount(sample, weights=re, minlength=m)
+                        out[k].imag = np.bincount(sample, weights=im, minlength=m)
+        finally:
+            self._release_buffer(dice_flat)
         self.stats = plan_stats(
             self.setup.ndim, self.layout.n_columns, m, k_rhs, plan, hit
         )

@@ -44,6 +44,20 @@ Degradation ladder
    pool would not help: ``workers=1``, a single usable core, or a
    problem below ``min_parallel_ops`` boundary checks.
 
+The ladder is *supervised* at runtime, not just at spawn: a process
+pass whose workers crash is retried up to ``max_retries`` times (a
+transient crash costs one retry, nothing else), workers that exceed
+``worker_timeout`` seconds are terminated, and a process pass that
+keeps failing degrades to threads, then to a fresh full serial pass —
+which is bit-identical to the serial engine by construction, so a
+degraded result is never a different result.  Every step down is
+recorded as a :class:`repro.errors.DegradationEvent` in
+``stats.degradations``; only when the serial rung *also* fails does
+the call raise :class:`repro.errors.EngineFailure` (chaining the
+original cause).  Thread-rung hangs cannot be preempted from within
+Python — the chaos CI job runs under a global pytest timeout for that
+case.
+
 The chosen shard plan, backend, and per-worker wall-clock are reported
 in ``GriddingStats`` (``shard_plan``, ``parallel_backend``,
 ``worker_seconds``, ``workers_used``) so the schedule is observable,
@@ -59,7 +73,9 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from ..errors import DegradationEvent, EngineFailure
 from ..gridding.base import GriddingSetup, GriddingStats
+from ..robustness.faults import stage_worker_faults, worker_fault_point
 from .slice_and_dice import SliceAndDiceGridder, TableFetch
 from .compiled import (
     CompiledSliceAndDiceGridder,
@@ -119,6 +135,7 @@ def _shard_entry(worker_id, shm_name, aux_name, out_shape, n_workers, lo, hi):
     report row.  All writes land in slices disjoint from every other
     worker's, so no locking is needed.
     """
+    worker_fault_point(worker_id)  # chaos hook: staged crash/hang fires here
     shm = _shared_memory.SharedMemory(name=shm_name)
     aux = _shared_memory.SharedMemory(name=aux_name)
     try:
@@ -172,6 +189,15 @@ class ParallelSliceAndDiceGridder(SliceAndDiceGridder):
         Serial-fallback threshold on the boundary-check count
         ``M * T^d`` — below it, pool startup costs more than it saves.
         Set ``0`` to force the pool even for tiny problems (tests).
+    worker_timeout:
+        Seconds a process-backend worker may run before the whole pass
+        is terminated and treated as a failure (retry, then degrade);
+        ``None`` (default) waits indefinitely.  Thread workers cannot
+        be preempted and ignore this.
+    max_retries:
+        Process-backend passes retried after a worker crash or timeout
+        before degrading to threads (default 1; ``0`` degrades on the
+        first failure).
     inner_engine:
         What each worker runs on its shard: ``"columns"`` (default) —
         the streaming column scan — or ``"compiled"`` — slices of a
@@ -221,6 +247,8 @@ class ParallelSliceAndDiceGridder(SliceAndDiceGridder):
         min_parallel_ops: int = 1 << 16,
         inner_engine: str = "columns",
         table_cache_size: int = 4,
+        worker_timeout: float | None = None,
+        max_retries: int = 1,
     ):
         super().__init__(
             setup,
@@ -244,10 +272,18 @@ class ParallelSliceAndDiceGridder(SliceAndDiceGridder):
             raise ValueError(
                 f"inner_engine must be 'columns' or 'compiled', got {inner_engine!r}"
             )
+        if worker_timeout is not None and not worker_timeout > 0:
+            raise ValueError(
+                f"worker_timeout must be positive or None, got {worker_timeout}"
+            )
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self.workers = workers
         self.backend = backend
         self.min_parallel_ops = int(min_parallel_ops)
         self.inner_engine = inner_engine
+        self.worker_timeout = None if worker_timeout is None else float(worker_timeout)
+        self.max_retries = int(max_retries)
         # plan provider for inner_engine="compiled": reuses the compiled
         # engine's plan cache/fingerprint machinery; its stats are unused
         self._plan_source = (
@@ -284,42 +320,90 @@ class ParallelSliceAndDiceGridder(SliceAndDiceGridder):
             or m * self.layout.n_columns < self.min_parallel_ops
         )
 
-    def _annotate(self, plan, backend: str, seconds) -> None:
+    def _annotate(self, plan, backend: str, seconds, events=()) -> None:
         """Record the executed shard schedule in ``self.stats``."""
         self.stats.workers_used = len(plan)
         self.stats.parallel_backend = backend
         self.stats.shard_plan = tuple(plan)
         self.stats.worker_seconds = tuple(float(s) for s in seconds)
+        self.stats.degradations = tuple(events)
 
     # ------------------------------------------------------------------
     # worker-pool dispatch
     # ------------------------------------------------------------------
     def _dispatch(self, work, out_shape, plan, backend):
-        """Run ``work(out, lo, hi)`` per shard on the requested backend.
+        """Run ``work(out, lo, hi)`` per shard, supervising the ladder.
 
-        Returns ``(out, interpolations, worker_seconds, backend_used)``;
-        degrades process -> thread when shared memory is unavailable.
+        Returns ``(out, interpolations, worker_seconds, backend_used,
+        events)``.  The process rung is retried up to ``max_retries``
+        times on worker crash/timeout, then the pass degrades process →
+        thread → serial; the serial rung reruns ``work`` once over the
+        full range on a fresh zeroed output, so its result is
+        bit-identical to the serial engine.  Raises
+        :class:`repro.errors.EngineFailure` only when every rung fails.
         """
+        events: list[DegradationEvent] = []
         if backend == "process":
+            for attempt in range(1 + self.max_retries):
+                stage_worker_faults(len(plan))
+                try:
+                    out, interps, seconds = self._run_processes(work, out_shape, plan)
+                    return out, interps, seconds, "process", tuple(events)
+                except _SharedMemoryUnavailable as exc:
+                    # spawn-only platform or exhausted /dev/shm: retrying
+                    # cannot help, go straight to threads
+                    events.append(DegradationEvent(
+                        "parallel", "process", "thread", repr(exc)
+                    ))
+                    break
+                except EngineFailure as exc:
+                    if attempt < self.max_retries:
+                        events.append(DegradationEvent(
+                            "parallel", "process", "process",
+                            f"retry {attempt + 1}/{self.max_retries}: {exc}",
+                        ))
+                    else:
+                        events.append(DegradationEvent(
+                            "parallel", "process", "thread", repr(exc)
+                        ))
+            backend = "thread"
+        if backend == "thread":
+            stage_worker_faults(len(plan))
             try:
-                out, interps, seconds = self._run_processes(work, out_shape, plan)
-                return out, interps, seconds, "process"
-            except _SharedMemoryUnavailable:
-                pass  # spawn-only platform or exhausted /dev/shm
-        out, interps, seconds = self._run_threads(work, out_shape, plan)
-        return out, interps, seconds, "thread"
+                out, interps, seconds = self._run_threads(work, out_shape, plan)
+                return out, interps, seconds, "thread", tuple(events)
+            except Exception as exc:
+                events.append(DegradationEvent(
+                    "parallel", "thread", "serial", repr(exc)
+                ))
+        # last rung: one full serial pass on a fresh zeroed output —
+        # exactly what the serial engine would compute
+        stage_worker_faults(0)
+        try:
+            out = np.zeros(out_shape, dtype=np.complex128)
+            t0 = time.perf_counter()
+            interps = work(out, plan[0][0], plan[-1][1])
+            seconds = (time.perf_counter() - t0,)
+            return out, interps, seconds, "serial", tuple(events)
+        except Exception as exc:
+            raise EngineFailure(
+                "parallel gridding failed on every rung of the degradation "
+                f"ladder ({'; '.join(str(e) for e in events)})"
+            ) from exc
 
     def _run_threads(self, work, out_shape, plan):
         """Thread-pool backend: disjoint slices of one ordinary array."""
         out = np.zeros(out_shape, dtype=np.complex128)
 
-        def run_shard(bounds):
+        def run_shard(item):
+            worker_id, bounds = item
+            worker_fault_point(worker_id)
             t0 = time.perf_counter()
             interps = work(out, bounds[0], bounds[1])
             return interps, time.perf_counter() - t0
 
         with ThreadPoolExecutor(max_workers=len(plan)) as pool:
-            results = list(pool.map(run_shard, plan))
+            results = list(pool.map(run_shard, enumerate(plan)))
         return out, sum(r[0] for r in results), tuple(r[1] for r in results)
 
     def _run_processes(self, work, out_shape, plan):
@@ -356,13 +440,12 @@ class ParallelSliceAndDiceGridder(SliceAndDiceGridder):
             _FORK_WORK = work
             try:
                 procs = self._spawn_workers(shm.name, aux.name, out_shape, plan)
-                for proc in procs:
-                    proc.join()
+                self._join_workers(procs)
             finally:
                 _FORK_WORK = None
             failed = [i for i, p in enumerate(procs) if p.exitcode != 0]
             if failed:
-                raise RuntimeError(
+                raise EngineFailure(
                     f"parallel gridding worker(s) {failed} exited nonzero "
                     f"(exitcodes {[procs[i].exitcode for i in failed]})"
                 )
@@ -381,6 +464,35 @@ class ParallelSliceAndDiceGridder(SliceAndDiceGridder):
                     segment.unlink()
                 except FileNotFoundError:  # pragma: no cover
                     pass
+
+    def _join_workers(self, procs) -> None:
+        """Join workers, enforcing ``worker_timeout`` across the pass.
+
+        The timeout is one deadline for the whole pass (the shards run
+        concurrently, so per-worker deadlines would add up to the same
+        wall clock).  Workers still alive at the deadline are terminated
+        — then joined so no zombie outlives the call — and the pass
+        raises :class:`repro.errors.EngineFailure` for the supervisor to
+        retry or degrade.
+        """
+        if self.worker_timeout is None:
+            for proc in procs:
+                proc.join()
+            return
+        deadline = time.monotonic() + self.worker_timeout
+        for proc in procs:
+            proc.join(max(0.0, deadline - time.monotonic()))
+        hung = [i for i, p in enumerate(procs) if p.is_alive()]
+        if hung:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+            for proc in procs:
+                proc.join()
+            raise EngineFailure(
+                f"parallel gridding worker(s) {hung} exceeded "
+                f"worker_timeout={self.worker_timeout}s and were terminated"
+            )
 
     def _spawn_workers(self, shm_name, aux_name, out_shape, plan):
         """Start one forked process per shard; returns the started procs."""
@@ -423,7 +535,8 @@ class ParallelSliceAndDiceGridder(SliceAndDiceGridder):
         """Column-sharded dice accumulation for a ``(K, M)`` value stack.
 
         Returns ``(dice, interpolations, meta, shards, backend,
-        seconds)`` — ``meta`` as in :meth:`_set_pass_stats`.  With
+        seconds, events)`` — ``meta`` as in :meth:`_set_pass_stats`,
+        ``events`` the pass' recorded degradations.  With
         ``inner_engine="compiled"`` each worker accumulates its row
         slab's contiguous slice of the row-major scatter plan instead
         of scanning columns; the slab outputs are the same disjoint
@@ -446,23 +559,24 @@ class ParallelSliceAndDiceGridder(SliceAndDiceGridder):
                     plan_obj, values_stack, dice, 0, n_rows
                 )
                 return dice, interpolations, (plan_obj, hit), ((0, n_rows),), \
-                    "serial", (time.perf_counter() - t0,)
+                    "serial", (time.perf_counter() - t0,), ()
             shards = shard_plan(n_rows, n_workers)
 
             def work(out, row_lo, row_hi):
                 return plan_grid_rows(plan_obj, values_stack, out, row_lo, row_hi)
 
-            dice, interpolations, seconds, backend = self._dispatch(
+            dice, interpolations, seconds, backend, events = self._dispatch(
                 work, out_shape, shards, backend
             )
-            return dice, interpolations, (plan_obj, hit), shards, backend, seconds
+            return dice, interpolations, (plan_obj, hit), shards, backend, \
+                seconds, events
 
         if self._serial_fallback(m, n_workers, backend):
             t0 = time.perf_counter()
             dice, interpolations, _, fetch = self._run_engine(coords, values_stack)
             return dice, interpolations, fetch, ((0, n_rows),), "serial", (
                 time.perf_counter() - t0,
-            )
+            ), ()
 
         tables, fetch = self._fetch_tables(coords)
         shards = shard_plan(n_rows, n_workers)
@@ -472,65 +586,48 @@ class ParallelSliceAndDiceGridder(SliceAndDiceGridder):
                 tables, values_stack, out, 0, m, row_lo=row_lo, row_hi=row_hi
             )
 
-        dice, interpolations, seconds, backend = self._dispatch(
+        dice, interpolations, seconds, backend, events = self._dispatch(
             work, out_shape, shards, backend
         )
-        return dice, interpolations, fetch, shards, backend, seconds
+        return dice, interpolations, fetch, shards, backend, seconds, events
 
     def _grid_impl(self, coords: np.ndarray, values: np.ndarray, grid: np.ndarray) -> None:
-        dice, interpolations, meta, shards, backend, seconds = self._run_grid(
+        dice, interpolations, meta, shards, backend, seconds, events = self._run_grid(
             coords, values[None, :]
         )
         grid += self.layout.dice_to_grid(dice[0])
         self._set_pass_stats(coords.shape[0], 1, interpolations, meta)
-        self._annotate(shards, backend, seconds)
+        self._annotate(shards, backend, seconds, events)
 
-    def grid_batch(
+    def _grid_batch_impl(
         self,
         coords: np.ndarray,
         values_stack: np.ndarray,
-        out: np.ndarray | None = None,
-    ) -> np.ndarray:
+        out: np.ndarray,
+    ) -> None:
         """Column-sharded batched gridding: one select pass, ``K`` RHS.
 
-        Same contract as the serial :meth:`SliceAndDiceGridder.grid_batch`
-        (bit-identical output, select work paid once per batch); the
-        shard plan covers columns and is reported in ``stats``.  The
-        dice itself is *not* pooled here — the process backend places it
-        in :mod:`multiprocessing.shared_memory`, which a regular
+        Same contract as the serial
+        :meth:`SliceAndDiceGridder._grid_batch_impl` (bit-identical
+        output, select work paid once per batch); the shard plan covers
+        columns and is reported in ``stats``.  The dice itself is *not*
+        pooled here — the process backend places it in
+        :mod:`multiprocessing.shared_memory`, which a regular
         in-process buffer pool cannot hand out.
         """
-        coords, values_stack = self._check_batch_values(coords, values_stack)
         k_rhs = values_stack.shape[0]
-        self.stats = GriddingStats()
-        stacked_shape = (k_rhs,) + self.setup.grid_shape
-        if out is not None and (
-            tuple(out.shape) != stacked_shape or out.dtype != np.complex128
-        ):
-            raise ValueError(
-                f"out must be complex128 of shape {stacked_shape}, got "
-                f"{out.dtype} {out.shape}"
-            )
-        if coords.shape[0] == 0:
-            if out is None:
-                return np.zeros(stacked_shape, dtype=np.complex128)
-            out[...] = 0
-            return out
-        dice, interpolations, meta, shards, backend, seconds = self._run_grid(
+        dice, interpolations, meta, shards, backend, seconds, events = self._run_grid(
             coords, values_stack
         )
-        if out is None:
-            out = np.empty(stacked_shape, dtype=np.complex128)
         for k in range(k_rhs):
             out[k] = self.layout.dice_to_grid(dice[k])
         self._set_pass_stats(coords.shape[0], k_rhs, interpolations, meta)
-        self._annotate(shards, backend, seconds)
-        return out
+        self._annotate(shards, backend, seconds, events)
 
     # ------------------------------------------------------------------
     # interpolation (forward): shard the sample stream
     # ------------------------------------------------------------------
-    def interp_batch(self, grid_stack: np.ndarray, coords: np.ndarray) -> np.ndarray:
+    def _interp_batch_impl(self, grid_stack: np.ndarray, coords: np.ndarray) -> np.ndarray:
         """Sample-sharded batched interpolation (transpose of gridding).
 
         Column outputs overlap on samples, so the race-free private
@@ -539,13 +636,8 @@ class ParallelSliceAndDiceGridder(SliceAndDiceGridder):
         row order — per-sample accumulation order matches the serial
         engine exactly, keeping the output bit-identical.
         """
-        grid_stack = self._check_batch_grids(grid_stack)
-        coords = self.setup.check_coords(coords)
         k_rhs = grid_stack.shape[0]
         m = coords.shape[0]
-        self.stats = GriddingStats()
-        if m == 0:
-            return np.zeros((k_rhs, 0), dtype=np.complex128)
         dice = np.empty(
             (k_rhs, self.layout.n_columns, self.layout.n_tiles), dtype=np.complex128
         )
@@ -576,9 +668,10 @@ class ParallelSliceAndDiceGridder(SliceAndDiceGridder):
             out = np.zeros((k_rhs, m), dtype=np.complex128)
             interpolations = stream(out, 0, m)
             shards, backend, seconds = ((0, m),), "serial", (time.perf_counter() - t0,)
+            events = ()
         else:
             shards = shard_plan(m, n_workers)
-            out, interpolations, seconds, backend = self._dispatch(
+            out, interpolations, seconds, backend, events = self._dispatch(
                 stream, (k_rhs, m), shards, backend
             )
 
@@ -597,5 +690,5 @@ class ParallelSliceAndDiceGridder(SliceAndDiceGridder):
             )
         else:
             self._set_pass_stats(m, k_rhs, interpolations, meta)
-        self._annotate(shards, backend, seconds)
+        self._annotate(shards, backend, seconds, events)
         return out

@@ -259,17 +259,16 @@ class SliceAndDiceGridder(Gridder):
         dice, interpolations, lane_slots, fetch = self._run_engine(
             coords, values[None, :]
         )
-        grid += self.layout.dice_to_grid(dice[0])
-        self._release_buffer(dice)
+        try:
+            grid += self.layout.dice_to_grid(dice[0])
+        finally:
+            self._release_buffer(dice)
         self._fill_stats(coords.shape[0], n_rhs=1, interpolations=interpolations,
                          lane_slots=lane_slots, fetch=fetch)
 
-    def grid_batch(
-        self,
-        coords: np.ndarray,
-        values_stack: np.ndarray,
-        out: np.ndarray | None = None,
-    ) -> np.ndarray:
+    def _grid_batch_impl(
+        self, coords: np.ndarray, values_stack: np.ndarray, out: np.ndarray
+    ) -> None:
         """Batched multi-RHS gridding: one select pass, ``K`` accumulates.
 
         Bit-identical to stacking ``K`` single :meth:`grid` calls (the
@@ -279,33 +278,17 @@ class SliceAndDiceGridder(Gridder):
         visible in the stats, where ``boundary_checks`` stays
         ``M * T^d`` instead of ``K * M * T^d``.
         """
-        coords, values_stack = self._check_batch_values(coords, values_stack)
         k_rhs = values_stack.shape[0]
-        self.stats = GriddingStats()
-        stacked_shape = (k_rhs,) + self.setup.grid_shape
-        if out is not None and (
-            tuple(out.shape) != stacked_shape or out.dtype != np.complex128
-        ):
-            raise ValueError(
-                f"out must be complex128 of shape {stacked_shape}, got "
-                f"{out.dtype} {out.shape}"
-            )
-        if coords.shape[0] == 0:
-            if out is None:
-                return np.zeros(stacked_shape, dtype=np.complex128)
-            out[...] = 0
-            return out
         dice, interpolations, lane_slots, fetch = self._run_engine(
             coords, values_stack
         )
-        if out is None:
-            out = np.empty(stacked_shape, dtype=np.complex128)
-        for k in range(k_rhs):
-            out[k] = self.layout.dice_to_grid(dice[k])
-        self._release_buffer(dice)
+        try:
+            for k in range(k_rhs):
+                out[k] = self.layout.dice_to_grid(dice[k])
+        finally:
+            self._release_buffer(dice)
         self._fill_stats(coords.shape[0], n_rhs=k_rhs, interpolations=interpolations,
                          lane_slots=lane_slots, fetch=fetch)
-        return out
 
     def _run_engine(
         self, coords: np.ndarray, values_stack: np.ndarray
@@ -321,27 +304,33 @@ class SliceAndDiceGridder(Gridder):
         k_rhs = values_stack.shape[0]
         m = coords.shape[0]
         # the dice is the engine's largest transient (K x G^d complex
-        # words); acquired from the plan-injected pool when present
+        # words); acquired from the plan-injected pool when present.
+        # On any engine failure it goes straight back to the pool so a
+        # raising pass can never strand pooled storage.
         dice = self._acquire_buffer(
             (k_rhs, self.layout.n_columns, self.layout.n_tiles), zero=True
         )
-        if self.engine == "columns":
-            interpolations = self._process_stream(tables, values_stack, dice, 0, m)
-            lane_slots = m * self.layout.n_columns
-        else:
-            interpolations = 0
-            lane_slots = 0
-            bounds = np.linspace(0, m, self.n_blocks + 1).astype(np.int64)
-            for b in range(self.n_blocks):
-                lo, hi = int(bounds[b]), int(bounds[b + 1])
-                if lo == hi:
-                    continue
-                # shared-dice accumulation stands in for the GPU's atomicAdd
-                interpolations += self._process_stream(tables, values_stack, dice, lo, hi)
-                # lane slots from the work this block actually issued:
-                # its T^d lanes scan only the [lo, hi) slice, not the
-                # whole stream (empty blocks launch no lanes at all)
-                lane_slots += (hi - lo) * self.layout.n_columns
+        try:
+            if self.engine == "columns":
+                interpolations = self._process_stream(tables, values_stack, dice, 0, m)
+                lane_slots = m * self.layout.n_columns
+            else:
+                interpolations = 0
+                lane_slots = 0
+                bounds = np.linspace(0, m, self.n_blocks + 1).astype(np.int64)
+                for b in range(self.n_blocks):
+                    lo, hi = int(bounds[b]), int(bounds[b + 1])
+                    if lo == hi:
+                        continue
+                    # shared-dice accumulation stands in for the GPU's atomicAdd
+                    interpolations += self._process_stream(tables, values_stack, dice, lo, hi)
+                    # lane slots from the work this block actually issued:
+                    # its T^d lanes scan only the [lo, hi) slice, not the
+                    # whole stream (empty blocks launch no lanes at all)
+                    lane_slots += (hi - lo) * self.layout.n_columns
+        except BaseException:
+            self._release_buffer(dice)
+            raise
         return dice, interpolations, lane_slots, fetch
 
     def _process_stream(
@@ -498,7 +487,7 @@ class SliceAndDiceGridder(Gridder):
     # ------------------------------------------------------------------
     # interpolation (forward)
     # ------------------------------------------------------------------
-    def interp(self, grid: np.ndarray, coords: np.ndarray) -> np.ndarray:
+    def _interp_impl(self, grid: np.ndarray, coords: np.ndarray) -> np.ndarray:
         """Forward interpolation (regridding) with the Slice-and-Dice
         schedule.
 
@@ -510,35 +499,27 @@ class SliceAndDiceGridder(Gridder):
         boundary-check count — the model §III describes applies to both
         NuFFT directions.
         """
-        grid = np.asarray(grid, dtype=np.complex128)
-        if tuple(grid.shape) != self.setup.grid_shape:
-            raise ValueError(
-                f"grid shape {grid.shape} != setup {self.setup.grid_shape}"
-            )
-        return self.interp_batch(grid, coords)[0]
+        return self._interp_batch_impl(grid[None], coords)[0]
 
-    def interp_batch(self, grid_stack: np.ndarray, coords: np.ndarray) -> np.ndarray:
+    def _interp_batch_impl(self, grid_stack: np.ndarray, coords: np.ndarray) -> np.ndarray:
         """Batched forward interpolation: one select pass, ``K`` gathers.
 
-        Transpose of :meth:`grid_batch`; bit-identical to ``K``
+        Transpose of :meth:`_grid_batch_impl`; bit-identical to ``K``
         independent :meth:`interp` calls.
         """
-        grid_stack = self._check_batch_grids(grid_stack)
-        coords = self.setup.check_coords(coords)
         k_rhs = grid_stack.shape[0]
         m = coords.shape[0]
-        self.stats = GriddingStats()
-        if m == 0:
-            return np.zeros((k_rhs, 0), dtype=np.complex128)
         tables, fetch = self._fetch_tables(coords)
         dice = self._acquire_buffer(
             (k_rhs, self.layout.n_columns, self.layout.n_tiles), zero=False
         )
-        for k in range(k_rhs):
-            dice[k] = self.layout.grid_to_dice(grid_stack[k])
-        out = np.zeros((k_rhs, m), dtype=np.complex128)
-        interpolations = self._interp_stream(tables, dice, out, 0, m)
-        self._release_buffer(dice)
+        try:
+            for k in range(k_rhs):
+                dice[k] = self.layout.grid_to_dice(grid_stack[k])
+            out = np.zeros((k_rhs, m), dtype=np.complex128)
+            interpolations = self._interp_stream(tables, dice, out, 0, m)
+        finally:
+            self._release_buffer(dice)
         self.stats = GriddingStats(
             boundary_checks=m * self.layout.n_columns,
             interpolations=interpolations * k_rhs,

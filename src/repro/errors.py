@@ -1,0 +1,123 @@
+"""Shared exception taxonomy and degradation-event record.
+
+Four PRs of performance work built a deep stack (parallel sharding,
+compiled scatter plans, pluggable FFT backends, Toeplitz CG) whose
+failures all surfaced as bare ``ValueError``/``RuntimeError`` — or, for
+non-finite scanner data, not at all.  This module gives every layer a
+common failure vocabulary so callers can catch by *failure class*:
+
+- :class:`ReproError` — root of everything this package raises on
+  purpose.
+- :class:`CoordinateError` — non-finite / malformed trajectory
+  coordinates (a ``ValueError``: the input itself is unusable).
+- :class:`DataQualityError` — non-finite k-space samples, weights, or
+  images (also a ``ValueError``).
+- :class:`EngineFailure` — a gridding engine could not complete after
+  exhausting its degradation ladder (a ``RuntimeError``).
+- :class:`BackendFailure` — every FFT backend in the fallback chain
+  failed (a ``RuntimeError``).
+- :class:`SolverBreakdown` — an iterative solver lost numerical health
+  beyond repair (NaN/Inf state after its one permitted restart).
+
+Each concrete class also subclasses the built-in exception the code
+historically raised in that situation, so ``except ValueError`` /
+``except RuntimeError`` call sites keep working unchanged.
+
+Recovery that *succeeds* is recorded, not raised:
+:class:`DegradationEvent` is the uniform record the supervised chains
+(process → thread → serial workers, pyfftw → scipy → numpy FFTs,
+Toeplitz → gridding normal operator) append to their stats/timings/
+results whenever they step down a rung.
+
+Examples
+--------
+>>> from repro.errors import ReproError, CoordinateError
+>>> try:
+...     raise CoordinateError("NaN coordinate at sample 3")
+... except ReproError as exc:
+...     kind = type(exc).__name__
+>>> kind
+'CoordinateError'
+>>> issubclass(CoordinateError, ValueError)   # legacy call sites keep working
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ReproError",
+    "CoordinateError",
+    "DataQualityError",
+    "EngineFailure",
+    "BackendFailure",
+    "SolverBreakdown",
+    "DegradationEvent",
+]
+
+
+class ReproError(Exception):
+    """Root of every error this package raises deliberately."""
+
+
+class CoordinateError(ReproError, ValueError):
+    """Trajectory coordinates are unusable (non-finite under
+    ``policy="raise"``, or structurally malformed beyond shape checks)."""
+
+
+class DataQualityError(ReproError, ValueError):
+    """Sample values, weights, or images contain non-finite entries
+    under ``policy="raise"``."""
+
+
+class EngineFailure(ReproError, RuntimeError):
+    """A gridding engine failed and every degradation rung below it
+    failed too (or degradation was impossible)."""
+
+
+class BackendFailure(ReproError, RuntimeError):
+    """Every FFT backend in the fallback chain raised; there is no
+    rung left to degrade to."""
+
+
+class SolverBreakdown(ReproError, RuntimeError):
+    """An iterative solver's state went non-finite (or degenerate)
+    beyond what its single permitted restart could repair."""
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One recorded step down a supervised degradation chain.
+
+    Attributes
+    ----------
+    component:
+        Which chain degraded: ``"parallel"`` (worker pool), ``"fft"``
+        (backend registry), ``"normal"`` (Toeplitz vs gridding normal
+        operator), ``"cg"`` (solver restart).
+    from_stage / to_stage:
+        The rung stepped off and the rung landed on (e.g.
+        ``"process"`` -> ``"thread"``; a bounded retry reuses the same
+        stage name on both sides).
+    reason:
+        Human-readable cause — the repr of the triggering exception or
+        a short diagnostic.
+
+    Examples
+    --------
+    >>> ev = DegradationEvent("fft", "scipy", "numpy", "InjectedFault()")
+    >>> ev.component, ev.to_stage
+    ('fft', 'numpy')
+    """
+
+    component: str
+    from_stage: str
+    to_stage: str
+    reason: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.component}: {self.from_stage} -> {self.to_stage}"
+            f" ({self.reason})"
+        )

@@ -28,7 +28,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import CoordinateError
 from ..kernels import KernelLUT
+from ..robustness.faults import corrupt_stream
+from ..robustness.validate import (
+    DataQualityReport,
+    apply_quality_policy,
+    validate_policy,
+)
 from .buffers import GridBufferPool
 
 __all__ = [
@@ -111,6 +118,14 @@ class GriddingStats:
     worker_seconds:
         Wall-clock seconds each worker spent in its shard (same order
         as ``shard_plan``) — exposes load balance, not just totals.
+    quality:
+        The :class:`repro.robustness.DataQualityReport` of this call's
+        input-quality gate pass, or ``None`` for internal passes that
+        bypass the public API.
+    degradations:
+        :class:`repro.errors.DegradationEvent` records of every rung
+        the call stepped down (worker retries, process→thread→serial);
+        empty when the requested schedule ran as configured.
 
     Examples
     --------
@@ -140,6 +155,8 @@ class GriddingStats:
     parallel_backend: str = ""
     shard_plan: tuple = ()
     worker_seconds: tuple = ()
+    quality: DataQualityReport | None = None
+    degradations: tuple = ()
 
     @property
     def simd_efficiency(self) -> float:
@@ -175,6 +192,8 @@ class GriddingStats:
             "parallel_backend": self.parallel_backend,
             "shard_plan": self.shard_plan,
             "worker_seconds": self.worker_seconds,
+            "quality": self.quality.as_dict() if self.quality is not None else None,
+            "degradations": tuple(str(d) for d in self.degradations),
         }
 
     def accumulate(self, other: "GriddingStats") -> None:
@@ -208,6 +227,12 @@ class GriddingStats:
             self.parallel_backend = other.parallel_backend
             self.shard_plan = other.shard_plan
             self.worker_seconds = other.worker_seconds
+        if other.quality is not None:
+            if self.quality is None:
+                self.quality = DataQualityReport(policy=other.quality.policy)
+            self.quality.accumulate(other.quality)
+        if other.degradations:
+            self.degradations = self.degradations + tuple(other.degradations)
 
 
 @dataclass
@@ -222,12 +247,20 @@ class GriddingSetup:
     lut:
         Kernel lookup table (defines window width ``W`` and table
         oversampling ``L``).
+    quality_policy:
+        How non-finite inputs are handled at the public gridding entry
+        points — ``"raise"`` (default; typed
+        :class:`repro.errors.CoordinateError` /
+        :class:`repro.errors.DataQualityError`), ``"drop"`` (remove the
+        offending samples), or ``"zero"`` (keep slots, contribute
+        nothing).  See :mod:`repro.robustness.validate`.
 
     Raises
     ------
     ValueError
         If any grid dimension is < 1 or smaller than the window width
-        (the wrapped window would self-overlap).
+        (the wrapped window would self-overlap), or the policy is
+        unknown.
 
     Examples
     --------
@@ -239,8 +272,10 @@ class GriddingSetup:
 
     grid_shape: tuple[int, ...]
     lut: KernelLUT
+    quality_policy: str = "raise"
 
     def __post_init__(self) -> None:
+        validate_policy(self.quality_policy)
         self.grid_shape = tuple(int(g) for g in self.grid_shape)
         if any(g < 1 for g in self.grid_shape):
             raise ValueError(f"grid dimensions must be >= 1, got {self.grid_shape}")
@@ -264,27 +299,55 @@ class GriddingSetup:
     def n_grid_points(self) -> int:
         return int(np.prod(self.grid_shape))
 
-    def check_coords(self, coords: np.ndarray) -> np.ndarray:
-        """Validate and canonicalize coordinates to ``[0, G)`` grid units.
-
-        Coordinates already in range are returned as-is (no copy —
-        ``fmod`` on every call costs more than the whole compiled-plan
-        dispatch); out-of-range or NaN coordinates take the torus-wrap
-        path and get a fresh array.
-        """
+    def coerce_coords(self, coords: np.ndarray) -> np.ndarray:
+        """Shape-validate to a float64 ``(M, d)`` array — no wrapping,
+        no finiteness handling (the quality gate and
+        :meth:`check_coords` build on this)."""
         coords = np.atleast_2d(np.asarray(coords, dtype=np.float64))
         if coords.ndim != 2 or coords.shape[1] != self.ndim:
             raise ValueError(
                 f"coords must have shape (M, {self.ndim}), got {coords.shape}"
             )
-        shape = np.asarray(self.grid_shape, dtype=np.float64)
+        return coords
+
+    def check_coords(self, coords: np.ndarray) -> np.ndarray:
+        """Validate and canonicalize coordinates to ``[0, G)`` grid units.
+
+        Coordinates already in range are returned as-is (no copy —
+        ``fmod`` on every call costs more than the whole compiled-plan
+        dispatch); out-of-range coordinates take the torus-wrap path
+        and get a fresh array.
+
+        Non-finite coordinates can never reach ``np.mod`` (which would
+        propagate NaN into the ``divmod`` tile decomposition as garbage
+        indices): under ``quality_policy="raise"`` they raise
+        :class:`repro.errors.CoordinateError`; under ``"drop"``/
+        ``"zero"`` the offending *entries* are pinned to ``0.0`` here as
+        a backstop — the public :class:`Gridder` entry points run the
+        full gate first, so samples only take this backstop when
+        ``check_coords`` is called directly.
+        """
+        coords = self.coerce_coords(coords)
         # Flat amin/amax against the smallest dim: conservative for
         # rectangular grids (may wrap coords that were already in range,
-        # which is harmless) but a single contiguous reduce each.
+        # which is harmless) but a single contiguous reduce each.  NaN
+        # poisons amin/amax, so non-finite input always falls through
+        # to the slow path below.
         if coords.size == 0 or (
             np.amin(coords) >= 0.0 and np.amax(coords) < min(self.grid_shape)
         ):
             return coords
+        finite = np.isfinite(coords)
+        if not finite.all():
+            if self.quality_policy == "raise":
+                n_bad = int(np.count_nonzero(~finite.all(axis=1)))
+                raise CoordinateError(
+                    f"{n_bad} sample(s) have non-finite coordinates; use "
+                    "GriddingSetup(quality_policy='drop'|'zero') to degrade "
+                    "instead of raising"
+                )
+            coords = np.where(finite, coords, 0.0)
+        shape = np.asarray(self.grid_shape, dtype=np.float64)
         return np.mod(coords, shape)
 
 
@@ -356,10 +419,15 @@ def scatter_add_complex(
 class Gridder(abc.ABC):
     """Base class: one gridding algorithm over a fixed problem setup.
 
-    Subclasses implement :meth:`_grid_impl`; the public :meth:`grid`
-    handles validation, output allocation, and stats lifecycle.
-    The forward direction :meth:`interp` (regridding) is shared — it is
-    the exact transpose of gridding and identical across algorithms.
+    The public entry points :meth:`grid`, :meth:`grid_batch`,
+    :meth:`interp`, and :meth:`interp_batch` are template methods: they
+    perform shape validation, the fault-injection corruption hook, the
+    input-quality gate (``setup.quality_policy``), torus
+    canonicalization, and stats/report lifecycle, then dispatch to the
+    overridable ``_grid_impl`` / ``_grid_batch_impl`` /
+    ``_interp_impl`` / ``_interp_batch_impl`` hooks, whose coordinates
+    are guaranteed finite and wrapped to ``[0, G)``.  Subclasses
+    override only the hooks and never re-validate.
     """
 
     #: short identifier used by the registry and benchmark tables
@@ -407,6 +475,23 @@ class Gridder(abc.ABC):
         return out
 
     # ------------------------------------------------------------------
+    def _gate_samples(
+        self, coords: np.ndarray, values_stack: np.ndarray | None
+    ) -> tuple[np.ndarray, np.ndarray | None, np.ndarray | None, DataQualityReport]:
+        """Corruption hook + quality gate + torus wrap for one call.
+
+        Returns ``(coords, values_stack, bad_mask, report)`` with
+        coordinates finite and canonicalized to ``[0, G)``.  Clean
+        in-range inputs pass through as the *same objects* (bit-identity
+        and table-cache fingerprint stability are preserved).
+        """
+        coords, values_stack = corrupt_stream(coords, values_stack)
+        coords, values_stack, bad, report = apply_quality_policy(
+            coords, values_stack, self.setup.quality_policy, self.setup.grid_shape
+        )
+        return self.setup.check_coords(coords), values_stack, bad, report
+
+    # ------------------------------------------------------------------
     @abc.abstractmethod
     def _grid_impl(self, coords: np.ndarray, values: np.ndarray, grid: np.ndarray) -> None:
         """Accumulate samples into ``grid`` (already zeroed), filling stats."""
@@ -437,6 +522,10 @@ class Gridder(abc.ABC):
         ValueError
             If ``coords`` is not ``(M, d)`` for this setup's rank or
             the value count does not match the coordinate count.
+        repro.errors.CoordinateError
+            Non-finite coordinates under ``quality_policy="raise"``.
+        repro.errors.DataQualityError
+            Non-finite values under ``quality_policy="raise"``.
 
         Examples
         --------
@@ -449,16 +538,18 @@ class Gridder(abc.ABC):
         >>> grid.shape, g.stats.interpolations
         ((16, 16), 16)
         """
-        coords = self.setup.check_coords(coords)
+        coords = self.setup.coerce_coords(coords)
         values = np.asarray(values, dtype=np.complex128).ravel()
         if values.shape[0] != coords.shape[0]:
             raise ValueError(
                 f"{values.shape[0]} values but {coords.shape[0]} coordinates"
             )
+        coords, values_stack, _, report = self._gate_samples(coords, values[None, :])
         self.stats = GriddingStats()
         grid = self._out_grid(out, self.setup.grid_shape)
         if coords.shape[0]:
-            self._grid_impl(coords, values, grid)
+            self._grid_impl(coords, values_stack[0], grid)
+        self.stats.quality = report
         return grid
 
     # ------------------------------------------------------------------
@@ -510,6 +601,7 @@ class Gridder(abc.ABC):
         (3, 16, 16)
         """
         coords, values_stack = self._check_batch_values(coords, values_stack)
+        coords, values_stack, _, report = self._gate_samples(coords, values_stack)
         stacked_shape = (values_stack.shape[0],) + self.setup.grid_shape
         if out is None:
             out = np.empty(stacked_shape, dtype=np.complex128)
@@ -518,12 +610,30 @@ class Gridder(abc.ABC):
                 f"out must be complex128 of shape {stacked_shape}, got "
                 f"{out.dtype} {out.shape}"
             )
+        self.stats = GriddingStats()
+        if coords.shape[0] == 0:
+            out[...] = 0
+        else:
+            self._grid_batch_impl(coords, values_stack, out)
+        self.stats.quality = report
+        return out
+
+    def _grid_batch_impl(
+        self, coords: np.ndarray, values_stack: np.ndarray, out: np.ndarray
+    ) -> None:
+        """Default batched adjoint: loop :meth:`_grid_impl` per RHS.
+
+        ``coords`` are already gated/wrapped and nonempty; ``out`` is
+        allocated but *not* zeroed.  Bit-identical to ``K`` independent
+        :meth:`grid` calls by construction; stats sum across the batch.
+        """
         total = GriddingStats()
         for k in range(values_stack.shape[0]):
-            out[k] = self.grid(coords, values_stack[k])
+            self.stats = GriddingStats()
+            out[k] = 0
+            self._grid_impl(coords, values_stack[k], out[k])
             total.accumulate(self.stats)
         self.stats = total
-        return out
 
     def interp_batch(self, grid_stack: np.ndarray, coords: np.ndarray) -> np.ndarray:
         """Forward interpolation of ``K`` grids at one trajectory.
@@ -560,19 +670,72 @@ class Gridder(abc.ABC):
         (2, 1)
         """
         grid_stack = self._check_batch_grids(grid_stack)
-        out = np.empty((grid_stack.shape[0], np.atleast_2d(coords).shape[0]), dtype=np.complex128)
+        coords = self.setup.coerce_coords(coords)
+        m = coords.shape[0]
+        coords, _, bad, report = self._gate_samples(coords, None)
+        self.stats = GriddingStats()
+        if coords.shape[0] == 0:
+            vals = np.zeros((grid_stack.shape[0], coords.shape[0]), dtype=np.complex128)
+        else:
+            vals = self._interp_batch_impl(grid_stack, coords)
+        vals = self._restore_sample_slots(vals, bad, report, m, batched=True)
+        self.stats.quality = report
+        return vals
+
+    def _interp_batch_impl(
+        self, grid_stack: np.ndarray, coords: np.ndarray
+    ) -> np.ndarray:
+        """Default batched forward: loop :meth:`_interp_impl` per grid.
+
+        ``coords`` are already gated/wrapped and nonempty; stats sum
+        across the batch.
+        """
+        out = np.empty(
+            (grid_stack.shape[0], coords.shape[0]), dtype=np.complex128
+        )
         total = GriddingStats()
         for k in range(grid_stack.shape[0]):
-            out[k] = self.interp(grid_stack[k], coords)
+            self.stats = GriddingStats()
+            out[k] = self._interp_impl(grid_stack[k], coords)
             total.accumulate(self.stats)
         self.stats = total
         return out
 
+    def _restore_sample_slots(
+        self,
+        vals: np.ndarray,
+        bad: np.ndarray | None,
+        report: DataQualityReport,
+        m: int,
+        batched: bool,
+    ) -> np.ndarray:
+        """Re-expand gated interpolation output to the caller's ``M`` slots.
+
+        Interpolation is shape-preserving under every policy: dropped
+        samples keep their slot with output ``0``, and zeroed samples
+        (pinned to the origin by the gate) have their interpolated
+        value suppressed to ``0`` rather than returning the origin's
+        value.
+        """
+        if bad is None:
+            return vals
+        if report.policy == "drop":
+            shape = (vals.shape[0], m) if batched else (m,)
+            full = np.zeros(shape, dtype=np.complex128)
+            full[..., ~bad] = vals
+            return full
+        vals[..., bad] = 0.0
+        return vals
+
     def _check_batch_values(
         self, coords: np.ndarray, values_stack: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Validate a ``(K, M)`` value stack against ``(M, d)`` coords."""
-        coords = self.setup.check_coords(coords)
+        """Validate a ``(K, M)`` value stack against ``(M, d)`` coords.
+
+        Shape-only: wrapping and finiteness are the quality gate's job
+        (which must see the raw coordinates to build its report).
+        """
+        coords = self.setup.coerce_coords(coords)
         values_stack = np.asarray(values_stack, dtype=np.complex128)
         if values_stack.ndim == 1:
             values_stack = values_stack[None, :]
@@ -627,15 +790,27 @@ class Gridder(abc.ABC):
         >>> g.interp(np.ones((16, 16), dtype=complex), np.array([[3.5, 8.0]])).shape
         (1,)
         """
+        grid = np.asarray(grid, dtype=np.complex128)
         if tuple(grid.shape) != self.setup.grid_shape:
             raise ValueError(
                 f"grid shape {grid.shape} != setup {self.setup.grid_shape}"
             )
-        coords = self.setup.check_coords(coords)
+        coords = self.setup.coerce_coords(coords)
+        m = coords.shape[0]
+        coords, _, bad, report = self._gate_samples(coords, None)
+        self.stats = GriddingStats()
         if coords.shape[0] == 0:
-            return np.zeros(0, dtype=np.complex128)
+            vals = np.zeros(coords.shape[0], dtype=np.complex128)
+        else:
+            vals = self._interp_impl(grid, coords)
+        vals = self._restore_sample_slots(vals, bad, report, m, batched=False)
+        self.stats.quality = report
+        return vals
+
+    def _interp_impl(self, grid: np.ndarray, coords: np.ndarray) -> np.ndarray:
+        """Vectorized gather over gated/wrapped nonempty ``coords``."""
         idx, wgt = window_contributions(self.setup, coords)
-        flat = np.asarray(grid, dtype=np.complex128).ravel()
+        flat = grid.ravel()
         m = coords.shape[0]
         wpts = idx.shape[1]
         self.stats = GriddingStats(

@@ -69,6 +69,10 @@ class GridBufferPool:
         self.resident_bytes: int = 0
         #: high-water mark of ``resident_bytes``
         self.peak_bytes: int = 0
+        #: buffers acquired but not yet released — must return to 0
+        #: after every public call, even when the call raises (the
+        #: chaos suite asserts this balance)
+        self.outstanding: int = 0
 
     @staticmethod
     def _key(shape: tuple[int, ...], dtype) -> tuple:
@@ -92,6 +96,7 @@ class GridBufferPool:
         """
         key = self._key(shape, dtype)
         free = self._free.get(key)
+        self.outstanding += 1
         if free:
             buf = free.pop()
             self.hits += 1
@@ -107,6 +112,7 @@ class GridBufferPool:
 
     def release(self, buf: np.ndarray) -> None:
         """Return ``buf`` to the free list (dropped when the key is full)."""
+        self.outstanding -= 1
         key = self._key(buf.shape, buf.dtype)
         free = self._free.setdefault(key, [])
         if len(free) < self.max_per_key:

@@ -94,29 +94,14 @@ class SparseMatrixGridder(Gridder):
             lut_lookups=build_ops * self.setup.ndim,
         )
 
-    def grid_batch(
+    def _grid_batch_impl(
         self,
         coords: np.ndarray,
         values_stack: np.ndarray,
-        out: np.ndarray | None = None,
-    ) -> np.ndarray:
+        out: np.ndarray,
+    ) -> None:
         """Batched adjoint ``C^H V`` — one matrix build, K mat-vecs."""
-        coords, values_stack = self._check_batch_values(coords, values_stack)
         k = values_stack.shape[0]
-        stacked_shape = (k,) + self.setup.grid_shape
-        if out is not None and (
-            tuple(out.shape) != stacked_shape or out.dtype != np.complex128
-        ):
-            raise ValueError(
-                f"out must be complex128 of shape {stacked_shape}, got "
-                f"{out.dtype} {out.shape}"
-            )
-        if coords.shape[0] == 0:
-            self.stats = GriddingStats()
-            if out is None:
-                return np.zeros(stacked_shape, dtype=np.complex128)
-            out[...] = 0
-            return out
         mat = self._ensure_matrix(coords)
         m = coords.shape[0]
         build_ops = m * (self.setup.width ** self.setup.ndim) if self._built_this_call else 0
@@ -129,19 +114,11 @@ class SparseMatrixGridder(Gridder):
             grid_accesses=int(mat.nnz) * k,
             lut_lookups=build_ops * self.setup.ndim,
         )
-        if out is None:
-            return np.ascontiguousarray(result).reshape(stacked_shape)
-        out[...] = result.reshape(stacked_shape)
-        return out
+        out[...] = result.reshape(out.shape)
 
-    def interp_batch(self, grid_stack: np.ndarray, coords: np.ndarray) -> np.ndarray:
+    def _interp_batch_impl(self, grid_stack: np.ndarray, coords: np.ndarray) -> np.ndarray:
         """Batched forward ``C G`` — one matrix build, K mat-vecs."""
-        grid_stack = self._check_batch_grids(grid_stack)
-        coords = self.setup.check_coords(coords)
         k = grid_stack.shape[0]
-        if coords.shape[0] == 0:
-            self.stats = GriddingStats()
-            return np.zeros((k, 0), dtype=np.complex128)
         mat = self._ensure_matrix(coords)
         m = coords.shape[0]
         build_ops = m * (self.setup.width ** self.setup.ndim) if self._built_this_call else 0
@@ -157,15 +134,8 @@ class SparseMatrixGridder(Gridder):
             (mat @ grid_stack.reshape(k, -1).T).T
         )
 
-    def interp(self, grid: np.ndarray, coords: np.ndarray) -> np.ndarray:
+    def _interp_impl(self, grid: np.ndarray, coords: np.ndarray) -> np.ndarray:
         """Forward interpolation via ``C @ grid`` (exact adjoint pair)."""
-        if tuple(grid.shape) != self.setup.grid_shape:
-            raise ValueError(
-                f"grid shape {grid.shape} != setup {self.setup.grid_shape}"
-            )
-        coords = self.setup.check_coords(coords)
-        if coords.shape[0] == 0:
-            return np.zeros(0, dtype=np.complex128)
         mat = self._ensure_matrix(coords)
         m = coords.shape[0]
         build_ops = m * (self.setup.width ** self.setup.ndim) if self._built_this_call else 0

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..errors import DataQualityError, DegradationEvent, SolverBreakdown
 from ..nufft import NufftPlan, ToeplitzNormalOperator
 
 __all__ = ["SenseOperator", "coil_combine_adjoint", "sense_reconstruction"]
@@ -179,12 +180,22 @@ def coil_combine_adjoint(
 
 @dataclass
 class SenseResult:
-    """CG-SENSE solution and convergence history."""
+    """CG-SENSE solution, convergence history, and solver health record.
+
+    Same health fields as :class:`repro.recon.CgResult`:
+    ``degradations`` lists supervised fallbacks (e.g. ``normal:
+    toeplitz -> gridding``), ``restarts`` counts non-finite-triggered
+    restarts, ``breakdown`` names a detected numerical breakdown
+    (``"indefinite_gram"`` / ``"stagnation"``) or is ``None``.
+    """
 
     image: np.ndarray
     residual_norms: list[float] = field(default_factory=list)
     n_iterations: int = 0
     converged: bool = False
+    degradations: tuple = ()
+    restarts: int = 0
+    breakdown: str | None = None
 
 
 def sense_reconstruction(
@@ -237,36 +248,119 @@ def sense_reconstruction(
             raise ValueError(
                 f"{w.shape[0]} weights for {operator.n_samples} samples"
             )
+        if not np.isfinite(w).all():
+            n_bad = int(w.shape[0] - np.count_nonzero(np.isfinite(w)))
+            raise DataQualityError(
+                f"{n_bad} density-compensation weight(s) are non-finite; a "
+                "NaN weight poisons both the Toeplitz kernel and every Gram "
+                "apply"
+            )
         if np.any(w < 0):
             raise ValueError("weights must be nonnegative")
 
+    # Supervised pre-build: a Toeplitz kernel that cannot be built (or
+    # fails its Hermitian-PSD health check) degrades to the gridding
+    # normal operator — always available, exact adjoint pair — with the
+    # event recorded instead of aborting the reconstruction.
+    events: tuple = ()
+    if normal == "toeplitz":
+        try:
+            gram = operator._toeplitz_gram(w)
+            if not gram.health_check():
+                raise SolverBreakdown(
+                    "Toeplitz kernel spectrum failed the Hermitian-PSD "
+                    "health check"
+                )
+        except DataQualityError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - supervised degradation
+            events = (
+                DegradationEvent("normal", "toeplitz", "gridding", repr(exc)),
+            )
+            normal = "gridding"
+
     data = kspace if w is None else kspace * w[None, :]
     b = operator.adjoint(data)
+    if not np.isfinite(b).all():
+        raise SolverBreakdown(
+            "right-hand side E^H W y is non-finite; cannot start CG "
+            "(check kspace/weights, or use a quality_policy on the plan)"
+        )
     x = np.zeros(operator.plan.image_shape, dtype=np.complex128)
     r = b.copy()
     p = r.copy()
     rs_old = float(np.vdot(r, r).real)
     b_norm = float(np.linalg.norm(b))
     if b_norm == 0.0:
-        return SenseResult(image=x, residual_norms=[0.0], converged=True)
+        return SenseResult(
+            image=x, residual_norms=[0.0], converged=True, degradations=events
+        )
 
-    result = SenseResult(image=x, residual_norms=[1.0])
+    def gram_apply(v: np.ndarray) -> np.ndarray:
+        return operator.normal(v, weights=w, method=normal) + regularization * v
+
+    result = SenseResult(image=x, residual_norms=[1.0], degradations=events)
+    restarted = False
+    best_rel = np.inf
+    flat_streak = 0
+
+    def restart(reason: str) -> tuple[np.ndarray, np.ndarray, float]:
+        """One permitted restart from the last finite iterate ``x``."""
+        nonlocal restarted
+        if restarted:
+            raise SolverBreakdown(
+                "CG-SENSE hit a non-finite quantity even after a restart "
+                f"({reason}); refusing to iterate toward a NaN image"
+            )
+        restarted = True
+        result.restarts += 1
+        result.degradations += (
+            DegradationEvent("cg", "iterate", "restart", reason),
+        )
+        r = b - gram_apply(x)
+        rs = float(np.vdot(r, r).real)
+        if not np.isfinite(rs):
+            raise SolverBreakdown(
+                f"CG-SENSE restart failed: recomputed residual is non-finite ({reason})"
+            )
+        return r, r.copy(), rs
+
     for it in range(1, n_iterations + 1):
-        ap = operator.normal(p, weights=w, method=normal) + regularization * p
+        ap = gram_apply(p)
         denom = float(np.vdot(p, ap).real)
+        if not np.isfinite(denom):
+            r, p, rs_old = restart("non-finite Gram application")
+            continue
         if denom <= 0:
+            result.breakdown = "indefinite_gram"
             break
         alpha = rs_old / denom
-        x = x + alpha * p
-        r = r - alpha * ap
-        rs_new = float(np.vdot(r, r).real)
+        x_new = x + alpha * p
+        r_new = r - alpha * ap
+        rs_new = float(np.vdot(r_new, r_new).real)
+        if not np.isfinite(rs_new):
+            r, p, rs_old = restart("non-finite residual norm")
+            continue
+        x, r = x_new, r_new
         rel = np.sqrt(rs_new) / b_norm
         result.residual_norms.append(rel)
         result.n_iterations = it
         if rel < tolerance:
             result.converged = True
             break
+        if rel >= best_rel * (1.0 - 1e-12):
+            flat_streak += 1
+            if flat_streak >= 8:
+                result.breakdown = "stagnation"
+                break
+        else:
+            flat_streak = 0
+        best_rel = min(best_rel, rel)
         p = r + (rs_new / rs_old) * p
         rs_old = rs_new
     result.image = x
+    if not np.isfinite(x).all():
+        raise SolverBreakdown(
+            "CG-SENSE ended on a non-finite image; refusing to return it"
+        )
     return result

@@ -21,6 +21,7 @@ oversampled-grid transforms through.
 """
 
 from .fft_backend import (
+    FallbackFftBackend,
     FftBackend,
     GridBufferPool,
     available_fft_backends,
@@ -38,6 +39,7 @@ __all__ = [
     "ToeplitzGram",
     "ToeplitzNormalOperator",
     "MinMaxNufftPlan",
+    "FallbackFftBackend",
     "FftBackend",
     "GridBufferPool",
     "available_fft_backends",

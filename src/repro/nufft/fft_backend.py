@@ -42,13 +42,16 @@ from typing import Callable
 
 import numpy as np
 
+from ..errors import BackendFailure, DegradationEvent
 from ..gridding.buffers import GridBufferPool
+from ..robustness.faults import fault_point
 
 __all__ = [
     "FftBackend",
     "NumpyFftBackend",
     "ScipyFftBackend",
     "PyfftwFftBackend",
+    "FallbackFftBackend",
     "GridBufferPool",
     "register_fft_backend",
     "available_fft_backends",
@@ -158,6 +161,110 @@ class PyfftwFftBackend(FftBackend):
 
     def ifftn(self, a, axes=None, norm="backward"):
         return self._fft.ifftn(a, axes=axes, norm=norm, threads=self.workers)
+
+
+class FallbackFftBackend(FftBackend):
+    """Supervised chain of concrete backends with sticky degradation.
+
+    Wraps a primary backend plus an ordered fallback chain (default:
+    every other available backend in ``auto`` preference order, ending
+    at ``numpy``, the always-available reference).  A runtime exception
+    from the active backend — FFTW wisdom corruption, a thread-pool
+    crash, an injected fault — permanently demotes to the next backend
+    in the chain, records a :class:`~repro.errors.DegradationEvent` in
+    :attr:`events`, and **retries the same transform** so the caller
+    never sees the failure.  Exhausting the chain raises
+    :class:`~repro.errors.BackendFailure`.
+
+    Degradation is *sticky* by design: a backend that has thrown once
+    is assumed broken for the rest of the plan's life (replanning every
+    call would turn one flaky library into a per-iteration retry tax).
+
+    :attr:`name` and :attr:`workers` mirror the currently-active
+    backend, so timing reports keep showing the backend that actually
+    ran the transform.
+    """
+
+    def __init__(
+        self,
+        primary: str | FftBackend = "auto",
+        workers: int | None = None,
+        chain: tuple[str, ...] | None = None,
+    ):
+        first = get_fft_backend(primary, workers=workers)
+        if isinstance(first, FallbackFftBackend):
+            raise ValueError("FallbackFftBackend cannot wrap another fallback chain")
+        self._workers_arg = workers
+        if chain is None:
+            order = [n for n in _REGISTRY if fft_backend_available(n)]
+            names = [first.name] + [n for n in order if n != first.name]
+            if "numpy" not in names:
+                names.append("numpy")
+            chain = tuple(names)
+        else:
+            chain = tuple(chain)
+            if not chain or chain[0] != first.name:
+                chain = (first.name,) + tuple(n for n in chain if n != first.name)
+        self._chain = chain
+        self._pos = 0
+        self._active = first
+        #: DegradationEvent records, one per demotion, oldest first
+        self.events: list[DegradationEvent] = []
+
+    # -- mirror the active backend -------------------------------------
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self._active.name
+
+    @property
+    def workers(self) -> int:  # type: ignore[override]
+        return self._active.workers
+
+    @property
+    def active(self) -> FftBackend:
+        """The backend currently serving transforms."""
+        return self._active
+
+    @property
+    def chain(self) -> tuple[str, ...]:
+        """The configured demotion order (position 0 = primary)."""
+        return self._chain
+
+    # -- supervision ---------------------------------------------------
+    def _demote(self, exc: BaseException) -> None:
+        failed = self._active.name
+        while True:
+            self._pos += 1
+            if self._pos >= len(self._chain):
+                raise BackendFailure(
+                    f"every FFT backend in the fallback chain {self._chain} "
+                    f"failed; last error from {failed!r}: {exc}"
+                ) from exc
+            candidate = self._chain[self._pos]
+            try:
+                self._active = get_fft_backend(
+                    candidate, workers=self._workers_arg
+                )
+            except ValueError:
+                continue  # unregistered/unavailable link: keep walking
+            self.events.append(
+                DegradationEvent("fft", failed, candidate, repr(exc))
+            )
+            return
+
+    def _call(self, op: str, a, axes, norm):
+        while True:
+            try:
+                fault_point(f"fft:{self._active.name}")
+                return getattr(self._active, op)(a, axes=axes, norm=norm)
+            except Exception as exc:  # noqa: BLE001 - supervision point
+                self._demote(exc)
+
+    def fftn(self, a, axes=None, norm="backward"):
+        return self._call("fftn", a, axes, norm)
+
+    def ifftn(self, a, axes=None, norm="backward"):
+        return self._call("ifftn", a, axes, norm)
 
 
 def _probe_numpy() -> bool:

@@ -23,11 +23,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import DataQualityError
 from ..gridding import Gridder, GriddingSetup, make_gridder
 from ..gridding.buffers import GridBufferPool
 from ..kernels import KernelLUT, numeric_apodization, beatty_kernel
 from ..kernels.window import KernelSpec
-from .fft_backend import FftBackend, get_fft_backend
+from ..robustness.validate import DataQualityReport, validate_policy
+from .fft_backend import FallbackFftBackend, FftBackend, get_fft_backend
 
 __all__ = ["NufftPlan", "NufftTimings"]
 
@@ -59,6 +61,11 @@ class NufftTimings:
     fft_workers: int = 1
     #: full-grid transient bytes allocated during the call
     peak_bytes: int = 0
+    #: input-quality report of this transform (None when no gate ran)
+    quality: DataQualityReport | None = None
+    #: FFT degradation events recorded so far on this plan's fallback
+    #: chain (sticky — once demoted, every later call lists the event)
+    fft_fallbacks: tuple = ()
 
     @property
     def total(self) -> float:
@@ -138,6 +145,24 @@ class NufftPlan:
         to the unfused pipeline; automatically disabled for
         ``precision="single"`` (which needs the stepwise rounding
         points of the legacy path).
+    quality_policy:
+        What to do with non-finite sample coordinates/values and image
+        pixels: ``"raise"`` (default — typed
+        :class:`~repro.errors.CoordinateError` /
+        :class:`~repro.errors.DataQualityError`), ``"drop"`` (bad
+        samples contribute nothing; forward outputs at bad slots are
+        zero), or ``"zero"`` (same shapes, bad entries replaced by 0).
+        The per-call :class:`~repro.robustness.DataQualityReport` is
+        surfaced in ``plan.timings.quality``.  Ignored when ``gridder``
+        is an already-built :class:`Gridder` — its setup's policy
+        governs, and the plan adopts it.
+    fft_fallback:
+        Wrap the FFT backend in a
+        :class:`~repro.nufft.fft_backend.FallbackFftBackend` so a
+        runtime FFT failure degrades (sticky) down the chain of
+        available backends ending at ``numpy`` instead of aborting the
+        transform; demotions appear in ``plan.timings.fft_fallbacks``.
+        Default True; pass False to let FFT exceptions propagate.
 
     Examples
     --------
@@ -186,6 +211,8 @@ class NufftPlan:
         fft_backend: str | FftBackend = "auto",
         fft_workers: int | None = None,
         fused: bool = True,
+        quality_policy: str = "raise",
+        fft_fallback: bool = True,
     ):
         if precision not in ("double", "single"):
             raise ValueError(
@@ -228,11 +255,17 @@ class NufftPlan:
             self.grid_shape, dtype=np.float64
         )
 
-        setup = GriddingSetup(self.grid_shape, self.lut)
+        validate_policy(quality_policy)
         if isinstance(gridder, Gridder):
             self.gridder = gridder
+            #: the effective non-finite-input policy (gridder's setup wins)
+            self.quality_policy = gridder.setup.quality_policy
         else:
+            setup = GriddingSetup(
+                self.grid_shape, self.lut, quality_policy=quality_policy
+            )
             self.gridder = make_gridder(gridder, setup, **(gridder_options or {}))
+            self.quality_policy = quality_policy
 
         # de-apodization weights per axis (centered layout), from the
         # *sampled LUT* kernel so table quantization cancels exactly
@@ -242,7 +275,10 @@ class NufftPlan:
         ]
         self._apod_conj = [np.conj(w) for w in self._apod]
 
-        self._fft = get_fft_backend(fft_backend, workers=fft_workers)
+        fft = get_fft_backend(fft_backend, workers=fft_workers)
+        if fft_fallback and not isinstance(fft, FallbackFftBackend):
+            fft = FallbackFftBackend(fft, workers=fft_workers)
+        self._fft = fft
         #: pooled oversampled-grid buffers, shared with the gridder's
         #: internal dice/scratch allocations
         self.buffer_pool = GridBufferPool()
@@ -258,6 +294,42 @@ class NufftPlan:
         if self.precision == "single":
             return array.astype(np.complex64).astype(np.complex128)
         return array
+
+    def _gate_image(self, image: np.ndarray) -> tuple[np.ndarray, int]:
+        """Gate non-finite image pixels per the plan's quality policy.
+
+        A NaN pixel would poison the entire spectrum after the FFT, so
+        the gate runs *before* apodization.  ``"raise"`` produces a
+        typed :class:`~repro.errors.DataQualityError`; both ``"drop"``
+        and ``"zero"`` replace the offending pixels with 0 in a copy
+        (a pixel cannot be dropped without changing the geometry).
+        Clean images pass through as the same object.
+        """
+        finite = np.isfinite(image.real) & np.isfinite(image.imag)
+        if finite.all():
+            return image, 0
+        n_bad = int(image.size - np.count_nonzero(finite))
+        if self.quality_policy == "raise":
+            raise DataQualityError(
+                f"{n_bad} image pixel(s) are non-finite; pass "
+                "quality_policy='drop' or 'zero' to zero them instead of raising"
+            )
+        image = image.copy()
+        image[~finite] = 0.0
+        return image, n_bad
+
+    def _quality(self, n_bad_pixels: int = 0) -> DataQualityReport | None:
+        """The transform's quality report (gridder gate + image gate)."""
+        report = self.gridder.stats.quality
+        if n_bad_pixels:
+            if report is None:
+                report = DataQualityReport(policy=self.quality_policy)
+            report.nonfinite_values += n_bad_pixels
+            report.zeroed += n_bad_pixels
+        return report
+
+    def _fft_events(self) -> tuple:
+        return tuple(str(e) for e in getattr(self._fft, "events", ()))
 
     # ------------------------------------------------------------------
     @property
@@ -408,17 +480,19 @@ class NufftPlan:
         if self._fused:
             tc0 = time.perf_counter()
             grid_buf = pool.acquire(self.grid_shape, zero=False)
-            t0 = time.perf_counter()
-            grid = self.gridder.grid(self.grid_coords, values, out=grid_buf)
-            t1 = time.perf_counter()
-            # norm="forward" is the unnormalized inverse DFT — the old
-            # ifftn(grid) * prod(grid_shape) without the extra
-            # full-grid scaling pass
-            spectrum = self._fft.ifftn(grid, norm="forward")
-            t2 = time.perf_counter()
-            image = self._fused_crop_deapodize(spectrum)
-            t3 = time.perf_counter()
-            pool.release(grid_buf)
+            try:
+                t0 = time.perf_counter()
+                grid = self.gridder.grid(self.grid_coords, values, out=grid_buf)
+                t1 = time.perf_counter()
+                # norm="forward" is the unnormalized inverse DFT — the old
+                # ifftn(grid) * prod(grid_shape) without the extra
+                # full-grid scaling pass
+                spectrum = self._fft.ifftn(grid, norm="forward")
+                t2 = time.perf_counter()
+                image = self._fused_crop_deapodize(spectrum)
+                t3 = time.perf_counter()
+            finally:
+                pool.release(grid_buf)
             tc1 = time.perf_counter()
             copy = (t0 - tc0) + (tc1 - t3)
             peak = (pool.miss_bytes - miss0) + spectrum.nbytes
@@ -442,6 +516,8 @@ class NufftPlan:
             fft_backend=self._fft.name,
             fft_workers=self._fft.workers,
             peak_bytes=peak,
+            quality=self._quality(),
+            fft_fallbacks=self._fft_events(),
         )
         return image
 
@@ -471,20 +547,23 @@ class NufftPlan:
             return self.forward_batch(image)
         if tuple(image.shape) != self.image_shape:
             raise ValueError(f"image shape {image.shape} != plan {self.image_shape}")
+        image, n_bad_pixels = self._gate_image(image)
 
         pool = self.buffer_pool
         miss0 = pool.miss_bytes
         if self._fused:
             tc0 = time.perf_counter()
             padded = pool.acquire(self.grid_shape, zero=True)
-            t0 = time.perf_counter()
-            self._fused_apodize_pad(image, padded, conjugate=True)
-            t1 = time.perf_counter()
-            grid = self._fft.fftn(padded)
-            t2 = time.perf_counter()
-            samples = self.gridder.interp(grid, self.grid_coords)
-            t3 = time.perf_counter()
-            pool.release(padded)
+            try:
+                t0 = time.perf_counter()
+                self._fused_apodize_pad(image, padded, conjugate=True)
+                t1 = time.perf_counter()
+                grid = self._fft.fftn(padded)
+                t2 = time.perf_counter()
+                samples = self.gridder.interp(grid, self.grid_coords)
+                t3 = time.perf_counter()
+            finally:
+                pool.release(padded)
             tc1 = time.perf_counter()
             copy = (t0 - tc0) + (tc1 - t3)
             peak = (pool.miss_bytes - miss0) + grid.nbytes
@@ -508,6 +587,8 @@ class NufftPlan:
             fft_backend=self._fft.name,
             fft_workers=self._fft.workers,
             peak_bytes=peak,
+            quality=self._quality(n_bad_pixels),
+            fft_fallbacks=self._fft_events(),
         )
         return samples
 
@@ -536,6 +617,7 @@ class NufftPlan:
                 f"images must be (B,) + {self.image_shape}, got {images.shape}"
             )
         n_batch = images.shape[0]
+        images, n_bad_pixels = self._gate_image(images)
 
         axes = tuple(range(1, self.ndim + 1))
         pool = self.buffer_pool
@@ -543,15 +625,17 @@ class NufftPlan:
         if self._fused:
             tc0 = time.perf_counter()
             padded = pool.acquire((n_batch,) + self.grid_shape, zero=True)
-            t0 = time.perf_counter()
-            for b in range(n_batch):
-                self._fused_apodize_pad(images[b], padded[b], conjugate=True)
-            t1 = time.perf_counter()
-            grids = self._fft.fftn(padded, axes=axes)
-            t2 = time.perf_counter()
-            samples = self.gridder.interp_batch(grids, self.grid_coords)
-            t3 = time.perf_counter()
-            pool.release(padded)
+            try:
+                t0 = time.perf_counter()
+                for b in range(n_batch):
+                    self._fused_apodize_pad(images[b], padded[b], conjugate=True)
+                t1 = time.perf_counter()
+                grids = self._fft.fftn(padded, axes=axes)
+                t2 = time.perf_counter()
+                samples = self.gridder.interp_batch(grids, self.grid_coords)
+                t3 = time.perf_counter()
+            finally:
+                pool.release(padded)
             tc1 = time.perf_counter()
             copy = (t0 - tc0) + (tc1 - t3)
             peak = (pool.miss_bytes - miss0) + grids.nbytes
@@ -582,6 +666,8 @@ class NufftPlan:
             fft_backend=self._fft.name,
             fft_workers=self._fft.workers,
             peak_bytes=peak,
+            quality=self._quality(n_bad_pixels),
+            fft_fallbacks=self._fft_events(),
         )
         return samples
 
@@ -611,15 +697,19 @@ class NufftPlan:
         if self._fused:
             tc0 = time.perf_counter()
             grid_buf = pool.acquire((n_batch,) + self.grid_shape, zero=False)
-            t0 = time.perf_counter()
-            grids = self.gridder.grid_batch(self.grid_coords, values, out=grid_buf)
-            t1 = time.perf_counter()
-            spectra = self._fft.ifftn(grids, axes=axes, norm="forward")
-            t2 = time.perf_counter()
-            for b in range(n_batch):
-                self._fused_crop_deapodize(spectra[b], out=out[b])
-            t3 = time.perf_counter()
-            pool.release(grid_buf)
+            try:
+                t0 = time.perf_counter()
+                grids = self.gridder.grid_batch(
+                    self.grid_coords, values, out=grid_buf
+                )
+                t1 = time.perf_counter()
+                spectra = self._fft.ifftn(grids, axes=axes, norm="forward")
+                t2 = time.perf_counter()
+                for b in range(n_batch):
+                    self._fused_crop_deapodize(spectra[b], out=out[b])
+                t3 = time.perf_counter()
+            finally:
+                pool.release(grid_buf)
             tc1 = time.perf_counter()
             copy = (t0 - tc0) + (tc1 - t3)
             peak = (pool.miss_bytes - miss0) + spectra.nbytes
@@ -645,6 +735,8 @@ class NufftPlan:
             fft_backend=self._fft.name,
             fft_workers=self._fft.workers,
             peak_bytes=peak,
+            quality=self._quality(),
+            fft_fallbacks=self._fft_events(),
         )
         return out
 

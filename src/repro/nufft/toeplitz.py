@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import DataQualityError, EngineFailure
+from ..robustness.faults import fault_point
 from .plan import NufftPlan
 
 __all__ = ["ToeplitzNormalOperator", "ToeplitzGram"]
@@ -105,6 +107,12 @@ class ToeplitzNormalOperator:
         weights = np.asarray(weights, dtype=np.float64).ravel()
         if weights.shape[0] != m:
             raise ValueError(f"{weights.shape[0]} weights for {m} samples")
+        if not np.isfinite(weights).all():
+            n_bad = int(weights.shape[0] - np.count_nonzero(np.isfinite(weights)))
+            raise DataQualityError(
+                f"{n_bad} sample weight(s) are non-finite; a NaN weight would "
+                "poison every lag of the Toeplitz PSF kernel"
+            )
         self.weights = weights
         self._embed_shape = tuple(2 * n for n in self.shape)
         self._center = tuple(slice(0, n) for n in self.shape)
@@ -117,7 +125,16 @@ class ToeplitzNormalOperator:
         return len(self.shape)
 
     def _build_kernel(self) -> np.ndarray:
-        """PSF kernel on the 2x grid, stored as its FFT."""
+        """PSF kernel on the 2x grid, stored as its FFT.
+
+        Raises
+        ------
+        EngineFailure
+            When the built kernel spectrum contains non-finite entries
+            — a corrupt kernel would silently poison every later
+            ``apply``, so the build refuses to hand it out.
+        """
+        fault_point("toeplitz:psf")
         # PSF values T[q] = sum_j w_j exp(+2 pi i omega_j . q) for lags
         # q in (-N, N)^d: exactly an adjoint transform on a 2N image.
         if self.psf == "nudft":
@@ -144,12 +161,52 @@ class ToeplitzNormalOperator:
         idx = tuple(np.mod(np.arange(2 * n) - n, 2 * n) for n in self.shape)
         kernel[np.ix_(*idx)] = psf
         kernel_fft = self._fft.fftn(kernel)
+        if not np.isfinite(kernel_fft).all():
+            raise EngineFailure(
+                "Toeplitz PSF kernel spectrum contains non-finite entries; "
+                "refusing to build a normal operator that would corrupt every "
+                "apply()"
+            )
         if self.hermitian:
             # Hermitian PSF symmetry T[-q] = conj(T[q]) means the true
             # circulant spectrum is real; drop the approximation-error
             # imaginary residue so apply() is exactly Hermitian.
             return np.ascontiguousarray(kernel_fft.real)
         return kernel_fft
+
+    # ------------------------------------------------------------------
+    def health_check(self, tol: float = 1e-6) -> bool:
+        """Whether the embedded spectrum still looks like a Gram kernel.
+
+        CG assumes the normal operator is Hermitian positive
+        semi-definite.  The circulant eigenvalues are exactly the
+        entries of the embedded kernel spectrum, so the check is
+        cheap: every entry finite, imaginary residue within ``tol`` of
+        the spectral scale, and positive spectral energy present
+        (``max(Re) > 0``).  Negative embedding entries are *expected*
+        — the circulant embedding of a PSD Toeplitz operator need not
+        itself be PSD, and real trajectories routinely produce
+        negative entries at a few percent of the peak — so they are
+        not flagged; only a spectrum with no positive part (zeroed,
+        negated, or otherwise corrupted) fails.  The supervised
+        solvers call this before trusting a Toeplitz operator and
+        degrade to the gridding normal operator when it returns False.
+        """
+        spec = np.asarray(self._kernel_fft)
+        if not np.isfinite(spec).all():
+            return False
+        real = spec.real
+        scale = float(np.max(np.abs(real)))
+        if scale == 0.0:
+            return False
+        if np.iscomplexobj(spec) and float(np.max(np.abs(spec.imag))) > tol * scale:
+            return False
+        return float(real.max()) > 0.0
+
+    @property
+    def healthy(self) -> bool:
+        """Shorthand for :meth:`health_check` at the default tolerance."""
+        return self.health_check()
 
     # ------------------------------------------------------------------
     def apply(self, image: np.ndarray) -> np.ndarray:
@@ -164,9 +221,11 @@ class ToeplitzNormalOperator:
         if tuple(image.shape) != self.shape:
             raise ValueError(f"image shape {image.shape} != {self.shape}")
         big = self._pool.acquire(self._embed_shape, zero=True)
-        big[self._center] = image
-        spec = self._fft.fftn(big)
-        self._pool.release(big)
+        try:
+            big[self._center] = image
+            spec = self._fft.fftn(big)
+        finally:
+            self._pool.release(big)
         spec *= self._kernel_fft
         conv = self._fft.ifftn(spec)
         return np.ascontiguousarray(conv[self._center])
@@ -185,9 +244,11 @@ class ToeplitzNormalOperator:
         k = images.shape[0]
         axes = tuple(range(1, self.ndim + 1))
         big = self._pool.acquire((k,) + self._embed_shape, zero=True)
-        big[(slice(None),) + self._center] = images
-        spec = self._fft.fftn(big, axes=axes)
-        self._pool.release(big)
+        try:
+            big[(slice(None),) + self._center] = images
+            spec = self._fft.fftn(big, axes=axes)
+        finally:
+            self._pool.release(big)
         spec *= self._kernel_fft
         conv = self._fft.ifftn(spec, axes=axes)
         return np.ascontiguousarray(conv[(slice(None),) + self._center])

@@ -20,9 +20,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..errors import DataQualityError, DegradationEvent, SolverBreakdown
 from ..nufft import NufftPlan, ToeplitzNormalOperator
 
 __all__ = ["CgResult", "cg_reconstruction"]
+
+#: consecutive iterations with (numerically) zero residual improvement
+#: before the solver declares stagnation.  Deliberately conservative:
+#: CG residuals oscillate, so only a machine-precision-flat streak of
+#: this length is treated as "stuck".
+_STAGNATION_WINDOW = 8
+_STAGNATION_RTOL = 1e-12
 
 
 def _resolve_normal(normal: str | None, toeplitz: bool) -> str:
@@ -38,14 +46,102 @@ def _resolve_normal(normal: str | None, toeplitz: bool) -> str:
     return normal
 
 
+def _check_weights(weights: np.ndarray | None, n_samples: int) -> np.ndarray:
+    """Validate density-compensation weights (shape, sign, finiteness)."""
+    if weights is None:
+        return np.ones(n_samples)
+    w = np.asarray(weights, dtype=np.float64).ravel()
+    if w.shape[0] != n_samples:
+        raise ValueError(f"{w.shape[0]} weights for {n_samples} samples")
+    if not np.isfinite(w).all():
+        n_bad = int(w.shape[0] - np.count_nonzero(np.isfinite(w)))
+        raise DataQualityError(
+            f"{n_bad} density-compensation weight(s) are non-finite; a NaN "
+            "weight poisons both the Toeplitz kernel and every Gram apply"
+        )
+    if np.any(w < 0):
+        raise ValueError("weights must be nonnegative")
+    return w
+
+
+def _make_gram(plan, w, regularization, normal, normal_options, batched):
+    """Build the per-iteration normal operator, degrading when needed.
+
+    ``normal="toeplitz"`` tries to build a
+    :class:`~repro.nufft.ToeplitzNormalOperator` and runs its
+    :meth:`~repro.nufft.ToeplitzNormalOperator.health_check`.  A build
+    failure or failed health check degrades to the gridding normal
+    operator (forward+adjoint NuFFT pair — always available, exact
+    adjoint pair by construction) and records a
+    :class:`~repro.errors.DegradationEvent` instead of aborting the
+    reconstruction.  :class:`~repro.errors.DataQualityError` from the
+    build is *not* absorbed: bad weights would poison the gridding
+    normal operator identically, so degrading cannot help.
+    """
+    events: list[DegradationEvent] = []
+    if normal == "toeplitz":
+        try:
+            gram_op = ToeplitzNormalOperator(
+                plan, weights=w, **(normal_options or {})
+            )
+            if not gram_op.health_check():
+                raise SolverBreakdown(
+                    "Toeplitz kernel spectrum failed the Hermitian-PSD "
+                    "health check"
+                )
+        except DataQualityError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - supervised degradation
+            events.append(
+                DegradationEvent("normal", "toeplitz", "gridding", repr(exc))
+            )
+        else:
+            if batched:
+
+                def gram(x: np.ndarray) -> np.ndarray:
+                    # one batched FFT pair for all K systems
+                    return gram_op.apply_batch(x) + regularization * x
+
+            else:
+
+                def gram(x: np.ndarray) -> np.ndarray:
+                    return gram_op.apply(x) + regularization * x
+
+            return gram, tuple(events)
+
+    if batched:
+
+        def gram(x: np.ndarray) -> np.ndarray:
+            return plan.adjoint_batch(w * plan.forward_batch(x)) + regularization * x
+
+    else:
+
+        def gram(x: np.ndarray) -> np.ndarray:
+            return plan.adjoint(w * plan.forward(x)) + regularization * x
+
+    return gram, tuple(events)
+
+
 @dataclass
 class CgResult:
-    """CG solution plus convergence history."""
+    """CG solution plus convergence history and solver health record.
+
+    ``degradations`` lists supervised fallbacks taken while solving
+    (e.g. ``normal: toeplitz -> gridding`` when the Toeplitz build
+    failed, or ``cg: iterate -> restart`` after a non-finite residual);
+    ``restarts`` counts the latter.  ``breakdown`` names a detected
+    numerical breakdown (``"indefinite_gram"`` or ``"stagnation"``)
+    that ended the iteration early with the last finite iterate —
+    ``None`` for a healthy solve.
+    """
 
     image: np.ndarray
     residual_norms: list[float] = field(default_factory=list)
     n_iterations: int = 0
     converged: bool = False
+    degradations: tuple = ()
+    restarts: int = 0
+    breakdown: str | None = None
 
 
 def cg_reconstruction(
@@ -144,54 +240,99 @@ def cg_reconstruction(
         raise ValueError(f"tolerance must be positive, got {tolerance}")
     if regularization < 0:
         raise ValueError(f"regularization must be >= 0, got {regularization}")
-    if weights is None:
-        w = np.ones(plan.n_samples)
-    else:
-        w = np.asarray(weights, dtype=np.float64).ravel()
-        if w.shape[0] != plan.n_samples:
-            raise ValueError(f"{w.shape[0]} weights for {plan.n_samples} samples")
-        if np.any(w < 0):
-            raise ValueError("weights must be nonnegative")
+    w = _check_weights(weights, plan.n_samples)
 
-    if normal == "toeplitz":
-        gram_op = ToeplitzNormalOperator(plan, weights=w, **(normal_options or {}))
-
-        def gram(x: np.ndarray) -> np.ndarray:
-            return gram_op.apply(x) + regularization * x
-
-    else:
-
-        def gram(x: np.ndarray) -> np.ndarray:
-            return plan.adjoint(w * plan.forward(x)) + regularization * x
+    gram, events = _make_gram(
+        plan, w, regularization, normal, normal_options, batched=False
+    )
 
     b = plan.adjoint(w * kspace)
+    if not np.isfinite(b).all():
+        raise SolverBreakdown(
+            "right-hand side A^H W y is non-finite; cannot start CG "
+            "(check kspace/weights, or use a quality_policy on the plan)"
+        )
     x = np.zeros(plan.image_shape, dtype=np.complex128)
     r = b.copy()
     p = r.copy()
     rs_old = float(np.vdot(r, r).real)
     b_norm = float(np.linalg.norm(b))
     if b_norm == 0.0:
-        return CgResult(image=x, residual_norms=[0.0], n_iterations=0, converged=True)
+        return CgResult(
+            image=x,
+            residual_norms=[0.0],
+            n_iterations=0,
+            converged=True,
+            degradations=events,
+        )
 
-    result = CgResult(image=x, residual_norms=[1.0])
+    result = CgResult(image=x, residual_norms=[1.0], degradations=events)
+    restarted = False
+    best_rel = np.inf
+    flat_streak = 0
+
+    def restart(reason: str) -> tuple[np.ndarray, np.ndarray, float]:
+        """One permitted restart from the last finite iterate ``x``."""
+        nonlocal restarted
+        if restarted:
+            raise SolverBreakdown(
+                "CG hit a non-finite quantity even after a restart "
+                f"({reason}); refusing to iterate toward a NaN image"
+            )
+        restarted = True
+        result.restarts += 1
+        result.degradations += (
+            DegradationEvent("cg", "iterate", "restart", reason),
+        )
+        r = b - gram(x)
+        rs = float(np.vdot(r, r).real)
+        if not np.isfinite(rs):
+            raise SolverBreakdown(
+                f"CG restart failed: recomputed residual is non-finite ({reason})"
+            )
+        return r, r.copy(), rs
+
     for it in range(1, n_iterations + 1):
         ap = gram(p)
         denom = float(np.vdot(p, ap).real)
+        if not np.isfinite(denom):
+            r, p, rs_old = restart("non-finite Gram application")
+            continue
         if denom <= 0:
-            break  # numerical breakdown (Gram is PSD; zero means p in null space)
+            # Gram is PSD by construction; a nonpositive curvature means
+            # p is (numerically) in the null space or the operator lost
+            # health — keep the last finite iterate.
+            result.breakdown = "indefinite_gram"
+            break
         alpha = rs_old / denom
-        x = x + alpha * p
-        r = r - alpha * ap
-        rs_new = float(np.vdot(r, r).real)
+        x_new = x + alpha * p
+        r_new = r - alpha * ap
+        rs_new = float(np.vdot(r_new, r_new).real)
+        if not np.isfinite(rs_new):
+            r, p, rs_old = restart("non-finite residual norm")
+            continue
+        x, r = x_new, r_new
         rel = np.sqrt(rs_new) / b_norm
         result.residual_norms.append(rel)
         result.n_iterations = it
         if rel < tolerance:
             result.converged = True
             break
+        if rel >= best_rel * (1.0 - _STAGNATION_RTOL):
+            flat_streak += 1
+            if flat_streak >= _STAGNATION_WINDOW:
+                result.breakdown = "stagnation"
+                break
+        else:
+            flat_streak = 0
+        best_rel = min(best_rel, rel)
         p = r + (rs_new / rs_old) * p
         rs_old = rs_new
     result.image = x
+    if not np.isfinite(x).all():
+        raise SolverBreakdown(
+            "CG ended on a non-finite image; refusing to return it"
+        )
     return result
 
 
@@ -226,26 +367,11 @@ def _cg_reconstruction_batched(
     if regularization < 0:
         raise ValueError(f"regularization must be >= 0, got {regularization}")
     k_rhs = kspace.shape[0]
-    if weights is None:
-        w = np.ones(plan.n_samples)
-    else:
-        w = np.asarray(weights, dtype=np.float64).ravel()
-        if w.shape[0] != plan.n_samples:
-            raise ValueError(f"{w.shape[0]} weights for {plan.n_samples} samples")
-        if np.any(w < 0):
-            raise ValueError("weights must be nonnegative")
+    w = _check_weights(weights, plan.n_samples)
 
-    if normal == "toeplitz":
-        gram_op = ToeplitzNormalOperator(plan, weights=w, **(normal_options or {}))
-
-        def gram(x: np.ndarray) -> np.ndarray:
-            # one batched FFT pair for all K systems
-            return gram_op.apply_batch(x) + regularization * x
-
-    else:
-
-        def gram(x: np.ndarray) -> np.ndarray:
-            return plan.adjoint_batch(w * plan.forward_batch(x)) + regularization * x
+    gram, events = _make_gram(
+        plan, w, regularization, normal, normal_options, batched=True
+    )
 
     sum_axes = tuple(range(1, plan.ndim + 1))
 
@@ -253,6 +379,11 @@ def _cg_reconstruction_batched(
         return np.sum(np.conj(a) * b, axis=sum_axes).real
 
     b = plan.adjoint_batch(w * kspace)
+    if not np.isfinite(b).all():
+        raise SolverBreakdown(
+            "right-hand side A^H W y is non-finite; cannot start CG "
+            "(check kspace/weights, or use a quality_policy on the plan)"
+        )
     x = np.zeros((k_rhs,) + plan.image_shape, dtype=np.complex128)
     r = b.copy()
     p = r.copy()
@@ -260,32 +391,85 @@ def _cg_reconstruction_batched(
     b_norm = np.sqrt(dots(b, b))
     active = b_norm > 0.0
     if not np.any(active):
-        return CgResult(image=x, residual_norms=[0.0], n_iterations=0, converged=True)
+        return CgResult(
+            image=x,
+            residual_norms=[0.0],
+            n_iterations=0,
+            converged=True,
+            degradations=events,
+        )
     safe_norm = np.where(active, b_norm, 1.0)
 
-    result = CgResult(image=x, residual_norms=[1.0])
+    result = CgResult(image=x, residual_norms=[1.0], degradations=events)
+    restarted = False
+    best_rel = np.inf
+    flat_streak = 0
+
+    def restart(reason: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One permitted global restart from the last finite iterates."""
+        nonlocal restarted
+        if restarted:
+            raise SolverBreakdown(
+                "batched CG hit a non-finite quantity even after a restart "
+                f"({reason}); refusing to iterate toward a NaN image"
+            )
+        restarted = True
+        result.restarts += 1
+        result.degradations += (
+            DegradationEvent("cg", "iterate", "restart", reason),
+        )
+        r = b - gram(x)
+        rs = dots(r, r)
+        if not np.all(np.isfinite(rs)):
+            raise SolverBreakdown(
+                f"batched CG restart failed: recomputed residual is non-finite ({reason})"
+            )
+        return r, r.copy(), rs
+
     for it in range(1, n_iterations + 1):
         ap = gram(p)
         denom = dots(p, ap)
+        if not np.all(np.isfinite(denom)):
+            r, p, rs_old = restart("non-finite Gram application")
+            continue
         # freeze converged / broken-down systems: zero step keeps their
         # state fixed while the remaining systems iterate
         step_ok = active & (denom > 0)
+        if np.any(active & (denom <= 0)):
+            result.breakdown = "indefinite_gram"
         if not np.any(step_ok):
             break
         alpha = np.where(step_ok, rs_old / np.where(denom > 0, denom, 1.0), 0.0)
         shape = (k_rhs,) + (1,) * plan.ndim
-        x = x + alpha.reshape(shape) * p
-        r = r - alpha.reshape(shape) * ap
-        rs_new = dots(r, r)
+        x_new = x + alpha.reshape(shape) * p
+        r_new = r - alpha.reshape(shape) * ap
+        rs_new = dots(r_new, r_new)
+        if not np.all(np.isfinite(rs_new)):
+            r, p, rs_old = restart("non-finite residual norm")
+            continue
+        x, r = x_new, r_new
         rel = np.sqrt(rs_new) / safe_norm
-        result.residual_norms.append(float(np.max(np.where(active, rel, 0.0))))
+        worst = float(np.max(np.where(active, rel, 0.0)))
+        result.residual_norms.append(worst)
         result.n_iterations = it
         active = active & (rel >= tolerance) & (denom > 0)
         if not np.any(active):
             result.converged = True
             break
+        if worst >= best_rel * (1.0 - _STAGNATION_RTOL):
+            flat_streak += 1
+            if flat_streak >= _STAGNATION_WINDOW:
+                result.breakdown = "stagnation"
+                break
+        else:
+            flat_streak = 0
+        best_rel = min(best_rel, worst)
         beta = np.where(rs_old > 0, rs_new / np.where(rs_old > 0, rs_old, 1.0), 0.0)
         p = r + beta.reshape(shape) * p
         rs_old = rs_new
     result.image = x
+    if not np.isfinite(x).all():
+        raise SolverBreakdown(
+            "batched CG ended on a non-finite image; refusing to return it"
+        )
     return result

@@ -49,6 +49,25 @@ def test_engines_guide_has_snippets():
         assert f"`{name}`" in text, f"engine {name} missing from docs/engines.md"
 
 
+def test_robustness_guide_covers_failure_modes():
+    """The robustness guide must document every failure mode with
+    runnable snippets, not drift into prose."""
+    text = (ROOT / "docs" / "robustness.md").read_text(encoding="utf-8")
+    assert text.count(">>>") >= 10
+    for term in (
+        "CoordinateError",
+        "DataQualityError",
+        "EngineFailure",
+        "BackendFailure",
+        "SolverBreakdown",
+        "DegradationEvent",
+        "inject_faults",
+        "quality_policy",
+        "health_check",
+    ):
+        assert term in text, f"{term} missing from docs/robustness.md"
+
+
 def test_no_dead_links():
     sys.path.insert(0, str(ROOT / "tools"))
     try:

@@ -130,6 +130,8 @@ class TestStats:
             "parallel_backend",
             "shard_plan",
             "worker_seconds",
+            "quality",
+            "degradations",
         }
 
 

@@ -259,8 +259,9 @@ class TestSharedMemoryHygiene:
         assert parallel_mod._FORK_WORK is None
 
     def test_cleanup_when_worker_dies(self, rng, monkeypatch):
-        """A crashing child surfaces as RuntimeError in the parent and
-        still leaves /dev/shm clean."""
+        """A deterministically-crashing work closure exhausts the whole
+        process -> thread -> serial ladder, surfaces as EngineFailure
+        (a RuntimeError subclass), and still leaves /dev/shm clean."""
         setup = build_setup((32, 32))
         _, par = make_pair(setup, workers=2, backend="process")
         coords, vals = random_samples(rng, 100, (32, 32))
@@ -269,10 +270,13 @@ class TestSharedMemoryHygiene:
             raise RuntimeError("worker bug")
 
         # the work closure calls _process_stream; forked children inherit
-        # the patched bound method, die nonzero, and the parent reports it
+        # the patched bound method and die nonzero on every rung, so the
+        # supervisor runs out of fallbacks
         monkeypatch.setattr(par, "_process_stream", crash)
+        from repro.errors import EngineFailure
+
         before = _shm_entries()
-        with pytest.raises(RuntimeError, match="exited nonzero"):
+        with pytest.raises(EngineFailure, match="every rung"):
             par.grid(coords, vals)
         after = _shm_entries()
         if before is not None:

@@ -1,0 +1,617 @@
+"""Chaos suite: the fault-tolerant execution layer under injected faults.
+
+Every test drives a *production* entry point (gridding, NuFFT, CG)
+through :func:`repro.robustness.inject_faults` and asserts the two
+tentpole contracts:
+
+1. every injected fault either surfaces as a typed
+   :class:`repro.errors.ReproError` subclass (``policy="raise"``) or
+   completes through a *recorded* degradation whose result is
+   bit-identical to the unfaulted serial/numpy reference, and
+2. no fault path leaks pooled buffers (``GridBufferPool.outstanding``
+   returns to 0) or returns NaN in an image/grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    BackendFailure,
+    CoordinateError,
+    DataQualityError,
+    DegradationEvent,
+    EngineFailure,
+    ReproError,
+    SolverBreakdown,
+)
+from repro.gridding import GriddingSetup, make_gridder
+from repro.gridding.buffers import GridBufferPool
+from repro.kernels import KernelLUT, beatty_kernel
+from repro.nufft import (
+    FallbackFftBackend,
+    NufftPlan,
+    ToeplitzNormalOperator,
+    fft_backend_available,
+)
+from repro.recon import cg_reconstruction
+from repro.robustness import (
+    DataQualityReport,
+    apply_quality_policy,
+    inject_faults,
+)
+from repro.robustness.faults import InjectedFault, InjectedWorkerCrash
+from repro.core import parallel as parallel_mod
+from repro.trajectories import radial_trajectory
+
+needs_processes = pytest.mark.skipif(
+    not parallel_mod._processes_available(),
+    reason="fork + shared_memory not available on this platform",
+)
+
+#: every registered engine, with options forcing the parallel pool on
+ENGINES = [
+    ("naive", {}),
+    ("output_parallel", {}),
+    ("binning", {}),
+    ("sparse_matrix", {}),
+    ("slice_and_dice", {}),
+    ("slice_and_dice_compiled", {}),
+    (
+        "slice_and_dice_parallel",
+        {"workers": 2, "backend": "thread", "min_parallel_ops": 0},
+    ),
+]
+
+
+def build_setup(shape=(16, 16), policy="raise"):
+    return GriddingSetup(
+        tuple(shape), KernelLUT(beatty_kernel(4, 2.0), 32), quality_policy=policy
+    )
+
+
+def dirty_samples(rng, m=60, shape=(16, 16)):
+    """(coords, values, bad_mask) with NaN/Inf at known sample slots."""
+    coords = rng.uniform(0, min(shape), size=(m, len(shape)))
+    values = rng.standard_normal(m) + 1j * rng.standard_normal(m)
+    bad = np.zeros(m, dtype=bool)
+    coords[3, 0] = np.nan
+    coords[17, 1] = np.inf
+    values[5] = np.nan + 0j
+    values[11] = 1.0 + np.inf * 1j
+    bad[[3, 5, 11, 17]] = True
+    return coords, values, bad
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+# ---------------------------------------------------------------------------
+# exception taxonomy
+# ---------------------------------------------------------------------------
+class TestTaxonomy:
+    def test_hierarchy(self):
+        assert issubclass(CoordinateError, ReproError)
+        assert issubclass(CoordinateError, ValueError)
+        assert issubclass(DataQualityError, ReproError)
+        assert issubclass(DataQualityError, ValueError)
+        for exc in (EngineFailure, BackendFailure, SolverBreakdown):
+            assert issubclass(exc, ReproError)
+            assert issubclass(exc, RuntimeError)
+
+    def test_injected_faults_are_not_repro_errors(self):
+        # they simulate third-party failures the stack must translate
+        assert issubclass(InjectedWorkerCrash, InjectedFault)
+        assert not issubclass(InjectedFault, ReproError)
+
+    def test_degradation_event_str(self):
+        e = DegradationEvent("parallel", "process", "thread", "shm full")
+        assert str(e) == "parallel: process -> thread (shm full)"
+
+
+# ---------------------------------------------------------------------------
+# input-quality gate: check_coords and policies across every engine
+# ---------------------------------------------------------------------------
+class TestQualityGate:
+    def test_check_coords_raises_typed_error(self):
+        setup = build_setup(policy="raise")
+        coords = np.array([[1.0, 2.0], [np.nan, 3.0]])
+        with pytest.raises(CoordinateError, match="non-finite"):
+            setup.check_coords(coords)
+
+    def test_check_coords_zero_policy_pins_to_origin(self):
+        setup = build_setup(policy="zero")
+        coords = np.array([[1.0, 2.0], [np.nan, np.inf]])
+        wrapped = setup.check_coords(coords)
+        assert np.array_equal(wrapped[1], [0.0, 0.0])
+        assert np.isfinite(wrapped).all()
+
+    @pytest.mark.parametrize("name,opts", ENGINES)
+    def test_raise_policy_is_typed(self, rng, name, opts):
+        gridder = make_gridder(name, build_setup(policy="raise"), **opts)
+        coords, values, _ = dirty_samples(rng)
+        with pytest.raises((CoordinateError, DataQualityError)):
+            gridder.grid(coords, values)
+        finite_coords = coords.copy()
+        finite_coords[~np.isfinite(coords).any(axis=1)] = 1.0
+        finite_coords[3] = finite_coords[17] = 1.0
+        with pytest.raises(DataQualityError):
+            gridder.grid(finite_coords, values)
+
+    @pytest.mark.parametrize("name,opts", ENGINES)
+    def test_drop_policy_bit_identical_to_filtered(self, rng, name, opts):
+        coords, values, bad = dirty_samples(rng)
+        gridder = make_gridder(name, build_setup(policy="drop"), **opts)
+        out = gridder.grid(coords, values)
+        report = gridder.stats.quality
+        assert report is not None and report.dropped == int(bad.sum())
+        clean = make_gridder(name, build_setup(policy="raise"), **opts)
+        ref = clean.grid(coords[~bad], values[~bad])
+        assert np.array_equal(out, ref)
+        assert np.isfinite(out).all()
+
+    @pytest.mark.parametrize("name,opts", ENGINES)
+    def test_zero_policy_matches_filtered(self, rng, name, opts):
+        coords, values, bad = dirty_samples(rng)
+        gridder = make_gridder(name, build_setup(policy="zero"), **opts)
+        out = gridder.grid(coords, values)
+        assert gridder.stats.quality.zeroed == int(bad.sum())
+        # zeroed samples sit at the origin with value 0 and contribute
+        # nothing; the extra zero sample can still reorder the engine's
+        # accumulation, so compare at summation-roundoff tolerance
+        clean = make_gridder(name, build_setup(policy="raise"), **opts)
+        ref = clean.grid(coords[~bad], values[~bad])
+        np.testing.assert_allclose(out, ref, rtol=1e-12, atol=1e-12)
+        assert np.isfinite(out).all()
+
+    @pytest.mark.parametrize("name,opts", ENGINES)
+    @pytest.mark.parametrize("policy", ["drop", "zero"])
+    def test_interp_zeroes_bad_slots(self, rng, name, opts, policy):
+        coords, _, _ = dirty_samples(rng)
+        # interp has no sample values, so only coordinate defects matter
+        bad = ~np.isfinite(coords).all(axis=1)
+        grid = rng.standard_normal((16, 16)) + 1j * rng.standard_normal((16, 16))
+        gridder = make_gridder(name, build_setup(policy=policy), **opts)
+        vals = gridder.interp(grid, coords)
+        assert vals.shape == (coords.shape[0],)
+        assert np.all(vals[bad] == 0)
+        clean = make_gridder(name, build_setup(policy="raise"), **opts)
+        ref = clean.interp(grid, coords[~bad])
+        assert np.array_equal(vals[~bad], ref)
+
+    def test_grid_batch_reports_quality(self, rng):
+        coords, values, bad = dirty_samples(rng)
+        with np.errstate(invalid="ignore"):
+            stack = np.stack([values, 2 * values])
+        gridder = make_gridder("slice_and_dice", build_setup(policy="drop"))
+        out = gridder.grid_batch(coords, stack)
+        assert out.shape == (2, 16, 16)
+        assert np.isfinite(out).all()
+        assert gridder.stats.quality.dropped == int(bad.sum())
+        assert "quality" in gridder.stats.as_dict()
+
+
+# ---------------------------------------------------------------------------
+# validators never mutate clean inputs (hypothesis property)
+# ---------------------------------------------------------------------------
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+class TestCleanPassthrough:
+    @given(
+        data=st.data(),
+        m=st.integers(min_value=0, max_value=40),
+        policy=st.sampled_from(["raise", "drop", "zero"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_gate_is_identity_on_clean_input(self, data, m, policy):
+        seed = data.draw(st.integers(min_value=0, max_value=2**31 - 1))
+        rng = np.random.default_rng(seed)
+        coords = rng.uniform(0, 16, size=(m, 2))
+        values = (rng.standard_normal(m) + 1j * rng.standard_normal(m))[None, :]
+        c_bytes, v_bytes = coords.tobytes(), values.tobytes()
+        c2, v2, bad, report = apply_quality_policy(coords, values, policy, (16, 16))
+        assert c2 is coords and v2 is values and bad is None
+        assert report.clean
+        # bit-identity: the gate did not touch the buffers
+        assert coords.tobytes() == c_bytes and values.tobytes() == v_bytes
+
+    @given(policy=st.sampled_from(["raise", "drop", "zero"]))
+    @settings(max_examples=3, deadline=None)
+    def test_policies_agree_on_clean_input(self, policy):
+        rng = np.random.default_rng(7)
+        coords = rng.uniform(0, 16, size=(50, 2))
+        values = rng.standard_normal(50) + 1j * rng.standard_normal(50)
+        ref = make_gridder("slice_and_dice", build_setup(policy="raise")).grid(
+            coords, values
+        )
+        out = make_gridder("slice_and_dice", build_setup(policy=policy)).grid(
+            coords, values
+        )
+        assert np.array_equal(out, ref)
+
+
+# ---------------------------------------------------------------------------
+# corrupted-stream injection
+# ---------------------------------------------------------------------------
+class TestCorruptedStream:
+    def test_raise_policy_surfaces_typed_error(self, rng):
+        gridder = make_gridder("slice_and_dice", build_setup(policy="raise"))
+        coords = rng.uniform(0, 16, size=(40, 2))
+        values = rng.standard_normal(40) + 0j
+        with inject_faults(seed=5, corrupt_coords=2):
+            with pytest.raises(CoordinateError):
+                gridder.grid(coords, values)
+
+    def test_engines_agree_under_identical_corruption(self, rng):
+        coords = rng.uniform(0, 16, size=(80, 2))
+        values = rng.standard_normal(80) + 1j * rng.standard_normal(80)
+        results = []
+        for name, opts in ENGINES:
+            gridder = make_gridder(name, build_setup(policy="zero"), **opts)
+            with inject_faults(seed=5, corrupt_coords=3, corrupt_values=2) as inj:
+                out = gridder.grid(coords, values)
+                assert inj.log  # corruption actually fired
+            assert np.isfinite(out).all()
+            assert gridder.stats.quality is not None
+            assert not gridder.stats.quality.clean
+            results.append(out)
+        # every engine saw the same seeded corruption; engines differ
+        # only in accumulation order, so agree to summation roundoff
+        for out in results[1:]:
+            np.testing.assert_allclose(out, results[0], rtol=1e-12, atol=1e-12)
+
+    def test_originals_never_mutated(self, rng):
+        coords = rng.uniform(0, 16, size=(30, 2))
+        values = rng.standard_normal(30) + 0j
+        c_bytes, v_bytes = coords.tobytes(), values.tobytes()
+        gridder = make_gridder("naive", build_setup(policy="zero"))
+        with inject_faults(seed=0, corrupt_coords=4, corrupt_values=4):
+            gridder.grid(coords, values)
+        assert coords.tobytes() == c_bytes and values.tobytes() == v_bytes
+
+
+# ---------------------------------------------------------------------------
+# supervised parallel-engine ladder
+# ---------------------------------------------------------------------------
+class TestParallelLadder:
+    def _pair(self, shape=(32, 32), **kw):
+        setup = build_setup(shape)
+        serial = make_gridder("slice_and_dice", build_setup(shape))
+        par = make_gridder(
+            "slice_and_dice_parallel", setup, min_parallel_ops=0, **kw
+        )
+        return serial, par
+
+    def test_thread_crash_degrades_to_serial_bit_identical(self, rng):
+        serial, par = self._pair(workers=2, backend="thread")
+        coords = rng.uniform(0, 32, size=(120, 2))
+        values = rng.standard_normal(120) + 1j * rng.standard_normal(120)
+        ref = serial.grid(coords, values)
+        with inject_faults(seed=3, worker_crash=1) as inj:
+            out = par.grid(coords, values)
+        assert any(site == "worker" for site, _ in inj.log)
+        events = par.stats.degradations
+        assert any(e.from_stage == "thread" and e.to_stage == "serial" for e in events)
+        assert np.array_equal(out, ref)
+
+    @needs_processes
+    def test_process_crash_retries_bit_identical(self, rng):
+        serial, par = self._pair(workers=2, backend="process")
+        coords = rng.uniform(0, 32, size=(120, 2))
+        values = rng.standard_normal(120) + 1j * rng.standard_normal(120)
+        ref = serial.grid(coords, values)
+        with inject_faults(seed=3, worker_crash=1):
+            out = par.grid(coords, values)
+        events = par.stats.degradations
+        assert any("retry" in e.reason for e in events)
+        assert np.array_equal(out, ref)
+
+    @needs_processes
+    def test_persistent_process_crashes_degrade_to_thread(self, rng):
+        serial, par = self._pair(workers=2, backend="process")
+        coords = rng.uniform(0, 32, size=(120, 2))
+        values = rng.standard_normal(120) + 1j * rng.standard_normal(120)
+        ref = serial.grid(coords, values)
+        with inject_faults(seed=3, worker_crash=2):
+            out = par.grid(coords, values)
+        events = par.stats.degradations
+        assert any(e.to_stage == "thread" for e in events)
+        assert np.array_equal(out, ref)
+        assert parallel_mod._FORK_WORK is None
+
+    @needs_processes
+    def test_hung_worker_terminated_and_pass_retried(self, rng):
+        setup = build_setup((32, 32))
+        par = make_gridder(
+            "slice_and_dice_parallel",
+            setup,
+            workers=2,
+            backend="process",
+            min_parallel_ops=0,
+            worker_timeout=0.5,
+        )
+        serial = make_gridder("slice_and_dice", build_setup((32, 32)))
+        coords = rng.uniform(0, 32, size=(120, 2))
+        values = rng.standard_normal(120) + 1j * rng.standard_normal(120)
+        ref = serial.grid(coords, values)
+        with inject_faults(seed=3, worker_hang=1, hang_seconds=30.0):
+            out = par.grid(coords, values)
+        events = par.stats.degradations
+        assert any("worker_timeout" in e.reason for e in events)
+        assert np.array_equal(out, ref)
+
+    def test_worker_timeout_validation(self):
+        with pytest.raises(ValueError, match="worker_timeout"):
+            make_gridder(
+                "slice_and_dice_parallel", build_setup((32, 32)), worker_timeout=-1
+            )
+        with pytest.raises(ValueError, match="max_retries"):
+            make_gridder(
+                "slice_and_dice_parallel", build_setup((32, 32)), max_retries=-1
+            )
+
+
+# ---------------------------------------------------------------------------
+# FFT fallback chain
+# ---------------------------------------------------------------------------
+class TestFftFallback:
+    @pytest.mark.skipif(
+        not fft_backend_available("scipy"),
+        reason="needs a scipy FFT backend to demote away from",
+    )
+    def test_runtime_failure_degrades_bit_identical(self):
+        coords = radial_trajectory(16, 32)
+        plan = NufftPlan((16, 16), coords, fft_backend="scipy")
+        ref_plan = NufftPlan((16, 16), coords, fft_backend="numpy")
+        values = np.exp(1j * np.linspace(0, 2, coords.shape[0]))
+        ref = ref_plan.adjoint(values)
+        with inject_faults(seed=0, fft_errors={"scipy": 1}) as inj:
+            out = plan.adjoint(values)
+        assert ("fft:scipy", "raise") in inj.log
+        assert plan.timings.fft_fallbacks  # demotion recorded
+        assert plan.timings.fft_backend != "scipy"  # sticky demotion
+        # the retried transform ran on a reference backend: same bits
+        # as a numpy-only plan when the chain landed on numpy
+        if plan.timings.fft_backend == "numpy":
+            assert np.array_equal(out, ref)
+        assert np.isfinite(out).all()
+
+    def test_exhausted_chain_raises_backend_failure_and_pool_balanced(self):
+        coords = radial_trajectory(16, 32)
+        chain = FallbackFftBackend("numpy", chain=("numpy",))
+        plan = NufftPlan((16, 16), coords, fft_backend=chain)
+        values = np.ones(coords.shape[0], dtype=complex)
+        with inject_faults(seed=0, fft_errors={"numpy": 1}):
+            with pytest.raises(BackendFailure):
+                plan.adjoint(values)
+        # the pooled grid buffer was released on the failure path
+        assert plan.buffer_pool.outstanding == 0
+        # and the plan still works once the fault budget is exhausted
+        ref = NufftPlan((16, 16), coords, fft_backend="numpy").adjoint(values)
+        assert np.array_equal(plan.adjoint(values), ref)
+
+    def test_nested_fallback_rejected(self):
+        inner = FallbackFftBackend("numpy")
+        with pytest.raises(ValueError, match="nest|wrap"):
+            FallbackFftBackend(inner)
+
+
+# ---------------------------------------------------------------------------
+# pooled-buffer leak regression
+# ---------------------------------------------------------------------------
+class TestPoolBalance:
+    @pytest.mark.parametrize("name", ["slice_and_dice", "slice_and_dice_compiled"])
+    def test_engine_exception_releases_dice(self, rng, name, monkeypatch):
+        gridder = make_gridder(name, build_setup((16, 16)))
+        gridder.buffer_pool = GridBufferPool()
+        coords = rng.uniform(0, 16, size=(40, 2))
+        values = rng.standard_normal(40) + 0j
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("mid-call failure")
+
+        # DiceLayout is a frozen dataclass: patch the class, not the
+        # instance
+        monkeypatch.setattr(type(gridder.layout), "dice_to_grid", boom)
+        with pytest.raises(RuntimeError, match="mid-call"):
+            gridder.grid(coords, values)
+        assert gridder.buffer_pool.outstanding == 0
+
+    def test_plan_quality_raise_keeps_pool_balanced(self, rng):
+        coords = radial_trajectory(16, 32)
+        plan = NufftPlan((16, 16), coords, quality_policy="raise")
+        bad = np.ones(coords.shape[0], dtype=complex)
+        bad[4] = np.nan
+        with pytest.raises(DataQualityError):
+            plan.adjoint(bad)
+        assert plan.buffer_pool.outstanding == 0
+        # recovery: a clean call still works on the same plan
+        assert np.isfinite(plan.adjoint(np.ones_like(bad))).all()
+
+
+# ---------------------------------------------------------------------------
+# NuFFT plan quality policies
+# ---------------------------------------------------------------------------
+class TestPlanQuality:
+    def test_adjoint_policies(self):
+        coords = radial_trajectory(16, 32)
+        values = np.exp(1j * np.linspace(0, 3, coords.shape[0]))
+        bad = values.copy()
+        bad[7] = np.inf + 0j
+        keep = np.ones(coords.shape[0], dtype=bool)
+        keep[7] = False
+        with pytest.raises(DataQualityError):
+            NufftPlan((16, 16), coords, quality_policy="raise").adjoint(bad)
+        zero_plan = NufftPlan((16, 16), coords, quality_policy="zero")
+        out = zero_plan.adjoint(bad)
+        assert np.isfinite(out).all()
+        assert zero_plan.timings.quality is not None
+        assert zero_plan.timings.quality.zeroed == 1
+        # zeroing the bad sample == removing it from the sum
+        masked = values.copy()
+        masked[7] = 0
+        ref = NufftPlan((16, 16), coords).adjoint(masked)
+        assert np.array_equal(out, ref)
+
+    def test_forward_gates_nan_image(self):
+        coords = radial_trajectory(16, 32)
+        image = np.ones((16, 16), dtype=complex)
+        image[3, 4] = np.nan
+        with pytest.raises(DataQualityError):
+            NufftPlan((16, 16), coords, quality_policy="raise").forward(image)
+        plan = NufftPlan((16, 16), coords, quality_policy="zero")
+        out = plan.forward(image)
+        assert np.isfinite(out).all()
+        assert plan.timings.quality.zeroed >= 1
+        fixed = image.copy()
+        fixed[3, 4] = 0
+        ref = NufftPlan((16, 16), coords).forward(fixed)
+        assert np.array_equal(out, ref)
+
+
+# ---------------------------------------------------------------------------
+# Toeplitz normal-operator supervision
+# ---------------------------------------------------------------------------
+class TestToeplitzSupervision:
+    def test_nan_weights_typed_error(self):
+        coords = radial_trajectory(16, 32)
+        plan = NufftPlan((16, 16), coords)
+        w = np.ones(coords.shape[0])
+        w[0] = np.nan
+        with pytest.raises(DataQualityError):
+            ToeplitzNormalOperator(plan, weights=w)
+
+    def test_health_check_passes_on_real_kernel(self):
+        coords = radial_trajectory(16, 32)
+        op = ToeplitzNormalOperator(NufftPlan((16, 16), coords))
+        assert op.health_check() and op.healthy
+
+    def test_health_check_fails_on_corrupt_kernel(self):
+        coords = radial_trajectory(16, 32)
+        op = ToeplitzNormalOperator(NufftPlan((16, 16), coords))
+        op._kernel_fft = op._kernel_fft.copy()
+        op._kernel_fft.flat[0] = np.nan
+        assert not op.health_check()
+
+    def test_psf_fault_falls_back_to_gridding_cg(self):
+        coords = radial_trajectory(16, 32)
+        plan = NufftPlan((16, 16), coords)
+        kspace = plan.forward(
+            np.outer(np.hanning(16), np.hanning(16)).astype(complex)
+        )
+        ref = cg_reconstruction(plan, kspace, n_iterations=5, normal="gridding")
+        with inject_faults(seed=0, toeplitz_psf_errors=1) as inj:
+            res = cg_reconstruction(plan, kspace, n_iterations=5, normal="toeplitz")
+        assert ("toeplitz:psf", "raise") in inj.log
+        assert any(
+            e.component == "normal" and e.to_stage == "gridding"
+            for e in res.degradations
+        )
+        # the degraded solve is literally the gridding-normal solve
+        assert np.array_equal(res.image, ref.image)
+        assert res.residual_norms == ref.residual_norms
+
+
+# ---------------------------------------------------------------------------
+# CG health guards
+# ---------------------------------------------------------------------------
+class TestCgGuards:
+    def _problem(self):
+        coords = radial_trajectory(16, 32)
+        plan = NufftPlan((16, 16), coords)
+        image = np.outer(np.hanning(16), np.hanning(16)).astype(complex)
+        return plan, plan.forward(image)
+
+    def test_transient_nan_gram_restarts_once(self, monkeypatch):
+        # poison the image coming out of the adjoint — below the plan's
+        # own sample-quality gate, exactly like a transient numerical
+        # fault inside the operator.  Call 1 builds the RHS; call 2 is
+        # the first Gram application inside the iteration loop.
+        plan, kspace = self._problem()
+        real_adjoint = plan.adjoint
+        calls = {"n": 0}
+
+        def flaky_adjoint(x):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                return np.full(plan.image_shape, np.nan, dtype=complex)
+            return real_adjoint(x)
+
+        monkeypatch.setattr(plan, "adjoint", flaky_adjoint)
+        res = cg_reconstruction(plan, kspace, n_iterations=8)
+        assert res.restarts == 1
+        assert any(e.to_stage == "restart" for e in res.degradations)
+        assert np.isfinite(res.image).all()
+
+    def test_persistent_nan_gram_is_solver_breakdown(self, monkeypatch):
+        plan, kspace = self._problem()
+        real_adjoint = plan.adjoint
+        calls = {"n": 0}
+
+        def broken_adjoint(x):
+            calls["n"] += 1
+            if calls["n"] >= 2:  # RHS is fine; every Gram apply is NaN
+                return np.full(plan.image_shape, np.nan, dtype=complex)
+            return real_adjoint(x)
+
+        monkeypatch.setattr(plan, "adjoint", broken_adjoint)
+        with pytest.raises(SolverBreakdown):
+            cg_reconstruction(plan, kspace, n_iterations=8)
+
+    def test_nan_rhs_is_solver_breakdown(self):
+        plan, kspace = self._problem()
+        bad = kspace.copy()
+        bad[0] = np.nan
+        # default plan policy raises at the gate before CG even starts
+        with pytest.raises((SolverBreakdown, DataQualityError)):
+            cg_reconstruction(plan, bad, n_iterations=4)
+
+    def test_healthy_solve_has_no_health_flags(self):
+        plan, kspace = self._problem()
+        res = cg_reconstruction(plan, kspace, n_iterations=8)
+        assert res.restarts == 0
+        assert res.breakdown is None
+        assert res.degradations == ()
+        assert np.isfinite(res.image).all()
+
+    def test_batched_restart(self, monkeypatch):
+        plan, kspace = self._problem()
+        stack = np.stack([kspace, 0.5 * kspace])
+        real = plan.adjoint_batch
+        calls = {"n": 0}
+
+        def flaky(x):
+            calls["n"] += 1
+            if calls["n"] == 2:  # first Gram apply of the loop
+                return np.full((2,) + plan.image_shape, np.nan, dtype=complex)
+            return real(x)
+
+        monkeypatch.setattr(plan, "adjoint_batch", flaky)
+        res = cg_reconstruction(plan, stack, n_iterations=8)
+        assert res.restarts == 1
+        assert np.isfinite(res.image).all()
+
+
+# ---------------------------------------------------------------------------
+# reports
+# ---------------------------------------------------------------------------
+class TestReports:
+    def test_quality_report_accumulate(self):
+        a = DataQualityReport(policy="drop", n_samples=5, dropped=1)
+        b = DataQualityReport(policy="drop", n_samples=3, dropped=2, wrapped=1)
+        a.accumulate(b)
+        assert a.n_samples == 8 and a.dropped == 3 and a.wrapped == 1
+        assert not a.clean
+
+    def test_timings_surface_quality_and_fallbacks(self):
+        coords = radial_trajectory(16, 32)
+        plan = NufftPlan((16, 16), coords)
+        plan.adjoint(np.ones(coords.shape[0], dtype=complex))
+        t = plan.timings
+        assert t.quality is not None and t.quality.clean
+        assert t.fft_fallbacks == ()
