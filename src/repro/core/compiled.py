@@ -102,7 +102,7 @@ class CompiledPlan:
 
     sample_idx: np.ndarray  #: int64 ``(nnz,)`` contributing sample per entry
     flat_idx: np.ndarray    #: int64 ``(nnz,)`` global dice address per entry
-    weight: np.ndarray      #: float64 ``(nnz,)`` separable kernel weight
+    weight: np.ndarray      #: ``setup.real_dtype`` ``(nnz,)`` separable kernel weight
     row_starts: np.ndarray  #: int64 ``(n_rows + 1,)`` per-row slice offsets
     m: int                  #: samples in the compiled trajectory
     n_rows: int             #: dice rows (``T^d`` columns)
@@ -113,6 +113,7 @@ class CompiledPlan:
     _sample_order: np.ndarray | None = field(default=None, repr=False)
     _sample_starts: np.ndarray | None = field(default=None, repr=False)
     _csr: object | None = field(default=None, repr=False)
+    _csr_dtype: object | None = field(default=None, repr=False)
 
     @property
     def nnz(self) -> int:
@@ -151,28 +152,33 @@ class CompiledPlan:
             self._sample_starts = starts
         return self._sample_order, self._sample_starts
 
-    def csr(self):
+    def csr(self, dtype=np.complex128):
         """Lazy ``(n_rows * n_tiles, m)`` CSR matrix of the plan.
 
         ``(flat_idx, sample_idx)`` pairs are unique (``W <= T`` gives at
         most one passing point per column per sample), so the COO->CSR
-        conversion never merges duplicates.  The data is stored
-        complex128: the weights are real, but a complex-typed matrix
-        lets SciPy's fused gather-multiply-scatter loop run directly on
-        complex sample vectors instead of upcasting the matrix on every
-        call.
+        conversion never merges duplicates.  The data is stored in the
+        requested complex ``dtype`` (the setup's working dtype): the
+        weights are real, but a complex-typed matrix lets SciPy's fused
+        gather-multiply-scatter loop run directly on complex sample
+        vectors instead of upcasting the matrix on every call — and a
+        complex64 matrix halves the matvec traffic for a complex64
+        setup.  The cache is invalidated when ``dtype`` changes (one
+        plan serves one setup in practice, so this never thrashes).
         """
-        if self._csr is None:
+        dtype = np.dtype(dtype)
+        if self._csr is None or self._csr_dtype != dtype:
             if _sparse is None:  # pragma: no cover - scipy always present
                 raise ImportError(
                     "backend='csr' requires scipy; install scipy or use "
                     "the default backend='bincount'"
                 )
             self._csr = _sparse.csr_matrix(
-                (self.weight.astype(np.complex128),
+                (self.weight.astype(dtype),
                  (self.flat_idx, self.sample_idx)),
                 shape=(self.n_rows * self.n_tiles, self.m),
             )
+            self._csr_dtype = dtype
         return self._csr
 
 
@@ -456,7 +462,7 @@ class CompiledSliceAndDiceGridder(SliceAndDiceGridder):
         k_rhs = values_stack.shape[0]
         n_flat = plan.n_rows * plan.n_tiles
         if self.backend == "csr":
-            mat = plan.csr()
+            mat = plan.csr(self.setup.dtype)
             dice_flat = self._acquire_buffer((k_rhs, n_flat), zero=False)
             try:
                 for k in range(k_rhs):
@@ -505,15 +511,15 @@ class CompiledSliceAndDiceGridder(SliceAndDiceGridder):
             for k in range(k_rhs):
                 dice_flat[k] = self.layout.grid_to_dice(grid_stack[k]).reshape(-1)
             if self.backend == "csr":
-                mat_t = plan.csr().T  # CSC view, no copy
+                mat_t = plan.csr(self.setup.dtype).T  # CSC view, no copy
                 if k_rhs == 1:
                     out = (mat_t @ dice_flat[0])[None]
                 else:
-                    out = np.empty((k_rhs, m), dtype=np.complex128)
+                    out = np.empty((k_rhs, m), dtype=self.setup.dtype)
                     for k in range(k_rhs):
                         out[k] = mat_t @ dice_flat[k]
             else:
-                out = np.zeros((k_rhs, m), dtype=np.complex128)
+                out = np.zeros((k_rhs, m), dtype=self.setup.dtype)
                 if plan.nnz:
                     sample, flat, wgt = plan.sample_idx, plan.flat_idx, plan.weight
                     for k in range(k_rhs):

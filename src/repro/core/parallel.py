@@ -126,20 +126,23 @@ class _SharedMemoryUnavailable(RuntimeError):
 _FORK_WORK = None
 
 
-def _shard_entry(worker_id, shm_name, aux_name, out_shape, n_workers, lo, hi):
+def _shard_entry(
+    worker_id, shm_name, aux_name, out_shape, out_dtype, n_workers, lo, hi
+):
     """Forked worker: run the staged shard work against shared memory.
 
-    Maps the shared output buffer and the small report buffer, executes
-    ``_FORK_WORK(out, lo, hi)`` (inherited from the parent at fork
-    time), and records ``(passing checks, elapsed seconds)`` in its own
-    report row.  All writes land in slices disjoint from every other
-    worker's, so no locking is needed.
+    Maps the shared output buffer (in the setup's working ``out_dtype``)
+    and the small report buffer, executes ``_FORK_WORK(out, lo, hi)``
+    (inherited from the parent at fork time), and records ``(passing
+    checks, elapsed seconds)`` in its own report row.  All writes land
+    in slices disjoint from every other worker's, so no locking is
+    needed.
     """
     worker_fault_point(worker_id)  # chaos hook: staged crash/hang fires here
     shm = _shared_memory.SharedMemory(name=shm_name)
     aux = _shared_memory.SharedMemory(name=aux_name)
     try:
-        out = np.ndarray(out_shape, dtype=np.complex128, buffer=shm.buf)
+        out = np.ndarray(out_shape, dtype=out_dtype, buffer=shm.buf)
         report = np.ndarray((n_workers, 2), dtype=np.float64, buffer=aux.buf)
         t0 = time.perf_counter()
         interpolations = _FORK_WORK(out, lo, hi)
@@ -380,7 +383,7 @@ class ParallelSliceAndDiceGridder(SliceAndDiceGridder):
         # exactly what the serial engine would compute
         stage_worker_faults(0)
         try:
-            out = np.zeros(out_shape, dtype=np.complex128)
+            out = np.zeros(out_shape, dtype=self.setup.dtype)
             t0 = time.perf_counter()
             interps = work(out, plan[0][0], plan[-1][1])
             seconds = (time.perf_counter() - t0,)
@@ -393,7 +396,7 @@ class ParallelSliceAndDiceGridder(SliceAndDiceGridder):
 
     def _run_threads(self, work, out_shape, plan):
         """Thread-pool backend: disjoint slices of one ordinary array."""
-        out = np.zeros(out_shape, dtype=np.complex128)
+        out = np.zeros(out_shape, dtype=self.setup.dtype)
 
         def run_shard(item):
             worker_id, bounds = item
@@ -419,7 +422,7 @@ class ParallelSliceAndDiceGridder(SliceAndDiceGridder):
         global _FORK_WORK
         if not _processes_available():
             raise _SharedMemoryUnavailable("fork start method not available")
-        n_bytes = int(np.prod(out_shape)) * 16  # complex128
+        n_bytes = int(np.prod(out_shape)) * np.dtype(self.setup.dtype).itemsize
         try:
             shm = _shared_memory.SharedMemory(create=True, size=max(1, n_bytes))
         except OSError as exc:
@@ -433,7 +436,7 @@ class ParallelSliceAndDiceGridder(SliceAndDiceGridder):
 
         out_view = report = None
         try:
-            out_view = np.ndarray(out_shape, dtype=np.complex128, buffer=shm.buf)
+            out_view = np.ndarray(out_shape, dtype=self.setup.dtype, buffer=shm.buf)
             out_view[...] = 0
             report = np.ndarray((len(plan), 2), dtype=np.float64, buffer=aux.buf)
             report[...] = 0.0
@@ -501,7 +504,10 @@ class ParallelSliceAndDiceGridder(SliceAndDiceGridder):
         for i, (lo, hi) in enumerate(plan):
             proc = ctx.Process(
                 target=_shard_entry,
-                args=(i, shm_name, aux_name, out_shape, len(plan), lo, hi),
+                args=(
+                    i, shm_name, aux_name, out_shape,
+                    self.setup.dtype.str, len(plan), lo, hi,
+                ),
                 daemon=True,
             )
             proc.start()
@@ -554,7 +560,7 @@ class ParallelSliceAndDiceGridder(SliceAndDiceGridder):
             plan_obj, hit = self._plan_source._fetch_plan(coords)
             if self._serial_fallback(m, n_workers, backend):
                 t0 = time.perf_counter()
-                dice = np.zeros(out_shape, dtype=np.complex128)
+                dice = np.zeros(out_shape, dtype=self.setup.dtype)
                 interpolations = plan_grid_rows(
                     plan_obj, values_stack, dice, 0, n_rows
                 )
@@ -639,7 +645,8 @@ class ParallelSliceAndDiceGridder(SliceAndDiceGridder):
         k_rhs = grid_stack.shape[0]
         m = coords.shape[0]
         dice = np.empty(
-            (k_rhs, self.layout.n_columns, self.layout.n_tiles), dtype=np.complex128
+            (k_rhs, self.layout.n_columns, self.layout.n_tiles),
+            dtype=self.setup.dtype,
         )
         for k in range(k_rhs):
             dice[k] = self.layout.grid_to_dice(grid_stack[k])
@@ -665,7 +672,7 @@ class ParallelSliceAndDiceGridder(SliceAndDiceGridder):
         backend = self._resolve_backend()
         if self._serial_fallback(m, n_workers, backend):
             t0 = time.perf_counter()
-            out = np.zeros((k_rhs, m), dtype=np.complex128)
+            out = np.zeros((k_rhs, m), dtype=self.setup.dtype)
             interpolations = stream(out, 0, m)
             shards, backend, seconds = ((0, m),), "serial", (time.perf_counter() - t0,)
             events = ()

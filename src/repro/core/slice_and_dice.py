@@ -226,7 +226,7 @@ class SliceAndDiceGridder(Gridder):
             tile = dec.tile[:, axis]
             count = dec.tile_counts[axis]
             mk = np.empty((t, m), dtype=bool)
-            wt = np.empty((t, m), dtype=np.float64)
+            wt = np.empty((t, m), dtype=setup.real_dtype)
             # tile indices lie in [0, count): the minimal unsigned dtype
             # (usually uint8/uint16) quarters the table footprint vs the
             # historical int64 without touching any computed value
@@ -397,7 +397,7 @@ class SliceAndDiceGridder(Gridder):
             affected = affected & masks[axis][column[axis]][lo:hi]
         hit = np.flatnonzero(affected) + lo
         if hit.size == 0:
-            return hit, hit.astype(np.float64), hit
+            return hit, hit.astype(setup.real_dtype), hit
         wgt = weights[0][column[0]][hit]
         depth = tiles[0][column[0]][hit].astype(np.int64)
         for axis in range(1, setup.ndim):
@@ -416,7 +416,8 @@ class SliceAndDiceGridder(Gridder):
         - ``sample_idx`` — int64 ``(nnz,)`` passing sample indices,
         - ``flat_idx`` — int64 ``(nnz,)`` global dice addresses
           ``row * n_tiles + depth``,
-        - ``weight`` — float64 ``(nnz,)`` combined separable weights,
+        - ``weight`` — ``setup.real_dtype`` ``(nnz,)`` combined
+          separable weights,
         - ``row_starts`` — int64 ``(T^d + 1,)`` offsets of each row's
           slice in the flat arrays (``row_starts[r]:row_starts[r+1]``),
 
@@ -447,7 +448,12 @@ class SliceAndDiceGridder(Gridder):
             weight_pieces.append(wgt)
         if not sample_pieces:
             empty = np.zeros(0, dtype=np.int64)
-            return empty, empty.copy(), np.zeros(0, dtype=np.float64), row_starts
+            return (
+                empty,
+                empty.copy(),
+                np.zeros(0, dtype=self.setup.real_dtype),
+                row_starts,
+            )
         return (
             np.concatenate(sample_pieces),
             np.concatenate(flat_pieces),
@@ -516,7 +522,7 @@ class SliceAndDiceGridder(Gridder):
         try:
             for k in range(k_rhs):
                 dice[k] = self.layout.grid_to_dice(grid_stack[k])
-            out = np.zeros((k_rhs, m), dtype=np.complex128)
+            out = np.zeros((k_rhs, m), dtype=self.setup.dtype)
             interpolations = self._interp_stream(tables, dice, out, 0, m)
         finally:
             self._release_buffer(dice)

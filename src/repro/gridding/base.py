@@ -254,13 +254,19 @@ class GriddingSetup:
         :class:`repro.errors.DataQualityError`), ``"drop"`` (remove the
         offending samples), or ``"zero"`` (keep slots, contribute
         nothing).  See :mod:`repro.robustness.validate`.
+    dtype:
+        Working complex dtype of every value/grid array: ``complex128``
+        (default) or ``complex64``.  Weights and kernel-table reads use
+        the matching real dtype (:attr:`real_dtype`); coordinates stay
+        float64 in both lanes so the select pass — and thus the set of
+        passing boundary checks — is identical across precisions.
 
     Raises
     ------
     ValueError
         If any grid dimension is < 1 or smaller than the window width
-        (the wrapped window would self-overlap), or the policy is
-        unknown.
+        (the wrapped window would self-overlap), the policy is
+        unknown, or ``dtype`` is not complex64/complex128.
 
     Examples
     --------
@@ -268,11 +274,14 @@ class GriddingSetup:
     >>> setup = GriddingSetup((32, 32), KernelLUT(beatty_kernel(6, 2.0), 64))
     >>> setup.ndim, setup.width, setup.n_grid_points
     (2, 6, 1024)
+    >>> setup.dtype, setup.real_dtype
+    (dtype('complex128'), dtype('float64'))
     """
 
     grid_shape: tuple[int, ...]
     lut: KernelLUT
     quality_policy: str = "raise"
+    dtype: np.dtype = np.complex128
 
     def __post_init__(self) -> None:
         validate_policy(self.quality_policy)
@@ -285,10 +294,20 @@ class GriddingSetup:
                 f"grid {self.grid_shape} smaller than window width {w}; "
                 "wrapping would self-overlap"
             )
+        self.dtype = np.dtype(self.dtype)
+        if self.dtype not in (np.dtype(np.complex64), np.dtype(np.complex128)):
+            raise ValueError(
+                f"dtype must be complex64 or complex128, got {self.dtype}"
+            )
 
     @property
     def ndim(self) -> int:
         return len(self.grid_shape)
+
+    @property
+    def real_dtype(self) -> np.dtype:
+        """Real dtype matching :attr:`dtype` (weights, LUT reads)."""
+        return np.dtype(np.float32 if self.dtype == np.complex64 else np.float64)
 
     @property
     def width(self) -> int:
@@ -328,13 +347,24 @@ class GriddingSetup:
         ``check_coords`` is called directly.
         """
         coords = self.coerce_coords(coords)
-        # Flat amin/amax against the smallest dim: conservative for
-        # rectangular grids (may wrap coords that were already in range,
-        # which is harmless) but a single contiguous reduce each.  NaN
-        # poisons amin/amax, so non-finite input always falls through
-        # to the slow path below.
-        if coords.size == 0 or (
-            np.amin(coords) >= 0.0 and np.amax(coords) < min(self.grid_shape)
+        if coords.size == 0:
+            return coords
+        # Two-stage in-range check.  The flat amin/amax is one
+        # contiguous SIMD reduce; an axis-0 reduce on (M, d) is ~30x
+        # slower, so it only runs when the flat bound fails — which on
+        # a square grid means some coordinate really is out of range,
+        # and on a rectangular grid catches coordinates that are valid
+        # per axis but exceed the smallest dim.  NaN poisons amin/amax,
+        # so non-finite input always falls through to the slow path.
+        lo, hi = np.amin(coords), np.amax(coords)
+        if lo >= 0.0 and hi < min(self.grid_shape):
+            return coords
+        if (
+            lo >= 0.0
+            and hi < max(self.grid_shape)
+            and bool(
+                np.all(np.amax(coords, axis=0) < np.asarray(self.grid_shape))
+            )
         ):
             return coords
         finite = np.isfinite(coords)
@@ -360,8 +390,9 @@ def window_contributions(
 
     - ``indices`` — int64 array ``(M, W**d)`` of linear grid indices
       (C order, torus-wrapped),
-    - ``weights`` — float64 array ``(M, W**d)`` of separable LUT
-      weights.
+    - ``weights`` — ``setup.real_dtype`` array ``(M, W**d)`` of
+      separable LUT weights (float64, or float32 for a complex64
+      setup).
 
     This is the shared engine for interpolation (forward) and for the
     vectorized reference gridders; each algorithm differs in *how* it
@@ -385,7 +416,9 @@ def window_contributions(
         fwd = frac[:, None] + offsets[None, :]  # (M, W) forward distances
         k = base[:, None] - offsets[None, :]  # affected grid coordinates
         per_axis_idx.append(np.mod(k, g).astype(np.int64))
-        per_axis_wgt.append(lut.table[lut.index_of(fwd)])
+        per_axis_wgt.append(
+            lut.table[lut.index_of(fwd)].astype(setup.real_dtype, copy=False)
+        )
 
     # combine separable axes into linear indices / product weights
     strides = np.ones(d, dtype=np.int64)
@@ -393,7 +426,7 @@ def window_contributions(
         strides[axis] = strides[axis + 1] * setup.grid_shape[axis + 1]
 
     idx = np.zeros((m, 1), dtype=np.int64)
-    wgt = np.ones((m, 1), dtype=np.float64)
+    wgt = np.ones((m, 1), dtype=setup.real_dtype)
     for axis in range(d):
         idx = (idx[:, :, None] + per_axis_idx[axis][:, None, :] * strides[axis]).reshape(m, -1)
         wgt = (wgt[:, :, None] * per_axis_wgt[axis][:, None, :]).reshape(m, -1)
@@ -447,10 +480,11 @@ class Gridder(abc.ABC):
     # buffer management
     # ------------------------------------------------------------------
     def _acquire_buffer(self, shape: tuple[int, ...], zero: bool = True) -> np.ndarray:
-        """A complex128 scratch/output buffer, pooled when a pool is set."""
+        """A working-dtype scratch/output buffer, pooled when a pool is set."""
+        dtype = self.setup.dtype
         if self.buffer_pool is not None:
-            return self.buffer_pool.acquire(shape, np.complex128, zero=zero)
-        return (np.zeros if zero else np.empty)(shape, dtype=np.complex128)
+            return self.buffer_pool.acquire(shape, dtype, zero=zero)
+        return (np.zeros if zero else np.empty)(shape, dtype=dtype)
 
     def _release_buffer(self, buf: np.ndarray) -> None:
         """Return an internal scratch buffer to the pool (no-op unpooled)."""
@@ -464,12 +498,13 @@ class Gridder(abc.ABC):
         here so every ``grid``/``grid_batch`` implementation can assume
         a clean accumulator, exactly as with a fresh ``np.zeros``.
         """
+        dtype = self.setup.dtype
         if out is None:
-            return np.zeros(shape, dtype=np.complex128)
-        if tuple(out.shape) != tuple(shape) or out.dtype != np.complex128:
+            return np.zeros(shape, dtype=dtype)
+        if tuple(out.shape) != tuple(shape) or out.dtype != dtype:
             raise ValueError(
-                f"out must be complex128 of shape {tuple(shape)}, got "
-                f"{out.dtype} {out.shape}"
+                f"out must have dtype {dtype} and shape {tuple(shape)}, got "
+                f"dtype {out.dtype} and shape {out.shape}"
             )
         out[...] = 0
         return out
@@ -509,13 +544,14 @@ class Gridder(abc.ABC):
         values:
             ``(M,)`` complex sample values.
         out:
-            Optional complex128 output array of ``setup.grid_shape``
-            (e.g. a pooled buffer); it is zeroed and accumulated into,
-            bit-identically to a fresh allocation.
+            Optional output array of ``setup.grid_shape`` in the
+            setup's working ``dtype`` (e.g. a pooled buffer); it is
+            zeroed and accumulated into, bit-identically to a fresh
+            allocation.
 
         Returns
         -------
-        Complex128 array of ``setup.grid_shape``.
+        Array of ``setup.grid_shape`` in the setup's working ``dtype``.
 
         Raises
         ------
@@ -539,7 +575,7 @@ class Gridder(abc.ABC):
         ((16, 16), 16)
         """
         coords = self.setup.coerce_coords(coords)
-        values = np.asarray(values, dtype=np.complex128).ravel()
+        values = np.asarray(values, dtype=self.setup.dtype).ravel()
         if values.shape[0] != coords.shape[0]:
             raise ValueError(
                 f"{values.shape[0]} values but {coords.shape[0]} coordinates"
@@ -580,7 +616,8 @@ class Gridder(abc.ABC):
 
         Returns
         -------
-        Complex128 array of ``(K,) + setup.grid_shape``.
+        Array of ``(K,) + setup.grid_shape`` in the setup's working
+        ``dtype``.
 
         Raises
         ------
@@ -603,12 +640,13 @@ class Gridder(abc.ABC):
         coords, values_stack = self._check_batch_values(coords, values_stack)
         coords, values_stack, _, report = self._gate_samples(coords, values_stack)
         stacked_shape = (values_stack.shape[0],) + self.setup.grid_shape
+        dtype = self.setup.dtype
         if out is None:
-            out = np.empty(stacked_shape, dtype=np.complex128)
-        elif tuple(out.shape) != stacked_shape or out.dtype != np.complex128:
+            out = np.empty(stacked_shape, dtype=dtype)
+        elif tuple(out.shape) != stacked_shape or out.dtype != dtype:
             raise ValueError(
-                f"out must be complex128 of shape {stacked_shape}, got "
-                f"{out.dtype} {out.shape}"
+                f"out must have dtype {dtype} and shape {stacked_shape}, got "
+                f"dtype {out.dtype} and shape {out.shape}"
             )
         self.stats = GriddingStats()
         if coords.shape[0] == 0:
@@ -651,7 +689,7 @@ class Gridder(abc.ABC):
 
         Returns
         -------
-        Complex128 array of ``(K, M)`` samples.
+        Array of ``(K, M)`` samples in the setup's working ``dtype``.
 
         Raises
         ------
@@ -675,7 +713,9 @@ class Gridder(abc.ABC):
         coords, _, bad, report = self._gate_samples(coords, None)
         self.stats = GriddingStats()
         if coords.shape[0] == 0:
-            vals = np.zeros((grid_stack.shape[0], coords.shape[0]), dtype=np.complex128)
+            vals = np.zeros(
+                (grid_stack.shape[0], coords.shape[0]), dtype=self.setup.dtype
+            )
         else:
             vals = self._interp_batch_impl(grid_stack, coords)
         vals = self._restore_sample_slots(vals, bad, report, m, batched=True)
@@ -691,7 +731,7 @@ class Gridder(abc.ABC):
         across the batch.
         """
         out = np.empty(
-            (grid_stack.shape[0], coords.shape[0]), dtype=np.complex128
+            (grid_stack.shape[0], coords.shape[0]), dtype=self.setup.dtype
         )
         total = GriddingStats()
         for k in range(grid_stack.shape[0]):
@@ -721,7 +761,7 @@ class Gridder(abc.ABC):
             return vals
         if report.policy == "drop":
             shape = (vals.shape[0], m) if batched else (m,)
-            full = np.zeros(shape, dtype=np.complex128)
+            full = np.zeros(shape, dtype=vals.dtype)
             full[..., ~bad] = vals
             return full
         vals[..., bad] = 0.0
@@ -736,7 +776,7 @@ class Gridder(abc.ABC):
         (which must see the raw coordinates to build its report).
         """
         coords = self.setup.coerce_coords(coords)
-        values_stack = np.asarray(values_stack, dtype=np.complex128)
+        values_stack = np.asarray(values_stack, dtype=self.setup.dtype)
         if values_stack.ndim == 1:
             values_stack = values_stack[None, :]
         if values_stack.ndim != 2 or values_stack.shape[1] != coords.shape[0]:
@@ -747,7 +787,7 @@ class Gridder(abc.ABC):
 
     def _check_batch_grids(self, grid_stack: np.ndarray) -> np.ndarray:
         """Validate a ``(K,) + grid_shape`` grid stack."""
-        grid_stack = np.asarray(grid_stack, dtype=np.complex128)
+        grid_stack = np.asarray(grid_stack, dtype=self.setup.dtype)
         if grid_stack.ndim == self.setup.ndim:
             grid_stack = grid_stack[None, ...]
         if grid_stack.ndim != self.setup.ndim + 1 or tuple(grid_stack.shape[1:]) != self.setup.grid_shape:
@@ -773,7 +813,8 @@ class Gridder(abc.ABC):
 
         Returns
         -------
-        ``(M,)`` complex128 interpolated sample values.
+        ``(M,)`` interpolated sample values in the setup's working
+        ``dtype``.
 
         Raises
         ------
@@ -790,7 +831,7 @@ class Gridder(abc.ABC):
         >>> g.interp(np.ones((16, 16), dtype=complex), np.array([[3.5, 8.0]])).shape
         (1,)
         """
-        grid = np.asarray(grid, dtype=np.complex128)
+        grid = np.asarray(grid, dtype=self.setup.dtype)
         if tuple(grid.shape) != self.setup.grid_shape:
             raise ValueError(
                 f"grid shape {grid.shape} != setup {self.setup.grid_shape}"
@@ -800,7 +841,7 @@ class Gridder(abc.ABC):
         coords, _, bad, report = self._gate_samples(coords, None)
         self.stats = GriddingStats()
         if coords.shape[0] == 0:
-            vals = np.zeros(coords.shape[0], dtype=np.complex128)
+            vals = np.zeros(coords.shape[0], dtype=self.setup.dtype)
         else:
             vals = self._interp_impl(grid, coords)
         vals = self._restore_sample_slots(vals, bad, report, m, batched=False)

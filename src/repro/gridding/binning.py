@@ -197,7 +197,9 @@ class BinningGridder(Gridder):
                     lines = t_coord[axis] * b + np.arange(b, dtype=np.float64)
                     fwd = np.mod(shifted[chunk, axis][:, None] - lines[None, :], g)
                     ok = fwd < w
-                    wv = np.zeros_like(fwd)
+                    # weights in the working real dtype so the value
+                    # tensordot below stays in the setup's precision
+                    wv = np.zeros(fwd.shape, dtype=setup.real_dtype)
                     if np.any(ok):
                         wv[ok] = lut.table[lut.index_of(fwd[ok])]
                     wgts.append(wv)

@@ -59,6 +59,11 @@ class GridBufferPool:
             raise ValueError(f"max_per_key must be >= 1, got {max_per_key}")
         self.max_per_key = int(max_per_key)
         self._free: dict[tuple, list[np.ndarray]] = {}
+        #: ``id()`` of every buffer currently on loan — release of an
+        #: array the pool never handed out (or a double release) would
+        #: silently corrupt ``outstanding``/``resident_bytes``, so it
+        #: raises instead
+        self._live: set[int] = set()
         #: buffers handed out from the free list / freshly allocated
         self.hits: int = 0
         self.misses: int = 0
@@ -102,16 +107,32 @@ class GridBufferPool:
             self.hits += 1
             if zero:
                 buf[...] = 0
+            self._live.add(id(buf))
             return buf
         self.misses += 1
         buf = (np.zeros if zero else np.empty)(key[0], dtype=dtype)
         self.miss_bytes += buf.nbytes
         self.resident_bytes += buf.nbytes
         self.peak_bytes = max(self.peak_bytes, self.resident_bytes)
+        self._live.add(id(buf))
         return buf
 
     def release(self, buf: np.ndarray) -> None:
-        """Return ``buf`` to the free list (dropped when the key is full)."""
+        """Return ``buf`` to the free list (dropped when the key is full).
+
+        Raises
+        ------
+        ValueError
+            If ``buf`` was not acquired from this pool or was already
+            released (either would silently skew the
+            ``outstanding``/``resident_bytes`` accounting).
+        """
+        if id(buf) not in self._live:
+            raise ValueError(
+                "release of a buffer not currently on loan from this pool "
+                "(foreign array or double release)"
+            )
+        self._live.discard(id(buf))
         self.outstanding -= 1
         key = self._key(buf.shape, buf.dtype)
         free = self._free.setdefault(key, [])

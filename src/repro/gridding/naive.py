@@ -33,7 +33,7 @@ __all__ = ["NaiveGridder"]
 
 
 class NaiveGridder(Gridder):
-    """Serial input-driven reference gridder (double precision)."""
+    """Serial input-driven reference gridder (setup's working dtype)."""
 
     name = "naive"
 

@@ -68,7 +68,7 @@ class OutputParallelGridder(Gridder):
                 fwd = axes_fwd[axis][j]
                 ok = fwd < w
                 masks.append(ok)
-                wv = np.zeros_like(fwd)
+                wv = np.zeros(fwd.shape, dtype=setup.real_dtype)
                 wv[ok] = lut.table[lut.index_of(fwd[ok])]
                 wgts.append(wv)
             full_w = wgts[0]

@@ -147,7 +147,7 @@ class SparseMatrixGridder(Gridder):
             grid_accesses=int(mat.nnz),
             lut_lookups=build_ops * self.setup.ndim,
         )
-        return mat @ np.asarray(grid, dtype=np.complex128).ravel()
+        return mat @ np.asarray(grid, dtype=self.setup.dtype).ravel()
 
     # ------------------------------------------------------------------
     @property

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..errors import DataQualityError, DegradationEvent, SolverBreakdown
 from ..nufft import NufftPlan, ToeplitzNormalOperator
+from ..recon.cg import _dot_real, _plan_cdtype
 
 __all__ = ["SenseOperator", "coil_combine_adjoint", "sense_reconstruction"]
 
@@ -66,7 +67,8 @@ class SenseOperator:
     """
 
     def __init__(self, plan: NufftPlan, maps: np.ndarray):
-        maps = np.asarray(maps, dtype=np.complex128)
+        self._cdtype = _plan_cdtype(plan)
+        maps = np.asarray(maps, dtype=self._cdtype)
         if maps.ndim != plan.ndim + 1 or tuple(maps.shape[1:]) != plan.image_shape:
             raise ValueError(
                 f"maps must be (C,) + {plan.image_shape}, got {maps.shape}"
@@ -91,7 +93,7 @@ class SenseOperator:
         interpolation pass (and one select-table build, cached across
         calls) instead of ``C`` independent NuFFTs.
         """
-        image = np.asarray(image, dtype=np.complex128)
+        image = np.asarray(image, dtype=self._cdtype)
         if tuple(image.shape) != self.plan.image_shape:
             raise ValueError(
                 f"image shape {image.shape} != plan {self.plan.image_shape}"
@@ -104,7 +106,7 @@ class SenseOperator:
         Uses the batched adjoint NuFFT (one multi-RHS gridding pass for
         all coils), then combines with conjugate sensitivities.
         """
-        kspace = np.asarray(kspace, dtype=np.complex128)
+        kspace = np.asarray(kspace, dtype=self._cdtype)
         if kspace.shape != (self.n_coils, self.n_samples):
             raise ValueError(
                 f"kspace must be ({self.n_coils}, {self.n_samples}), got {kspace.shape}"
@@ -141,7 +143,7 @@ class SenseOperator:
         up-front PSF build is amortized over all CG iterations (the
         operator is rebuilt only when ``weights`` change).
         """
-        image = np.asarray(image, dtype=np.complex128)
+        image = np.asarray(image, dtype=self._cdtype)
         if method == "toeplitz":
             gram = self._toeplitz_gram(weights)
             coil_images = gram.apply_batch(self.maps * image[None, ...])
@@ -167,7 +169,7 @@ def coil_combine_adjoint(
     The direct (non-iterative) reconstruction: per-coil adjoint NuFFT
     of the weighted data, combined with conjugate sensitivities.
     """
-    kspace = np.asarray(kspace, dtype=np.complex128)
+    kspace = np.asarray(kspace, dtype=operator._cdtype)
     if weights is not None:
         weights = np.asarray(weights, dtype=np.float64).ravel()
         if weights.shape[0] != operator.n_samples:
@@ -229,7 +231,7 @@ def sense_reconstruction(
         raise ValueError(
             f"normal must be 'gridding' or 'toeplitz', got {normal!r}"
         )
-    kspace = np.asarray(kspace, dtype=np.complex128)
+    kspace = np.asarray(kspace, dtype=operator._cdtype)
     if kspace.shape != (operator.n_coils, operator.n_samples):
         raise ValueError(
             f"kspace must be ({operator.n_coils}, {operator.n_samples}), "
@@ -257,6 +259,10 @@ def sense_reconstruction(
             )
         if np.any(w < 0):
             raise ValueError("weights must be nonnegative")
+        if operator._cdtype == np.complex64:
+            # keep the weighted data in the working dtype: a float64
+            # weight vector would upcast every w * kspace product
+            w = w.astype(np.float32)
 
     # Supervised pre-build: a Toeplitz kernel that cannot be built (or
     # fails its Hermitian-PSD health check) degrades to the gridding
@@ -286,11 +292,11 @@ def sense_reconstruction(
             "right-hand side E^H W y is non-finite; cannot start CG "
             "(check kspace/weights, or use a quality_policy on the plan)"
         )
-    x = np.zeros(operator.plan.image_shape, dtype=np.complex128)
+    x = np.zeros(operator.plan.image_shape, dtype=b.dtype)
     r = b.copy()
     p = r.copy()
-    rs_old = float(np.vdot(r, r).real)
-    b_norm = float(np.linalg.norm(b))
+    rs_old = _dot_real(r, r)
+    b_norm = float(np.sqrt(_dot_real(b, b)))
     if b_norm == 0.0:
         return SenseResult(
             image=x, residual_norms=[0.0], converged=True, degradations=events
@@ -318,7 +324,7 @@ def sense_reconstruction(
             DegradationEvent("cg", "iterate", "restart", reason),
         )
         r = b - gram_apply(x)
-        rs = float(np.vdot(r, r).real)
+        rs = _dot_real(r, r)
         if not np.isfinite(rs):
             raise SolverBreakdown(
                 f"CG-SENSE restart failed: recomputed residual is non-finite ({reason})"
@@ -327,7 +333,7 @@ def sense_reconstruction(
 
     for it in range(1, n_iterations + 1):
         ap = gram_apply(p)
-        denom = float(np.vdot(p, ap).real)
+        denom = _dot_real(p, ap)
         if not np.isfinite(denom):
             r, p, rs_old = restart("non-finite Gram application")
             continue
@@ -337,7 +343,7 @@ def sense_reconstruction(
         alpha = rs_old / denom
         x_new = x + alpha * p
         r_new = r - alpha * ap
-        rs_new = float(np.vdot(r_new, r_new).real)
+        rs_new = _dot_real(r_new, r_new)
         if not np.isfinite(rs_new):
             r, p, rs_old = restart("non-finite residual norm")
             continue

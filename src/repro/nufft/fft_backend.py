@@ -102,7 +102,14 @@ class FftBackend(abc.ABC):
 
 
 class NumpyFftBackend(FftBackend):
-    """:mod:`numpy.fft` — the single-threaded bit-compatibility reference."""
+    """:mod:`numpy.fft` — the single-threaded bit-compatibility reference.
+
+    ``numpy.fft`` always computes and returns complex128; unlike the
+    scipy/pyfftw backends (which transform complex64 natively), a
+    complex64 input is cast back on return so every backend honors the
+    caller's working dtype.  complex128 behaviour is bit-identical to
+    calling ``numpy.fft`` directly.
+    """
 
     name = "numpy"
 
@@ -110,11 +117,17 @@ class NumpyFftBackend(FftBackend):
         # np.fft has no threading knob; record 1 regardless of request
         self.workers = 1
 
+    @staticmethod
+    def _match_dtype(a, result):
+        if getattr(a, "dtype", None) == np.complex64:
+            return result.astype(np.complex64)
+        return result
+
     def fftn(self, a, axes=None, norm="backward"):
-        return np.fft.fftn(a, axes=axes, norm=norm)
+        return self._match_dtype(a, np.fft.fftn(a, axes=axes, norm=norm))
 
     def ifftn(self, a, axes=None, norm="backward"):
-        return np.fft.ifftn(a, axes=axes, norm=norm)
+        return self._match_dtype(a, np.fft.ifftn(a, axes=axes, norm=norm))
 
 
 class ScipyFftBackend(FftBackend):

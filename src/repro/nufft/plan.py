@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import itertools
 import time
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -43,12 +44,14 @@ class NufftTimings:
     the memset of a reused accumulator).  ``total`` sums all four
     stages, so the per-stage shares of the Fig. 7 analysis add to 1.
 
-    ``peak_bytes`` counts the full-grid (oversampled, complex128)
+    ``peak_bytes`` counts the full-grid (oversampled, working-dtype)
     transient allocations the transform performed: buffer-pool misses
     plus the FFT output and any non-pooled grid temporaries.  Warm
     pooled calls drop this to the single unavoidable FFT output, which
     is how the fused path's "two fewer grid temporaries per
-    forward/adjoint pair" is asserted in the tests.
+    forward/adjoint pair" is asserted in the tests — and how the
+    ``precision="single"`` lane's "no complex128 full-grid temporaries"
+    claim is asserted (a complex64 grid is half the bytes).
     """
 
     gridding: float = 0.0
@@ -66,6 +69,10 @@ class NufftTimings:
     #: FFT degradation events recorded so far on this plan's fallback
     #: chain (sticky — once demoted, every later call lists the event)
     fft_fallbacks: tuple = ()
+    #: precision lane of the plan (``double``/``single``/``simulate-single``)
+    precision: str = "double"
+    #: whether the fused apodize+pad / crop+deapodize path executed
+    fused: bool = False
 
     @property
     def total(self) -> float:
@@ -116,13 +123,21 @@ class NufftPlan:
         ``{"workers": 4, "backend": "process"}`` for
         ``"slice_and_dice_parallel"``.
     precision:
-        ``"double"`` (default) or ``"single"``.  Single precision
-        mimics the paper's GPU implementations ("The GPU implementation
-        of Slice-and-Dice uses single-precision floating-point values
-        to closely match the prior work", §V): inputs, the gridded
-        array, and the FFT are rounded to complex64 at each step, so
-        the output carries float32 arithmetic error — the Fig. 9
-        comparator.
+        ``"double"`` (default), ``"single"``, or ``"simulate-single"``.
+        ``"single"`` is a true complex64 compute lane matching the
+        paper's GPU implementations ("The GPU implementation of
+        Slice-and-Dice uses single-precision floating-point values to
+        closely match the prior work", §V): the gridder, buffer pool,
+        FFT, and apodization all carry ``complex64``/``float32`` data
+        end to end — half the memory traffic of double, with the fused
+        path fully enabled.  ``"simulate-single"`` is the legacy
+        stepwise comparator: everything computes in complex128 but
+        inputs, the gridded array, and the FFT output are *rounded* to
+        complex64 at each step boundary (fused path disabled, since the
+        rounding points only exist on the legacy pipeline) — kept
+        bit-for-bit for reproducing the historical Fig. 9 error-floor
+        numbers.  Coordinates stay float64 in every lane so all three
+        select identical window hit sets.
     fft_backend:
         FFT implementation for the oversampled-grid transforms:
         ``"auto"`` (default — SciPy's multithreaded pocketfft when
@@ -142,9 +157,12 @@ class NufftPlan:
         full-grid pass, no intermediate copies.  Also routes the
         oversampled accumulator through the plan's
         :class:`~repro.gridding.buffers.GridBufferPool`.  Bit-identical
-        to the unfused pipeline; automatically disabled for
-        ``precision="single"`` (which needs the stepwise rounding
-        points of the legacy path).
+        to the unfused pipeline.  Default (``None``) enables fusion
+        wherever it is available; it is automatically disabled for
+        ``precision="simulate-single"`` (which needs the stepwise
+        rounding points of the legacy path) — passing ``fused=True``
+        explicitly there warns once and is overridden.  The effective
+        state is recorded in ``plan.timings.fused``.
     quality_policy:
         What to do with non-finite sample coordinates/values and image
         pixels: ``"raise"`` (default — typed
@@ -210,15 +228,20 @@ class NufftPlan:
         precision: str = "double",
         fft_backend: str | FftBackend = "auto",
         fft_workers: int | None = None,
-        fused: bool = True,
+        fused: bool | None = None,
         quality_policy: str = "raise",
         fft_fallback: bool = True,
     ):
-        if precision not in ("double", "single"):
+        if precision not in ("double", "single", "simulate-single"):
             raise ValueError(
-                f"precision must be 'double' or 'single', got {precision!r}"
+                "precision must be 'double', 'single', or 'simulate-single', "
+                f"got {precision!r}"
             )
         self.precision = precision
+        #: working complex dtype of every full-grid array the plan touches
+        self.cdtype = np.dtype(
+            np.complex64 if precision == "single" else np.complex128
+        )
         self.image_shape = tuple(int(n) for n in image_shape)
         if any(n < 2 for n in self.image_shape):
             raise ValueError(f"image dims must be >= 2, got {image_shape}")
@@ -257,12 +280,22 @@ class NufftPlan:
 
         validate_policy(quality_policy)
         if isinstance(gridder, Gridder):
+            if gridder.setup.dtype != self.cdtype:
+                raise ValueError(
+                    f"gridder setup dtype {gridder.setup.dtype} does not match "
+                    f"the plan's precision={precision!r} working dtype "
+                    f"{self.cdtype}; build the gridder with "
+                    f"GriddingSetup(..., dtype={self.cdtype.name!r})"
+                )
             self.gridder = gridder
             #: the effective non-finite-input policy (gridder's setup wins)
             self.quality_policy = gridder.setup.quality_policy
         else:
             setup = GriddingSetup(
-                self.grid_shape, self.lut, quality_policy=quality_policy
+                self.grid_shape,
+                self.lut,
+                quality_policy=quality_policy,
+                dtype=self.cdtype,
             )
             self.gridder = make_gridder(gridder, setup, **(gridder_options or {}))
             self.quality_policy = quality_policy
@@ -273,6 +306,11 @@ class NufftPlan:
             numeric_apodization(self.lut, n, g)
             for n, g in zip(self.image_shape, self.grid_shape)
         ]
+        if self.cdtype != np.complex128:
+            # weights are computed in double (table quantization cancels
+            # exactly there) and rounded once; per-pixel multiplies then
+            # stay in the working dtype
+            self._apod = [w.astype(self.cdtype) for w in self._apod]
         self._apod_conj = [np.conj(w) for w in self._apod]
 
         fft = get_fft_backend(fft_backend, workers=fft_workers)
@@ -283,15 +321,34 @@ class NufftPlan:
         #: internal dice/scratch allocations
         self.buffer_pool = GridBufferPool()
         self.gridder.buffer_pool = self.buffer_pool
-        self._fused = bool(fused) and precision == "double"
+        if fused and precision == "simulate-single":
+            warnings.warn(
+                "fused=True is overridden for precision='simulate-single': "
+                "the stepwise-rounding comparator requires the legacy "
+                "(unfused) pipeline; the effective state is recorded in "
+                "plan.timings.fused",
+                UserWarning,
+                stacklevel=2,
+            )
+        self._fused = (
+            (True if fused is None else bool(fused))
+            and precision != "simulate-single"
+        )
         self._corner_blocks_cache: list | None = None
         self.timings = NufftTimings(
-            fft_backend=self._fft.name, fft_workers=self._fft.workers
+            fft_backend=self._fft.name,
+            fft_workers=self._fft.workers,
+            precision=self.precision,
+            fused=self._fused,
         )
 
     def _round(self, array: np.ndarray) -> np.ndarray:
-        """Round to the plan's working precision (single: complex64)."""
-        if self.precision == "single":
+        """Round to complex64 at a step boundary (simulate-single only).
+
+        The true ``"single"`` lane never needs this — its arrays *are*
+        complex64 throughout; ``"double"`` passes through untouched.
+        """
+        if self.precision == "simulate-single":
             return array.astype(np.complex64).astype(np.complex128)
         return array
 
@@ -348,7 +405,7 @@ class NufftPlan:
         exact numerical adjoints (the weights carry a tiny imaginary
         part — see :func:`repro.kernels.numeric_apodization`).
         """
-        out = np.asarray(image, dtype=np.complex128).copy()
+        out = np.asarray(image, dtype=self.cdtype).copy()
         for axis, w in enumerate(self._apod):
             shape = [1] * self.ndim
             shape[axis] = w.size
@@ -432,7 +489,7 @@ class NufftPlan:
         order, bit-identical result.
         """
         if out is None:
-            out = np.empty(self.image_shape, dtype=np.complex128)
+            out = np.empty(self.image_shape, dtype=self.cdtype)
         for img_sl, grid_sl, weights, _ in self._corner_blocks():
             dst = out[img_sl]
             np.multiply(spectrum[grid_sl], weights[0], out=dst)
@@ -442,8 +499,8 @@ class NufftPlan:
 
     @property
     def _grid_nbytes(self) -> int:
-        """Bytes of one complex128 oversampled grid."""
-        return int(np.prod(self.grid_shape)) * 16
+        """Bytes of one working-dtype oversampled grid."""
+        return int(np.prod(self.grid_shape)) * self.cdtype.itemsize
 
     # ------------------------------------------------------------------
     def adjoint(self, values: np.ndarray) -> np.ndarray:
@@ -468,7 +525,7 @@ class NufftPlan:
         ValueError
             If the value count does not match the plan's trajectory.
         """
-        values = np.asarray(values, dtype=np.complex128)
+        values = np.asarray(values, dtype=self.cdtype)
         if values.ndim == 2:
             return self.adjoint_batch(values)
         values = values.ravel()
@@ -479,7 +536,7 @@ class NufftPlan:
         miss0 = pool.miss_bytes
         if self._fused:
             tc0 = time.perf_counter()
-            grid_buf = pool.acquire(self.grid_shape, zero=False)
+            grid_buf = pool.acquire(self.grid_shape, self.cdtype, zero=False)
             try:
                 t0 = time.perf_counter()
                 grid = self.gridder.grid(self.grid_coords, values, out=grid_buf)
@@ -518,6 +575,8 @@ class NufftPlan:
             peak_bytes=peak,
             quality=self._quality(),
             fft_fallbacks=self._fft_events(),
+            precision=self.precision,
+            fused=self._fused,
         )
         return image
 
@@ -542,7 +601,7 @@ class NufftPlan:
         ValueError
             If the image shape does not match the plan.
         """
-        image = np.asarray(image, dtype=np.complex128)
+        image = np.asarray(image, dtype=self.cdtype)
         if image.ndim == self.ndim + 1 and tuple(image.shape[1:]) == self.image_shape:
             return self.forward_batch(image)
         if tuple(image.shape) != self.image_shape:
@@ -553,7 +612,7 @@ class NufftPlan:
         miss0 = pool.miss_bytes
         if self._fused:
             tc0 = time.perf_counter()
-            padded = pool.acquire(self.grid_shape, zero=True)
+            padded = pool.acquire(self.grid_shape, self.cdtype, zero=True)
             try:
                 t0 = time.perf_counter()
                 self._fused_apodize_pad(image, padded, conjugate=True)
@@ -589,6 +648,8 @@ class NufftPlan:
             peak_bytes=peak,
             quality=self._quality(n_bad_pixels),
             fft_fallbacks=self._fft_events(),
+            precision=self.precision,
+            fused=self._fused,
         )
         return samples
 
@@ -611,7 +672,7 @@ class NufftPlan:
         -------
         ``(B, M)`` complex samples.
         """
-        images = np.asarray(images, dtype=np.complex128)
+        images = np.asarray(images, dtype=self.cdtype)
         if images.ndim != self.ndim + 1 or tuple(images.shape[1:]) != self.image_shape:
             raise ValueError(
                 f"images must be (B,) + {self.image_shape}, got {images.shape}"
@@ -624,7 +685,7 @@ class NufftPlan:
         miss0 = pool.miss_bytes
         if self._fused:
             tc0 = time.perf_counter()
-            padded = pool.acquire((n_batch,) + self.grid_shape, zero=True)
+            padded = pool.acquire((n_batch,) + self.grid_shape, self.cdtype, zero=True)
             try:
                 t0 = time.perf_counter()
                 for b in range(n_batch):
@@ -641,7 +702,7 @@ class NufftPlan:
             peak = (pool.miss_bytes - miss0) + grids.nbytes
         else:
             t0 = time.perf_counter()
-            padded = np.empty((n_batch,) + self.grid_shape, dtype=np.complex128)
+            padded = np.empty((n_batch,) + self.grid_shape, dtype=self.cdtype)
             for b in range(n_batch):
                 prepared = self._round(
                     self._apodize(self._round(images[b]), conjugate=True)
@@ -668,6 +729,8 @@ class NufftPlan:
             peak_bytes=peak,
             quality=self._quality(n_bad_pixels),
             fft_fallbacks=self._fft_events(),
+            precision=self.precision,
+            fused=self._fused,
         )
         return samples
 
@@ -683,7 +746,7 @@ class NufftPlan:
         -------
         ``(B,) + image_shape`` complex images.
         """
-        values = np.asarray(values, dtype=np.complex128)
+        values = np.asarray(values, dtype=self.cdtype)
         if values.ndim != 2 or values.shape[1] != self.n_samples:
             raise ValueError(
                 f"values must be (B, {self.n_samples}), got {values.shape}"
@@ -693,10 +756,10 @@ class NufftPlan:
         axes = tuple(range(1, self.ndim + 1))
         pool = self.buffer_pool
         miss0 = pool.miss_bytes
-        out = np.empty((n_batch,) + self.image_shape, dtype=np.complex128)
+        out = np.empty((n_batch,) + self.image_shape, dtype=self.cdtype)
         if self._fused:
             tc0 = time.perf_counter()
-            grid_buf = pool.acquire((n_batch,) + self.grid_shape, zero=False)
+            grid_buf = pool.acquire((n_batch,) + self.grid_shape, self.cdtype, zero=False)
             try:
                 t0 = time.perf_counter()
                 grids = self.gridder.grid_batch(
@@ -737,6 +800,8 @@ class NufftPlan:
             peak_bytes=peak,
             quality=self._quality(),
             fft_fallbacks=self._fft_events(),
+            precision=self.precision,
+            fused=self._fused,
         )
         return out
 
@@ -756,7 +821,7 @@ class NufftPlan:
 
     def _pad(self, image: np.ndarray) -> np.ndarray:
         """Adjoint of :meth:`_crop`: scatter centered pixels into the G-grid."""
-        out = np.zeros(self.grid_shape, dtype=np.complex128)
+        out = np.zeros(self.grid_shape, dtype=self.cdtype)
         index = tuple(
             np.mod(np.arange(n) - n // 2, g)
             for n, g in zip(self.image_shape, self.grid_shape)

@@ -118,6 +118,8 @@ class ToeplitzNormalOperator:
         self._center = tuple(slice(0, n) for n in self.shape)
         self._fft = plan._fft
         self._pool = plan.buffer_pool
+        #: working complex dtype inherited from the plan's precision lane
+        self._cdtype = np.dtype(getattr(plan, "cdtype", np.complex128))
         self._kernel_fft = self._build_kernel()
 
     @property
@@ -167,12 +169,17 @@ class ToeplitzNormalOperator:
                 "refusing to build a normal operator that would corrupt every "
                 "apply()"
             )
+        # The kernel is always *built* in double (one-shot cost) and then
+        # rounded once to the plan's working dtype; a float64 spectrum
+        # multiplied into a complex64 FFT output would silently upcast
+        # every apply() back to complex128.
+        real_dtype = np.float32 if self._cdtype == np.complex64 else np.float64
         if self.hermitian:
             # Hermitian PSF symmetry T[-q] = conj(T[q]) means the true
             # circulant spectrum is real; drop the approximation-error
             # imaginary residue so apply() is exactly Hermitian.
-            return np.ascontiguousarray(kernel_fft.real)
-        return kernel_fft
+            return np.ascontiguousarray(kernel_fft.real, dtype=real_dtype)
+        return kernel_fft.astype(self._cdtype, copy=False)
 
     # ------------------------------------------------------------------
     def health_check(self, tol: float = 1e-6) -> bool:
@@ -215,12 +222,12 @@ class ToeplitzNormalOperator:
         A ``(K,) + image_shape`` stack is routed to
         :meth:`apply_batch`.
         """
-        image = np.asarray(image, dtype=np.complex128)
+        image = np.asarray(image, dtype=self._cdtype)
         if image.ndim == self.ndim + 1 and tuple(image.shape[1:]) == self.shape:
             return self.apply_batch(image)
         if tuple(image.shape) != self.shape:
             raise ValueError(f"image shape {image.shape} != {self.shape}")
-        big = self._pool.acquire(self._embed_shape, zero=True)
+        big = self._pool.acquire(self._embed_shape, self._cdtype, zero=True)
         try:
             big[self._center] = image
             spec = self._fft.fftn(big)
@@ -236,14 +243,14 @@ class ToeplitzNormalOperator:
         One batched FFT pair over all ``K`` embeddings — the per-coil
         loop of SENSE CG collapses into two library calls.
         """
-        images = np.asarray(images, dtype=np.complex128)
+        images = np.asarray(images, dtype=self._cdtype)
         if images.ndim != self.ndim + 1 or tuple(images.shape[1:]) != self.shape:
             raise ValueError(
                 f"images must be (K,) + {self.shape}, got {images.shape}"
             )
         k = images.shape[0]
         axes = tuple(range(1, self.ndim + 1))
-        big = self._pool.acquire((k,) + self._embed_shape, zero=True)
+        big = self._pool.acquire((k,) + self._embed_shape, self._cdtype, zero=True)
         try:
             big[(slice(None),) + self._center] = images
             spec = self._fft.fftn(big, axes=axes)

@@ -46,6 +46,24 @@ def _resolve_normal(normal: str | None, toeplitz: bool) -> str:
     return normal
 
 
+def _plan_cdtype(plan) -> np.dtype:
+    """The plan's working complex dtype (complex128 for legacy plans)."""
+    return np.dtype(getattr(plan, "cdtype", np.complex128))
+
+
+def _dot_real(a: np.ndarray, b: np.ndarray) -> float:
+    """``Re <a, b>`` with a float64 accumulator for complex64 iterates.
+
+    ``np.vdot`` on complex64 operands accumulates in float32, which is
+    too coarse for CG's alpha/beta ratios near convergence; the single
+    lane therefore reduces in double while the complex128 lane keeps
+    the exact legacy ``np.vdot`` (bit-identical results).
+    """
+    if a.dtype == np.complex64:
+        return float(np.sum((np.conj(a) * b).real, dtype=np.float64))
+    return float(np.vdot(a, b).real)
+
+
 def _check_weights(weights: np.ndarray | None, n_samples: int) -> np.ndarray:
     """Validate density-compensation weights (shape, sign, finiteness)."""
     if weights is None:
@@ -217,7 +235,7 @@ def cg_reconstruction(
     the worst (max) relative residual across systems.
     """
     normal = _resolve_normal(normal, toeplitz)
-    kspace = np.asarray(kspace, dtype=np.complex128)
+    kspace = np.asarray(kspace, dtype=_plan_cdtype(plan))
     if kspace.ndim == 2:
         return _cg_reconstruction_batched(
             plan,
@@ -241,6 +259,8 @@ def cg_reconstruction(
     if regularization < 0:
         raise ValueError(f"regularization must be >= 0, got {regularization}")
     w = _check_weights(weights, plan.n_samples)
+    if kspace.dtype == np.complex64:
+        w = w.astype(np.float32)
 
     gram, events = _make_gram(
         plan, w, regularization, normal, normal_options, batched=False
@@ -252,11 +272,11 @@ def cg_reconstruction(
             "right-hand side A^H W y is non-finite; cannot start CG "
             "(check kspace/weights, or use a quality_policy on the plan)"
         )
-    x = np.zeros(plan.image_shape, dtype=np.complex128)
+    x = np.zeros(plan.image_shape, dtype=b.dtype)
     r = b.copy()
     p = r.copy()
-    rs_old = float(np.vdot(r, r).real)
-    b_norm = float(np.linalg.norm(b))
+    rs_old = _dot_real(r, r)
+    b_norm = float(np.sqrt(_dot_real(b, b)))
     if b_norm == 0.0:
         return CgResult(
             image=x,
@@ -285,7 +305,7 @@ def cg_reconstruction(
             DegradationEvent("cg", "iterate", "restart", reason),
         )
         r = b - gram(x)
-        rs = float(np.vdot(r, r).real)
+        rs = _dot_real(r, r)
         if not np.isfinite(rs):
             raise SolverBreakdown(
                 f"CG restart failed: recomputed residual is non-finite ({reason})"
@@ -294,7 +314,7 @@ def cg_reconstruction(
 
     for it in range(1, n_iterations + 1):
         ap = gram(p)
-        denom = float(np.vdot(p, ap).real)
+        denom = _dot_real(p, ap)
         if not np.isfinite(denom):
             r, p, rs_old = restart("non-finite Gram application")
             continue
@@ -307,7 +327,7 @@ def cg_reconstruction(
         alpha = rs_old / denom
         x_new = x + alpha * p
         r_new = r - alpha * ap
-        rs_new = float(np.vdot(r_new, r_new).real)
+        rs_new = _dot_real(r_new, r_new)
         if not np.isfinite(rs_new):
             r, p, rs_old = restart("non-finite residual norm")
             continue
@@ -368,6 +388,16 @@ def _cg_reconstruction_batched(
         raise ValueError(f"regularization must be >= 0, got {regularization}")
     k_rhs = kspace.shape[0]
     w = _check_weights(weights, plan.n_samples)
+    single = kspace.dtype == np.complex64
+    if single:
+        w = w.astype(np.float32)
+    #: real dtype of the per-system alpha/beta steps — np.where
+    #: yields float64 arrays, which would silently upcast complex64
+    #: iterates to complex128 under NEP 50 promotion
+    step_dtype = np.float32 if single else np.float64
+    #: accumulator for the per-system reductions (None keeps the
+    #: complex128 lane on the exact legacy code path)
+    acc_dtype = np.complex128 if single else None
 
     gram, events = _make_gram(
         plan, w, regularization, normal, normal_options, batched=True
@@ -376,7 +406,7 @@ def _cg_reconstruction_batched(
     sum_axes = tuple(range(1, plan.ndim + 1))
 
     def dots(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        return np.sum(np.conj(a) * b, axis=sum_axes).real
+        return np.sum(np.conj(a) * b, axis=sum_axes, dtype=acc_dtype).real
 
     b = plan.adjoint_batch(w * kspace)
     if not np.isfinite(b).all():
@@ -384,7 +414,7 @@ def _cg_reconstruction_batched(
             "right-hand side A^H W y is non-finite; cannot start CG "
             "(check kspace/weights, or use a quality_policy on the plan)"
         )
-    x = np.zeros((k_rhs,) + plan.image_shape, dtype=np.complex128)
+    x = np.zeros((k_rhs,) + plan.image_shape, dtype=b.dtype)
     r = b.copy()
     p = r.copy()
     rs_old = dots(r, r)
@@ -439,7 +469,9 @@ def _cg_reconstruction_batched(
             result.breakdown = "indefinite_gram"
         if not np.any(step_ok):
             break
-        alpha = np.where(step_ok, rs_old / np.where(denom > 0, denom, 1.0), 0.0)
+        alpha = np.where(
+            step_ok, rs_old / np.where(denom > 0, denom, 1.0), 0.0
+        ).astype(step_dtype, copy=False)
         shape = (k_rhs,) + (1,) * plan.ndim
         x_new = x + alpha.reshape(shape) * p
         r_new = r - alpha.reshape(shape) * ap
@@ -464,7 +496,9 @@ def _cg_reconstruction_batched(
         else:
             flat_streak = 0
         best_rel = min(best_rel, worst)
-        beta = np.where(rs_old > 0, rs_new / np.where(rs_old > 0, rs_old, 1.0), 0.0)
+        beta = np.where(
+            rs_old > 0, rs_new / np.where(rs_old > 0, rs_old, 1.0), 0.0
+        ).astype(step_dtype, copy=False)
         p = r + beta.reshape(shape) * p
         rs_old = rs_new
     result.image = x

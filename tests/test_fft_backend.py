@@ -204,10 +204,24 @@ class TestFusedBitIdentity:
         v = np.exp(2j * np.pi * np.arange(coords.shape[0]) / 5)
         assert np.array_equal(fused.adjoint(v), legacy.adjoint(v))
 
-    def test_single_precision_uses_legacy_path(self):
+    def test_simulate_single_uses_legacy_path(self):
+        # the stepwise-rounding comparator needs the legacy pipeline's
+        # rounding points; the true complex64 lane keeps fusion on
         coords = radial_trajectory(16, 32)
-        plan = NufftPlan((32, 32), coords, precision="single")
+        plan = NufftPlan((32, 32), coords, precision="simulate-single")
         assert not plan._fused
+        true_single = NufftPlan((32, 32), coords, precision="single")
+        assert true_single._fused
+
+    def test_fused_true_with_simulate_single_warns_once(self):
+        coords = radial_trajectory(16, 32)
+        with pytest.warns(UserWarning, match="fused=True is overridden"):
+            plan = NufftPlan(
+                (32, 32), coords, precision="simulate-single", fused=True
+            )
+        assert not plan._fused
+        assert not plan.timings.fused
+        assert plan.timings.precision == "simulate-single"
 
     def test_norm_forward_matches_scaled_ifftn_pow2(self):
         # the adjoint's norm="forward" inverse FFT is bit-identical to

@@ -124,15 +124,16 @@ class TestGridderBackends:
 
 
 class TestPrecision:
-    def test_single_precision_error_floor(self, coords):
-        """Single precision must land near the float32 epsilon floor,
+    @pytest.mark.parametrize("lane", ["single", "simulate-single"])
+    def test_single_precision_error_floor(self, coords, lane):
+        """Both single lanes must land near the float32 epsilon floor,
         far above double but far below the kernel approximation."""
         rng = np.random.default_rng(9)
         vals = rng.standard_normal(100) + 1j * rng.standard_normal(100)
         double = NufftPlan((32, 32), coords, table_oversampling=2**14,
                            gridder="naive")
         single = NufftPlan((32, 32), coords, table_oversampling=2**14,
-                           gridder="naive", precision="single")
+                           gridder="naive", precision=lane)
         a = double.adjoint(vals)
         b = single.adjoint(vals)
         err = np.linalg.norm(a - b) / np.linalg.norm(a)
@@ -142,6 +143,61 @@ class TestPrecision:
         plan = NufftPlan((32, 32), coords, precision="single")
         out = plan.forward(np.ones((32, 32), dtype=complex))
         assert out.shape == (100,)
+        assert out.dtype == np.complex64
+
+    def test_single_lane_is_true_complex64(self, coords):
+        """precision='single' computes in complex64 end to end: the
+        gridder setup, the buffer pool keys, and the outputs all carry
+        the working dtype — no complex128 full-grid arrays."""
+        plan = NufftPlan((32, 32), coords, precision="single")
+        assert plan.cdtype == np.complex64
+        assert plan.gridder.setup.dtype == np.dtype(np.complex64)
+        vals = np.ones(100, dtype=np.complex64)
+        img = plan.adjoint(vals)
+        assert img.dtype == np.complex64
+        # every pooled grid buffer is complex64
+        pool_dtypes = {key[1] for key in plan.buffer_pool._free}
+        assert pool_dtypes <= {np.dtype(np.complex64).str}
+        # warm call: the only full-grid transient is the FFT output,
+        # at complex64 width (half of a complex128 grid)
+        plan.adjoint(vals)
+        grid_nbytes = int(np.prod(plan.grid_shape)) * 8
+        assert plan.timings.peak_bytes == grid_nbytes
+        assert plan.timings.precision == "single"
+        assert plan.timings.fused
+
+    def test_simulate_single_matches_legacy_comparator_bits(self, coords):
+        """simulate-single is the old stepwise-rounding comparator,
+        reproduced bit for bit by hand."""
+        rng = np.random.default_rng(3)
+        vals = rng.standard_normal(100) + 1j * rng.standard_normal(100)
+        plan = NufftPlan((32, 32), coords, gridder="naive",
+                         fft_backend="numpy", precision="simulate-single")
+        got = plan.adjoint(vals)
+        assert got.dtype == np.complex128
+
+        def rnd(a):
+            return a.astype(np.complex64).astype(np.complex128)
+
+        ref_plan = NufftPlan((32, 32), coords, gridder="naive",
+                             fft_backend="numpy", fused=False)
+        grid = rnd(ref_plan.gridder.grid(
+            ref_plan.grid_coords, rnd(np.asarray(vals, dtype=np.complex128))
+        ))
+        spectrum = rnd(np.fft.ifftn(grid, norm="forward"))
+        expected = rnd(ref_plan._apodize(ref_plan._crop(spectrum)))
+        assert np.array_equal(got, expected)
+
+    def test_gridder_instance_dtype_mismatch_rejected(self, coords):
+        from repro.gridding import GriddingSetup, make_gridder
+        from repro.kernels import KernelLUT, beatty_kernel
+
+        plan = NufftPlan((32, 32), coords, precision="single")
+        lut = KernelLUT(beatty_kernel(6, 2.0), 512)
+        setup = GriddingSetup(plan.grid_shape, lut)  # complex128 setup
+        gridder = make_gridder("naive", setup)
+        with pytest.raises(ValueError, match="dtype"):
+            NufftPlan((32, 32), coords, gridder=gridder, precision="single")
 
     def test_rejects_unknown_precision(self, coords):
         with pytest.raises(ValueError, match="precision"):

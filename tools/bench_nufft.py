@@ -12,9 +12,14 @@ The stage breakdown is the Fig. 7 measurement of the paper: once
 gridding is accelerated, the host FFT share dominates, which is what
 makes the pluggable multithreaded FFT backends worth their keep.
 
+``--dtype`` selects the precision lane(s): ``double`` (complex128),
+``single`` (the true complex64 compute path), or ``both`` (default) —
+each record carries its lane in a ``dtype`` field so the committed
+baseline tracks the complex64 speedup over time.
+
 ``--check`` compares each record's headline seconds against the last
-committed record of the same ``(mode, backend, op, image, m)`` shape
-and fails (exit 1) on a more-than-2x regression.
+committed record of the same ``(mode, backend, op, image, m, dtype)``
+shape and fails (exit 1) on a more-than-2x regression.
 
 Usage::
 
@@ -61,7 +66,7 @@ def _best_of(fn, repeats: int = 3):
 
 
 def _record(mode: str, size: dict, backend: str, op: str, seconds: float,
-            stages: dict | None = None) -> dict:
+            stages: dict | None = None, dtype: str = "double") -> dict:
     rec = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
         "mode": mode,
@@ -69,6 +74,7 @@ def _record(mode: str, size: dict, backend: str, op: str, seconds: float,
         "op": op,
         "image": size["image"],
         "m": size["spokes"] * size["readout"],
+        "dtype": dtype,
         "seconds": round(seconds, 6),
     }
     if stages:
@@ -76,7 +82,7 @@ def _record(mode: str, size: dict, backend: str, op: str, seconds: float,
     return rec
 
 
-def run_benchmark(mode: str) -> list[dict]:
+def run_benchmark(mode: str, dtypes: tuple[str, ...] = ("double",)) -> list[dict]:
     """Records for forward / adjoint / CG per backend + the Toeplitz path."""
     size = SIZES[mode]
     n = size["image"]
@@ -89,56 +95,67 @@ def run_benchmark(mode: str) -> list[dict]:
 
     records = []
     for backend in available_fft_backends():
-        plan = NufftPlan(
-            (n, n),
-            coords,
-            gridder="slice_and_dice_compiled",
-            gridder_options={"backend": "csr"},
-            fft_backend=backend,
-        )
-        adj_s, _ = _best_of(lambda: plan.adjoint(values))
-        t = plan.timings
-        records.append(
-            _record(
-                mode, size, backend, "adjoint", adj_s,
-                {
-                    "gridding": t.gridding,
-                    "fft": t.fft,
-                    "apodization": t.apodization,
-                    "copy": t.copy_seconds,
-                },
+        for dtype in dtypes:
+            precision = "single" if dtype == "single" else "double"
+            plan = NufftPlan(
+                (n, n),
+                coords,
+                gridder="slice_and_dice_compiled",
+                gridder_options={"backend": "csr"},
+                fft_backend=backend,
+                precision=precision,
             )
-        )
-        fwd_s, _ = _best_of(lambda: plan.forward(image))
-        t = plan.timings
-        records.append(
-            _record(
-                mode, size, backend, "forward", fwd_s,
-                {
-                    "gridding": t.gridding,
-                    "fft": t.fft,
-                    "apodization": t.apodization,
-                    "copy": t.copy_seconds,
-                },
+            vals = np.asarray(values, dtype=plan.cdtype)
+            img = np.asarray(image, dtype=plan.cdtype)
+            adj_s, _ = _best_of(lambda: plan.adjoint(vals))
+            t = plan.timings
+            records.append(
+                _record(
+                    mode, size, backend, "adjoint", adj_s,
+                    {
+                        "gridding": t.gridding,
+                        "fft": t.fft,
+                        "apodization": t.apodization,
+                        "copy": t.copy_seconds,
+                    },
+                    dtype=dtype,
+                )
             )
-        )
-        cg_s, _ = _best_of(
-            lambda: cg_reconstruction(
-                plan, values, weights,
-                n_iterations=size["cg_iters"], tolerance=1e-30,
-            ),
-            repeats=2,
-        )
-        records.append(_record(mode, size, backend, "cg_gridding", cg_s))
-        toep_s, _ = _best_of(
-            lambda: cg_reconstruction(
-                plan, values, weights,
-                n_iterations=size["cg_iters"], tolerance=1e-30,
-                normal="toeplitz",
-            ),
-            repeats=2,
-        )
-        records.append(_record(mode, size, backend, "cg_toeplitz", toep_s))
+            fwd_s, _ = _best_of(lambda: plan.forward(img))
+            t = plan.timings
+            records.append(
+                _record(
+                    mode, size, backend, "forward", fwd_s,
+                    {
+                        "gridding": t.gridding,
+                        "fft": t.fft,
+                        "apodization": t.apodization,
+                        "copy": t.copy_seconds,
+                    },
+                    dtype=dtype,
+                )
+            )
+            cg_s, _ = _best_of(
+                lambda: cg_reconstruction(
+                    plan, vals, weights,
+                    n_iterations=size["cg_iters"], tolerance=1e-30,
+                ),
+                repeats=2,
+            )
+            records.append(
+                _record(mode, size, backend, "cg_gridding", cg_s, dtype=dtype)
+            )
+            toep_s, _ = _best_of(
+                lambda: cg_reconstruction(
+                    plan, vals, weights,
+                    n_iterations=size["cg_iters"], tolerance=1e-30,
+                    normal="toeplitz",
+                ),
+                repeats=2,
+            )
+            records.append(
+                _record(mode, size, backend, "cg_toeplitz", toep_s, dtype=dtype)
+            )
     return records
 
 
@@ -151,13 +168,17 @@ def load_records(path: Path) -> list[dict]:
 def check_regressions(baseline: list[dict], current: list[dict]) -> list[str]:
     """Failure messages for records slower than committed * factor."""
     failures = []
+
+    def _key(r: dict) -> tuple:
+        # records committed before the dtype axis existed are double
+        return (
+            r["mode"], r["backend"], r["op"], r["image"], r["m"],
+            r.get("dtype", "double"),
+        )
+
     for rec in current:
-        key = (rec["mode"], rec["backend"], rec["op"], rec["image"], rec["m"])
-        prior = [
-            b
-            for b in baseline
-            if (b["mode"], b["backend"], b["op"], b["image"], b["m"]) == key
-        ]
+        key = _key(rec)
+        prior = [b for b in baseline if _key(b) == key]
         if not prior:
             continue  # no committed baseline for this shape yet
         base = prior[-1]["seconds"]
@@ -189,6 +210,12 @@ def main(argv: list[str] | None = None) -> int:
         help="print records without appending to the output file",
     )
     parser.add_argument(
+        "--dtype",
+        choices=("double", "single", "both"),
+        default="both",
+        help="precision lane(s) to benchmark (default: both)",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=REPO_ROOT / "BENCH_nufft.json",
@@ -197,17 +224,22 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     mode = "smoke" if args.smoke else "full"
+    dtypes = ("double", "single") if args.dtype == "both" else (args.dtype,)
     baseline = load_records(args.output)
-    records = run_benchmark(mode)
+    records = run_benchmark(mode, dtypes)
 
-    header = f"{'backend':<8} {'op':<12} {'seconds':>9} {'fft':>8} {'grid':>8}"
+    header = (
+        f"{'backend':<8} {'dtype':<7} {'op':<12} {'seconds':>9} "
+        f"{'fft':>8} {'grid':>8}"
+    )
     print(header)
     print("-" * len(header))
     for rec in records:
         fft = rec.get("fft")
         grid = rec.get("gridding")
         print(
-            f"{rec['backend']:<8} {rec['op']:<12} {rec['seconds']:>8.4f}s "
+            f"{rec['backend']:<8} {rec['dtype']:<7} {rec['op']:<12} "
+            f"{rec['seconds']:>8.4f}s "
             f"{(f'{fft:.4f}s' if fft is not None else '-'):>8} "
             f"{(f'{grid:.4f}s' if grid is not None else '-'):>8}"
         )

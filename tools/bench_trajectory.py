@@ -22,6 +22,12 @@ The full problem matches the ablation benchmark
 a 256^2 grid with W = 4.  Smoke mode shrinks to M = 8192 on 128^2 so
 the CI job finishes in seconds while still exercising every code path
 (plan compile, plan hit, CSR matvec).
+
+``--dtype`` selects the working dtype: ``double`` (complex128),
+``single`` (complex64 setup, float32 tables/weights), or ``both``
+(default).  Each record carries its lane in a ``dtype`` field; the
+warm speedup is always measured against the serial engine *of the
+same lane* so the two lanes stay comparable over time.
 """
 
 from __future__ import annotations
@@ -68,43 +74,51 @@ def _best_of(fn, repeats: int = 5) -> float:
     return best
 
 
-def run_benchmark(mode: str) -> list[dict]:
-    """One record per engine for the given problem size."""
+def run_benchmark(mode: str, dtypes: tuple[str, ...] = ("double",)) -> list[dict]:
+    """One record per (engine, dtype) for the given problem size."""
     size = SIZES[mode]
     m, g, w = size["m"], size["grid"], size["width"]
-    setup = GriddingSetup((g, g), KernelLUT(beatty_kernel(w, 2.0), 64))
     coords = np.mod(random_trajectory(m, 2, rng=0), 1.0) * g
     rng = np.random.default_rng(7)
     values = rng.standard_normal(m) + 1j * rng.standard_normal(m)
 
     records = []
-    serial_warm = None
-    for engine, kwargs in ENGINES.items():
-        name = engine.split("[", 1)[0]
-        gridder = make_gridder(name, setup, **kwargs)
-        t0 = time.perf_counter()
-        gridder.grid(coords, values)  # cold: table build / plan compile
-        cold = time.perf_counter() - t0
-        misses = gridder.stats.cache_misses
-        warm = _best_of(lambda: gridder.grid(coords, values))
-        hits = gridder.stats.cache_hits
-        if serial_warm is None:  # dict order: serial engine runs first
-            serial_warm = warm
-        records.append(
-            {
-                "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
-                "mode": mode,
-                "engine": engine,
-                "m": m,
-                "grid": g,
-                "width": w,
-                "seconds_cold": round(cold, 6),
-                "seconds_warm": round(warm, 6),
-                "plan_hits": int(hits),
-                "plan_misses": int(misses),
-                "warm_speedup_vs_serial": round(serial_warm / warm, 3),
-            }
+    for dtype_name in dtypes:
+        cdtype = np.complex64 if dtype_name == "single" else np.complex128
+        setup = GriddingSetup(
+            (g, g), KernelLUT(beatty_kernel(w, 2.0), 64), dtype=cdtype
         )
+        vals = values.astype(cdtype)
+        serial_warm = None
+        for engine, kwargs in ENGINES.items():
+            name = engine.split("[", 1)[0]
+            gridder = make_gridder(name, setup, **kwargs)
+            t0 = time.perf_counter()
+            gridder.grid(coords, vals)  # cold: table build / plan compile
+            cold = time.perf_counter() - t0
+            misses = gridder.stats.cache_misses
+            warm = _best_of(lambda: gridder.grid(coords, vals))
+            hits = gridder.stats.cache_hits
+            if serial_warm is None:  # dict order: serial engine runs first
+                serial_warm = warm
+            records.append(
+                {
+                    "timestamp": time.strftime(
+                        "%Y-%m-%dT%H:%M:%S", time.gmtime()
+                    ),
+                    "mode": mode,
+                    "engine": engine,
+                    "m": m,
+                    "grid": g,
+                    "width": w,
+                    "dtype": dtype_name,
+                    "seconds_cold": round(cold, 6),
+                    "seconds_warm": round(warm, 6),
+                    "plan_hits": int(hits),
+                    "plan_misses": int(misses),
+                    "warm_speedup_vs_serial": round(serial_warm / warm, 3),
+                }
+            )
     return records
 
 
@@ -117,13 +131,15 @@ def load_records(path: Path) -> list[dict]:
 def check_regressions(baseline: list[dict], current: list[dict]) -> list[str]:
     """Failure messages for every engine slower than baseline / 2."""
     failures = []
+    def _key(r: dict) -> tuple:
+        # pre-dtype-axis records (no "dtype" field) were all complex128
+        return (
+            r["mode"], r["engine"], r["m"], r["grid"], r["width"],
+            r.get("dtype", "double"),
+        )
+
     for rec in current:
-        key = (rec["mode"], rec["engine"], rec["m"], rec["grid"], rec["width"])
-        prior = [
-            b
-            for b in baseline
-            if (b["mode"], b["engine"], b["m"], b["grid"], b["width"]) == key
-        ]
+        prior = [b for b in baseline if _key(b) == _key(rec)]
         if not prior:
             continue  # no committed baseline for this shape yet
         base = prior[-1]["warm_speedup_vs_serial"]
@@ -156,6 +172,12 @@ def main(argv: list[str] | None = None) -> int:
         help="print records without appending to the output file",
     )
     parser.add_argument(
+        "--dtype",
+        choices=("double", "single", "both"),
+        default="both",
+        help="working dtype lane(s) to benchmark (default: both)",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=REPO_ROOT / "BENCH_gridding.json",
@@ -164,15 +186,19 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     mode = "smoke" if args.smoke else "full"
+    dtypes = ("double", "single") if args.dtype == "both" else (args.dtype,)
     baseline = load_records(args.output)
-    records = run_benchmark(mode)
+    records = run_benchmark(mode, dtypes)
 
-    header = f"{'engine':<28} {'cold':>9} {'warm':>9} {'vs serial':>10}"
+    header = (
+        f"{'engine':<28} {'dtype':<7} {'cold':>9} {'warm':>9} {'vs serial':>10}"
+    )
     print(header)
     print("-" * len(header))
     for rec in records:
         print(
-            f"{rec['engine']:<28} {rec['seconds_cold']:>8.4f}s "
+            f"{rec['engine']:<28} {rec['dtype']:<7} "
+            f"{rec['seconds_cold']:>8.4f}s "
             f"{rec['seconds_warm']:>8.4f}s "
             f"{rec['warm_speedup_vs_serial']:>9.2f}x"
         )
