@@ -29,6 +29,9 @@ Package map (see DESIGN.md for the full inventory):
   taxonomy, input-quality gates, and the deterministic fault-injection
   harness (see docs/robustness.md)
 - :mod:`repro.bench` — datasets and paper reference numbers
+- :mod:`repro.service` — reconstruction-as-a-service: async job API,
+  warm-cache worker pool, stdlib HTTP front end (see docs/service.md;
+  imported lazily — ``from repro.service import ReconServer``)
 """
 
 from .core import SliceAndDiceGridder, DiceLayout
@@ -39,6 +42,7 @@ from .errors import (
     EngineFailure,
     BackendFailure,
     SolverBreakdown,
+    ServiceOverloaded,
     DegradationEvent,
 )
 from .robustness import DataQualityReport, inject_faults
@@ -91,6 +95,7 @@ __all__ = [
     "EngineFailure",
     "BackendFailure",
     "SolverBreakdown",
+    "ServiceOverloaded",
     "DegradationEvent",
     "DataQualityReport",
     "inject_faults",

@@ -18,6 +18,9 @@ common failure vocabulary so callers can catch by *failure class*:
   failed (a ``RuntimeError``).
 - :class:`SolverBreakdown` — an iterative solver lost numerical health
   beyond repair (NaN/Inf state after its one permitted restart).
+- :class:`ServiceOverloaded` — the reconstruction service refused a
+  submission because its bounded queue is full (a ``RuntimeError``;
+  carries ``retry_after`` and maps to HTTP 429).
 
 Each concrete class also subclasses the built-in exception the code
 historically raised in that situation, so ``except ValueError`` /
@@ -53,6 +56,7 @@ __all__ = [
     "EngineFailure",
     "BackendFailure",
     "SolverBreakdown",
+    "ServiceOverloaded",
     "DegradationEvent",
 ]
 
@@ -84,6 +88,28 @@ class BackendFailure(ReproError, RuntimeError):
 class SolverBreakdown(ReproError, RuntimeError):
     """An iterative solver's state went non-finite (or degenerate)
     beyond what its single permitted restart could repair."""
+
+
+class ServiceOverloaded(ReproError, RuntimeError):
+    """The reconstruction service's bounded job queue is full.
+
+    Backpressure, not failure: the submission was *refused at the
+    door* (no job id was issued, nothing was enqueued), so retrying
+    after ``retry_after`` seconds is always safe.  The HTTP front end
+    maps this to ``429 Too Many Requests`` with a ``Retry-After``
+    header; accepted jobs are never dropped.
+
+    Attributes
+    ----------
+    retry_after:
+        Suggested wait in whole seconds before resubmitting, derived
+        from the current queue depth and the service's smoothed
+        per-job seconds.
+    """
+
+    def __init__(self, message: str, retry_after: int = 1):
+        super().__init__(message)
+        self.retry_after = max(1, int(retry_after))
 
 
 @dataclass(frozen=True)

@@ -23,6 +23,7 @@ through the registry (:func:`available_gridders`, :func:`make_gridder`,
 """
 
 from .base import Gridder, GriddingSetup, GriddingStats, window_contributions
+from .buffers import GridBufferPool, PoolSnapshot
 from .naive import NaiveGridder
 from .output_parallel import OutputParallelGridder
 from .binning import BinningGridder
@@ -34,6 +35,8 @@ __all__ = [
     "GriddingSetup",
     "GriddingStats",
     "window_contributions",
+    "GridBufferPool",
+    "PoolSnapshot",
     "NaiveGridder",
     "OutputParallelGridder",
     "BinningGridder",

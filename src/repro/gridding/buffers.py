@@ -17,9 +17,80 @@ it, and either layer may sit above the other in a given call stack.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-__all__ = ["GridBufferPool"]
+__all__ = ["GridBufferPool", "PoolSnapshot"]
+
+
+@dataclass(frozen=True)
+class PoolSnapshot:
+    """Immutable copy of one :class:`GridBufferPool`'s counters.
+
+    The pool's live attributes are mutable and local to whichever
+    component owns the pool — a service worker, a plan, a gridder.  A
+    snapshot freezes them at one instant so they can be shipped across
+    thread (or, pickled, process) boundaries and **merged** into fleet
+    aggregates: the service ``/stats`` endpoint reports one snapshot
+    per worker plus ``PoolSnapshot.merge(...)`` over all of them,
+    instead of silently showing only the parent process's pool.
+
+    Merge semantics: every counter sums.  For ``peak_bytes`` the sum
+    of per-pool peaks is an *upper bound* on simultaneous residency
+    (the pools need not have peaked at the same time), which is the
+    conservative number a capacity planner wants.
+
+    Examples
+    --------
+    >>> pool = GridBufferPool()
+    >>> buf = pool.acquire((4, 4))
+    >>> pool.release(buf)
+    >>> snap = pool.snapshot()
+    >>> (snap.hits, snap.misses, snap.outstanding)
+    (0, 1, 0)
+    >>> total = PoolSnapshot.merge([snap, snap])
+    >>> (total.misses, total.miss_bytes == 2 * snap.miss_bytes)
+    (2, True)
+    """
+
+    hits: int = 0
+    misses: int = 0
+    miss_bytes: int = 0
+    resident_bytes: int = 0
+    peak_bytes: int = 0
+    outstanding: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of acquires served from the free list (0.0 when idle)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @classmethod
+    def merge(cls, snapshots) -> "PoolSnapshot":
+        """Aggregate snapshots from many pools into one fleet total."""
+        snapshots = list(snapshots)
+        return cls(
+            hits=sum(s.hits for s in snapshots),
+            misses=sum(s.misses for s in snapshots),
+            miss_bytes=sum(s.miss_bytes for s in snapshots),
+            resident_bytes=sum(s.resident_bytes for s in snapshots),
+            peak_bytes=sum(s.peak_bytes for s in snapshots),
+            outstanding=sum(s.outstanding for s in snapshots),
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (plus the derived hit rate)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "miss_bytes": self.miss_bytes,
+            "resident_bytes": self.resident_bytes,
+            "peak_bytes": self.peak_bytes,
+            "outstanding": self.outstanding,
+            "hit_rate": round(self.hit_rate, 4),
+        }
 
 
 class GridBufferPool:
@@ -140,6 +211,23 @@ class GridBufferPool:
             free.append(buf)
         else:
             self.resident_bytes -= buf.nbytes
+
+    def snapshot(self) -> PoolSnapshot:
+        """Freeze the counters into an immutable :class:`PoolSnapshot`.
+
+        Counters are plain attributes local to this pool object, so a
+        multi-pool deployment (one pool per service worker) has no
+        global view by default; snapshots are the merge-friendly unit
+        the ``/stats`` plumbing aggregates.
+        """
+        return PoolSnapshot(
+            hits=self.hits,
+            misses=self.misses,
+            miss_bytes=self.miss_bytes,
+            resident_bytes=self.resident_bytes,
+            peak_bytes=self.peak_bytes,
+            outstanding=self.outstanding,
+        )
 
     def clear(self) -> None:
         """Drop every free buffer (outstanding ones are untouched)."""

@@ -181,6 +181,15 @@ class NufftPlan:
         available backends ending at ``numpy`` instead of aborting the
         transform; demotions appear in ``plan.timings.fft_fallbacks``.
         Default True; pass False to let FFT exceptions propagate.
+    buffer_pool:
+        An existing :class:`~repro.gridding.buffers.GridBufferPool` to
+        route every full-grid allocation through, instead of the
+        private pool each plan otherwise creates.  Long-lived hosts
+        that keep *several* plans warm (the reconstruction service's
+        workers) share one pool per worker so buffers are reused
+        across plans of the same geometry and the worker's
+        ``peak_bytes`` is a single meaningful number rather than a
+        scatter of per-plan counters.
 
     Examples
     --------
@@ -231,6 +240,7 @@ class NufftPlan:
         fused: bool | None = None,
         quality_policy: str = "raise",
         fft_fallback: bool = True,
+        buffer_pool: GridBufferPool | None = None,
     ):
         if precision not in ("double", "single", "simulate-single"):
             raise ValueError(
@@ -318,8 +328,9 @@ class NufftPlan:
             fft = FallbackFftBackend(fft, workers=fft_workers)
         self._fft = fft
         #: pooled oversampled-grid buffers, shared with the gridder's
-        #: internal dice/scratch allocations
-        self.buffer_pool = GridBufferPool()
+        #: internal dice/scratch allocations (and, when ``buffer_pool``
+        #: was passed, with every other plan on the same pool)
+        self.buffer_pool = buffer_pool if buffer_pool is not None else GridBufferPool()
         self.gridder.buffer_pool = self.buffer_pool
         if fused and precision == "simulate-single":
             warnings.warn(

@@ -95,13 +95,22 @@ def _make_gram(plan, w, regularization, normal, normal_options, batched):
     reconstruction.  :class:`~repro.errors.DataQualityError` from the
     build is *not* absorbed: bad weights would poison the gridding
     normal operator identically, so degrading cannot help.
+
+    ``normal_options`` may carry ``operator=<ToeplitzNormalOperator>``
+    — a *prebuilt* operator to use instead of building one here.  This
+    is the warm path for hosts that apply the same trajectory+weights
+    repeatedly (the reconstruction service caches the operator per
+    weights fingerprint): the one-shot PSF gridding pass is skipped,
+    but the health check and the degradation contract still run.  The
+    caller owns the weights-consistency of a passed operator.
     """
     events: list[DegradationEvent] = []
     if normal == "toeplitz":
+        opts = dict(normal_options or {})
+        gram_op = opts.pop("operator", None)
         try:
-            gram_op = ToeplitzNormalOperator(
-                plan, weights=w, **(normal_options or {})
-            )
+            if gram_op is None:
+                gram_op = ToeplitzNormalOperator(plan, weights=w, **opts)
             if not gram_op.health_check():
                 raise SolverBreakdown(
                     "Toeplitz kernel spectrum failed the Hermitian-PSD "

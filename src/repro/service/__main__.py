@@ -1,0 +1,84 @@
+"""CLI entry point: ``python -m repro.service``.
+
+Runs the HTTP reconstruction service in the foreground until SIGINT /
+SIGTERM, then drains gracefully — every accepted job reaches a
+terminal state before the process exits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+
+from .server import ReconServer
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve NuFFT reconstructions over HTTP (stdlib only).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8008, help="0 picks a free port"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="warm-cache worker threads"
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="queued+running bound before submissions get 429",
+    )
+    parser.add_argument(
+        "--plan-cache-size",
+        type=int,
+        default=8,
+        help="warm plans retained per worker (LRU)",
+    )
+    parser.add_argument(
+        "--allow-shutdown",
+        action="store_true",
+        help="enable POST /shutdown (off by default)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-request log lines"
+    )
+    args = parser.parse_args(argv)
+
+    server = ReconServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_pending=args.max_pending,
+        plan_cache_size=args.plan_cache_size,
+        allow_shutdown=args.allow_shutdown,
+        verbose=not args.quiet,
+    )
+    stop = threading.Event()
+
+    def _handle(signum, frame):  # noqa: ARG001 - signal API
+        stop.set()
+
+    signal.signal(signal.SIGINT, _handle)
+    signal.signal(signal.SIGTERM, _handle)
+
+    server.start()
+    print(f"repro.service listening on {server.url}", flush=True)
+    try:
+        # wake periodically so signals are delivered promptly; also exit
+        # once a POST /shutdown (when enabled) has closed the server
+        while not stop.is_set() and not server.wait_closed(0.2):
+            stop.wait(0.2)
+    finally:
+        print("draining...", flush=True)
+        server.close(drain=True)
+        print("stopped.", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

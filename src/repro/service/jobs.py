@@ -1,0 +1,337 @@
+"""Job model of the reconstruction service.
+
+A *job* is one reconstruction request: a trajectory, its k-space
+samples, and the plan/solver options to run them under.  Jobs move
+through a small state machine::
+
+    submit() ──▶ queued ──▶ running ──▶ done
+         │                     │
+         ▼                     ▼
+     (rejected:             failed
+      no id issued,
+      ServiceOverloaded)
+
+``rejected`` is not a stored state: an over-capacity submission is
+refused *before* a job id exists (HTTP 429), so every id the service
+ever hands out resolves to a job that terminates in ``done`` or
+``failed`` — accepted jobs are never dropped.
+
+The trajectory **fingerprint** computed here is the affinity-routing
+key: jobs whose coordinate arrays fingerprint identically are routed
+to the same worker, whose plan/select-table/Toeplitz caches are
+therefore already warm for them.  The fingerprint deliberately reuses
+the O(1) sampling scheme of the gridder-side caches
+(:meth:`repro.core.slice_and_dice.SliceAndDiceGridder._coords_fingerprint`)
+so "same fingerprint" at the service layer implies cache hits all the
+way down.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "JobSpec",
+    "Job",
+    "JobState",
+    "trajectory_fingerprint",
+    "encode_array",
+    "decode_array",
+]
+
+
+class JobState:
+    """String states of the job lifecycle (JSON-friendly)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+    #: states a job can no longer leave
+    TERMINAL = (DONE, FAILED)
+
+
+def trajectory_fingerprint(coords: np.ndarray) -> str:
+    """Hex affinity key for an ``(M, d)`` coordinate array.
+
+    Reads O(1) rows (first/middle/last), a strided checksum of at most
+    16 rows, and the shape — the same observable set the gridder-side
+    select-table/compiled-plan caches key on, hashed to a compact hex
+    string so it can travel through JSON and be compared cheaply.
+    """
+    coords = np.ascontiguousarray(np.atleast_2d(coords), dtype=np.float64)
+    m = coords.shape[0]
+    step = max(1, m // 16)
+    h = hashlib.sha1()
+    h.update(repr(coords.shape).encode())
+    h.update(coords[0].tobytes())
+    h.update(coords[m // 2].tobytes())
+    h.update(coords[-1].tobytes())
+    h.update(np.float64(coords[::step].sum()).tobytes())
+    return h.hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# wire codec: numpy arrays <-> JSON-safe dicts
+# ----------------------------------------------------------------------
+def encode_array(array: np.ndarray) -> dict:
+    """JSON-safe envelope for an array: shape + dtype + base64 payload."""
+    array = np.ascontiguousarray(array)
+    return {
+        "shape": list(array.shape),
+        "dtype": array.dtype.name,
+        "data": base64.b64encode(array.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(obj, dtype=None) -> np.ndarray:
+    """Inverse of :func:`encode_array`, with two lenient spellings.
+
+    Accepts the base64 envelope, a plain (nested) list of numbers, or
+    — for complex payloads — ``{"real": [...], "imag": [...]}``.  The
+    lenient forms exist so a curl-wielding human can submit a job
+    without writing a base64 encoder.
+    """
+    if isinstance(obj, dict) and "data" in obj:
+        array = np.frombuffer(
+            base64.b64decode(obj["data"]), dtype=np.dtype(obj["dtype"])
+        ).reshape(obj["shape"])
+    elif isinstance(obj, dict) and "real" in obj:
+        array = np.asarray(obj["real"], dtype=np.float64) + 1j * np.asarray(
+            obj.get("imag", 0.0), dtype=np.float64
+        )
+    else:
+        array = np.asarray(obj)
+    if dtype is not None:
+        array = np.asarray(array, dtype=dtype)
+    return array
+
+
+# ----------------------------------------------------------------------
+# job spec + record
+# ----------------------------------------------------------------------
+@dataclass
+class JobSpec:
+    """Everything needed to run one reconstruction.
+
+    ``method`` selects the pipeline: ``"cg"`` (iterative solve via
+    :func:`repro.recon.cg_reconstruction`) or ``"adjoint"`` (one
+    density-weighted adjoint NuFFT).  The plan-shaped options mirror
+    :class:`repro.nufft.NufftPlan` and participate in the worker's
+    plan-cache key; the solver-shaped options are per-call and do not.
+    """
+
+    image_shape: tuple
+    coords: np.ndarray
+    samples: np.ndarray
+    weights: np.ndarray | None = None
+    method: str = "cg"
+    # ---- plan-shaped options (part of the warm-cache key) ----
+    gridder: str = "slice_and_dice_compiled"
+    gridder_options: dict = field(default_factory=dict)
+    precision: str = "double"
+    fft_backend: str = "auto"
+    quality_policy: str = "raise"
+    # ---- solver-shaped options (per call) ----
+    n_iterations: int = 10
+    tolerance: float = 1e-6
+    regularization: float = 0.0
+    normal: str = "toeplitz"
+
+    _METHODS = ("cg", "adjoint")
+
+    def __post_init__(self):
+        self.image_shape = tuple(int(n) for n in self.image_shape)
+        self.coords = np.atleast_2d(np.asarray(self.coords, dtype=np.float64))
+        self.samples = np.asarray(self.samples)
+        if self.method not in self._METHODS:
+            raise ValueError(
+                f"method must be one of {self._METHODS}, got {self.method!r}"
+            )
+        if self.coords.shape[1] != len(self.image_shape):
+            raise ValueError(
+                f"coords dimension {self.coords.shape[1]} != image rank "
+                f"{len(self.image_shape)}"
+            )
+        if self.samples.shape[-1] != self.coords.shape[0]:
+            raise ValueError(
+                f"{self.samples.shape[-1]} samples for "
+                f"{self.coords.shape[0]} trajectory points"
+            )
+
+    @property
+    def fingerprint(self) -> str:
+        """Trajectory affinity key (memoized — coords are not mutated)."""
+        fp = getattr(self, "_fingerprint", None)
+        if fp is None:
+            fp = self._fingerprint = trajectory_fingerprint(self.coords)
+        return fp
+
+    def plan_key(self) -> tuple:
+        """Hashable key of the warm plan this spec needs."""
+        return (
+            self.fingerprint,
+            self.image_shape,
+            self.gridder,
+            tuple(sorted((k, repr(v)) for k, v in self.gridder_options.items())),
+            self.precision,
+            self.fft_backend,
+            self.quality_policy,
+        )
+
+    def weights_key(self) -> tuple | None:
+        """Hashable key of the DCF weights (Toeplitz-cache subkey)."""
+        if self.weights is None:
+            return None
+        w = np.asarray(self.weights, dtype=np.float64).ravel()
+        step = max(1, w.shape[0] // 16)
+        return (w.shape[0], float(w[0]), float(w[-1]), float(w[::step].sum()))
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "JobSpec":
+        """Build a spec from a decoded JSON request body."""
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        for required in ("image_shape", "coords", "samples"):
+            if required not in payload:
+                raise ValueError(f"missing required field {required!r}")
+        options = dict(payload.get("options") or {})
+        unknown = set(options) - {
+            "gridder", "gridder_options", "precision", "fft_backend",
+            "quality_policy", "n_iterations", "tolerance", "regularization",
+            "normal",
+        }
+        if unknown:
+            raise ValueError(f"unknown option(s): {sorted(unknown)}")
+        weights = payload.get("weights")
+        return cls(
+            image_shape=tuple(payload["image_shape"]),
+            coords=decode_array(payload["coords"], dtype=np.float64),
+            samples=decode_array(payload["samples"], dtype=np.complex128),
+            weights=None if weights is None
+            else decode_array(weights, dtype=np.float64),
+            method=payload.get("method", "cg"),
+            **options,
+        )
+
+
+@dataclass
+class JobResult:
+    """What a finished job produced (all fields JSON-encodable)."""
+
+    image: np.ndarray
+    n_iterations: int = 0
+    converged: bool = True
+    residual: float | None = None
+    restarts: int = 0
+    breakdown: str | None = None
+    degradations: tuple = ()
+    quality: dict | None = None
+    plan_cache: str = "miss"
+    toeplitz_cache: str | None = None
+    seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "image": encode_array(self.image),
+            "n_iterations": self.n_iterations,
+            "converged": self.converged,
+            "residual": self.residual,
+            "restarts": self.restarts,
+            "breakdown": self.breakdown,
+            "degradations": [
+                {
+                    "component": d.component,
+                    "from_stage": d.from_stage,
+                    "to_stage": d.to_stage,
+                    "reason": d.reason,
+                }
+                for d in self.degradations
+            ],
+            "quality": self.quality,
+            "plan_cache": self.plan_cache,
+            "toeplitz_cache": self.toeplitz_cache,
+            "seconds": round(self.seconds, 6),
+        }
+
+
+class Job:
+    """One accepted reconstruction request and its lifecycle record.
+
+    Thread contract: the owning service mutates state under its lock;
+    readers get a consistent JSON view via :meth:`as_dict` and can
+    block on :meth:`wait` (an internal :class:`threading.Event` set on
+    entry to a terminal state).
+    """
+
+    def __init__(self, spec: JobSpec):
+        self.id = uuid.uuid4().hex[:12]
+        self.spec = spec
+        self.state = JobState.QUEUED
+        self.worker: str | None = None
+        self.error: str | None = None
+        self.result: JobResult | None = None
+        self.submitted = time.time()
+        self.started: float | None = None
+        self.finished: float | None = None
+        self._done = threading.Event()
+        #: optional hook the owning service installs to observe the
+        #: transition into a terminal state (pending-count bookkeeping)
+        self.on_terminal = None
+
+    def mark_running(self, worker: str) -> None:
+        self.state = JobState.RUNNING
+        self.worker = worker
+        self.started = time.time()
+
+    def mark_done(self, result: JobResult) -> None:
+        self.result = result
+        self.state = JobState.DONE
+        self.finished = time.time()
+        self._done.set()
+        if self.on_terminal is not None:
+            self.on_terminal(self)
+
+    def mark_failed(self, error: BaseException) -> None:
+        self.error = f"{type(error).__name__}: {error}"
+        self.state = JobState.FAILED
+        self.finished = time.time()
+        self._done.set()
+        if self.on_terminal is not None:
+            self.on_terminal(self)
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job reaches a terminal state."""
+        return self._done.wait(timeout)
+
+    @property
+    def seconds(self) -> float | None:
+        """Wall seconds from start to finish (None until finished)."""
+        if self.started is None or self.finished is None:
+            return None
+        return self.finished - self.started
+
+    def as_dict(self, include_result: bool = True) -> dict:
+        out = {
+            "job": self.id,
+            "state": self.state,
+            "method": self.spec.method,
+            "fingerprint": self.spec.fingerprint,
+            "worker": self.worker,
+            "submitted": self.submitted,
+            "started": self.started,
+            "finished": self.finished,
+            "seconds": self.seconds,
+            "error": self.error,
+        }
+        if include_result and self.result is not None:
+            out["result"] = self.result.as_dict()
+        return out

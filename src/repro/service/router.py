@@ -1,0 +1,276 @@
+"""Admission control + trajectory-affinity routing.
+
+:class:`ReconService` is the in-process heart of the service — the
+HTTP front end (:mod:`repro.service.server`) is a thin JSON shim over
+it, and everything here is directly usable (and tested) without a
+socket.
+
+Two policies live here:
+
+**Bounded admission (backpressure).**  The service accepts at most
+``max_pending`` jobs that are queued or running at once.  A submission
+beyond that is refused *before* a job id is issued —
+:class:`~repro.errors.ServiceOverloaded`, carrying a ``retry_after``
+estimate derived from the queue depth and an exponentially smoothed
+per-job wall time.  Because the bound is enforced globally at
+admission, the per-worker inboxes can be unbounded: an accepted job
+always has a queue slot and is therefore *never* dropped, even during
+shutdown (``close(drain=True)`` refuses new work but finishes all
+accepted work).
+
+**Trajectory affinity.**  Jobs are routed by trajectory fingerprint:
+the first job of a fingerprint picks the least-loaded worker and the
+assignment sticks (bounded LRU of assignments), so repeat traffic on
+one trajectory always lands on the worker whose
+plan/select-table/compiled-plan/Toeplitz caches are already warm for
+it.  Distinct trajectories spread over workers by load.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import OrderedDict
+
+from ..errors import ServiceOverloaded
+from .jobs import Job, JobSpec, JobState
+from .worker import ReconWorker
+
+__all__ = ["ReconService"]
+
+
+class ReconService:
+    """A warm-cache reconstruction worker pool with bounded admission.
+
+    Parameters
+    ----------
+    workers:
+        Worker-thread count (each owns its own warm caches and buffer
+        pool).
+    max_pending:
+        Global bound on jobs simultaneously queued + running.  The
+        lever that turns overload into fast 429s instead of unbounded
+        memory growth.
+    plan_cache_size / toeplitz_cache_size:
+        Per-worker warm-cache capacities (see
+        :class:`~repro.service.worker.ReconWorker`).
+    max_affinity:
+        Sticky fingerprint→worker assignments remembered (LRU).
+    max_jobs_retained:
+        Terminal job records kept for status lookup (oldest-finished
+        evicted beyond this), bounding service memory under sustained
+        traffic.
+    autostart:
+        Start the worker threads immediately.  Tests pass ``False`` to
+        exercise admission deterministically, then call :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        max_pending: int = 64,
+        plan_cache_size: int = 8,
+        toeplitz_cache_size: int = 4,
+        max_affinity: int = 1024,
+        max_jobs_retained: int = 4096,
+        autostart: bool = True,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.max_pending = int(max_pending)
+        self.workers = [
+            ReconWorker(
+                f"w{i}",
+                plan_cache_size=plan_cache_size,
+                toeplitz_cache_size=toeplitz_cache_size,
+            )
+            for i in range(int(workers))
+        ]
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._affinity: OrderedDict[str, ReconWorker] = OrderedDict()
+        self.max_affinity = int(max_affinity)
+        self.max_jobs_retained = max(1, int(max_jobs_retained))
+        #: terminal job ids in finish order (status-retention eviction)
+        self._finished_order: list[str] = []
+        #: jobs currently queued or running (maintained via on_terminal)
+        self._pending = 0
+        self._closed = False
+        self._started = False
+        #: exponentially smoothed per-job wall seconds (Retry-After input)
+        self._ewma_seconds = 1.0
+        # monitoring counters
+        self.accepted = 0
+        self.rejected = 0
+        if autostart:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start (or restart after ``autostart=False``) the worker threads."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            self._started = True
+        for worker in self.workers:
+            worker.start()
+
+    def close(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop accepting work; optionally finish everything accepted.
+
+        ``drain=True`` (the graceful path) lets every queued and
+        running job reach a terminal state before the worker threads
+        exit — the sentinel sits *behind* the accepted jobs in each
+        inbox.  ``drain=False`` abandons queued jobs in place (their
+        records stay ``queued`` forever) and is only for emergency
+        teardown in tests.
+        """
+        with self._lock:
+            self._closed = True
+            started = self._started
+        if not started:
+            if drain:
+                # workers never ran; run them now so accepted jobs finish
+                for worker in self.workers:
+                    worker.start()
+            else:
+                return
+        if drain:
+            for worker in self.workers:
+                worker.stop(timeout)
+        else:
+            for worker in self.workers:
+                worker.inbox.queue.clear()  # test-only emergency path
+                worker.stop(timeout)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # admission + routing
+    # ------------------------------------------------------------------
+    def pending(self) -> int:
+        """Jobs currently queued or running."""
+        with self._lock:
+            return self._pending
+
+    def _job_finished(self, job: Job) -> None:
+        """``on_terminal`` hook: bookkeeping for admission + retention."""
+        with self._lock:
+            self._pending -= 1
+            if job.seconds is not None:
+                # smooth the Retry-After estimator with real job times
+                self._ewma_seconds = (
+                    0.7 * self._ewma_seconds + 0.3 * job.seconds
+                )
+            self._finished_order.append(job.id)
+            while len(self._finished_order) > self.max_jobs_retained:
+                self._jobs.pop(self._finished_order.pop(0), None)
+
+    def _retry_after(self, depth: int) -> int:
+        """Whole-second wait estimate for one queue slot to open."""
+        per_worker = depth / max(1, len(self.workers))
+        return max(1, int(math.ceil(per_worker * self._ewma_seconds)))
+
+    def _route(self, spec: JobSpec) -> ReconWorker:
+        """Sticky fingerprint→worker assignment (least-loaded on first sight)."""
+        fp = spec.fingerprint
+        worker = self._affinity.get(fp)
+        if worker is None:
+            worker = min(self.workers, key=lambda w: w.depth)
+            self._affinity[fp] = worker
+            while len(self._affinity) > self.max_affinity:
+                self._affinity.popitem(last=False)
+        else:
+            self._affinity.move_to_end(fp)
+        return worker
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Admit, route, and enqueue one job (or refuse at the door).
+
+        Raises
+        ------
+        ServiceOverloaded
+            When ``max_pending`` jobs are already queued or running.
+            No job id is issued; the caller should retry after
+            ``exc.retry_after`` seconds.
+        RuntimeError
+            When the service is closed (draining or shut down).
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("service is shutting down; not accepting jobs")
+            depth = self._pending
+            if depth >= self.max_pending:
+                self.rejected += 1
+                raise ServiceOverloaded(
+                    f"job queue is full ({depth}/{self.max_pending} pending)",
+                    retry_after=self._retry_after(depth),
+                )
+            job = Job(spec)
+            job.on_terminal = self._job_finished
+            self._jobs[job.id] = job
+            self._pending += 1
+            worker = self._route(spec)
+            self.accepted += 1
+        # enqueue outside the lock: unbounded inbox, never blocks
+        worker.inbox.put(job)
+        return job
+
+    # ------------------------------------------------------------------
+    # lookup / waiting / stats
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        """Block until ``job_id`` is terminal (raises KeyError if unknown)."""
+        job = self.get(job_id)
+        if job is None:
+            raise KeyError(job_id)
+        job.wait(timeout)
+        return job
+
+    def stats(self) -> dict:
+        """Queue + per-worker + aggregate-pool numbers (JSON-ready).
+
+        The aggregate pool line is
+        :meth:`repro.gridding.PoolSnapshot.merge` over every worker's
+        snapshot — each worker's pool counters are local to its own
+        pool object, so without the merge a parent-side report would
+        silently show only its own (empty) pool.
+        """
+        from ..gridding.buffers import PoolSnapshot
+
+        with self._lock:
+            states: dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+        worker_stats = [w.stats() for w in self.workers]
+        aggregate = PoolSnapshot.merge(
+            w.buffer_pool.snapshot() for w in self.workers
+        )
+        return {
+            "workers": worker_stats,
+            "pool": aggregate.as_dict(),
+            "queue_depth": sum(w["depth"] for w in worker_stats),
+            "max_pending": self.max_pending,
+            "jobs": states,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "ewma_job_seconds": round(self._ewma_seconds, 6),
+            "closed": self._closed,
+        }
+
+    # context-manager sugar: `with ReconService() as svc:` drains on exit
+    def __enter__(self) -> "ReconService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=True)

@@ -1,0 +1,280 @@
+"""Warm-cache reconstruction workers.
+
+Each :class:`ReconWorker` is one long-lived thread owning:
+
+- an unbounded inbox (admission control is *global*, at the router —
+  once a job is accepted it must never be droppable at a worker);
+- a true-LRU cache of warm :class:`~repro.nufft.NufftPlan` objects
+  keyed by :meth:`~repro.service.jobs.JobSpec.plan_key` — holding a
+  plan warm transitively holds its gridder's select-table and
+  compiled-scatter-plan caches warm, which is where repeat-trajectory
+  throughput comes from (PyNUFFT and cuFINUFFT both win by amortizing
+  exactly this setup);
+- per-plan :class:`~repro.nufft.ToeplitzNormalOperator` caches keyed
+  by DCF-weights fingerprint, so the one-shot PSF gridding pass of the
+  Toeplitz CG fast path is also paid once per (trajectory, weights);
+- one shared :class:`~repro.gridding.GridBufferPool` threaded through
+  every cached plan, so the worker's grid buffers are reused across
+  plans and its ``/stats`` pool numbers are one coherent snapshot.
+
+Workers are **threads, not processes**: the hot kernels (gather,
+bincount, FFT) release the GIL, a plan's own gridder may already run a
+process pool internally, and in-process workers let ``/stats`` read
+every pool/cache counter without cross-process merge plumbing.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import OrderedDict
+
+import numpy as np
+
+from ..gridding.buffers import GridBufferPool
+from ..nufft import NufftPlan, ToeplitzNormalOperator
+from ..recon import cg_reconstruction
+from .jobs import Job, JobResult, JobSpec
+
+__all__ = ["ReconWorker"]
+
+#: inbox sentinel that tells the worker loop to exit after the queue
+#: ahead of it has drained
+_SHUTDOWN = object()
+
+
+class _WarmEntry:
+    """One cached plan plus its per-weights Toeplitz operators."""
+
+    __slots__ = ("plan", "toeplitz")
+
+    def __init__(self, plan: NufftPlan):
+        self.plan = plan
+        self.toeplitz: OrderedDict[tuple, ToeplitzNormalOperator] = OrderedDict()
+
+
+class ReconWorker:
+    """One worker thread with warm plan/Toeplitz caches.
+
+    Parameters
+    ----------
+    name:
+        Stable worker id (``"w0"``, ``"w1"``, ...) used in job records
+        and ``/stats``.
+    plan_cache_size:
+        Warm plans retained (true LRU).  Eviction only drops the
+        *cache reference*; a plan still executing the current job owns
+        a live Python reference and completes safely — the
+        concurrent-cache regression tests hammer exactly this.
+    toeplitz_cache_size:
+        Warm Toeplitz operators retained per plan (keyed by weights
+        fingerprint).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        plan_cache_size: int = 8,
+        toeplitz_cache_size: int = 4,
+    ):
+        if plan_cache_size < 1:
+            raise ValueError(f"plan_cache_size must be >= 1, got {plan_cache_size}")
+        self.name = name
+        self.plan_cache_size = int(plan_cache_size)
+        self.toeplitz_cache_size = max(1, int(toeplitz_cache_size))
+        self.inbox: queue.Queue = queue.Queue()
+        #: one pool for every plan this worker ever builds
+        self.buffer_pool = GridBufferPool()
+        self._plans: OrderedDict[tuple, _WarmEntry] = OrderedDict()
+        # counters (read by /stats from other threads; int updates are
+        # atomic enough under the GIL for monitoring purposes)
+        self.jobs_done = 0
+        self.jobs_failed = 0
+        self.plan_hits = 0
+        self.plan_misses = 0
+        self.toeplitz_hits = 0
+        self.toeplitz_misses = 0
+        self.busy_seconds = 0.0
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name=f"recon-{self.name}", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float | None = None) -> None:
+        """Enqueue the shutdown sentinel and join (drains the inbox first)."""
+        if self._thread is None:
+            return
+        self.inbox.put(_SHUTDOWN)
+        self._thread.join(timeout)
+        self._thread = None
+
+    @property
+    def alive(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def depth(self) -> int:
+        """Jobs currently waiting in this worker's inbox."""
+        return self.inbox.qsize()
+
+    def _run(self) -> None:
+        while True:
+            item = self.inbox.get()
+            try:
+                if item is _SHUTDOWN:
+                    return
+                self._execute(item)
+            finally:
+                self.inbox.task_done()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _warm_plan(self, spec: JobSpec) -> tuple[_WarmEntry, str]:
+        """Fetch or build the plan for ``spec`` (true-LRU semantics)."""
+        key = spec.plan_key()
+        entry = self._plans.get(key)
+        if entry is not None:
+            self._plans.move_to_end(key)
+            self.plan_hits += 1
+            return entry, "hit"
+        self.plan_misses += 1
+        plan = NufftPlan(
+            spec.image_shape,
+            spec.coords,
+            gridder=spec.gridder,
+            gridder_options=dict(spec.gridder_options),
+            precision=spec.precision,
+            fft_backend=spec.fft_backend,
+            quality_policy=spec.quality_policy,
+            buffer_pool=self.buffer_pool,
+        )
+        entry = _WarmEntry(plan)
+        self._plans[key] = entry
+        while len(self._plans) > self.plan_cache_size:
+            self._plans.popitem(last=False)
+        return entry, "miss"
+
+    def _warm_toeplitz(
+        self, entry: _WarmEntry, spec: JobSpec, weights: np.ndarray | None
+    ) -> tuple[ToeplitzNormalOperator | None, str]:
+        """Fetch or build the Toeplitz operator for (plan, weights)."""
+        key = (spec.weights_key(),)
+        op = entry.toeplitz.get(key)
+        if op is not None:
+            entry.toeplitz.move_to_end(key)
+            self.toeplitz_hits += 1
+            return op, "hit"
+        self.toeplitz_misses += 1
+        try:
+            op = ToeplitzNormalOperator(entry.plan, weights=weights)
+        except Exception:  # noqa: BLE001 - cg's own chain degrades + records
+            return None, "build-failed"
+        entry.toeplitz[key] = op
+        while len(entry.toeplitz) > self.toeplitz_cache_size:
+            entry.toeplitz.popitem(last=False)
+        return op, "miss"
+
+    def _execute(self, job: Job) -> None:
+        job.mark_running(self.name)
+        t0 = time.perf_counter()
+        try:
+            result = self._reconstruct(job.spec)
+        except BaseException as exc:  # noqa: BLE001 - job isolation boundary
+            self.jobs_failed += 1
+            self.busy_seconds += time.perf_counter() - t0
+            job.mark_failed(exc)
+            return
+        result.seconds = time.perf_counter() - t0
+        self.busy_seconds += result.seconds
+        self.jobs_done += 1
+        job.mark_done(result)
+
+    def _reconstruct(self, spec: JobSpec) -> JobResult:
+        entry, plan_cache = self._warm_plan(spec)
+        plan = entry.plan
+        samples = np.asarray(spec.samples, dtype=plan.cdtype)
+        weights = spec.weights
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64).ravel()
+
+        if spec.method == "adjoint":
+            if weights is None:
+                values = samples
+            else:
+                values = samples * weights.astype(samples.real.dtype)
+            image = plan.adjoint(values)
+            quality = plan.timings.quality
+            return JobResult(
+                image=image,
+                plan_cache=plan_cache,
+                quality=None if quality is None else _quality_dict(quality),
+            )
+
+        normal_options = None
+        toeplitz_cache = None
+        if spec.normal == "toeplitz":
+            op, toeplitz_cache = self._warm_toeplitz(entry, spec, weights)
+            if op is not None:
+                normal_options = {"operator": op}
+        cg = cg_reconstruction(
+            plan,
+            samples,
+            weights=weights,
+            n_iterations=spec.n_iterations,
+            tolerance=spec.tolerance,
+            regularization=spec.regularization,
+            normal=spec.normal,
+            normal_options=normal_options,
+        )
+        quality = plan.timings.quality
+        return JobResult(
+            image=cg.image,
+            n_iterations=cg.n_iterations,
+            converged=cg.converged,
+            residual=float(cg.residual_norms[-1]) if cg.residual_norms else None,
+            restarts=cg.restarts,
+            breakdown=cg.breakdown,
+            degradations=cg.degradations,
+            quality=None if quality is None else _quality_dict(quality),
+            plan_cache=plan_cache,
+            toeplitz_cache=toeplitz_cache,
+        )
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-ready per-worker counters + this worker's pool snapshot."""
+        plan_total = self.plan_hits + self.plan_misses
+        return {
+            "worker": self.name,
+            "alive": self.alive,
+            "depth": self.depth,
+            "jobs_done": self.jobs_done,
+            "jobs_failed": self.jobs_failed,
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+            "plan_hit_rate": round(self.plan_hits / plan_total, 4)
+            if plan_total
+            else 0.0,
+            "toeplitz_hits": self.toeplitz_hits,
+            "toeplitz_misses": self.toeplitz_misses,
+            "warm_plans": len(self._plans),
+            "busy_seconds": round(self.busy_seconds, 6),
+            "pool": self.buffer_pool.snapshot().as_dict(),
+        }
+
+
+def _quality_dict(report) -> dict:
+    """JSON-ready view of a DataQualityReport."""
+    return report.as_dict()

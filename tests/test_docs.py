@@ -68,6 +68,49 @@ def test_robustness_guide_covers_failure_modes():
         assert term in text, f"{term} missing from docs/robustness.md"
 
 
+def test_service_guide_covers_the_contract():
+    """The service guide must document the lifecycle, backpressure,
+    and degradation semantics with runnable snippets."""
+    text = (ROOT / "docs" / "service.md").read_text(encoding="utf-8")
+    assert text.count(">>>") >= 10
+    for term in (
+        "ReconServer",
+        "ReconClient",
+        "ReconService",
+        "Retry-After",
+        "ServiceOverloaded",
+        "fingerprint",
+        "plan_cache",
+        "quality_policy",
+        "drain",
+        "/healthz",
+        "/stats",
+        "queued",
+        "running",
+        "failed",
+    ):
+        assert term in text, f"{term} missing from docs/service.md"
+
+
+def test_architecture_guide_maps_every_package():
+    """The architecture guide must name every load-bearing package and
+    the request flow through the layers."""
+    text = (ROOT / "docs" / "architecture.md").read_text(encoding="utf-8")
+    for package in (
+        "repro.gridding",
+        "repro.core",
+        "repro.nufft",
+        "repro.recon",
+        "repro.mri",
+        "repro.robustness",
+        "repro.service",
+        "repro.bench",
+    ):
+        assert package in text, f"{package} missing from docs/architecture.md"
+    for term in ("POST /jobs", "cg_reconstruction", "GridBufferPool"):
+        assert term in text, f"{term} missing from docs/architecture.md"
+
+
 def test_no_dead_links():
     sys.path.insert(0, str(ROOT / "tools"))
     try:

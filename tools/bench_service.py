@@ -1,0 +1,326 @@
+#!/usr/bin/env python
+"""Service-level benchmark: warm-cache latency + throughput over HTTP.
+
+Starts a real :class:`repro.service.ReconServer` (stdlib HTTP, ephemeral
+port) and drives it with :class:`repro.service.ReconClient` the way a
+load generator would, measuring what the service layer was built for:
+
+- **cold vs warm**: the first CG job on a trajectory pays plan
+  construction (select tables, compiled scatter plan, Toeplitz PSF);
+  repeats on the same trajectory ride the worker's warm caches.  The
+  benchmark *gates* on warm p50 <= ``WARM_FACTOR`` x cold — the
+  service's reason to exist — and fails (exit 1) when the ratio does
+  not hold, in every mode including ``--smoke``.  The gate runs at the
+  paper's 256x256 image size.
+- **throughput vs concurrent clients**: wall-clock jobs/second and
+  client-observed p50/p99 latency while 1..N client threads keep the
+  two workers busy across distinct trajectories.
+
+Each run **appends** records to ``BENCH_service.json`` at the repo
+root; ``--check`` also compares against the last committed record of
+the same shape and fails on a >2x regression (the CI smoke gate runs
+``--smoke --check --dry-run``).
+
+Usage::
+
+    python tools/bench_service.py               # full size, append
+    python tools/bench_service.py --smoke       # CI-sized load
+    python tools/bench_service.py --smoke --check --dry-run   # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.service import ReconClient, ReconServer  # noqa: E402
+from repro.trajectories import radial_trajectory  # noqa: E402
+
+SIZES = {
+    "full": {
+        "image": 256, "spokes": 402, "readout": 512, "cg_iters": 10,
+        "cold_trajectories": 3, "warm_repeats": 8,
+        "tp_image": 128, "tp_spokes": 128, "tp_readout": 256,
+        "tp_cg_iters": 5, "tp_jobs": 16, "tp_clients": (1, 2, 4),
+    },
+    "smoke": {
+        # the warm<=0.5x cold gate still runs at the paper's 256^2 image
+        # size (fewer spokes/iterations keep the CI leg under a minute)
+        "image": 256, "spokes": 64, "readout": 256, "cg_iters": 4,
+        "cold_trajectories": 2, "warm_repeats": 4,
+        "tp_image": 64, "tp_spokes": 32, "tp_readout": 64,
+        "tp_cg_iters": 3, "tp_jobs": 8, "tp_clients": (1, 2),
+    },
+}
+
+#: --check fails when headline seconds exceed baseline * this factor
+REGRESSION_FACTOR = 2.0
+#: hard gate: warm p50 job seconds must be <= cold * this factor
+WARM_FACTOR = 0.5
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of a non-empty list."""
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(round(q / 100 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def _stamp() -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())
+
+
+def _sample_problem(image: int, spokes: int, readout: int):
+    """Trajectory + synthetic samples + flat DCF for one job shape."""
+    coords = radial_trajectory(spokes, readout)
+    m = coords.shape[0]
+    samples = np.exp(2j * np.pi * np.arange(m) / 11)
+    weights = np.ones(m)
+    return coords, samples, weights
+
+
+def bench_warm_vs_cold(url: str, size: dict, mode: str) -> dict:
+    """One record: cold first-job seconds vs warm-repeat percentiles.
+
+    "cold" = median server-side job seconds over ``cold_trajectories``
+    distinct trajectories, each hitting the plan cache for the first
+    time; "warm" = percentiles over ``warm_repeats`` re-submissions of
+    the *first* trajectory (its first, cold job excluded).  Server-side
+    ``result.seconds`` is used so the gate measures cache warmth, not
+    client polling jitter.
+    """
+    client = ReconClient(url, timeout=600.0)
+    cold, warm, wall = [], [], []
+    base = None
+    for i in range(size["cold_trajectories"]):
+        coords, samples, weights = _sample_problem(
+            size["image"], size["spokes"] + i, size["readout"]
+        )
+        if base is None:
+            base = (coords, samples, weights)
+        client.reconstruct(
+            (size["image"],) * 2, coords, samples, weights=weights,
+            method="cg", timeout=600.0, n_iterations=size["cg_iters"],
+        )
+        record = client.last_status
+        assert record["result"]["plan_cache"] == "miss", "expected a cold job"
+        cold.append(record["result"]["seconds"])
+    coords, samples, weights = base
+    for _ in range(size["warm_repeats"]):
+        t0 = time.perf_counter()
+        client.reconstruct(
+            (size["image"],) * 2, coords, samples, weights=weights,
+            method="cg", timeout=600.0, n_iterations=size["cg_iters"],
+        )
+        wall.append(time.perf_counter() - t0)
+        record = client.last_status
+        assert record["result"]["plan_cache"] == "hit", "expected a warm job"
+        warm.append(record["result"]["seconds"])
+    cold_s = statistics.median(cold)
+    warm_p50 = _percentile(warm, 50)
+    return {
+        "timestamp": _stamp(),
+        "mode": mode,
+        "scenario": "warm_vs_cold",
+        "image": size["image"],
+        "m": size["spokes"] * size["readout"],
+        "cg_iters": size["cg_iters"],
+        "cold_seconds": round(cold_s, 6),
+        "seconds": round(warm_p50, 6),  # headline = warm p50
+        "warm_p99": round(_percentile(warm, 99), 6),
+        "warm_wall_p50": round(_percentile(wall, 50), 6),
+        "warm_over_cold": round(warm_p50 / cold_s, 4),
+    }
+
+
+def bench_throughput(url: str, size: dict, mode: str) -> list[dict]:
+    """One record per client count: jobs/second + client-side latency."""
+    problems = [
+        _sample_problem(size["tp_image"], size["tp_spokes"] + i,
+                        size["tp_readout"])
+        for i in range(4)
+    ]
+    records = []
+    for n_clients in size["tp_clients"]:
+        latencies: list[float] = []
+        lock = threading.Lock()
+
+        def _client_loop(idx: int) -> None:
+            client = ReconClient(url, timeout=600.0)
+            for j in range(size["tp_jobs"] // n_clients):
+                coords, samples, weights = problems[(idx + j) % len(problems)]
+                t0 = time.perf_counter()
+                client.reconstruct(
+                    (size["tp_image"],) * 2, coords, samples,
+                    weights=weights, method="cg", timeout=600.0,
+                    n_iterations=size["tp_cg_iters"],
+                )
+                elapsed = time.perf_counter() - t0
+                with lock:
+                    latencies.append(elapsed)
+
+        threads = [
+            threading.Thread(target=_client_loop, args=(i,))
+            for i in range(n_clients)
+        ]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - t0
+        records.append({
+            "timestamp": _stamp(),
+            "mode": mode,
+            "scenario": "throughput",
+            "clients": n_clients,
+            "image": size["tp_image"],
+            "m": size["tp_spokes"] * size["tp_readout"],
+            "jobs": len(latencies),
+            "seconds": round(_percentile(latencies, 50), 6),  # headline p50
+            "p99": round(_percentile(latencies, 99), 6),
+            "jobs_per_second": round(len(latencies) / wall, 4),
+        })
+    return records
+
+
+def run_benchmark(mode: str) -> tuple[list[dict], dict]:
+    """All records plus the final /stats payload (for the report)."""
+    size = SIZES[mode]
+    with ReconServer(port=0, workers=2, max_pending=64) as server:
+        client = ReconClient(server.url)
+        records = [bench_warm_vs_cold(server.url, size, mode)]
+        records.extend(bench_throughput(server.url, size, mode))
+        stats = client.stats()
+    return records, stats
+
+
+def load_records(path: Path) -> list[dict]:
+    if not path.exists():
+        return []
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def check_warm_gate(records: list[dict]) -> list[str]:
+    """Failure messages when the warm cache is not earning its keep."""
+    failures = []
+    for rec in records:
+        if rec.get("scenario") != "warm_vs_cold":
+            continue
+        if rec["seconds"] > rec["cold_seconds"] * WARM_FACTOR:
+            failures.append(
+                f"warm p50 {rec['seconds']:.4f}s exceeds "
+                f"{WARM_FACTOR:.1f}x cold {rec['cold_seconds']:.4f}s "
+                f"(ratio {rec['warm_over_cold']:.2f})"
+            )
+    return failures
+
+
+def check_regressions(baseline: list[dict], current: list[dict]) -> list[str]:
+    """Failure messages for records slower than committed * factor."""
+    failures = []
+
+    def _key(r: dict) -> tuple:
+        return (
+            r["mode"], r["scenario"], r.get("clients"), r["image"], r["m"],
+        )
+
+    for rec in current:
+        prior = [b for b in baseline if _key(b) == _key(rec)]
+        if not prior:
+            continue  # no committed baseline for this shape yet
+        base = prior[-1]["seconds"]
+        if rec["seconds"] > base * REGRESSION_FACTOR:
+            failures.append(
+                f"{rec['scenario']} ({rec['mode']}"
+                f"{', ' + str(rec['clients']) + ' clients' if rec.get('clients') else ''}): "
+                f"{rec['seconds']:.4f}s is more than "
+                f"{REGRESSION_FACTOR:.0f}x above the committed baseline "
+                f"{base:.4f}s"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized load (the warm<=0.5x cold gate still runs at 256^2)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) on a >2x regression vs the committed baseline",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print records without appending to the output file",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_service.json",
+        help="records file (default: BENCH_service.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    mode = "smoke" if args.smoke else "full"
+    baseline = load_records(args.output)
+    records, stats = run_benchmark(mode)
+
+    header = f"{'scenario':<14} {'clients':>7} {'p50':>9} {'p99/cold':>9} {'jobs/s':>8}"
+    print(header)
+    print("-" * len(header))
+    for rec in records:
+        other = rec.get("p99", rec.get("cold_seconds"))
+        jps = rec.get("jobs_per_second")
+        print(
+            f"{rec['scenario']:<14} {rec.get('clients') or 1:>7} "
+            f"{rec['seconds']:>8.4f}s {other:>8.4f}s "
+            f"{(f'{jps:.2f}' if jps is not None else '-'):>8}"
+        )
+    warm = records[0]
+    print(
+        f"\nwarm/cold ratio: {warm['warm_over_cold']:.2f} "
+        f"(gate: <= {WARM_FACTOR:.1f})"
+    )
+    pool = stats["pool"]
+    print(
+        f"pool: hit_rate={pool['hit_rate']:.2f} peak_bytes={pool['peak_bytes']}"
+    )
+
+    status = 0
+    failures = check_warm_gate(records)
+    if args.check:
+        failures += check_regressions(baseline, records)
+    if failures:
+        print("\nservice performance gate failed:")
+        for line in failures:
+            print(f"  {line}")
+        status = 1
+    elif args.check:
+        print("\nno regression vs committed baseline")
+
+    if not args.dry_run and status == 0:
+        baseline.extend(records)
+        args.output.write_text(
+            json.dumps(baseline, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"appended {len(records)} records to {args.output.name}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

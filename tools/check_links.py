@@ -7,13 +7,19 @@ disk (anchors are stripped; external ``http(s)``/``mailto`` targets are
 skipped).  Exits nonzero listing every dead link — run by the CI docs
 job and by ``tests/test_docs.py``.
 
+``--require PATH ...`` additionally fails unless every named file is
+part of the scanned set — the CI docs job uses it to guarantee the
+service and architecture guides stay covered (a deleted or renamed
+guide would otherwise silently shrink the check).
+
 Usage::
 
-    python tools/check_links.py [repo_root]
+    python tools/check_links.py [repo_root] [--require PATH ...]
 """
 
 from __future__ import annotations
 
+import argparse
 import re
 import sys
 from pathlib import Path
@@ -57,19 +63,40 @@ def dead_links(path: Path, root: Path) -> list[tuple[str, str]]:
 
 
 def main(argv: list[str]) -> int:
-    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
-    n_files = 0
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "root",
+        nargs="?",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: the checkout this script lives in)",
+    )
+    parser.add_argument(
+        "--require",
+        nargs="+",
+        type=Path,
+        default=(),
+        metavar="PATH",
+        help="root-relative markdown files that must be in the scanned set",
+    )
+    args = parser.parse_args(argv[1:])
+    root = args.root
+
+    scanned = []
     failures = []
     for path in iter_doc_files(root):
-        n_files += 1
+        scanned.append(path.resolve())
         for target, reason in dead_links(path, root):
             failures.append(f"{path.relative_to(root)}: {target} ({reason})")
+    for required in args.require:
+        if (root / required).resolve() not in scanned:
+            failures.append(f"{required}: required file missing from the scan")
     if failures:
         print("dead links found:")
         for line in failures:
             print(f"  {line}")
         return 1
-    print(f"checked {n_files} markdown files: all relative links resolve")
+    print(f"checked {len(scanned)} markdown files: all relative links resolve")
     return 0
 
 
