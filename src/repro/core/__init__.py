@@ -30,9 +30,14 @@ Public surface:
   (flat sample/address/weight arrays); every repeat call is a gather
   plus bincount accumulates with zero select work, bit-identical to
   the serial gridder.
+- :class:`~repro.core.JitSliceAndDiceGridder` — the compiled plan
+  executed by numba-fused scatter/gather loops (serial and
+  row/sample-sharded ``prange`` lanes), degrading to the pure-NumPy
+  compiled path when numba is absent.
 """
 
 from .compiled import CompiledPlan, CompiledSliceAndDiceGridder
+from .jit import JitSliceAndDiceGridder, jit_available
 from .decomposition import (
     CoordinateDecomposition,
     decompose_coordinates,
@@ -51,6 +56,8 @@ __all__ = [
     "column_forward_distance",
     "column_tile_index",
     "DiceLayout",
+    "JitSliceAndDiceGridder",
+    "jit_available",
     "ParallelSliceAndDiceGridder",
     "shard_plan",
     "SliceAndDiceGridder",

@@ -358,6 +358,9 @@ class CompiledSliceAndDiceGridder(SliceAndDiceGridder):
         self.plan_cache_size = int(plan_cache_size)
         #: fingerprint -> CompiledPlan; dict order doubles as LRU order
         self._plan_cache: dict[tuple, CompiledPlan] = {}
+        #: persistent ``(2, nnz)`` real gather scratch — re-allocated
+        #: only when the plan size or dtype changes, never per RHS
+        self._entry_scratch: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # plan cache
@@ -366,6 +369,24 @@ class CompiledSliceAndDiceGridder(SliceAndDiceGridder):
         """Drop cached plans *and* the parent's cached select tables."""
         super().invalidate_cache()
         self._plan_cache.clear()
+        self._entry_scratch = None
+
+    def _plan_scratch(self, nnz: int) -> tuple[np.ndarray, np.ndarray]:
+        """Real/imag ``(nnz,)`` gather scratch pair, reused across RHS
+        *and* across calls on the same plan.
+
+        Before this buffer existed, ``_apply_grid`` / ``_apply_interp``
+        allocated two fresh ``(nnz,)`` arrays per RHS — at ``M * W^d``
+        entries that churn dominated the warm adjoint's allocator
+        traffic.  The pair lives in one ``(2, nnz)`` block so a plan
+        swap costs a single re-allocation.
+        """
+        rd = self.setup.real_dtype
+        sc = self._entry_scratch
+        if sc is None or sc.shape[1] != nnz or sc.dtype != rd:
+            sc = np.empty((2, max(nnz, 1)), dtype=rd)
+            self._entry_scratch = sc
+        return sc[0, :nnz], sc[1, :nnz]
 
     def _fetch_plan(self, coords: np.ndarray) -> tuple[CompiledPlan, bool]:
         """The trajectory's compiled plan plus whether it was a cache hit.
@@ -475,11 +496,16 @@ class CompiledSliceAndDiceGridder(SliceAndDiceGridder):
         try:
             if plan.nnz:
                 sample, flat, wgt = plan.sample_idx, plan.flat_idx, plan.weight
+                re, im = self._plan_scratch(plan.nnz)
                 for k in range(k_rhs):
-                    # real/imag gathered separately: bincount's weight pass
-                    # then runs on contiguous float64 with no complex temp
-                    re = values_stack[k].real[sample]
-                    im = values_stack[k].imag[sample]
+                    # real/imag gathered separately into the persistent
+                    # scratch pair: bincount's weight pass then runs on
+                    # contiguous real data with no complex temp and no
+                    # per-RHS allocation.  mode="clip" keeps take on its
+                    # direct write path (mode="raise" buffers an extra
+                    # (nnz,) temp); plan indices are validated at compile.
+                    np.take(values_stack[k].real, sample, out=re, mode="clip")
+                    np.take(values_stack[k].imag, sample, out=im, mode="clip")
                     re *= wgt
                     im *= wgt
                     dice_flat[k].real = np.bincount(flat, weights=re, minlength=n_flat)
@@ -510,30 +536,44 @@ class CompiledSliceAndDiceGridder(SliceAndDiceGridder):
         try:
             for k in range(k_rhs):
                 dice_flat[k] = self.layout.grid_to_dice(grid_stack[k]).reshape(-1)
-            if self.backend == "csr":
-                mat_t = plan.csr(self.setup.dtype).T  # CSC view, no copy
-                if k_rhs == 1:
-                    out = (mat_t @ dice_flat[0])[None]
-                else:
-                    out = np.empty((k_rhs, m), dtype=self.setup.dtype)
-                    for k in range(k_rhs):
-                        out[k] = mat_t @ dice_flat[k]
-            else:
-                out = np.zeros((k_rhs, m), dtype=self.setup.dtype)
-                if plan.nnz:
-                    sample, flat, wgt = plan.sample_idx, plan.flat_idx, plan.weight
-                    for k in range(k_rhs):
-                        re = dice_flat[k].real[flat]
-                        im = dice_flat[k].imag[flat]
-                        re *= wgt
-                        im *= wgt
-                        out[k].real = np.bincount(sample, weights=re, minlength=m)
-                        out[k].imag = np.bincount(sample, weights=im, minlength=m)
+            out = self._apply_interp(plan, dice_flat, m)
         finally:
             self._release_buffer(dice_flat)
         self.stats = plan_stats(
             self.setup.ndim, self.layout.n_columns, m, k_rhs, plan, hit
         )
+        return out
+
+    def _apply_interp(
+        self, plan: CompiledPlan, dice_flat: np.ndarray, m: int
+    ) -> np.ndarray:
+        """``(K, m)`` interpolated samples from the raveled dice stack.
+
+        The forward counterpart of :meth:`_apply_grid`, split out so
+        execution-lane subclasses (the numba JIT engine) can replace
+        the arithmetic while inheriting the dice staging, buffer
+        lifecycle, and stats bookkeeping above.
+        """
+        k_rhs = dice_flat.shape[0]
+        if self.backend == "csr":
+            mat_t = plan.csr(self.setup.dtype).T  # CSC view, no copy
+            if k_rhs == 1:
+                return (mat_t @ dice_flat[0])[None]
+            out = np.empty((k_rhs, m), dtype=self.setup.dtype)
+            for k in range(k_rhs):
+                out[k] = mat_t @ dice_flat[k]
+            return out
+        out = np.zeros((k_rhs, m), dtype=self.setup.dtype)
+        if plan.nnz:
+            sample, flat, wgt = plan.sample_idx, plan.flat_idx, plan.weight
+            re, im = self._plan_scratch(plan.nnz)
+            for k in range(k_rhs):
+                np.take(dice_flat[k].real, flat, out=re, mode="clip")
+                np.take(dice_flat[k].imag, flat, out=im, mode="clip")
+                re *= wgt
+                im *= wgt
+                out[k].real = np.bincount(sample, weights=re, minlength=m)
+                out[k].imag = np.bincount(sample, weights=im, minlength=m)
         return out
 
     # ------------------------------------------------------------------

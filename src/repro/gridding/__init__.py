@@ -28,7 +28,12 @@ from .naive import NaiveGridder
 from .output_parallel import OutputParallelGridder
 from .binning import BinningGridder
 from .sparse_matrix import SparseMatrixGridder
-from .registry import available_gridders, make_gridder, register_gridder
+from .registry import (
+    available_gridders,
+    default_gridder,
+    make_gridder,
+    register_gridder,
+)
 
 __all__ = [
     "Gridder",
@@ -42,6 +47,7 @@ __all__ = [
     "BinningGridder",
     "SparseMatrixGridder",
     "available_gridders",
+    "default_gridder",
     "make_gridder",
     "register_gridder",
 ]

@@ -118,6 +118,17 @@ class GriddingStats:
     worker_seconds:
         Wall-clock seconds each worker spent in its shard (same order
         as ``shard_plan``) — exposes load balance, not just totals.
+    kernel:
+        Short window-kernel identifier of the pass (``"kb"``, ``"es"``,
+        ...) — lets benches and ``/stats`` attribute accuracy/speed to
+        the kernel choice.  Filled by the public entry points from
+        ``setup.kernel_name``.
+    exec_lane:
+        How the scatter/gather arithmetic actually executed:
+        ``"numpy"`` (vectorized gather + bincount / CSR), or the JIT
+        engine's ``"numba-serial"`` / ``"numba-parallel"`` lanes.
+        Like ``parallel_backend`` this reports the lane that *ran*,
+        after auto-selection and degradation.
     quality:
         The :class:`repro.robustness.DataQualityReport` of this call's
         input-quality gate pass, or ``None`` for internal passes that
@@ -155,6 +166,8 @@ class GriddingStats:
     parallel_backend: str = ""
     shard_plan: tuple = ()
     worker_seconds: tuple = ()
+    kernel: str = ""
+    exec_lane: str = ""
     quality: DataQualityReport | None = None
     degradations: tuple = ()
 
@@ -192,6 +205,8 @@ class GriddingStats:
             "parallel_backend": self.parallel_backend,
             "shard_plan": self.shard_plan,
             "worker_seconds": self.worker_seconds,
+            "kernel": self.kernel,
+            "exec_lane": self.exec_lane,
             "quality": self.quality.as_dict() if self.quality is not None else None,
             "degradations": tuple(str(d) for d in self.degradations),
         }
@@ -227,6 +242,10 @@ class GriddingStats:
             self.parallel_backend = other.parallel_backend
             self.shard_plan = other.shard_plan
             self.worker_seconds = other.worker_seconds
+        if other.kernel:
+            self.kernel = other.kernel
+        if other.exec_lane:
+            self.exec_lane = other.exec_lane
         if other.quality is not None:
             if self.quality is None:
                 self.quality = DataQualityReport(policy=other.quality.policy)
@@ -313,6 +332,12 @@ class GriddingSetup:
     def width(self) -> int:
         """Integer window width ``W``."""
         return int(round(self.lut.width))
+
+    @property
+    def kernel_name(self) -> str:
+        """Short identifier of the window kernel (``"kb"``, ``"es"``, ...)
+        as reported in :class:`GriddingStats` and benchmark records."""
+        return self.lut.kernel.short_name or type(self.lut.kernel).__name__
 
     @property
     def n_grid_points(self) -> int:
@@ -586,6 +611,7 @@ class Gridder(abc.ABC):
         if coords.shape[0]:
             self._grid_impl(coords, values_stack[0], grid)
         self.stats.quality = report
+        self._tag_stats()
         return grid
 
     # ------------------------------------------------------------------
@@ -654,6 +680,7 @@ class Gridder(abc.ABC):
         else:
             self._grid_batch_impl(coords, values_stack, out)
         self.stats.quality = report
+        self._tag_stats()
         return out
 
     def _grid_batch_impl(
@@ -720,6 +747,7 @@ class Gridder(abc.ABC):
             vals = self._interp_batch_impl(grid_stack, coords)
         vals = self._restore_sample_slots(vals, bad, report, m, batched=True)
         self.stats.quality = report
+        self._tag_stats()
         return vals
 
     def _interp_batch_impl(
@@ -846,7 +874,20 @@ class Gridder(abc.ABC):
             vals = self._interp_impl(grid, coords)
         vals = self._restore_sample_slots(vals, bad, report, m, batched=False)
         self.stats.quality = report
+        self._tag_stats()
         return vals
+
+    def _tag_stats(self) -> None:
+        """Stamp the pass descriptors on :attr:`stats` (template hook).
+
+        Runs after every public entry point's impl dispatch: the window
+        kernel always comes from the setup, and the execution lane
+        defaults to ``"numpy"`` unless the impl already claimed a JIT
+        lane (only fills when empty, so engines that set it win).
+        """
+        self.stats.kernel = self.setup.kernel_name
+        if not self.stats.exec_lane:
+            self.stats.exec_lane = "numpy"
 
     def _interp_impl(self, grid: np.ndarray, coords: np.ndarray) -> np.ndarray:
         """Vectorized gather over gated/wrapped nonempty ``coords``."""

@@ -14,7 +14,13 @@ asserts identical output grids).  Registered engines (see
   multicore worker pool (bit-identical to the serial engine),
 - ``"slice_and_dice_compiled"`` — the select pass compiled once per
   trajectory into flat scatter-plan arrays; repeat calls are a gather
-  plus bincount accumulates (bit-identical to the serial engine).
+  plus bincount accumulates (bit-identical to the serial engine),
+- ``"slice_and_dice_jit"`` — the compiled plan executed by numba-fused
+  scatter/gather loops when numba is importable (supervised
+  degradation to the pure-NumPy compiled path when it is not).
+
+:func:`default_gridder` names the best compiled engine for the current
+environment, which is how the NuFFT service picks its default.
 """
 
 from __future__ import annotations
@@ -26,7 +32,12 @@ from .binning import BinningGridder
 from .naive import NaiveGridder
 from .output_parallel import OutputParallelGridder
 
-__all__ = ["available_gridders", "make_gridder", "register_gridder"]
+__all__ = [
+    "available_gridders",
+    "default_gridder",
+    "make_gridder",
+    "register_gridder",
+]
 
 _REGISTRY: dict[str, Callable[..., Gridder]] = {}
 
@@ -110,11 +121,32 @@ def make_gridder(name: str, setup: GriddingSetup, **kwargs) -> Gridder:
     return factory(setup, **kwargs)
 
 
+def default_gridder() -> str:
+    """Name of the best compiled engine available right now.
+
+    ``"slice_and_dice_jit"`` when numba is importable (and not disabled
+    via ``REPRO_JIT_DISABLE``), else ``"slice_and_dice_compiled"`` —
+    both run warm calls with zero select work; the JIT engine adds the
+    fused numba scatter/gather lanes.  Checked per call, so environment
+    changes take effect without reimports.
+
+    Examples
+    --------
+    >>> from repro.gridding import available_gridders, default_gridder
+    >>> default_gridder() in available_gridders()
+    True
+    """
+    from ..core.jit import jit_available
+
+    return "slice_and_dice_jit" if jit_available() else "slice_and_dice_compiled"
+
+
 def _ensure_core() -> None:
     """Register the Slice-and-Dice gridders lazily (avoids import cycle)."""
     if "slice_and_dice" not in _REGISTRY:
         from ..core import (
             CompiledSliceAndDiceGridder,
+            JitSliceAndDiceGridder,
             ParallelSliceAndDiceGridder,
             SliceAndDiceGridder,
         )
@@ -122,6 +154,7 @@ def _ensure_core() -> None:
         register_gridder("slice_and_dice", SliceAndDiceGridder)
         register_gridder("slice_and_dice_parallel", ParallelSliceAndDiceGridder)
         register_gridder("slice_and_dice_compiled", CompiledSliceAndDiceGridder)
+        register_gridder("slice_and_dice_jit", JitSliceAndDiceGridder)
 
 
 register_gridder("naive", NaiveGridder)

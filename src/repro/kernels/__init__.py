@@ -18,10 +18,12 @@ uniform grid points per dimension using a separable window function
 from .window import (
     KernelSpec,
     KaiserBesselKernel,
+    ExponentialSemicircleKernel,
     GaussianKernel,
     BSplineKernel,
     TriangleKernel,
     make_kernel,
+    es_beta,
 )
 from .beatty import beatty_beta, beatty_kernel, suggest_width
 from .lut import KernelLUT
@@ -31,10 +33,12 @@ from .apodization import apodization_weights, numeric_apodization
 __all__ = [
     "KernelSpec",
     "KaiserBesselKernel",
+    "ExponentialSemicircleKernel",
     "GaussianKernel",
     "BSplineKernel",
     "TriangleKernel",
     "make_kernel",
+    "es_beta",
     "beatty_beta",
     "beatty_kernel",
     "suggest_width",

@@ -27,10 +27,12 @@ from scipy.special import i0
 __all__ = [
     "KernelSpec",
     "KaiserBesselKernel",
+    "ExponentialSemicircleKernel",
     "GaussianKernel",
     "BSplineKernel",
     "TriangleKernel",
     "make_kernel",
+    "es_beta",
 ]
 
 
@@ -39,6 +41,10 @@ class KernelSpec(abc.ABC):
 
     #: window width W in grid units (support is ``|u| <= width / 2``)
     width: float
+
+    #: short registry identifier ("kb", "es", ...) used by stats,
+    #: benchmark records, and the NuFFT plan's ``kernel=`` string form
+    short_name: str = ""
 
     @property
     def half_width(self) -> float:
@@ -91,6 +97,7 @@ class KaiserBesselKernel(KernelSpec):
 
     width: float
     beta: float
+    short_name = "kb"
 
     def __post_init__(self) -> None:
         if self.width <= 0:
@@ -129,6 +136,118 @@ class KaiserBesselKernel(KernelSpec):
         return out
 
 
+def es_beta(width: float, sigma: float = 2.0) -> float:
+    """FINUFFT's shape parameter for the exponential-of-semicircle window.
+
+    Barnett, Magland & af Klinteberg ("A parallel non-uniform fast
+    Fourier transform library based on an 'exponential of semicircle'
+    kernel", SIAM J. Sci. Comput. 2019) tune ``beta`` so the ES window
+    matches Kaiser–Bessel aliasing error at equal width.  At the
+    standard oversampling ``sigma = 2`` they use a per-width table
+    (``beta/W`` of 2.20, 2.26, 2.38 for W = 2, 3, 4 and 2.30 beyond);
+    for other oversampling factors the safety-factored rate
+    ``beta = 0.97 * pi * W * (1 - 1/(2 sigma))`` applies.
+
+    Parameters
+    ----------
+    width:
+        Window width ``W`` in (oversampled) grid units.
+    sigma:
+        Grid oversampling factor (``> 1``).
+
+    Raises
+    ------
+    ValueError
+        If ``width < 2`` or ``sigma <= 1`` (outside the tuning's
+        validity).
+    """
+    if sigma <= 1.0:
+        raise ValueError(f"oversampling factor must exceed 1, got {sigma}")
+    if width < 2:
+        raise ValueError(f"window width must be >= 2, got {width}")
+    if abs(sigma - 2.0) < 1e-12:
+        beta_over_w = {2: 2.20, 3: 2.26, 4: 2.38}.get(int(round(width)), 2.30)
+        return beta_over_w * float(width)
+    return 0.97 * math.pi * float(width) * (1.0 - 1.0 / (2.0 * sigma))
+
+
+@dataclass
+class ExponentialSemicircleKernel(KernelSpec):
+    """FINUFFT's "exponential of semicircle" (ES) window.
+
+    ``phi(u) = exp(beta * (sqrt(1 - (2u/W)^2) - 1))`` for
+    ``|u| <= W/2`` — numerically close to Kaiser–Bessel (whose
+    large-``beta`` asymptotics it shares) but cheaper to evaluate and,
+    with the :func:`es_beta` tuning, reaching equal aliasing error at a
+    **smaller width**: ES at ``W`` tracks KB at ``W + 1`` closely.
+    Since every gridding engine does ``M * W^d`` work, dropping one
+    unit of ``W`` is a direct multiplier on the paper's dominant stage
+    (~31 % fewer window contributions at W 6 -> 5 in 2-D, ~42 % in 3-D).
+
+    The ES window has no closed-form Fourier transform; :meth:`fourier`
+    integrates the cosine transform with Gauss–Legendre quadrature
+    (exact to machine precision at the smooth, compactly supported
+    integrand).  The default NuFFT apodization path
+    (:func:`repro.kernels.numeric_apodization`) never calls it — it
+    works from the sampled LUT, so ES threads through every engine and
+    the Toeplitz PSF build with no further special-casing.
+
+    Parameters
+    ----------
+    width:
+        Window width ``W`` in grid units.
+    beta:
+        Shape parameter; use :func:`es_beta` for the FINUFFT-tuned
+        value at a given oversampling factor.
+    """
+
+    width: float
+    beta: float
+    short_name = "es"
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"width must be positive, got {self.width}")
+        if self.beta <= 0:
+            raise ValueError(f"beta must be positive, got {self.beta}")
+        self._quad_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def _evaluate(self, u: np.ndarray) -> np.ndarray:
+        t = 2.0 * u / self.width
+        arg = np.sqrt(np.maximum(0.0, 1.0 - t * t))
+        return np.exp(self.beta * (arg - 1.0))
+
+    def _quadrature(self, n_nodes: int) -> tuple[np.ndarray, np.ndarray]:
+        """GL nodes on ``[0, W/2]`` with weights pre-multiplied by phi."""
+        cached = self._quad_cache.get(n_nodes)
+        if cached is None:
+            x, w = np.polynomial.legendre.leggauss(n_nodes)
+            nodes = 0.5 * self.half_width * (x + 1.0)
+            weights = 0.5 * self.half_width * w * self._evaluate(nodes)
+            cached = self._quad_cache[n_nodes] = (nodes, weights)
+        return cached
+
+    def fourier(self, f: np.ndarray | float) -> np.ndarray | float:
+        """Numeric FT ``Phi(f) = 2 * int_0^{W/2} phi(u) cos(2 pi f u) du``.
+
+        The node count scales with the highest requested frequency so
+        the quadrature stays converged for aliasing-error studies that
+        probe well beyond the image band (about 10 nodes per half-cycle
+        of the integrand, floored at 64).
+        """
+        farr = np.asarray(f, dtype=np.float64)
+        fmax = float(np.max(np.abs(farr))) if farr.size else 0.0
+        n_nodes = int(min(4096, max(64, round(20 * self.half_width * fmax))))
+        nodes, weights = self._quadrature(n_nodes)
+        flat = np.atleast_1d(farr).reshape(-1)
+        out = 2.0 * np.cos(
+            2.0 * np.pi * flat[:, None] * nodes[None, :]
+        ) @ weights
+        if np.ndim(f) == 0:
+            return float(out[0])
+        return out.reshape(farr.shape)
+
+
 @dataclass
 class GaussianKernel(KernelSpec):
     """Truncated Gaussian window ``phi(u) = exp(-u^2 / (2 sigma^2))``.
@@ -145,6 +264,7 @@ class GaussianKernel(KernelSpec):
 
     width: float
     sigma: float | None = None
+    short_name = "gaussian"
 
     def __post_init__(self) -> None:
         if self.width <= 0:
@@ -178,6 +298,7 @@ class BSplineKernel(KernelSpec):
     """
 
     width: int
+    short_name = "bspline"
 
     def __post_init__(self) -> None:
         if int(self.width) != self.width or self.width < 1:
@@ -225,6 +346,7 @@ class TriangleKernel(KernelSpec):
     """
 
     width: float = 2.0
+    short_name = "triangle"
 
     def __post_init__(self) -> None:
         if self.width <= 0:
@@ -243,10 +365,14 @@ class TriangleKernel(KernelSpec):
 
 _KERNELS = {
     "kaiser_bessel": KaiserBesselKernel,
+    "exp_semicircle": ExponentialSemicircleKernel,
     "gaussian": GaussianKernel,
     "bspline": BSplineKernel,
     "triangle": TriangleKernel,
 }
+
+#: short aliases accepted anywhere a kernel name is (stats use them)
+_KERNEL_ALIASES = {"kb": "kaiser_bessel", "es": "exp_semicircle"}
 
 
 def make_kernel(name: str, width: float, **params) -> KernelSpec:
@@ -255,28 +381,36 @@ def make_kernel(name: str, width: float, **params) -> KernelSpec:
     Parameters
     ----------
     name:
-        One of ``"kaiser_bessel"``, ``"gaussian"``, ``"bspline"``,
-        ``"triangle"``.
+        One of ``"kaiser_bessel"``, ``"exp_semicircle"``, ``"gaussian"``,
+        ``"bspline"``, ``"triangle"``, or a short alias (``"kb"``,
+        ``"es"``).
     width:
         Window width ``W`` in grid units.
     **params:
         Kernel-specific shape parameters (e.g. ``beta`` for
         Kaiser–Bessel).  For Kaiser–Bessel with no ``beta``, the Beatty
-        value for ``sigma=2`` is used.
+        value for ``sigma=2`` is used; for exponential-of-semicircle,
+        the FINUFFT tuning from :func:`es_beta`.
 
     Raises
     ------
     ValueError
         If ``name`` is not a known kernel.
     """
+    name = _KERNEL_ALIASES.get(name, name)
     try:
         cls = _KERNELS[name]
     except KeyError:
         raise ValueError(
-            f"unknown kernel {name!r}; choose from {sorted(_KERNELS)}"
+            f"unknown kernel {name!r}; choose from "
+            f"{sorted(_KERNELS) + sorted(_KERNEL_ALIASES)}"
         ) from None
     if cls is KaiserBesselKernel and "beta" not in params:
         from .beatty import beatty_beta
 
         params["beta"] = beatty_beta(width, 2.0)
+    if cls is ExponentialSemicircleKernel and "beta" not in params:
+        params["beta"] = es_beta(width, params.pop("sigma", 2.0))
+    elif cls is ExponentialSemicircleKernel:
+        params.pop("sigma", None)
     return cls(width=width, **params)

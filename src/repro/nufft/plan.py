@@ -27,7 +27,7 @@ import numpy as np
 from ..errors import DataQualityError
 from ..gridding import Gridder, GriddingSetup, make_gridder
 from ..gridding.buffers import GridBufferPool
-from ..kernels import KernelLUT, numeric_apodization, beatty_kernel
+from ..kernels import KernelLUT, numeric_apodization, beatty_kernel, make_kernel
 from ..kernels.window import KernelSpec
 from ..robustness.validate import DataQualityReport, validate_policy
 from .fft_backend import FallbackFftBackend, FftBackend, get_fft_backend
@@ -73,6 +73,11 @@ class NufftTimings:
     precision: str = "double"
     #: whether the fused apodize+pad / crop+deapodize path executed
     fused: bool = False
+    #: short window-kernel identifier of the plan (``kb``/``es``/...)
+    kernel: str = ""
+    #: execution lane the gridding arithmetic ran on (``numpy`` /
+    #: ``numba-serial`` / ``numba-parallel`` — see GriddingStats)
+    exec_lane: str = ""
 
     @property
     def total(self) -> float:
@@ -98,8 +103,11 @@ class NufftPlan:
         Grid oversampling factor ``sigma`` (grid is ``sigma * N`` per
         axis, rounded to an even integer).
     kernel:
-        A :class:`KernelSpec`, or ``None`` for the Beatty-optimal
-        Kaiser–Bessel of width ``width``.
+        A :class:`KernelSpec`, a kernel name (``"kb"``/``"kaiser_bessel"``
+        for the Beatty-optimal Kaiser–Bessel; ``"es"``/``"exp_semicircle"``
+        for FINUFFT's exponential-of-semicircle window, which reaches
+        KB accuracy at smaller ``W`` — see ``docs/algorithm.md``), or
+        ``None`` for the Beatty Kaiser–Bessel of width ``width``.
     width:
         Window width ``W`` when ``kernel`` is None.
     table_oversampling:
@@ -107,8 +115,8 @@ class NufftPlan:
     gridder:
         Registered gridder name (``"naive"``, ``"binning"``,
         ``"slice_and_dice"``, ``"slice_and_dice_parallel"``,
-        ``"slice_and_dice_compiled"``, ...) or an already-built
-        :class:`Gridder`.  The parallel engine makes the whole plan —
+        ``"slice_and_dice_compiled"``, ``"slice_and_dice_jit"``, ...)
+        or an already-built :class:`Gridder`.  The parallel engine makes the whole plan —
         and everything layered on it (:class:`repro.mri.SenseOperator`,
         :func:`repro.recon.cg_reconstruction`) — run its gridding and
         interpolation on a multicore worker pool, bit-identically to
@@ -229,7 +237,7 @@ class NufftPlan:
         coords: np.ndarray,
         *,
         oversampling: float = 2.0,
-        kernel: KernelSpec | None = None,
+        kernel: KernelSpec | str | None = None,
         width: int = 6,
         table_oversampling: int = 512,
         gridder: str | Gridder = "slice_and_dice",
@@ -272,7 +280,20 @@ class NufftPlan:
 
         if kernel is None:
             kernel = beatty_kernel(width, self.oversampling)
+        elif isinstance(kernel, str):
+            # "kb" resolves to the sigma-aware Beatty kernel (identical
+            # to kernel=None); other names go through make_kernel with
+            # the plan's oversampling driving the shape parameter.
+            if kernel in ("kb", "kaiser_bessel"):
+                kernel = beatty_kernel(width, self.oversampling)
+            elif kernel in ("es", "exp_semicircle"):
+                kernel = make_kernel("es", width, sigma=self.oversampling)
+            else:
+                kernel = make_kernel(kernel, width)
         self.kernel = kernel
+        #: short kernel identifier ("kb", "es", ...) used in timings,
+        #: stats, and benchmark records
+        self.kernel_name = kernel.short_name or type(kernel).__name__
         self.lut = KernelLUT(kernel, table_oversampling)
 
         coords = np.atleast_2d(np.asarray(coords, dtype=np.float64))
@@ -351,6 +372,7 @@ class NufftPlan:
             fft_workers=self._fft.workers,
             precision=self.precision,
             fused=self._fused,
+            kernel=self.kernel_name,
         )
 
     def _round(self, array: np.ndarray) -> np.ndarray:
@@ -588,6 +610,8 @@ class NufftPlan:
             fft_fallbacks=self._fft_events(),
             precision=self.precision,
             fused=self._fused,
+            kernel=self.kernel_name,
+            exec_lane=self.gridder.stats.exec_lane,
         )
         return image
 
@@ -661,6 +685,8 @@ class NufftPlan:
             fft_fallbacks=self._fft_events(),
             precision=self.precision,
             fused=self._fused,
+            kernel=self.kernel_name,
+            exec_lane=self.gridder.stats.exec_lane,
         )
         return samples
 
@@ -742,6 +768,8 @@ class NufftPlan:
             fft_fallbacks=self._fft_events(),
             precision=self.precision,
             fused=self._fused,
+            kernel=self.kernel_name,
+            exec_lane=self.gridder.stats.exec_lane,
         )
         return samples
 
@@ -813,6 +841,8 @@ class NufftPlan:
             fft_fallbacks=self._fft_events(),
             precision=self.precision,
             fused=self._fused,
+            kernel=self.kernel_name,
+            exec_lane=self.gridder.stats.exec_lane,
         )
         return out
 

@@ -19,6 +19,10 @@ when no injector is active.  Faults available:
 - **Toeplitz PSF failure** — ``toeplitz_psf_errors=N`` fails the next
   N PSF builds, exercising the toeplitz→gridding normal-operator
   fallback in CG.
+- **JIT kernel failure** — ``jit_errors=N`` fails the next N numba
+  scatter/gather kernel launches (sites ``jit:scatter`` /
+  ``jit:gather``), exercising the JIT engine's sticky demotion to the
+  pure-NumPy compiled path.
 - **corrupted sample streams** — ``corrupt_coords=N`` /
   ``corrupt_values=N`` poison that many entries (seeded positions)
   with NaN on entry to the gridding public API, exercising the
@@ -90,6 +94,7 @@ class FaultInjector:
         hang_seconds: float = 30.0,
         fft_errors: dict[str, int] | None = None,
         toeplitz_psf_errors: int = 0,
+        jit_errors: int = 0,
         corrupt_coords: int = 0,
         corrupt_values: int = 0,
     ) -> None:
@@ -99,6 +104,7 @@ class FaultInjector:
         self.hang_seconds = float(hang_seconds)
         self.fft_errors = dict(fft_errors or {})
         self.toeplitz_psf_errors = int(toeplitz_psf_errors)
+        self.jit_errors = int(jit_errors)
         self.corrupt_coords = int(corrupt_coords)
         self.corrupt_values = int(corrupt_values)
         self.log: list[tuple[str, str]] = []
@@ -119,6 +125,11 @@ class FaultInjector:
         elif site == "toeplitz:psf":
             if self.toeplitz_psf_errors > 0:
                 self.toeplitz_psf_errors -= 1
+                self.log.append((site, "raise"))
+                raise InjectedFault(f"injected fault at {site}")
+        elif site.startswith("jit:"):
+            if self.jit_errors > 0:
+                self.jit_errors -= 1
                 self.log.append((site, "raise"))
                 raise InjectedFault(f"injected fault at {site}")
 

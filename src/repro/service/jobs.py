@@ -37,6 +37,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..gridding.registry import default_gridder
+
 __all__ = [
     "JobSpec",
     "Job",
@@ -135,7 +137,10 @@ class JobSpec:
     weights: np.ndarray | None = None
     method: str = "cg"
     # ---- plan-shaped options (part of the warm-cache key) ----
-    gridder: str = "slice_and_dice_compiled"
+    # default resolves per environment: the numba JIT engine when
+    # importable, else the pure-NumPy compiled engine — so a numba-less
+    # deployment serves the same API with zero per-job degradation noise
+    gridder: str = field(default_factory=default_gridder)
     gridder_options: dict = field(default_factory=dict)
     precision: str = "double"
     fft_backend: str = "auto"
@@ -238,6 +243,8 @@ class JobResult:
     plan_cache: str = "miss"
     toeplitz_cache: str | None = None
     seconds: float = 0.0
+    kernel: str = ""
+    exec_lane: str = ""
 
     def as_dict(self) -> dict:
         return {
@@ -260,6 +267,8 @@ class JobResult:
             "plan_cache": self.plan_cache,
             "toeplitz_cache": self.toeplitz_cache,
             "seconds": round(self.seconds, 6),
+            "kernel": self.kernel,
+            "exec_lane": self.exec_lane,
         }
 
 

@@ -218,6 +218,8 @@ class ReconWorker:
                 image=image,
                 plan_cache=plan_cache,
                 quality=None if quality is None else _quality_dict(quality),
+                kernel=plan.timings.kernel,
+                exec_lane=plan.timings.exec_lane,
             )
 
         normal_options = None
@@ -248,6 +250,8 @@ class ReconWorker:
             quality=None if quality is None else _quality_dict(quality),
             plan_cache=plan_cache,
             toeplitz_cache=toeplitz_cache,
+            kernel=plan.timings.kernel,
+            exec_lane=plan.timings.exec_lane,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,353 @@
+"""Numba JIT execution lanes: identity, degradation, and registry.
+
+The raw loop bodies in :mod:`repro.core.jit` are plain Python wrapped
+by ``njit`` only at first use, so the numerics contract — serial and
+sharded lanes bit-identical to the NumPy ``bincount`` path at
+complex128, NRMSD <= 1e-6 at complex64 — is testable here without
+numba installed.  The CI ``jit`` job re-runs this file with numba
+present, where the same assertions cover the compiled dispatchers via
+the engine itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.core.jit as jitmod
+from repro.core.jit import (
+    JIT_DISABLE_ENV,
+    JitSliceAndDiceGridder,
+    gather_plan_entries,
+    gather_plan_samples,
+    jit_available,
+    scatter_plan_entries,
+    scatter_plan_rows,
+)
+from repro.gridding import (
+    GriddingSetup,
+    available_gridders,
+    default_gridder,
+    make_gridder,
+)
+from repro.kernels import KernelLUT, beatty_kernel
+from repro.robustness import inject_faults
+from repro.robustness.faults import InjectedFault
+
+
+def _setup(dtype=np.complex128, shape=(32, 32)):
+    return GriddingSetup(shape, KernelLUT(beatty_kernel(6, 2.0), 64), dtype=dtype)
+
+
+def _problem(setup, m=500, k=3, seed=11):
+    rng = np.random.default_rng(seed)
+    coords = rng.uniform(0, 1, (m, setup.ndim)) * np.asarray(setup.grid_shape)
+    stack = (
+        rng.standard_normal((k, m)) + 1j * rng.standard_normal((k, m))
+    ).astype(setup.dtype)
+    grids = (
+        rng.standard_normal((k,) + setup.grid_shape)
+        + 1j * rng.standard_normal((k,) + setup.grid_shape)
+    ).astype(setup.dtype)
+    return coords, stack, grids
+
+
+def nrmsd(a, b):
+    return np.linalg.norm(a - b) / max(np.linalg.norm(b), 1e-30)
+
+
+# ----------------------------------------------------------------------
+# raw-lane numerics vs the NumPy bincount engine
+# ----------------------------------------------------------------------
+class TestRawLaneIdentity:
+    """The four loop bodies vs the parent's bincount path."""
+
+    @pytest.fixture
+    def compiled(self):
+        setup = _setup()
+        g = make_gridder("slice_and_dice_compiled", setup)
+        coords, stack, grids = _problem(setup)
+        ref_grids = g.grid_batch(coords, stack)
+        ref_samples = g.interp_batch(grids, coords)
+        plan, _ = g._fetch_plan(setup.check_coords(coords))
+        return g, plan, coords, stack, grids, ref_grids, ref_samples
+
+    def _run_scatter(self, g, plan, stack, lane):
+        n_flat = plan.n_rows * plan.n_tiles
+        dice = np.zeros((stack.shape[0], n_flat), dtype=g.setup.dtype)
+        if lane == "serial":
+            scatter_plan_entries(
+                stack, plan.sample_idx, plan.flat_idx, plan.weight, dice
+            )
+        else:
+            scatter_plan_rows(
+                stack, plan.sample_idx, plan.flat_idx, plan.weight,
+                plan.row_starts, dice,
+            )
+        return np.stack([
+            g.layout.dice_to_grid(dice[k].reshape(plan.n_rows, plan.n_tiles))
+            for k in range(stack.shape[0])
+        ])
+
+    def _run_gather(self, g, plan, grids, m, lane):
+        dice = np.stack([
+            g.layout.grid_to_dice(grids[k]).reshape(-1)
+            for k in range(grids.shape[0])
+        ])
+        out = np.zeros((grids.shape[0], m), dtype=g.setup.dtype)
+        if lane == "serial":
+            gather_plan_entries(
+                dice, plan.sample_idx, plan.flat_idx, plan.weight, out
+            )
+        else:
+            order, starts = plan.sample_view()
+            gather_plan_samples(
+                dice, plan.flat_idx, plan.weight, order, starts, out
+            )
+        return out
+
+    @pytest.mark.parametrize("lane", ["serial", "rows"])
+    def test_scatter_bit_identical_complex128(self, compiled, lane):
+        g, plan, coords, stack, _, ref_grids, _ = compiled
+        got = self._run_scatter(g, plan, stack, lane)
+        assert got.dtype == ref_grids.dtype
+        assert np.array_equal(got, ref_grids)
+
+    @pytest.mark.parametrize("lane", ["serial", "samples"])
+    def test_gather_bit_identical_complex128(self, compiled, lane):
+        g, plan, coords, _, grids, _, ref_samples = compiled
+        got = self._run_gather(g, plan, grids, coords.shape[0], lane)
+        assert np.array_equal(got, ref_samples)
+
+    @pytest.mark.parametrize("lane", ["serial", "rows"])
+    def test_scatter_complex64_nrmsd(self, lane):
+        """Native float32 accumulation differs from bincount's float64
+        round-trip by design — gated at NRMSD <= 1e-6."""
+        setup = _setup(np.complex64)
+        g = make_gridder("slice_and_dice_compiled", setup)
+        coords, stack, _ = _problem(setup)
+        ref = g.grid_batch(coords, stack)
+        plan, _ = g._fetch_plan(setup.check_coords(coords))
+        got = self._run_scatter(g, plan, stack, lane)
+        assert got.dtype == np.complex64
+        assert nrmsd(got, ref) <= 1e-6
+
+    @pytest.mark.parametrize("lane", ["serial", "samples"])
+    def test_gather_complex64_nrmsd(self, lane):
+        setup = _setup(np.complex64)
+        g = make_gridder("slice_and_dice_compiled", setup)
+        coords, _, grids = _problem(setup)
+        ref = g.interp_batch(grids, coords)
+        plan, _ = g._fetch_plan(setup.check_coords(coords))
+        got = self._run_gather(g, plan, grids, coords.shape[0], lane)
+        assert got.dtype == np.complex64
+        assert nrmsd(got, ref) <= 1e-6
+
+    def test_3d_identity(self):
+        setup = GriddingSetup(
+            (16, 16, 16), KernelLUT(beatty_kernel(4, 2.0), 32)
+        )
+        g = make_gridder("slice_and_dice_compiled", setup)
+        coords, stack, grids = _problem(setup, m=200, k=2)
+        ref_grids = g.grid_batch(coords, stack)
+        ref_samples = g.interp_batch(grids, coords)
+        plan, _ = g._fetch_plan(setup.check_coords(coords))
+        for lane in ("serial", "rows"):
+            assert np.array_equal(
+                self._run_scatter(g, plan, stack, lane), ref_grids
+            )
+        for lane in ("serial", "samples"):
+            assert np.array_equal(
+                self._run_gather(g, plan, grids, coords.shape[0], lane),
+                ref_samples,
+            )
+
+
+# ----------------------------------------------------------------------
+# the engine: registry, equivalence, stats
+# ----------------------------------------------------------------------
+class TestJitEngine:
+    def test_registered(self):
+        assert "slice_and_dice_jit" in available_gridders()
+
+    def test_default_gridder_tracks_numba(self, monkeypatch):
+        assert default_gridder() in available_gridders()
+        monkeypatch.setenv(JIT_DISABLE_ENV, "numba")
+        assert default_gridder() == "slice_and_dice_compiled"
+        monkeypatch.delenv(JIT_DISABLE_ENV)
+        monkeypatch.setattr(jitmod, "_numba", object())
+        assert default_gridder() == "slice_and_dice_jit"
+
+    def test_bad_lane_rejected(self):
+        with pytest.raises(ValueError, match="lane"):
+            JitSliceAndDiceGridder(_setup(), lane="cuda")
+
+    def test_matches_compiled_engine(self):
+        """Whatever lane actually runs (numpy fallback locally, numba
+        in the CI jit job), results track the parent engine."""
+        setup = _setup()
+        jit = make_gridder("slice_and_dice_jit", setup)
+        ref = make_gridder("slice_and_dice_compiled", setup)
+        coords, stack, grids = _problem(setup)
+        np.testing.assert_allclose(
+            jit.grid_batch(coords, stack), ref.grid_batch(coords, stack),
+            rtol=1e-12, atol=0,
+        )
+        assert jit.stats.exec_lane in ("numpy", "numba-serial", "numba-parallel")
+        assert jit.stats.kernel == "kb"
+        np.testing.assert_allclose(
+            jit.interp_batch(grids, coords), ref.interp_batch(grids, coords),
+            rtol=1e-12, atol=0,
+        )
+        assert jit.stats.exec_lane in ("numpy", "numba-serial", "numba-parallel")
+
+    def test_single_rhs_grid_and_interp(self):
+        setup = _setup()
+        jit = make_gridder("slice_and_dice_jit", setup)
+        ref = make_gridder("slice_and_dice_compiled", setup)
+        coords, stack, grids = _problem(setup, k=1)
+        np.testing.assert_allclose(
+            jit.grid(coords, stack[0]), ref.grid(coords, stack[0]),
+            rtol=1e-12, atol=0,
+        )
+        np.testing.assert_allclose(
+            jit.interp(grids[0], coords), ref.interp(grids[0], coords),
+            rtol=1e-12, atol=0,
+        )
+
+    def test_empty_trajectory(self):
+        setup = _setup()
+        jit = make_gridder("slice_and_dice_jit", setup)
+        out = jit.grid(np.zeros((0, 2)), np.zeros(0, dtype=np.complex128))
+        assert out.shape == setup.grid_shape
+        assert not out.any()
+
+
+# ----------------------------------------------------------------------
+# degradation: construction-time, env-gated, and injected
+# ----------------------------------------------------------------------
+class TestDegradation:
+    def test_construction_records_event_without_numba(self, monkeypatch):
+        monkeypatch.setattr(jitmod, "_numba", None)
+        g = JitSliceAndDiceGridder(_setup())
+        assert g._lane == "numpy"
+        assert len(g.degradations) == 1
+        ev = g.degradations[0]
+        assert ev.component == "jit"
+        assert ev.to_stage == "numpy"
+        assert "not importable" in ev.reason
+
+    def test_env_disable_records_event(self, monkeypatch):
+        monkeypatch.setattr(jitmod, "_numba", object())
+        monkeypatch.setenv(JIT_DISABLE_ENV, "other, numba")
+        assert not jit_available()
+        g = JitSliceAndDiceGridder(_setup())
+        assert g._lane == "numpy"
+        assert JIT_DISABLE_ENV in g.degradations[0].reason
+
+    def test_explicit_numpy_lane_is_not_a_degradation(self):
+        g = JitSliceAndDiceGridder(_setup(), lane="numpy")
+        assert g.degradations == ()
+        coords, stack, _ = _problem(_setup())
+        g.grid_batch(coords, stack)
+        assert g.stats.exec_lane == "numpy"
+        assert g.stats.degradations == ()
+
+    def test_degradation_event_lands_in_stats_once(self, monkeypatch):
+        monkeypatch.setattr(jitmod, "_numba", None)
+        setup = _setup()
+        g = JitSliceAndDiceGridder(setup)
+        coords, stack, _ = _problem(setup)
+        g.grid_batch(coords, stack)
+        assert g.stats.exec_lane == "numpy"
+        assert len(g.stats.degradations) == 1
+        g.grid_batch(coords, stack)  # second call: already demoted, no new event
+        assert g.stats.degradations == ()
+
+    def test_injected_scatter_fault_demotes_stickily(self, monkeypatch):
+        """Chaos leg: jit "available" (fake numba object), scatter
+        fault fires at the injection site before compilation is ever
+        reached, the call transparently re-runs on NumPy, and the lane
+        never comes back."""
+        monkeypatch.setattr(jitmod, "_numba", object())
+        monkeypatch.delenv(JIT_DISABLE_ENV, raising=False)
+        setup = _setup()
+        g = JitSliceAndDiceGridder(setup)
+        ref = make_gridder("slice_and_dice_compiled", setup)
+        coords, stack, grids = _problem(setup)
+        with inject_faults(jit_errors=1) as inj:
+            out = g.grid_batch(coords, stack)
+            assert inj.jit_errors == 0
+        np.testing.assert_allclose(
+            out, ref.grid_batch(coords, stack), rtol=1e-12, atol=0
+        )
+        assert g.stats.exec_lane == "numpy"
+        assert len(g.degradations) == 1
+        assert g.degradations[0].from_stage in ("numba-serial", "numba-parallel")
+        assert "InjectedFault" in g.degradations[0].reason
+        # sticky: later calls run numpy without touching the jit path
+        np.testing.assert_allclose(
+            g.interp_batch(grids, coords), ref.interp_batch(grids, coords),
+            rtol=1e-12, atol=0,
+        )
+        assert g.stats.exec_lane == "numpy"
+        assert len(g.degradations) == 1
+
+    def test_injected_gather_fault_demotes(self, monkeypatch):
+        monkeypatch.setattr(jitmod, "_numba", object())
+        monkeypatch.delenv(JIT_DISABLE_ENV, raising=False)
+        setup = _setup()
+        g = JitSliceAndDiceGridder(setup)
+        ref = make_gridder("slice_and_dice_compiled", setup)
+        coords, _, grids = _problem(setup)
+        with inject_faults(jit_errors=1):
+            out = g.interp_batch(grids, coords)
+        np.testing.assert_allclose(
+            out, ref.interp_batch(grids, coords), rtol=1e-12, atol=0
+        )
+        assert g.stats.exec_lane == "numpy"
+        assert g.degradations[0].component == "jit"
+
+    def test_broken_numba_compile_demotes(self, monkeypatch):
+        """A numba whose njit explodes at compile time demotes the same
+        way an execution failure would (the fake object has no .njit,
+        so _compiled() raises AttributeError)."""
+        monkeypatch.setattr(jitmod, "_numba", object())
+        monkeypatch.delenv(JIT_DISABLE_ENV, raising=False)
+        setup = _setup()
+        g = JitSliceAndDiceGridder(setup)
+        ref = make_gridder("slice_and_dice_compiled", setup)
+        coords, stack, _ = _problem(setup)
+        np.testing.assert_allclose(
+            g.grid_batch(coords, stack), ref.grid_batch(coords, stack),
+            rtol=1e-12, atol=0,
+        )
+        assert g._lane == "numpy"
+        assert "AttributeError" in g.degradations[0].reason
+
+    def test_fault_site_raises_when_unhandled(self):
+        """The injection sites themselves follow the faults contract."""
+        with inject_faults(jit_errors=1):
+            with pytest.raises(InjectedFault):
+                jitmod.fault_point("jit:scatter")
+
+
+# ----------------------------------------------------------------------
+# availability probes
+# ----------------------------------------------------------------------
+class TestAvailability:
+    def test_env_tokens(self, monkeypatch):
+        monkeypatch.setattr(jitmod, "_numba", object())
+        monkeypatch.delenv(JIT_DISABLE_ENV, raising=False)
+        assert jit_available()
+        monkeypatch.setenv(JIT_DISABLE_ENV, "numba")
+        assert not jit_available()
+        monkeypatch.setenv(JIT_DISABLE_ENV, "fftw , numba")
+        assert not jit_available()
+        monkeypatch.setenv(JIT_DISABLE_ENV, "fftw")
+        assert jit_available()
+
+    def test_unavailable_without_numba(self, monkeypatch):
+        monkeypatch.setattr(jitmod, "_numba", None)
+        assert not jit_available()
+        assert jitmod.numba_version() is None

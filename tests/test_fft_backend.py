@@ -310,3 +310,42 @@ class TestPlanBackendsAndPool:
         first = plan.adjoint(v)
         second = plan.adjoint(v)
         assert np.array_equal(first, second)
+
+    def test_compiled_gather_scratch_is_hoisted(self):
+        # satellite of the JIT-lane PR: the compiled engine's warm
+        # grid_batch/interp_batch must not allocate the (nnz,)-sized
+        # weighted-gather scratch per RHS — it lives in a persistent
+        # (2, nnz) buffer on the gridder.  A single fresh (nnz,) float64
+        # temp would show up in the tracemalloc peak at ~nnz * 8 bytes;
+        # everything legitimately allocated during a warm call (dice
+        # buffers, bincount outputs, the output stack) is far smaller
+        # for this geometry (nnz = M * W^2 = 108_000 vs n_flat = 1024).
+        import tracemalloc
+
+        from repro.gridding import GriddingSetup, make_gridder
+        from repro.kernels import KernelLUT, beatty_kernel
+
+        setup = GriddingSetup((32, 32), KernelLUT(beatty_kernel(6, 2.0), 64))
+        g = make_gridder("slice_and_dice_compiled", setup)
+        rng = np.random.default_rng(3)
+        m = 3000
+        coords = rng.uniform(0, 32, (m, 2))
+        stack = (
+            rng.standard_normal((4, m)) + 1j * rng.standard_normal((4, m))
+        )
+        grids = g.grid_batch(coords, stack)  # compile plan + scratch
+        _ = g.interp_batch(grids, coords)
+        nnz = g.stats.plan_nnz
+        assert nnz >= 100_000  # geometry big enough for the assertion
+
+        tracemalloc.start()
+        g.grid_batch(coords, stack)
+        _, peak_grid = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        tracemalloc.start()
+        _ = g.interp_batch(grids, coords)
+        _, peak_interp = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        # one leaked per-RHS scratch would cost nnz * 8 ≈ 864 KB
+        assert peak_grid < nnz * 4
+        assert peak_interp < nnz * 4

@@ -130,6 +130,8 @@ class TestStats:
             "parallel_backend",
             "shard_plan",
             "worker_seconds",
+            "kernel",
+            "exec_lane",
             "quality",
             "degradations",
         }

@@ -17,9 +17,13 @@ makes the pluggable multithreaded FFT backends worth their keep.
 each record carries its lane in a ``dtype`` field so the committed
 baseline tracks the complex64 speedup over time.
 
+``--kernel`` selects the interpolation window(s): ``kb``
+(Kaiser-Bessel, default), ``es`` (exponential of semicircle), or
+``both`` — each record carries its window in a ``kernel`` field.
+
 ``--check`` compares each record's headline seconds against the last
-committed record of the same ``(mode, backend, op, image, m, dtype)``
-shape and fails (exit 1) on a more-than-2x regression.
+committed record of the same ``(mode, backend, op, image, m, dtype,
+kernel)`` shape and fails (exit 1) on a more-than-2x regression.
 
 Usage::
 
@@ -66,7 +70,8 @@ def _best_of(fn, repeats: int = 3):
 
 
 def _record(mode: str, size: dict, backend: str, op: str, seconds: float,
-            stages: dict | None = None, dtype: str = "double") -> dict:
+            stages: dict | None = None, dtype: str = "double",
+            kernel: str = "kb") -> dict:
     rec = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
         "mode": mode,
@@ -75,6 +80,7 @@ def _record(mode: str, size: dict, backend: str, op: str, seconds: float,
         "image": size["image"],
         "m": size["spokes"] * size["readout"],
         "dtype": dtype,
+        "kernel": kernel,
         "seconds": round(seconds, 6),
     }
     if stages:
@@ -82,7 +88,11 @@ def _record(mode: str, size: dict, backend: str, op: str, seconds: float,
     return rec
 
 
-def run_benchmark(mode: str, dtypes: tuple[str, ...] = ("double",)) -> list[dict]:
+def run_benchmark(
+    mode: str,
+    dtypes: tuple[str, ...] = ("double",),
+    kernels: tuple[str, ...] = ("kb",),
+) -> list[dict]:
     """Records for forward / adjoint / CG per backend + the Toeplitz path."""
     size = SIZES[mode]
     n = size["image"]
@@ -96,66 +106,72 @@ def run_benchmark(mode: str, dtypes: tuple[str, ...] = ("double",)) -> list[dict
     records = []
     for backend in available_fft_backends():
         for dtype in dtypes:
-            precision = "single" if dtype == "single" else "double"
-            plan = NufftPlan(
-                (n, n),
-                coords,
-                gridder="slice_and_dice_compiled",
-                gridder_options={"backend": "csr"},
-                fft_backend=backend,
-                precision=precision,
-            )
-            vals = np.asarray(values, dtype=plan.cdtype)
-            img = np.asarray(image, dtype=plan.cdtype)
-            adj_s, _ = _best_of(lambda: plan.adjoint(vals))
-            t = plan.timings
-            records.append(
-                _record(
-                    mode, size, backend, "adjoint", adj_s,
-                    {
-                        "gridding": t.gridding,
-                        "fft": t.fft,
-                        "apodization": t.apodization,
-                        "copy": t.copy_seconds,
-                    },
-                    dtype=dtype,
+            for kern in kernels:
+                precision = "single" if dtype == "single" else "double"
+                plan = NufftPlan(
+                    (n, n),
+                    coords,
+                    gridder="slice_and_dice_compiled",
+                    gridder_options={"backend": "csr"},
+                    fft_backend=backend,
+                    precision=precision,
+                    kernel=kern,
                 )
-            )
-            fwd_s, _ = _best_of(lambda: plan.forward(img))
-            t = plan.timings
-            records.append(
-                _record(
-                    mode, size, backend, "forward", fwd_s,
-                    {
-                        "gridding": t.gridding,
-                        "fft": t.fft,
-                        "apodization": t.apodization,
-                        "copy": t.copy_seconds,
-                    },
-                    dtype=dtype,
+                vals = np.asarray(values, dtype=plan.cdtype)
+                img = np.asarray(image, dtype=plan.cdtype)
+                adj_s, _ = _best_of(lambda: plan.adjoint(vals))
+                t = plan.timings
+                records.append(
+                    _record(
+                        mode, size, backend, "adjoint", adj_s,
+                        {
+                            "gridding": t.gridding,
+                            "fft": t.fft,
+                            "apodization": t.apodization,
+                            "copy": t.copy_seconds,
+                        },
+                        dtype=dtype,
+                        kernel=kern,
+                    )
                 )
-            )
-            cg_s, _ = _best_of(
-                lambda: cg_reconstruction(
-                    plan, vals, weights,
-                    n_iterations=size["cg_iters"], tolerance=1e-30,
-                ),
-                repeats=2,
-            )
-            records.append(
-                _record(mode, size, backend, "cg_gridding", cg_s, dtype=dtype)
-            )
-            toep_s, _ = _best_of(
-                lambda: cg_reconstruction(
-                    plan, vals, weights,
-                    n_iterations=size["cg_iters"], tolerance=1e-30,
-                    normal="toeplitz",
-                ),
-                repeats=2,
-            )
-            records.append(
-                _record(mode, size, backend, "cg_toeplitz", toep_s, dtype=dtype)
-            )
+                fwd_s, _ = _best_of(lambda: plan.forward(img))
+                t = plan.timings
+                records.append(
+                    _record(
+                        mode, size, backend, "forward", fwd_s,
+                        {
+                            "gridding": t.gridding,
+                            "fft": t.fft,
+                            "apodization": t.apodization,
+                            "copy": t.copy_seconds,
+                        },
+                        dtype=dtype,
+                        kernel=kern,
+                    )
+                )
+                cg_s, _ = _best_of(
+                    lambda: cg_reconstruction(
+                        plan, vals, weights,
+                        n_iterations=size["cg_iters"], tolerance=1e-30,
+                    ),
+                    repeats=2,
+                )
+                records.append(
+                    _record(mode, size, backend, "cg_gridding", cg_s,
+                            dtype=dtype, kernel=kern)
+                )
+                toep_s, _ = _best_of(
+                    lambda: cg_reconstruction(
+                        plan, vals, weights,
+                        n_iterations=size["cg_iters"], tolerance=1e-30,
+                        normal="toeplitz",
+                    ),
+                    repeats=2,
+                )
+                records.append(
+                    _record(mode, size, backend, "cg_toeplitz", toep_s,
+                            dtype=dtype, kernel=kern)
+                )
     return records
 
 
@@ -170,10 +186,11 @@ def check_regressions(baseline: list[dict], current: list[dict]) -> list[str]:
     failures = []
 
     def _key(r: dict) -> tuple:
-        # records committed before the dtype axis existed are double
+        # records committed before the dtype/kernel axes existed are
+        # double-precision Kaiser-Bessel
         return (
             r["mode"], r["backend"], r["op"], r["image"], r["m"],
-            r.get("dtype", "double"),
+            r.get("dtype", "double"), r.get("kernel", "kb"),
         )
 
     for rec in current:
@@ -216,6 +233,12 @@ def main(argv: list[str] | None = None) -> int:
         help="precision lane(s) to benchmark (default: both)",
     )
     parser.add_argument(
+        "--kernel",
+        choices=("kb", "es", "both"),
+        default="kb",
+        help="interpolation window(s) to benchmark (default: kb)",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=REPO_ROOT / "BENCH_nufft.json",
@@ -225,11 +248,12 @@ def main(argv: list[str] | None = None) -> int:
 
     mode = "smoke" if args.smoke else "full"
     dtypes = ("double", "single") if args.dtype == "both" else (args.dtype,)
+    kernels = ("kb", "es") if args.kernel == "both" else (args.kernel,)
     baseline = load_records(args.output)
-    records = run_benchmark(mode, dtypes)
+    records = run_benchmark(mode, dtypes, kernels)
 
     header = (
-        f"{'backend':<8} {'dtype':<7} {'op':<12} {'seconds':>9} "
+        f"{'backend':<8} {'dtype':<7} {'kern':<5} {'op':<12} {'seconds':>9} "
         f"{'fft':>8} {'grid':>8}"
     )
     print(header)
@@ -238,8 +262,8 @@ def main(argv: list[str] | None = None) -> int:
         fft = rec.get("fft")
         grid = rec.get("gridding")
         print(
-            f"{rec['backend']:<8} {rec['dtype']:<7} {rec['op']:<12} "
-            f"{rec['seconds']:>8.4f}s "
+            f"{rec['backend']:<8} {rec['dtype']:<7} {rec['kernel']:<5} "
+            f"{rec['op']:<12} {rec['seconds']:>8.4f}s "
             f"{(f'{fft:.4f}s' if fft is not None else '-'):>8} "
             f"{(f'{grid:.4f}s' if grid is not None else '-'):>8}"
         )

@@ -2,13 +2,15 @@
 """Trajectory gridding benchmark with a committed regression baseline.
 
 Times warm (table-/plan-cache hit) and cold gridding for the serial
-engine and both compiled-plan backends on a fixed random trajectory,
-then **appends** one record per engine to ``BENCH_gridding.json`` at
-the repository root.  The committed file doubles as the regression
-baseline: ``--check`` compares each engine's warm speedup over the
-serial engine against the last committed record for the same
-``(mode, engine, m, grid, width)`` shape and fails (exit 1) on a
-more-than-2x regression.
+engine, both compiled-plan backends, and the numba JIT engine (which
+degrades to the NumPy lane when numba is absent — the record's
+``exec_lane`` field says which lane actually ran) on a fixed random
+trajectory, then **appends** one record per engine to
+``BENCH_gridding.json`` at the repository root.  The committed file
+doubles as the regression baseline: ``--check`` compares each engine's
+warm speedup over the serial engine against the last committed record
+for the same ``(mode, engine, m, grid, width, dtype, kernel)`` shape
+and fails (exit 1) on a more-than-2x regression.
 
 Usage::
 
@@ -28,6 +30,10 @@ the CI job finishes in seconds while still exercising every code path
 (default).  Each record carries its lane in a ``dtype`` field; the
 warm speedup is always measured against the serial engine *of the
 same lane* so the two lanes stay comparable over time.
+
+``--kernel`` selects the interpolation window(s): ``kb``
+(Kaiser-Bessel, default), ``es`` (exponential of semicircle), or
+``both`` — each record carries its window in a ``kernel`` field.
 """
 
 from __future__ import annotations
@@ -44,7 +50,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 import numpy as np  # noqa: E402
 
 from repro.gridding import GriddingSetup, make_gridder  # noqa: E402
-from repro.kernels import KernelLUT, beatty_kernel  # noqa: E402
+from repro.kernels import KernelLUT, make_kernel  # noqa: E402
 from repro.trajectories import random_trajectory  # noqa: E402
 
 #: engine name -> extra make_gridder kwargs
@@ -52,6 +58,7 @@ ENGINES = {
     "slice_and_dice": {},
     "slice_and_dice_compiled": {},
     "slice_and_dice_compiled[csr]": {"backend": "csr"},
+    "slice_and_dice_jit": {},
 }
 
 SIZES = {
@@ -74,8 +81,12 @@ def _best_of(fn, repeats: int = 5) -> float:
     return best
 
 
-def run_benchmark(mode: str, dtypes: tuple[str, ...] = ("double",)) -> list[dict]:
-    """One record per (engine, dtype) for the given problem size."""
+def run_benchmark(
+    mode: str,
+    dtypes: tuple[str, ...] = ("double",),
+    kernels: tuple[str, ...] = ("kb",),
+) -> list[dict]:
+    """One record per (engine, dtype, kernel) for the given problem size."""
     size = SIZES[mode]
     m, g, w = size["m"], size["grid"], size["width"]
     coords = np.mod(random_trajectory(m, 2, rng=0), 1.0) * g
@@ -85,40 +96,43 @@ def run_benchmark(mode: str, dtypes: tuple[str, ...] = ("double",)) -> list[dict
     records = []
     for dtype_name in dtypes:
         cdtype = np.complex64 if dtype_name == "single" else np.complex128
-        setup = GriddingSetup(
-            (g, g), KernelLUT(beatty_kernel(w, 2.0), 64), dtype=cdtype
-        )
-        vals = values.astype(cdtype)
-        serial_warm = None
-        for engine, kwargs in ENGINES.items():
-            name = engine.split("[", 1)[0]
-            gridder = make_gridder(name, setup, **kwargs)
-            t0 = time.perf_counter()
-            gridder.grid(coords, vals)  # cold: table build / plan compile
-            cold = time.perf_counter() - t0
-            misses = gridder.stats.cache_misses
-            warm = _best_of(lambda: gridder.grid(coords, vals))
-            hits = gridder.stats.cache_hits
-            if serial_warm is None:  # dict order: serial engine runs first
-                serial_warm = warm
-            records.append(
-                {
-                    "timestamp": time.strftime(
-                        "%Y-%m-%dT%H:%M:%S", time.gmtime()
-                    ),
-                    "mode": mode,
-                    "engine": engine,
-                    "m": m,
-                    "grid": g,
-                    "width": w,
-                    "dtype": dtype_name,
-                    "seconds_cold": round(cold, 6),
-                    "seconds_warm": round(warm, 6),
-                    "plan_hits": int(hits),
-                    "plan_misses": int(misses),
-                    "warm_speedup_vs_serial": round(serial_warm / warm, 3),
-                }
+        for kern in kernels:
+            setup = GriddingSetup(
+                (g, g), KernelLUT(make_kernel(kern, w), 64), dtype=cdtype
             )
+            vals = values.astype(cdtype)
+            serial_warm = None
+            for engine, kwargs in ENGINES.items():
+                name = engine.split("[", 1)[0]
+                gridder = make_gridder(name, setup, **kwargs)
+                t0 = time.perf_counter()
+                gridder.grid(coords, vals)  # cold: table build / plan compile
+                cold = time.perf_counter() - t0
+                misses = gridder.stats.cache_misses
+                warm = _best_of(lambda: gridder.grid(coords, vals))
+                hits = gridder.stats.cache_hits
+                if serial_warm is None:  # dict order: serial engine runs first
+                    serial_warm = warm
+                records.append(
+                    {
+                        "timestamp": time.strftime(
+                            "%Y-%m-%dT%H:%M:%S", time.gmtime()
+                        ),
+                        "mode": mode,
+                        "engine": engine,
+                        "m": m,
+                        "grid": g,
+                        "width": w,
+                        "dtype": dtype_name,
+                        "kernel": kern,
+                        "exec_lane": gridder.stats.exec_lane,
+                        "seconds_cold": round(cold, 6),
+                        "seconds_warm": round(warm, 6),
+                        "plan_hits": int(hits),
+                        "plan_misses": int(misses),
+                        "warm_speedup_vs_serial": round(serial_warm / warm, 3),
+                    }
+                )
     return records
 
 
@@ -132,10 +146,10 @@ def check_regressions(baseline: list[dict], current: list[dict]) -> list[str]:
     """Failure messages for every engine slower than baseline / 2."""
     failures = []
     def _key(r: dict) -> tuple:
-        # pre-dtype-axis records (no "dtype" field) were all complex128
+        # pre-axis records were all complex128 Kaiser-Bessel
         return (
             r["mode"], r["engine"], r["m"], r["grid"], r["width"],
-            r.get("dtype", "double"),
+            r.get("dtype", "double"), r.get("kernel", "kb"),
         )
 
     for rec in current:
@@ -178,6 +192,12 @@ def main(argv: list[str] | None = None) -> int:
         help="working dtype lane(s) to benchmark (default: both)",
     )
     parser.add_argument(
+        "--kernel",
+        choices=("kb", "es", "both"),
+        default="kb",
+        help="interpolation window(s) to benchmark (default: kb)",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=REPO_ROOT / "BENCH_gridding.json",
@@ -187,17 +207,19 @@ def main(argv: list[str] | None = None) -> int:
 
     mode = "smoke" if args.smoke else "full"
     dtypes = ("double", "single") if args.dtype == "both" else (args.dtype,)
+    kernels = ("kb", "es") if args.kernel == "both" else (args.kernel,)
     baseline = load_records(args.output)
-    records = run_benchmark(mode, dtypes)
+    records = run_benchmark(mode, dtypes, kernels)
 
     header = (
-        f"{'engine':<28} {'dtype':<7} {'cold':>9} {'warm':>9} {'vs serial':>10}"
+        f"{'engine':<28} {'dtype':<7} {'kern':<5} {'cold':>9} {'warm':>9} "
+        f"{'vs serial':>10}"
     )
     print(header)
     print("-" * len(header))
     for rec in records:
         print(
-            f"{rec['engine']:<28} {rec['dtype']:<7} "
+            f"{rec['engine']:<28} {rec['dtype']:<7} {rec['kernel']:<5} "
             f"{rec['seconds_cold']:>8.4f}s "
             f"{rec['seconds_warm']:>8.4f}s "
             f"{rec['warm_speedup_vs_serial']:>9.2f}x"
