@@ -250,7 +250,13 @@ def plan_interp_samples(
 
 
 def plan_stats(
-    ndim: int, n_columns: int, m: int, n_rhs: int, plan: CompiledPlan, hit: bool
+    ndim: int,
+    n_columns: int,
+    m: int,
+    n_rhs: int,
+    plan: CompiledPlan,
+    hit: bool,
+    dice_bytes: int = 0,
 ) -> GriddingStats:
     """Per-call stats for a compiled-plan pass.
 
@@ -263,6 +269,11 @@ def plan_stats(
     simd_lane_slots == nnz`` — the gather has no divergence to waste
     slots on).  Value work (``interpolations`` MACs, dice accesses)
     always scales with the batch.
+
+    ``dice_bytes`` is the caller's dice + scratch residency; the
+    reported ``peak_bytes`` adds the plan itself and — on a miss — the
+    transient select tables, giving the pass' true transient high
+    water instead of the pooled-buffer bytes alone.
     """
     return GriddingStats(
         boundary_checks=0 if hit else m * n_columns,
@@ -279,6 +290,9 @@ def plan_stats(
         table_bytes=0 if hit else plan.table_bytes,
         plan_compile_seconds=0.0 if hit else plan.compile_seconds,
         plan_nnz=plan.nnz,
+        peak_bytes=(
+            dice_bytes + plan.nbytes + (0 if hit else plan.table_bytes)
+        ),
     )
 
 
@@ -388,6 +402,13 @@ class CompiledSliceAndDiceGridder(SliceAndDiceGridder):
             self._entry_scratch = sc
         return sc[0, :nnz], sc[1, :nnz]
 
+    def _dice_bytes(self, plan: CompiledPlan, k_rhs: int) -> int:
+        """Dice + gather-scratch residency of a ``K``-RHS pass (the
+        ``dice_bytes`` input of :func:`plan_stats`)."""
+        dice = k_rhs * plan.n_rows * plan.n_tiles * self.setup.dtype.itemsize
+        scratch = 0 if self._entry_scratch is None else self._entry_scratch.nbytes
+        return dice + scratch
+
     def _fetch_plan(self, coords: np.ndarray) -> tuple[CompiledPlan, bool]:
         """The trajectory's compiled plan plus whether it was a cache hit.
 
@@ -439,7 +460,8 @@ class CompiledSliceAndDiceGridder(SliceAndDiceGridder):
         finally:
             self._release_buffer(dice_flat)
         self.stats = plan_stats(
-            self.setup.ndim, self.layout.n_columns, coords.shape[0], 1, plan, hit
+            self.setup.ndim, self.layout.n_columns, coords.shape[0], 1, plan,
+            hit, dice_bytes=self._dice_bytes(plan, 1),
         )
 
     def _grid_batch_impl(
@@ -466,7 +488,7 @@ class CompiledSliceAndDiceGridder(SliceAndDiceGridder):
             self._release_buffer(dice_flat)
         self.stats = plan_stats(
             self.setup.ndim, self.layout.n_columns, coords.shape[0], k_rhs,
-            plan, hit,
+            plan, hit, dice_bytes=self._dice_bytes(plan, k_rhs),
         )
 
     def _apply_grid(
@@ -540,7 +562,8 @@ class CompiledSliceAndDiceGridder(SliceAndDiceGridder):
         finally:
             self._release_buffer(dice_flat)
         self.stats = plan_stats(
-            self.setup.ndim, self.layout.n_columns, m, k_rhs, plan, hit
+            self.setup.ndim, self.layout.n_columns, m, k_rhs, plan, hit,
+            dice_bytes=self._dice_bytes(plan, k_rhs),
         )
         return out
 

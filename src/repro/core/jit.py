@@ -73,6 +73,7 @@ __all__ = [
     "JitSliceAndDiceGridder",
     "jit_available",
     "numba_version",
+    "plan_kernels",
     "scatter_plan_entries",
     "scatter_plan_rows",
     "gather_plan_entries",
@@ -170,6 +171,24 @@ def gather_plan_samples(dice_flat, flat_idx, weight, order, starts, out):
 
 
 _COMPILED: dict[str, object] | None = None
+
+
+def plan_kernels(jit: bool = True) -> dict[str, object]:
+    """Entry-order scatter/gather kernels for plan execution.
+
+    With ``jit=True`` (and numba importable / not disabled) the
+    returned callables are the njit dispatchers of :func:`_compiled`;
+    otherwise they are the raw Python loop bodies — same arithmetic in
+    the same order, just interpreted.  The streaming engine uses this
+    to run its per-chunk accumulates on whichever lane is available
+    without duplicating the loop bodies.
+    """
+    if jit and jit_available():
+        return dict(_compiled())
+    return {
+        "scatter-serial": scatter_plan_entries,
+        "gather-serial": gather_plan_entries,
+    }
 
 
 def _compiled() -> dict[str, object]:

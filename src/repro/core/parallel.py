@@ -534,7 +534,12 @@ class ParallelSliceAndDiceGridder(SliceAndDiceGridder):
         else:
             plan_obj, hit = meta
             self.stats = plan_stats(
-                self.setup.ndim, self.layout.n_columns, m, n_rhs, plan_obj, hit
+                self.setup.ndim, self.layout.n_columns, m, n_rhs, plan_obj,
+                hit,
+                dice_bytes=(
+                    n_rhs * plan_obj.n_rows * plan_obj.n_tiles
+                    * self.setup.dtype.itemsize
+                ),
             )
 
     def _run_grid(self, coords: np.ndarray, values_stack: np.ndarray):

@@ -470,8 +470,14 @@ class SliceAndDiceGridder(Gridder):
         Select work (checks, LUT reads, lane issue) is shared across the
         batch; value work (MACs, dice accesses) scales with ``n_rhs``;
         ``fetch`` is the table-cache event of *this* call.
+        ``peak_bytes`` is the pass' true transient high water: the
+        ``(K, T^d, n_tiles)`` dice plus the resident select tables.
         """
         d = self.setup.ndim
+        dice_bytes = (
+            n_rhs * self.layout.n_columns * self.layout.n_tiles
+            * self.setup.dtype.itemsize
+        )
         self.stats = GriddingStats(
             boundary_checks=m * self.layout.n_columns,
             interpolations=interpolations * n_rhs,
@@ -488,6 +494,7 @@ class SliceAndDiceGridder(Gridder):
             cache_misses=0 if fetch.hit else 1,
             table_build_seconds=fetch.build_seconds,
             table_bytes=fetch.table_bytes,
+            peak_bytes=dice_bytes + fetch.table_bytes,
         )
 
     # ------------------------------------------------------------------
@@ -537,6 +544,11 @@ class SliceAndDiceGridder(Gridder):
             cache_misses=0 if fetch.hit else 1,
             table_build_seconds=fetch.build_seconds,
             table_bytes=fetch.table_bytes,
+            peak_bytes=(
+                k_rhs * self.layout.n_columns * self.layout.n_tiles
+                * self.setup.dtype.itemsize
+                + fetch.table_bytes
+            ),
         )
         return out
 

@@ -34,6 +34,23 @@ from .registry import (
     make_gridder,
     register_gridder,
 )
+#: streaming exports resolved lazily (PEP 562): ``streaming`` builds on
+#: :mod:`repro.core.compiled`, which itself imports ``gridding.base`` —
+#: an eager import here would close that cycle mid-initialization
+_STREAMING_EXPORTS = (
+    "SampleStream",
+    "StreamingSliceAndDiceGridder",
+    "choose_chunk_samples",
+)
+
+
+def __getattr__(name):
+    if name in _STREAMING_EXPORTS:
+        from . import streaming
+
+        return getattr(streaming, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "Gridder",
@@ -46,6 +63,9 @@ __all__ = [
     "OutputParallelGridder",
     "BinningGridder",
     "SparseMatrixGridder",
+    "SampleStream",
+    "StreamingSliceAndDiceGridder",
+    "choose_chunk_samples",
     "available_gridders",
     "default_gridder",
     "make_gridder",

@@ -118,6 +118,20 @@ class GriddingStats:
     worker_seconds:
         Wall-clock seconds each worker spent in its shard (same order
         as ``shard_plan``) — exposes load balance, not just totals.
+    chunks:
+        Fixed-size sample chunks the pass was streamed in (the
+        ``slice_and_dice_streaming`` engine); ``0`` for one-shot
+        engines, whose whole trajectory is one implicit chunk.
+    chunk_bytes:
+        Per-chunk working-set bytes of the most recent streamed pass
+        (chunk coordinate/value slices plus the chunk's compiled plan
+        and gather scratch) — the quantity the chunk size bounds.
+    peak_bytes:
+        True high-water transient bytes of the pass: the dice
+        accumulator plus the largest simultaneous plan/table/scratch
+        residency.  For streamed passes this is ``O(chunk + grid)``
+        instead of the one-shot ``O(M * W^d)`` plan footprint — the
+        bounded-memory guarantee, reported rather than asserted.
     kernel:
         Short window-kernel identifier of the pass (``"kb"``, ``"es"``,
         ...) — lets benches and ``/stats`` attribute accuracy/speed to
@@ -166,6 +180,9 @@ class GriddingStats:
     parallel_backend: str = ""
     shard_plan: tuple = ()
     worker_seconds: tuple = ()
+    chunks: int = 0
+    chunk_bytes: int = 0
+    peak_bytes: int = 0
     kernel: str = ""
     exec_lane: str = ""
     quality: DataQualityReport | None = None
@@ -205,6 +222,9 @@ class GriddingStats:
             "parallel_backend": self.parallel_backend,
             "shard_plan": self.shard_plan,
             "worker_seconds": self.worker_seconds,
+            "chunks": self.chunks,
+            "chunk_bytes": self.chunk_bytes,
+            "peak_bytes": self.peak_bytes,
             "kernel": self.kernel,
             "exec_lane": self.exec_lane,
             "quality": self.quality.as_dict() if self.quality is not None else None,
@@ -220,6 +240,9 @@ class GriddingStats:
         the parallel-schedule fields (``workers_used``,
         ``parallel_backend``, ``shard_plan``, ``worker_seconds``) take
         the most recent pass that actually ran a worker pool.
+        ``chunks`` is additive (chunks of an aggregated pass sum);
+        ``chunk_bytes`` is a gauge and ``peak_bytes`` takes the max —
+        a batch's high water is its worst constituent pass.
         """
         self.boundary_checks += other.boundary_checks
         self.interpolations += other.interpolations
@@ -242,6 +265,11 @@ class GriddingStats:
             self.parallel_backend = other.parallel_backend
             self.shard_plan = other.shard_plan
             self.worker_seconds = other.worker_seconds
+        self.chunks += other.chunks
+        if other.chunk_bytes:
+            self.chunk_bytes = other.chunk_bytes
+        if other.peak_bytes > self.peak_bytes:
+            self.peak_bytes = other.peak_bytes
         if other.kernel:
             self.kernel = other.kernel
         if other.exec_lane:

@@ -17,7 +17,17 @@ asserts identical output grids).  Registered engines (see
   plus bincount accumulates (bit-identical to the serial engine),
 - ``"slice_and_dice_jit"`` — the compiled plan executed by numba-fused
   scatter/gather loops when numba is importable (supervised
-  degradation to the pure-NumPy compiled path when it is not).
+  degradation to the pure-NumPy compiled path when it is not),
+- ``"slice_and_dice_streaming"`` — fixed-size sample chunks streamed
+  through per-chunk compiled plans into one pooled dice; peak memory
+  O(chunk + grid) instead of O(M * W^d), with optional pipelined
+  select/scatter overlap.
+
+Any Slice-and-Dice engine name also accepts ``chunk_samples=N``:
+:func:`make_gridder` then routes to the streaming engine with the
+execution lane matching the requested engine family (serial reference
+-> ``"serial"``, compiled/parallel -> ``"numpy"``, jit -> ``"auto"``),
+so callers opt into bounded memory without changing engine names.
 
 :func:`default_gridder` names the best compiled engine for the current
 environment, which is how the NuFFT service picks its default.
@@ -110,8 +120,19 @@ def make_gridder(name: str, setup: GriddingSetup, **kwargs) -> Gridder:
     >>> setup = GriddingSetup((32, 32), KernelLUT(beatty_kernel(6, 2.0), 64))
     >>> make_gridder("slice_and_dice_parallel", setup, workers=2).name
     'slice_and_dice_parallel'
+
+    Passing ``chunk_samples=`` with any Slice-and-Dice engine name
+    selects the bounded-memory streaming engine on the matching lane:
+
+    >>> make_gridder("slice_and_dice_compiled", setup, chunk_samples=4096).name
+    'slice_and_dice_streaming'
     """
     _ensure_core()
+    if "chunk_samples" in kwargs and name in _STREAM_LANE_FOR:
+        from .streaming import StreamingSliceAndDiceGridder
+
+        kwargs.setdefault("lane", _STREAM_LANE_FOR[name])
+        return StreamingSliceAndDiceGridder(setup, **kwargs)
     try:
         factory = _REGISTRY[name]
     except KeyError:
@@ -141,6 +162,18 @@ def default_gridder() -> str:
     return "slice_and_dice_jit" if jit_available() else "slice_and_dice_compiled"
 
 
+#: execution lane the streaming engine adopts when ``chunk_samples=``
+#: retargets an engine-family name (matches the family's arithmetic:
+#: the streamed result stays bit-compatible with the requested engine)
+_STREAM_LANE_FOR = {
+    "slice_and_dice": "serial",
+    "slice_and_dice_compiled": "numpy",
+    "slice_and_dice_parallel": "numpy",
+    "slice_and_dice_jit": "auto",
+    "slice_and_dice_streaming": "auto",
+}
+
+
 def _ensure_core() -> None:
     """Register the Slice-and-Dice gridders lazily (avoids import cycle)."""
     if "slice_and_dice" not in _REGISTRY:
@@ -150,11 +183,13 @@ def _ensure_core() -> None:
             ParallelSliceAndDiceGridder,
             SliceAndDiceGridder,
         )
+        from .streaming import StreamingSliceAndDiceGridder
 
         register_gridder("slice_and_dice", SliceAndDiceGridder)
         register_gridder("slice_and_dice_parallel", ParallelSliceAndDiceGridder)
         register_gridder("slice_and_dice_compiled", CompiledSliceAndDiceGridder)
         register_gridder("slice_and_dice_jit", JitSliceAndDiceGridder)
+        register_gridder("slice_and_dice_streaming", StreamingSliceAndDiceGridder)
 
 
 register_gridder("naive", NaiveGridder)

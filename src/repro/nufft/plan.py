@@ -78,6 +78,9 @@ class NufftTimings:
     #: execution lane the gridding arithmetic ran on (``numpy`` /
     #: ``numba-serial`` / ``numba-parallel`` — see GriddingStats)
     exec_lane: str = ""
+    #: streamed sample chunks the gridding pass consumed (0 for the
+    #: one-shot engines — nonzero only on the streaming engine)
+    chunks: int = 0
 
     @property
     def total(self) -> float:
@@ -612,6 +615,7 @@ class NufftPlan:
             fused=self._fused,
             kernel=self.kernel_name,
             exec_lane=self.gridder.stats.exec_lane,
+            chunks=self.gridder.stats.chunks,
         )
         return image
 
@@ -687,6 +691,7 @@ class NufftPlan:
             fused=self._fused,
             kernel=self.kernel_name,
             exec_lane=self.gridder.stats.exec_lane,
+            chunks=self.gridder.stats.chunks,
         )
         return samples
 
@@ -770,6 +775,7 @@ class NufftPlan:
             fused=self._fused,
             kernel=self.kernel_name,
             exec_lane=self.gridder.stats.exec_lane,
+            chunks=self.gridder.stats.chunks,
         )
         return samples
 
@@ -843,6 +849,7 @@ class NufftPlan:
             fused=self._fused,
             kernel=self.kernel_name,
             exec_lane=self.gridder.stats.exec_lane,
+            chunks=self.gridder.stats.chunks,
         )
         return out
 

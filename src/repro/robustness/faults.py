@@ -27,6 +27,12 @@ when no injector is active.  Faults available:
   ``corrupt_values=N`` poison that many entries (seeded positions)
   with NaN on entry to the gridding public API, exercising the
   quality-gate policies end to end.
+- **corrupted stream chunks** — ``corrupt_chunk_index=K`` poisons the
+  whole ``K``-th chunk (coords and values NaN) at the streaming
+  engine's per-chunk gate (:func:`corrupt_chunk`), exercising the
+  mid-stream quality policies: ``raise`` must abort with no partial
+  accumulation left behind, ``drop``/``zero`` must skip the chunk and
+  keep streaming.  One-shot: the directive clears after firing.
 
 Everything fired is appended to ``injector.log`` as
 ``(site, detail)`` tuples so tests can assert exactly which faults
@@ -65,6 +71,7 @@ __all__ = [
     "stage_worker_faults",
     "worker_fault_point",
     "corrupt_stream",
+    "corrupt_chunk",
 ]
 
 
@@ -97,6 +104,7 @@ class FaultInjector:
         jit_errors: int = 0,
         corrupt_coords: int = 0,
         corrupt_values: int = 0,
+        corrupt_chunk_index: int | None = None,
     ) -> None:
         self.rng = np.random.default_rng(seed)
         self.worker_crash = int(worker_crash)
@@ -107,6 +115,9 @@ class FaultInjector:
         self.jit_errors = int(jit_errors)
         self.corrupt_coords = int(corrupt_coords)
         self.corrupt_values = int(corrupt_values)
+        self.corrupt_chunk_index = (
+            None if corrupt_chunk_index is None else int(corrupt_chunk_index)
+        )
         self.log: list[tuple[str, str]] = []
         # worker directives staged for the current parallel pass:
         # worker_id -> "crash" | "hang"
@@ -189,6 +200,27 @@ class FaultInjector:
             self.log.append(("corrupt", f"values n={k}"))
         return coords, values_stack
 
+    def corrupt_one_chunk(
+        self,
+        chunk_index: int,
+        coords: np.ndarray,
+        values_stack: np.ndarray | None,
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Poison the whole chunk when ``chunk_index`` matches the
+        armed directive (one-shot), else pass through untouched."""
+        if self.corrupt_chunk_index != chunk_index or coords.shape[0] == 0:
+            return coords, values_stack
+        self.corrupt_chunk_index = None
+        coords = coords.copy()
+        coords[:, 0] = np.nan
+        if values_stack is not None:
+            values_stack = values_stack.copy()
+            values_stack[...] = np.nan + 0j
+        self.log.append(
+            ("corrupt", f"chunk index={chunk_index} n={coords.shape[0]}")
+        )
+        return coords, values_stack
+
 
 _ACTIVE: FaultInjector | None = None
 
@@ -251,3 +283,15 @@ def corrupt_stream(
     if _ACTIVE is None:
         return coords, values_stack
     return _ACTIVE.corrupt(coords, values_stack)
+
+
+def corrupt_chunk(
+    chunk_index: int,
+    coords: np.ndarray,
+    values_stack: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Called at the streaming engine's per-chunk gate; poisons the
+    whole chunk (NaN copies) when ``corrupt_chunk_index`` matches."""
+    if _ACTIVE is None:
+        return coords, values_stack
+    return _ACTIVE.corrupt_one_chunk(chunk_index, coords, values_stack)

@@ -145,6 +145,12 @@ class JobSpec:
     precision: str = "double"
     fft_backend: str = "auto"
     quality_policy: str = "raise"
+    #: per-job gridding memory budget (bytes).  When set, the worker
+    #: sizes a streamed chunk via
+    #: :func:`repro.gridding.choose_chunk_samples` and routes the job
+    #: through the streaming engine — plan-shaped because the chunked
+    #: plan cache differs from the one-shot plan.
+    max_bytes: int | None = None
     # ---- solver-shaped options (per call) ----
     n_iterations: int = 10
     tolerance: float = 1e-6
@@ -190,6 +196,7 @@ class JobSpec:
             self.precision,
             self.fft_backend,
             self.quality_policy,
+            self.max_bytes,
         )
 
     def weights_key(self) -> tuple | None:
@@ -211,11 +218,13 @@ class JobSpec:
         options = dict(payload.get("options") or {})
         unknown = set(options) - {
             "gridder", "gridder_options", "precision", "fft_backend",
-            "quality_policy", "n_iterations", "tolerance", "regularization",
-            "normal",
+            "quality_policy", "max_bytes", "n_iterations", "tolerance",
+            "regularization", "normal",
         }
         if unknown:
             raise ValueError(f"unknown option(s): {sorted(unknown)}")
+        if options.get("max_bytes") is not None:
+            options["max_bytes"] = int(options["max_bytes"])
         weights = payload.get("weights")
         return cls(
             image_shape=tuple(payload["image_shape"]),
@@ -245,6 +254,10 @@ class JobResult:
     seconds: float = 0.0
     kernel: str = ""
     exec_lane: str = ""
+    #: streamed gridding chunks consumed (0 on the one-shot engines)
+    chunks: int = 0
+    #: gridding-side transient high water of the final pass (bytes)
+    peak_bytes: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -269,6 +282,8 @@ class JobResult:
             "seconds": round(self.seconds, 6),
             "kernel": self.kernel,
             "exec_lane": self.exec_lane,
+            "chunks": self.chunks,
+            "peak_bytes": self.peak_bytes,
         }
 
 

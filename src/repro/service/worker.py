@@ -33,6 +33,7 @@ from collections import OrderedDict
 import numpy as np
 
 from ..gridding.buffers import GridBufferPool
+from ..gridding.streaming import choose_chunk_samples
 from ..nufft import NufftPlan, ToeplitzNormalOperator
 from ..recon import cg_reconstruction
 from .jobs import Job, JobResult, JobSpec
@@ -91,6 +92,7 @@ class ReconWorker:
         # atomic enough under the GIL for monitoring purposes)
         self.jobs_done = 0
         self.jobs_failed = 0
+        self.jobs_chunked = 0
         self.plan_hits = 0
         self.plan_misses = 0
         self.toeplitz_hits = 0
@@ -148,11 +150,27 @@ class ReconWorker:
             self.plan_hits += 1
             return entry, "hit"
         self.plan_misses += 1
+        gridder_options = dict(spec.gridder_options)
+        if spec.max_bytes is not None and "chunk_samples" not in gridder_options:
+            # budget the gridding pass: size a chunk from the plan's
+            # default geometry (2x oversampled grid, W=6) and let the
+            # registry route the engine family onto the streaming lane
+            grid_shape = tuple(2 * n for n in spec.image_shape)
+            dtype = (
+                np.complex64 if spec.precision == "single" else np.complex128
+            )
+            gridder_options["chunk_samples"] = choose_chunk_samples(
+                spec.coords.shape[0],
+                grid_shape,
+                6,
+                dtype=dtype,
+                max_bytes=spec.max_bytes,
+            )
         plan = NufftPlan(
             spec.image_shape,
             spec.coords,
             gridder=spec.gridder,
-            gridder_options=dict(spec.gridder_options),
+            gridder_options=gridder_options,
             precision=spec.precision,
             fft_backend=spec.fft_backend,
             quality_policy=spec.quality_policy,
@@ -197,6 +215,8 @@ class ReconWorker:
         result.seconds = time.perf_counter() - t0
         self.busy_seconds += result.seconds
         self.jobs_done += 1
+        if result.chunks:
+            self.jobs_chunked += 1
         job.mark_done(result)
 
     def _reconstruct(self, spec: JobSpec) -> JobResult:
@@ -220,6 +240,8 @@ class ReconWorker:
                 quality=None if quality is None else _quality_dict(quality),
                 kernel=plan.timings.kernel,
                 exec_lane=plan.timings.exec_lane,
+                chunks=plan.timings.chunks,
+                peak_bytes=int(plan.gridder.stats.peak_bytes),
             )
 
         normal_options = None
@@ -252,6 +274,8 @@ class ReconWorker:
             toeplitz_cache=toeplitz_cache,
             kernel=plan.timings.kernel,
             exec_lane=plan.timings.exec_lane,
+            chunks=plan.timings.chunks,
+            peak_bytes=int(plan.gridder.stats.peak_bytes),
         )
 
     # ------------------------------------------------------------------
@@ -266,6 +290,7 @@ class ReconWorker:
             "depth": self.depth,
             "jobs_done": self.jobs_done,
             "jobs_failed": self.jobs_failed,
+            "jobs_chunked": self.jobs_chunked,
             "plan_hits": self.plan_hits,
             "plan_misses": self.plan_misses,
             "plan_hit_rate": round(self.plan_hits / plan_total, 4)

@@ -134,6 +134,9 @@ class TestStats:
             "exec_lane",
             "quality",
             "degradations",
+            "chunks",
+            "chunk_bytes",
+            "peak_bytes",
         }
 
 

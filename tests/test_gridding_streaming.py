@@ -1,0 +1,621 @@
+"""Streaming chunked gridding: bit-identity, memory, chaos, service.
+
+The contract under test (``repro.gridding.streaming``):
+
+- chunked incremental accumulation is **bit-identical**
+  (``np.array_equal``) to the one-shot compiled engine at complex128
+  for *any* chunk size — non-dividing, ``chunk=1``, ``chunk >= M`` —
+  in 2-D and 3-D, single and batched RHS, on every lane;
+- ``SampleStream`` sources (arrays, memmap, generator chunks, raw
+  files) all produce the same result, and the file source never holds
+  more than one chunk resident;
+- the reported ``peak_bytes`` is a true high-water mark
+  (tracemalloc-cross-checked) and shrinks with the chunk size while
+  the one-shot engine's does not;
+- chaos: a corrupted mid-stream chunk aborts with no partial
+  accumulation and a balanced buffer pool; a crashed pipelined
+  prefetch worker demotes stickily to unpipelined with a recorded
+  DegradationEvent and a still-bit-identical result.
+"""
+
+from __future__ import annotations
+
+import os
+import tracemalloc
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.jit import jit_available
+from repro.errors import CoordinateError
+from repro.gridding import (
+    GridBufferPool,
+    GriddingSetup,
+    SampleStream,
+    StreamingSliceAndDiceGridder,
+    choose_chunk_samples,
+    make_gridder,
+)
+from repro.kernels import KernelLUT, beatty_kernel
+from repro.robustness import inject_faults
+from tests.conftest import random_samples
+
+CHUNK_SIZES = (1, 7, 100, 1000, 5000)  # 1, non-dividing, dividing, >= M
+LANES = ("numpy", "serial") + (("jit",) if jit_available() else ())
+
+
+def setup_3d() -> GriddingSetup:
+    return GriddingSetup((16, 16, 16), KernelLUT(beatty_kernel(4, 2.0), 32))
+
+
+# ----------------------------------------------------------------------
+# bit-identity streamed vs one-shot (the tentpole's numerical contract)
+# ----------------------------------------------------------------------
+class TestBitIdentity:
+    @pytest.mark.parametrize("chunk", CHUNK_SIZES)
+    @pytest.mark.parametrize("lane", LANES)
+    def test_grid_2d(self, small_setup, rng, chunk, lane):
+        coords, values = random_samples(rng, 400, small_setup.grid_shape)
+        ref = make_gridder("slice_and_dice_compiled", small_setup)
+        stm = make_gridder(
+            "slice_and_dice_streaming", small_setup,
+            chunk_samples=chunk, lane=lane,
+        )
+        assert np.array_equal(
+            stm.grid(coords, values), ref.grid(coords, values)
+        )
+        # second pass hits the per-chunk plan cache — still identical
+        assert np.array_equal(
+            stm.grid(coords, values), ref.grid(coords, values)
+        )
+
+    @pytest.mark.parametrize("chunk", (1, 37, 500))
+    def test_grid_3d(self, rng, chunk):
+        setup = setup_3d()
+        coords, values = random_samples(rng, 300, setup.grid_shape)
+        ref = make_gridder("slice_and_dice_compiled", setup)
+        stm = make_gridder(
+            "slice_and_dice_streaming", setup, chunk_samples=chunk
+        )
+        assert np.array_equal(
+            stm.grid(coords, values), ref.grid(coords, values)
+        )
+
+    @pytest.mark.parametrize("chunk", (13, 128))
+    def test_grid_batch(self, small_setup, rng, chunk):
+        coords, values = random_samples(rng, 300, small_setup.grid_shape)
+        stack = np.stack([values, 2.0 * values - 1j, values[::-1]])
+        ref = make_gridder("slice_and_dice_compiled", small_setup)
+        stm = make_gridder(
+            "slice_and_dice_streaming", small_setup, chunk_samples=chunk
+        )
+        assert np.array_equal(
+            stm.grid_batch(coords, stack), ref.grid_batch(coords, stack)
+        )
+
+    @pytest.mark.parametrize("chunk", CHUNK_SIZES)
+    @pytest.mark.parametrize("lane", LANES)
+    def test_interp_2d(self, small_setup, rng, chunk, lane):
+        coords, _ = random_samples(rng, 400, small_setup.grid_shape)
+        grid = rng.standard_normal(small_setup.grid_shape) + 1j * (
+            rng.standard_normal(small_setup.grid_shape)
+        )
+        ref = make_gridder("slice_and_dice_compiled", small_setup)
+        stm = make_gridder(
+            "slice_and_dice_streaming", small_setup,
+            chunk_samples=chunk, lane=lane,
+        )
+        assert np.array_equal(
+            stm.interp(grid, coords), ref.interp(grid, coords)
+        )
+
+    def test_interp_batch(self, small_setup, rng):
+        coords, _ = random_samples(rng, 300, small_setup.grid_shape)
+        grids = rng.standard_normal((2,) + small_setup.grid_shape) + 0j
+        ref = make_gridder("slice_and_dice_compiled", small_setup)
+        stm = make_gridder(
+            "slice_and_dice_streaming", small_setup, chunk_samples=77
+        )
+        assert np.array_equal(
+            stm.interp_batch(grids, coords), ref.interp_batch(grids, coords)
+        )
+
+    def test_pipelined_bit_identical(self, small_setup, rng):
+        coords, values = random_samples(rng, 500, small_setup.grid_shape)
+        ref = make_gridder("slice_and_dice_compiled", small_setup)
+        stm = make_gridder(
+            "slice_and_dice_streaming", small_setup,
+            chunk_samples=64, pipelined=True,
+        )
+        assert np.array_equal(
+            stm.grid(coords, values), ref.grid(coords, values)
+        )
+        assert stm.degradations == ()
+
+    def test_complex64_numpy_lane_close(self, rng):
+        """The numpy lane rounds the dice to float32 per chunk at
+        complex64 (bincount accumulates in float64 internally), so it
+        is allclose — the exact-chain guarantee is complex128-only."""
+        setup = GriddingSetup(
+            (32, 32), KernelLUT(beatty_kernel(6, 2.0), 64),
+            dtype=np.complex64,
+        )
+        coords, values = random_samples(rng, 400, setup.grid_shape)
+        ref = make_gridder("slice_and_dice_compiled", setup)
+        stm = make_gridder(
+            "slice_and_dice_streaming", setup, chunk_samples=64
+        )
+        np.testing.assert_allclose(
+            stm.grid(coords, values), ref.grid(coords, values),
+            rtol=1e-5, atol=1e-5,
+        )
+
+    @pytest.mark.skipif(not jit_available(), reason="requires numba")
+    def test_complex64_jit_lane_bit_identical(self, rng):
+        """The jit lane accumulates natively in the working dtype in
+        entry order — bit-identical to the one-shot jit engine at
+        *both* precisions."""
+        setup = GriddingSetup(
+            (32, 32), KernelLUT(beatty_kernel(6, 2.0), 64),
+            dtype=np.complex64,
+        )
+        coords, values = random_samples(rng, 400, setup.grid_shape)
+        ref = make_gridder("slice_and_dice_jit", setup, parallel_threshold=0)
+        stm = make_gridder(
+            "slice_and_dice_streaming", setup, chunk_samples=64, lane="jit"
+        )
+        assert np.array_equal(
+            stm.grid(coords, values), ref.grid(coords, values)
+        )
+
+
+# ----------------------------------------------------------------------
+# SampleStream sources
+# ----------------------------------------------------------------------
+class TestSampleStream:
+    def test_from_arrays_chunking(self):
+        coords = np.arange(10, dtype=np.float64).reshape(5, 2)
+        values = np.ones(5, dtype=complex)
+        s = SampleStream.from_arrays(coords, values, chunk_samples=2)
+        sizes = [c.shape[0] for c, _ in s.chunks()]
+        assert sizes == [2, 2, 1]
+        assert s.m == 5
+        # re-iterable
+        assert [c.shape[0] for c, _ in s.chunks()] == sizes
+
+    def test_from_arrays_memmap(self, small_setup, rng, tmp_path):
+        coords, values = random_samples(rng, 333, small_setup.grid_shape)
+        path = tmp_path / "coords.npy"
+        np.save(path, coords)
+        mm = np.load(path, mmap_mode="r")
+        stm = make_gridder(
+            "slice_and_dice_streaming", small_setup, chunk_samples=50
+        )
+        ref = make_gridder("slice_and_dice_compiled", small_setup)
+        got = stm.grid_stream(SampleStream.from_arrays(mm, values, chunk_samples=50))
+        assert np.array_equal(got, ref.grid(coords, values))
+
+    def test_from_file_round_trip(self, small_setup, rng, tmp_path):
+        coords, values = random_samples(rng, 451, small_setup.grid_shape)
+        cp, vp = tmp_path / "c.f64", tmp_path / "v.c128"
+        coords.tofile(cp)
+        values.astype(np.complex128).tofile(vp)
+        s = SampleStream.from_file(
+            cp, m=451, ndim=2, values_path=vp, chunk_samples=100
+        )
+        stm = make_gridder(
+            "slice_and_dice_streaming", small_setup, chunk_samples=100
+        )
+        ref = make_gridder("slice_and_dice_compiled", small_setup)
+        assert np.array_equal(
+            stm.grid_stream(s), ref.grid(coords, values)
+        )
+        # file streams are re-iterable
+        assert np.array_equal(stm.grid_stream(s), ref.grid(coords, values))
+
+    def test_from_chunks_generator_single_use(self, small_setup, rng):
+        coords, values = random_samples(rng, 200, small_setup.grid_shape)
+
+        def gen():
+            for lo in range(0, 200, 61):
+                yield coords[lo:lo + 61], values[lo:lo + 61]
+
+        s = SampleStream.from_chunks(gen(), m=200)
+        stm = make_gridder(
+            "slice_and_dice_streaming", small_setup, chunk_samples=61
+        )
+        ref = make_gridder("slice_and_dice_compiled", small_setup)
+        assert np.array_equal(stm.grid_stream(s), ref.grid(coords, values))
+        with pytest.raises(RuntimeError, match="single-use"):
+            stm.grid_stream(s)
+
+    def test_batched_stream(self, small_setup, rng):
+        coords, values = random_samples(rng, 150, small_setup.grid_shape)
+        stack = np.stack([values, -values])
+        stm = make_gridder(
+            "slice_and_dice_streaming", small_setup, chunk_samples=40
+        )
+        ref = make_gridder("slice_and_dice_compiled", small_setup)
+        got = stm.grid_stream(SampleStream.from_arrays(coords, stack, chunk_samples=40))
+        assert got.shape == (2,) + small_setup.grid_shape
+        assert np.array_equal(got, ref.grid_batch(coords, stack))
+
+    def test_interp_stream_sample_order(self, small_setup, rng):
+        coords, _ = random_samples(rng, 300, small_setup.grid_shape)
+        grid = rng.standard_normal(small_setup.grid_shape) + 0j
+        stm = make_gridder(
+            "slice_and_dice_streaming", small_setup, chunk_samples=71
+        )
+        ref = make_gridder("slice_and_dice_compiled", small_setup)
+        chunks = list(
+            stm.interp_stream(
+                grid, SampleStream.from_arrays(coords, chunk_samples=71)
+            )
+        )
+        assert [c.shape[0] for c in chunks] == [71, 71, 71, 71, 16]
+        assert np.array_equal(
+            np.concatenate(chunks), ref.interp(grid, coords)
+        )
+
+    def test_empty_stream(self, small_setup):
+        stm = make_gridder("slice_and_dice_streaming", small_setup)
+        got = stm.grid_stream(
+            SampleStream.from_arrays(
+                np.zeros((0, 2)), np.zeros(0, dtype=complex)
+            )
+        )
+        assert got.shape == small_setup.grid_shape and not got.any()
+        assert stm.stats.chunks == 0
+
+    def test_grid_stream_requires_values(self, small_setup, rng):
+        coords, _ = random_samples(rng, 50, small_setup.grid_shape)
+        stm = make_gridder("slice_and_dice_streaming", small_setup)
+        with pytest.raises(ValueError, match="value chunks"):
+            stm.grid_stream(SampleStream.from_arrays(coords, chunk_samples=10))
+
+    def test_invalid_chunk_samples(self):
+        with pytest.raises(ValueError, match="chunk_samples"):
+            SampleStream.from_arrays(np.zeros((4, 2)), chunk_samples=0)
+
+
+# ----------------------------------------------------------------------
+# adjointness (property-based)
+# ----------------------------------------------------------------------
+class TestAdjointness:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        chunk=st.integers(1, 90),
+    )
+    def test_streamed_pair_is_adjoint(self, seed, chunk):
+        """<grid(v), g> == <v, interp(g)> for the streamed operators."""
+        setup = GriddingSetup((16, 16), KernelLUT(beatty_kernel(4, 2.0), 32))
+        rng = np.random.default_rng(seed)
+        coords, values = random_samples(rng, 80, setup.grid_shape)
+        grid = rng.standard_normal(setup.grid_shape) + 1j * (
+            rng.standard_normal(setup.grid_shape)
+        )
+        stm = make_gridder(
+            "slice_and_dice_streaming", setup, chunk_samples=chunk
+        )
+        lhs = np.vdot(grid, stm.grid(coords, values))
+        rhs = np.vdot(stm.interp(grid, coords), values)
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-10, atol=1e-10)
+
+
+# ----------------------------------------------------------------------
+# memory accounting (satellite: true peak_bytes)
+# ----------------------------------------------------------------------
+class TestMemory:
+    def test_stats_fields(self, small_setup, rng):
+        coords, values = random_samples(rng, 500, small_setup.grid_shape)
+        stm = make_gridder(
+            "slice_and_dice_streaming", small_setup, chunk_samples=64
+        )
+        stm.grid(coords, values)
+        st_ = stm.stats
+        assert st_.chunks == int(np.ceil(500 / 64))
+        assert st_.chunk_bytes > 0
+        assert st_.peak_bytes > 0
+        assert st_.samples_processed == 500
+
+    def test_peak_bytes_shrinks_with_chunk(self, small_setup, rng):
+        coords, values = random_samples(rng, 2000, small_setup.grid_shape)
+        peaks = {}
+        for chunk in (50, 2000):
+            stm = make_gridder(
+                "slice_and_dice_streaming", small_setup, chunk_samples=chunk
+            )
+            stm.grid(coords, values)
+            peaks[chunk] = stm.stats.peak_bytes
+        ref = make_gridder("slice_and_dice_compiled", small_setup)
+        ref.grid(coords, values)
+        assert peaks[50] < peaks[2000]
+        assert peaks[50] < ref.stats.peak_bytes
+
+    def test_one_shot_engines_report_peak_bytes(self, small_setup, rng):
+        """Satellite: the one-shot engines' peak_bytes now includes the
+        dice + plan + transient tables, not just the pooled buffer."""
+        coords, values = random_samples(rng, 400, small_setup.grid_shape)
+        for name in ("slice_and_dice", "slice_and_dice_compiled"):
+            g = make_gridder(name, small_setup)
+            g.grid(coords, values)
+            n_flat_bytes = (
+                int(np.prod(small_setup.grid_shape))
+                * small_setup.dtype.itemsize
+            )
+            # at least the dice must be accounted for
+            assert g.stats.peak_bytes >= n_flat_bytes
+
+    def test_peak_bytes_tracks_tracemalloc(self, small_setup, rng):
+        """The reported high water must bound the allocator's measured
+        peak for the pass (same order of magnitude, never under by more
+        than the fixed interpreter noise floor)."""
+        coords, values = random_samples(rng, 3000, small_setup.grid_shape)
+        # 3000 samples / 256-sample chunks = 12 chunk plans; the cache
+        # must hold all of them or the "warm" pass still recompiles and
+        # the allocator sees compile transients we do not account for
+        stm = make_gridder(
+            "slice_and_dice_streaming",
+            small_setup,
+            chunk_samples=256,
+            plan_cache_size=16,
+        )
+        stm.grid(coords, values)  # warm the plan cache + scratch
+        tracemalloc.start()
+        tracemalloc.reset_peak()
+        stm.grid(coords, values)
+        _, traced_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        # warm pass: plans cached, scratch persistent — the transient
+        # peak the allocator sees must not exceed what we report plus
+        # a small slack for interpreter internals
+        assert traced_peak <= stm.stats.peak_bytes + 1_000_000, (
+            traced_peak, stm.stats.peak_bytes
+        )
+
+    def test_choose_chunk_samples(self):
+        # full fit -> one chunk
+        assert choose_chunk_samples(1000, (64, 64), 4, max_bytes=None) == 1000
+        # budget binds -> smaller chunk, at least 1
+        c = choose_chunk_samples(10**8, (256, 256), 4, max_bytes=2**30)
+        assert 1 <= c < 10**8
+        # grid alone over budget -> error
+        with pytest.raises(ValueError, match="max_bytes"):
+            choose_chunk_samples(100, (1024, 1024), 4, max_bytes=1024)
+
+    def test_choose_chunk_budget_respected(self, small_setup, rng):
+        coords, values = random_samples(rng, 5000, small_setup.grid_shape)
+        budget = 2_000_000
+        chunk = choose_chunk_samples(
+            5000, small_setup.grid_shape, 6, max_bytes=budget
+        )
+        stm = make_gridder(
+            "slice_and_dice_streaming", small_setup, chunk_samples=chunk
+        )
+        stm.grid(coords, values)
+        assert stm.stats.peak_bytes <= budget
+
+
+# ----------------------------------------------------------------------
+# registry + engine surface
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_registered(self, small_setup):
+        from repro.gridding import available_gridders
+
+        assert "slice_and_dice_streaming" in available_gridders()
+        stm = make_gridder("slice_and_dice_streaming", small_setup)
+        assert isinstance(stm, StreamingSliceAndDiceGridder)
+
+    @pytest.mark.parametrize(
+        "name,lane",
+        [
+            ("slice_and_dice", "serial"),
+            ("slice_and_dice_compiled", "numpy"),
+            ("slice_and_dice_parallel", "numpy"),
+            ("slice_and_dice_jit", "auto"),
+        ],
+    )
+    def test_chunk_samples_retargets(self, small_setup, name, lane):
+        g = make_gridder(name, small_setup, chunk_samples=128)
+        assert g.name == "slice_and_dice_streaming"
+        assert g.requested_lane == lane
+        assert g.chunk_samples == 128
+
+    def test_bad_lane_rejected(self, small_setup):
+        with pytest.raises(ValueError, match="lane"):
+            StreamingSliceAndDiceGridder(small_setup, lane="cuda")
+
+    def test_jit_lane_degrades_without_numba(self, small_setup, rng):
+        if jit_available():
+            pytest.skip("numba importable — degradation path not reachable")
+        stm = StreamingSliceAndDiceGridder(small_setup, lane="jit")
+        assert stm.degradations
+        assert stm.degradations[0].from_stage == "jit"
+        coords, values = random_samples(rng, 100, small_setup.grid_shape)
+        ref = make_gridder("slice_and_dice_compiled", small_setup)
+        assert np.array_equal(
+            stm.grid(coords, values), ref.grid(coords, values)
+        )
+
+    def test_nufft_plan_reports_chunks(self, rng):
+        from repro.nufft import NufftPlan
+
+        coords = rng.uniform(-0.5, 0.5, (600, 2))
+        values = rng.standard_normal(600) + 1j * rng.standard_normal(600)
+        plan = NufftPlan(
+            (16, 16), coords,
+            gridder="slice_and_dice_compiled",
+            gridder_options={"chunk_samples": 100},
+        )
+        plan.adjoint(values)
+        assert plan.timings.chunks == 6
+        one_shot = NufftPlan((16, 16), coords, gridder="slice_and_dice_compiled")
+        one_shot.adjoint(values)
+        assert one_shot.timings.chunks == 0
+
+
+# ----------------------------------------------------------------------
+# chaos: corrupted chunks and crashed prefetch workers
+# ----------------------------------------------------------------------
+class TestChaos:
+    def test_corrupt_chunk_raise_aborts_cleanly(self, small_setup, rng):
+        coords, values = random_samples(rng, 500, small_setup.grid_shape)
+        pool = GridBufferPool()
+        stm = make_gridder(
+            "slice_and_dice_streaming", small_setup, chunk_samples=100
+        )
+        stm.buffer_pool = pool
+        ref = make_gridder("slice_and_dice_compiled", small_setup)
+        expected = ref.grid(coords, values)
+        with inject_faults(seed=3, corrupt_chunk_index=2) as inj:
+            with pytest.raises(CoordinateError):
+                stm.grid_stream(
+                    SampleStream.from_arrays(coords, values, chunk_samples=100)
+                )
+            assert any(site == "corrupt" for site, _ in inj.log)
+        # no partial accumulation: pool balanced, next pass bit-identical
+        assert pool.snapshot().outstanding == 0
+        assert np.array_equal(
+            stm.grid_stream(
+                SampleStream.from_arrays(coords, values, chunk_samples=100)
+            ),
+            expected,
+        )
+
+    @pytest.mark.parametrize("policy", ("drop", "zero"))
+    def test_corrupt_chunk_degrades_per_policy(self, rng, policy):
+        setup = GriddingSetup(
+            (32, 32), KernelLUT(beatty_kernel(6, 2.0), 64),
+            quality_policy=policy,
+        )
+        coords, values = random_samples(rng, 500, setup.grid_shape)
+        stm = make_gridder(
+            "slice_and_dice_streaming", setup, chunk_samples=100
+        )
+        ref = make_gridder("slice_and_dice_compiled", setup)
+        if policy == "drop":
+            keep = np.ones(500, bool)
+            keep[200:300] = False
+            expected = ref.grid(coords[keep], values[keep])
+        else:
+            patched = values.copy()
+            patched[200:300] = 0.0
+            c_patched = coords.copy()
+            c_patched[200:300] = 0.0
+            expected = ref.grid(c_patched, patched)
+        with inject_faults(seed=3, corrupt_chunk_index=2):
+            got = stm.grid_stream(
+                SampleStream.from_arrays(coords, values, chunk_samples=100)
+            )
+        assert np.array_equal(got, expected)
+        assert stm.stats.quality is not None
+        flagged = (
+            stm.stats.quality.dropped
+            if policy == "drop"
+            else stm.stats.quality.zeroed
+        )
+        assert flagged == 100
+
+    def test_pipelined_worker_crash_demotes_sticky(self, small_setup, rng):
+        coords, values = random_samples(rng, 600, small_setup.grid_shape)
+        pool = GridBufferPool()
+        stm = make_gridder(
+            "slice_and_dice_streaming", small_setup,
+            chunk_samples=100, pipelined=True,
+        )
+        stm.buffer_pool = pool
+        ref = make_gridder("slice_and_dice_compiled", small_setup)
+        expected = ref.grid(coords, values)
+        with inject_faults(seed=3, worker_crash=1) as inj:
+            got = stm.grid(coords, values)
+            assert any(site == "worker" for site, _ in inj.log)
+        # result unharmed, demotion recorded and sticky
+        assert np.array_equal(got, expected)
+        events = [
+            e for e in stm.degradations if e.from_stage == "pipelined"
+        ]
+        assert len(events) == 1
+        assert events[0].component == "streaming"
+        assert events[0].to_stage == "unpipelined"
+        assert any(
+            e.from_stage == "pipelined" for e in stm.stats.degradations
+        )
+        assert pool.snapshot().outstanding == 0
+        # later passes stay unpipelined (no un-demotion) and correct
+        assert np.array_equal(stm.grid(coords, values), expected)
+        assert len(
+            [e for e in stm.degradations if e.from_stage == "pipelined"]
+        ) == 1
+
+
+# ----------------------------------------------------------------------
+# service integration (max_bytes budget)
+# ----------------------------------------------------------------------
+class TestService:
+    def test_max_bytes_routes_to_streaming(self, rng):
+        from repro.service import ReconService
+        from repro.service.jobs import JobSpec
+
+        coords = rng.uniform(-0.5, 0.5, (3000, 2))
+        samples = rng.standard_normal(3000) + 1j * rng.standard_normal(3000)
+        payload = {
+            "image_shape": [32, 32],
+            "coords": coords.tolist(),
+            "samples": {
+                "real": samples.real.tolist(),
+                "imag": samples.imag.tolist(),
+            },
+            "method": "adjoint",
+        }
+        budget = 2_000_000
+        with ReconService(workers=1) as svc:
+            plain = svc.submit(JobSpec.from_payload(payload))
+            svc.wait(plain.id, 60)
+            assert plain.state == "done", plain.error
+            budgeted = svc.submit(
+                JobSpec.from_payload(
+                    {**payload, "options": {"max_bytes": budget}}
+                )
+            )
+            svc.wait(budgeted.id, 60)
+            assert budgeted.state == "done", budgeted.error
+            r_plain = plain.result
+            r_budget = budgeted.result
+            assert r_plain.chunks == 0
+            assert r_budget.chunks > 1
+            assert r_budget.peak_bytes <= budget
+            assert np.array_equal(r_plain.image, r_budget.image)
+            # surfaced in the JSON views
+            assert r_budget.as_dict()["chunks"] == r_budget.chunks
+            stats = svc.stats()
+            assert stats["workers"][0]["jobs_chunked"] == 1
+
+    def test_max_bytes_is_plan_shaped(self, rng):
+        from repro.service.jobs import JobSpec
+
+        coords = rng.uniform(-0.5, 0.5, (100, 2))
+        samples = rng.standard_normal(100) + 0j
+        a = JobSpec(
+            image_shape=(16, 16), coords=coords, samples=samples,
+        )
+        b = JobSpec(
+            image_shape=(16, 16), coords=coords, samples=samples,
+            max_bytes=10**6,
+        )
+        assert a.plan_key() != b.plan_key()
+
+    def test_unknown_option_still_rejected(self):
+        from repro.service.jobs import JobSpec
+
+        with pytest.raises(ValueError, match="unknown option"):
+            JobSpec.from_payload(
+                {
+                    "image_shape": [8, 8],
+                    "coords": [[0.0, 0.0]],
+                    "samples": [1.0],
+                    "options": {"max_bytez": 1},
+                }
+            )

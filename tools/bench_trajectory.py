@@ -34,6 +34,16 @@ same lane* so the two lanes stay comparable over time.
 ``--kernel`` selects the interpolation window(s): ``kb``
 (Kaiser-Bessel, default), ``es`` (exponential of semicircle), or
 ``both`` — each record carries its window in a ``kernel`` field.
+
+``--stream`` switches to the bounded-memory streaming benchmark: the
+trajectory is *generated to disk* block by block (never resident), then
+gridded from the raw files through
+:class:`repro.gridding.SampleStream.from_file` with a fixed
+``--chunk-samples`` chunk, unpipelined and pipelined.  Records carry
+``chunks``, ``peak_bytes`` (the engine's own transient high water) and
+``rss_mb`` (``ru_maxrss`` — the whole process).  ``--samples 1e8``
+reproduces the paper-scale run; ``--max-rss-mb`` turns the RSS into a
+hard gate (exit 1), which is how CI pins the O(chunk + grid) claim.
 """
 
 from __future__ import annotations
@@ -65,6 +75,9 @@ SIZES = {
     "full": {"m": 65536, "grid": 256, "width": 4},
     "smoke": {"m": 8192, "grid": 128, "width": 4},
 }
+
+#: default --stream sample counts (full matches the paper-scale claim)
+STREAM_SAMPLES = {"full": 100_000_000, "smoke": 300_000}
 
 #: --check fails when warm speedup drops below baseline / this factor
 REGRESSION_FACTOR = 2.0
@@ -136,6 +149,101 @@ def run_benchmark(
     return records
 
 
+def _write_radial_files(
+    coords_path: Path, values_path: Path, m: int, g: int, block: int = 1_000_000
+) -> None:
+    """Generate a 2-D radial-ish trajectory + values straight to disk.
+
+    Blocks are seeded per index so the files are deterministic and no
+    more than one block is ever resident — generation itself is
+    O(block), matching the O(chunk) promise of the read side.  Files
+    already on disk at the right size are reused verbatim (they are
+    deterministic), so an interrupted run resumes without paying the
+    multi-GB generation again.
+    """
+    if (
+        coords_path.exists()
+        and coords_path.stat().st_size == m * 2 * 8
+        and values_path.exists()
+        and values_path.stat().st_size == m * 16
+    ):
+        return
+    with open(coords_path, "wb") as cf, open(values_path, "wb") as vf:
+        for lo in range(0, m, block):
+            n = min(block, m - lo)
+            rng = np.random.default_rng(lo)
+            # radial spokes: radius in [0, g/2), angle uniform, recentered
+            radius = rng.uniform(0.0, 0.5, n) * g
+            theta = rng.uniform(0.0, 2.0 * np.pi, n)
+            coords = np.empty((n, 2), dtype=np.float64)
+            coords[:, 0] = np.mod(radius * np.cos(theta), g)
+            coords[:, 1] = np.mod(radius * np.sin(theta), g)
+            coords.tofile(cf)
+            vals = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+            vals.astype(np.complex128).tofile(vf)
+
+
+def run_stream_benchmark(
+    mode: str, samples: int, chunk_samples: int, workdir: Path
+) -> list[dict]:
+    """Streamed-adjoint records (unpipelined + pipelined) from raw files."""
+    import resource
+
+    from repro.gridding import SampleStream
+
+    size = SIZES[mode]
+    g, w = size["grid"], size["width"]
+    coords_path = workdir / "stream_coords.f64"
+    values_path = workdir / "stream_values.c128"
+    print(f"generating {samples} samples to {workdir} ...", flush=True)
+    _write_radial_files(coords_path, values_path, samples, g)
+
+    setup = GriddingSetup((g, g), KernelLUT(make_kernel("kb", w), 64))
+    records = []
+    for pipelined in (False, True):
+        gridder = make_gridder(
+            "slice_and_dice_streaming",
+            setup,
+            chunk_samples=chunk_samples,
+            pipelined=pipelined,
+        )
+        stream = SampleStream.from_file(
+            coords_path,
+            m=samples,
+            ndim=2,
+            values_path=values_path,
+            chunk_samples=chunk_samples,
+        )
+        t0 = time.perf_counter()
+        gridder.grid_stream(stream)
+        seconds = time.perf_counter() - t0
+        rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+        records.append(
+            {
+                "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+                "mode": "stream",
+                "engine": "slice_and_dice_streaming"
+                + ("[pipelined]" if pipelined else ""),
+                "m": samples,
+                "grid": g,
+                "width": w,
+                "dtype": "double",
+                "kernel": "kb",
+                "exec_lane": gridder.stats.exec_lane,
+                "chunk_samples": chunk_samples,
+                "chunks": int(gridder.stats.chunks),
+                "peak_bytes": int(gridder.stats.peak_bytes),
+                "rss_mb": round(rss_mb, 1),
+                "seconds": round(seconds, 6),
+                "samples_per_second": round(samples / seconds, 1),
+            }
+        )
+    records[1]["pipelined_speedup"] = round(
+        records[0]["seconds"] / records[1]["seconds"], 3
+    )
+    return records
+
+
 def load_records(path: Path) -> list[dict]:
     if not path.exists():
         return []
@@ -153,7 +261,12 @@ def check_regressions(baseline: list[dict], current: list[dict]) -> list[str]:
         )
 
     for rec in current:
-        prior = [b for b in baseline if _key(b) == _key(rec)]
+        if "warm_speedup_vs_serial" not in rec:
+            continue  # streaming records gate on RSS, not warm speedup
+        prior = [
+            b for b in baseline
+            if "warm_speedup_vs_serial" in b and _key(b) == _key(rec)
+        ]
         if not prior:
             continue  # no committed baseline for this shape yet
         base = prior[-1]["warm_speedup_vs_serial"]
@@ -203,12 +316,100 @@ def main(argv: list[str] | None = None) -> int:
         default=REPO_ROOT / "BENCH_gridding.json",
         help="records file (default: BENCH_gridding.json at the repo root)",
     )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="run the bounded-memory streaming benchmark from raw files "
+        "instead of the in-memory engine comparison",
+    )
+    parser.add_argument(
+        "--samples",
+        type=float,
+        default=None,
+        help="streamed sample count (accepts 1e8 notation; default "
+        "3e5 smoke / 1e8 full)",
+    )
+    parser.add_argument(
+        "--chunk-samples",
+        type=int,
+        default=262144,
+        help="streamed chunk size (default 262144)",
+    )
+    parser.add_argument(
+        "--max-rss-mb",
+        type=float,
+        default=None,
+        help="fail (exit 1) if the streamed run's peak RSS exceeds this",
+    )
+    parser.add_argument(
+        "--workdir",
+        type=Path,
+        default=None,
+        help="directory for the generated trajectory files "
+        "(default: a temporary directory, deleted afterwards)",
+    )
     args = parser.parse_args(argv)
 
     mode = "smoke" if args.smoke else "full"
+    baseline = load_records(args.output)
+
+    if args.stream:
+        import shutil
+        import tempfile
+
+        samples = int(
+            args.samples if args.samples is not None else STREAM_SAMPLES[mode]
+        )
+        workdir = args.workdir
+        cleanup = workdir is None
+        if workdir is None:
+            workdir = Path(tempfile.mkdtemp(prefix="bench_stream_"))
+        workdir.mkdir(parents=True, exist_ok=True)
+        try:
+            records = run_stream_benchmark(
+                mode, samples, args.chunk_samples, workdir
+            )
+        finally:
+            if cleanup:
+                shutil.rmtree(workdir, ignore_errors=True)
+        header = (
+            f"{'engine':<36} {'chunks':>8} {'peak MB':>9} {'RSS MB':>9} "
+            f"{'seconds':>9}"
+        )
+        print(header)
+        print("-" * len(header))
+        for rec in records:
+            print(
+                f"{rec['engine']:<36} {rec['chunks']:>8} "
+                f"{rec['peak_bytes'] / 2**20:>8.1f} {rec['rss_mb']:>8.1f} "
+                f"{rec['seconds']:>8.2f}s"
+            )
+        if "pipelined_speedup" in records[-1]:
+            print(f"pipelined speedup: {records[-1]['pipelined_speedup']:.2f}x")
+        status = 0
+        if args.max_rss_mb is not None:
+            worst = max(rec["rss_mb"] for rec in records)
+            if worst > args.max_rss_mb:
+                print(
+                    f"\nRSS gate FAILED: peak {worst:.1f} MB > "
+                    f"--max-rss-mb {args.max_rss_mb:.1f}"
+                )
+                status = 1
+            else:
+                print(
+                    f"\nRSS gate OK: peak {worst:.1f} MB <= "
+                    f"{args.max_rss_mb:.1f} MB"
+                )
+        if not args.dry_run and status == 0:
+            baseline.extend(records)
+            args.output.write_text(
+                json.dumps(baseline, indent=2) + "\n", encoding="utf-8"
+            )
+            print(f"appended {len(records)} records to {args.output.name}")
+        return status
+
     dtypes = ("double", "single") if args.dtype == "both" else (args.dtype,)
     kernels = ("kb", "es") if args.kernel == "both" else (args.kernel,)
-    baseline = load_records(args.output)
     records = run_benchmark(mode, dtypes, kernels)
 
     header = (
