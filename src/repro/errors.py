@@ -21,6 +21,13 @@ common failure vocabulary so callers can catch by *failure class*:
 - :class:`ServiceOverloaded` — the reconstruction service refused a
   submission because its bounded queue is full (a ``RuntimeError``;
   carries ``retry_after`` and maps to HTTP 429).
+- :class:`JobCancelled` — a cooperative cancel token was observed
+  mid-computation (a ``RuntimeError``; the work stopped cleanly at a
+  chunk/iteration boundary).
+- :class:`DeadlineExceeded` — the specialised cancellation raised when
+  the cause is an expired :class:`repro.robustness.Deadline`; it
+  subclasses :class:`JobCancelled` so ``except JobCancelled`` handles
+  both.
 
 Each concrete class also subclasses the built-in exception the code
 historically raised in that situation, so ``except ValueError`` /
@@ -57,6 +64,8 @@ __all__ = [
     "BackendFailure",
     "SolverBreakdown",
     "ServiceOverloaded",
+    "JobCancelled",
+    "DeadlineExceeded",
     "DegradationEvent",
 ]
 
@@ -110,6 +119,28 @@ class ServiceOverloaded(ReproError, RuntimeError):
     def __init__(self, message: str, retry_after: int = 1):
         super().__init__(message)
         self.retry_after = max(1, int(retry_after))
+
+
+class JobCancelled(ReproError, RuntimeError):
+    """A cooperative :class:`repro.robustness.CancelToken` was observed
+    set between chunks / solver iterations.
+
+    Raised *by the worker thread itself* at the next cancellation
+    check, so the computation always stops at a clean boundary — no
+    half-written grid escapes.  The job that was running lands in the
+    terminal state ``cancelled``.
+    """
+
+
+class DeadlineExceeded(JobCancelled):
+    """Cancellation whose cause is an expired
+    :class:`repro.robustness.Deadline` (``JobSpec.deadline_seconds``).
+
+    Subclasses :class:`JobCancelled`, so generic cancellation handling
+    (``except JobCancelled``) covers both; catch this first when the
+    distinction matters (the job lands in ``deadline_exceeded``, not
+    ``cancelled``).
+    """
 
 
 @dataclass(frozen=True)

@@ -519,6 +519,12 @@ class Gridder(abc.ABC):
     #: short identifier used by the registry and benchmark tables
     name: str = "abstract"
 
+    #: optional :class:`repro.robustness.CancelToken` set per call by
+    #: the owner (a :class:`~repro.nufft.NufftPlan` or service worker)
+    #: and cleared in its ``finally``.  One-shot engines run atomically
+    #: and ignore it; the streaming engine checks it between chunks.
+    cancel_token = None
+
     def __init__(self, setup: GriddingSetup):
         self.setup = setup
         self.stats = GriddingStats()

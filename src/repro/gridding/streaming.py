@@ -62,6 +62,7 @@ import numpy as np
 from ..core.compiled import CompiledPlan, CompiledSliceAndDiceGridder, plan_stats
 from ..core.jit import jit_available, plan_kernels
 from ..errors import DegradationEvent
+from ..robustness.checkpoint import StreamCheckpoint
 from ..robustness.faults import (
     corrupt_chunk,
     fault_point,
@@ -342,6 +343,18 @@ class StreamingSliceAndDiceGridder(CompiledSliceAndDiceGridder):
     """
 
     name = "slice_and_dice_streaming"
+
+    #: cooperative :class:`~repro.robustness.CancelToken` checked once
+    #: per chunk; set per call by the owner (the NuFFT plan / service
+    #: worker) and cleared in its ``finally`` so cached gridders never
+    #: retain a stale token
+    cancel_token = None
+    #: :class:`~repro.robustness.CheckpointConfig` driving snapshot /
+    #: resume of streamed adjoints; same set-and-clear ownership rule
+    checkpoint = None
+    #: per-call resume record: ``{"chunk_cursor", "sample_cursor"}``
+    #: when the last adjoint was seeded from a checkpoint, else None
+    last_resume = None
 
     def __init__(
         self,
@@ -708,6 +721,8 @@ class StreamingSliceAndDiceGridder(CompiledSliceAndDiceGridder):
             for coords_c, _, plan, hit in self._plan_chunks(
                 self._array_chunks(coords, None)
             ):
+                if self.cancel_token is not None:
+                    self.cancel_token.check()
                 m_c = coords_c.shape[0]
                 if m_c == 0:
                     continue
@@ -730,18 +745,86 @@ class StreamingSliceAndDiceGridder(CompiledSliceAndDiceGridder):
         strand no pooled storage and leaves no partial accumulation
         visible anywhere: the next call starts from a freshly zeroed
         dice.
+
+        Lifecycle hooks, both opt-in via instance attributes:
+
+        - ``self.cancel_token`` is checked once per chunk, *before* the
+          chunk is scattered — cancellation (or a deadline) aborts at a
+          chunk boundary with the dice released and, when checkpointing
+          is on, the latest snapshot still in the store for resume.
+        - ``self.checkpoint`` (a
+          :class:`~repro.robustness.CheckpointConfig`) seeds the dice
+          from a matching stored snapshot and skips the first
+          ``chunk_cursor`` chunks of the replayed stream (skipped
+          chunks are never planned or scattered), then saves a fresh
+          snapshot every ``every`` accumulated chunks.  Because the
+          accumulation chain is seeded (module docstring), the resumed
+          output is bit-identical to an uninterrupted run.  A stale
+          snapshot (fingerprint/shape mismatch) is ignored with a
+          recorded :class:`~repro.errors.DegradationEvent` — never
+          blended in.
         """
         total = GriddingStats()
         n_flat = self.layout.n_columns * self.layout.n_tiles
+        token = self.cancel_token
+        ckpt = self.checkpoint
+        self.last_resume = None
+        snap = None
+        if ckpt is not None and ckpt.resume:
+            candidate = ckpt.store.load(ckpt.key)
+            if candidate is not None:
+                if candidate.matches(ckpt.fingerprint, (k_rhs, n_flat)):
+                    snap = candidate
+                else:
+                    self._record(
+                        DegradationEvent(
+                            "checkpoint", "resume", "fresh",
+                            f"stale snapshot for key {ckpt.key!r} ignored",
+                        )
+                    )
+        cursor = 0
+        sample_cursor = 0
+        skip = 0
         dice_flat = self._acquire_buffer((k_rhs, n_flat), zero=True)
         try:
+            if snap is not None:
+                dice_flat[...] = snap.dice
+                cursor = snap.chunk_cursor
+                sample_cursor = snap.sample_cursor
+                skip = snap.chunk_cursor
+                self.last_resume = {
+                    "chunk_cursor": snap.chunk_cursor,
+                    "sample_cursor": snap.sample_cursor,
+                }
+
+            if skip:
+                def remaining(it=chunk_iter, n=skip):
+                    for index, chunk in enumerate(it):
+                        if index < n:
+                            continue
+                        yield chunk
+                chunk_iter = remaining()
+
             for coords_c, values_c, plan, hit in self._plan_chunks(chunk_iter):
-                if coords_c.shape[0] == 0:
-                    continue
-                self._scatter_chunk(plan, values_c, dice_flat)
-                total.accumulate(
-                    self._chunk_stats(plan, hit, k_rhs, coords_c, values_c)
-                )
+                if token is not None:
+                    token.check()
+                if coords_c.shape[0]:
+                    self._scatter_chunk(plan, values_c, dice_flat)
+                    total.accumulate(
+                        self._chunk_stats(plan, hit, k_rhs, coords_c, values_c)
+                    )
+                    sample_cursor += coords_c.shape[0]
+                cursor += 1
+                if ckpt is not None and cursor % ckpt.every == 0:
+                    ckpt.store.save(
+                        ckpt.key,
+                        StreamCheckpoint(
+                            fingerprint=ckpt.fingerprint,
+                            chunk_cursor=cursor,
+                            sample_cursor=sample_cursor,
+                            dice=dice_flat.copy(),
+                        ),
+                    )
             for k in range(k_rhs):
                 out[k] = self.layout.dice_to_grid(
                     dice_flat[k].reshape(
@@ -750,6 +833,8 @@ class StreamingSliceAndDiceGridder(CompiledSliceAndDiceGridder):
                 )
         finally:
             self._release_buffer(dice_flat)
+        if ckpt is not None and ckpt.delete_on_success:
+            ckpt.store.delete(ckpt.key)
         return total
 
     # ------------------------------------------------------------------
@@ -861,6 +946,8 @@ class StreamingSliceAndDiceGridder(CompiledSliceAndDiceGridder):
                         grid_stack[k]
                     ).reshape(-1)
                 for index, (coords, _values) in enumerate(stream.chunks()):
+                    if self.cancel_token is not None:
+                        self.cancel_token.check()
                     m_raw = np.atleast_2d(np.asarray(coords)).shape[0]
                     coords_c, _, bad, report = self._gate_chunk(
                         index, coords, None

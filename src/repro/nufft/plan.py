@@ -370,6 +370,12 @@ class NufftPlan:
             and precision != "simulate-single"
         )
         self._corner_blocks_cache: list | None = None
+        #: optional :class:`~repro.robustness.CancelToken` — checked on
+        #: entry to every transform and propagated to the gridder (the
+        #: streaming engine re-checks between chunks).  Set per job by
+        #: the owner and cleared in its ``finally`` so warm cached
+        #: plans never retain a stale token.
+        self.cancel_token = None
         self.timings = NufftTimings(
             fft_backend=self._fft.name,
             fft_workers=self._fft.workers,
@@ -423,6 +429,18 @@ class NufftPlan:
 
     def _fft_events(self) -> tuple:
         return tuple(str(e) for e in getattr(self._fft, "events", ()))
+
+    def _check_cancel(self) -> None:
+        """Propagate the plan's token to the gridder and check it.
+
+        Runs on entry to every transform: a cancelled/expired token
+        raises before any grid work starts, and the gridder sees the
+        same token (``None`` included, so clearing the plan's token
+        also clears a warm gridder's)."""
+        token = self.cancel_token
+        self.gridder.cancel_token = token
+        if token is not None:
+            token.check()
 
     # ------------------------------------------------------------------
     @property
@@ -567,6 +585,7 @@ class NufftPlan:
         values = values.ravel()
         if values.shape[0] != self.n_samples:
             raise ValueError(f"{values.shape[0]} values for {self.n_samples} samples")
+        self._check_cancel()
 
         pool = self.buffer_pool
         miss0 = pool.miss_bytes
@@ -645,6 +664,7 @@ class NufftPlan:
             return self.forward_batch(image)
         if tuple(image.shape) != self.image_shape:
             raise ValueError(f"image shape {image.shape} != plan {self.image_shape}")
+        self._check_cancel()
         image, n_bad_pixels = self._gate_image(image)
 
         pool = self.buffer_pool
@@ -720,6 +740,7 @@ class NufftPlan:
                 f"images must be (B,) + {self.image_shape}, got {images.shape}"
             )
         n_batch = images.shape[0]
+        self._check_cancel()
         images, n_bad_pixels = self._gate_image(images)
 
         axes = tuple(range(1, self.ndim + 1))
@@ -797,6 +818,7 @@ class NufftPlan:
                 f"values must be (B, {self.n_samples}), got {values.shape}"
             )
         n_batch = values.shape[0]
+        self._check_cancel()
 
         axes = tuple(range(1, self.ndim + 1))
         pool = self.buffer_pool

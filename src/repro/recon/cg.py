@@ -181,6 +181,7 @@ def cg_reconstruction(
     toeplitz: bool = False,
     normal: str | None = None,
     normal_options: dict | None = None,
+    cancel: "object | None" = None,
 ) -> CgResult:
     """Iteratively reconstruct ``kspace`` samples into an image.
 
@@ -227,6 +228,12 @@ def cg_reconstruction(
         :class:`~repro.nufft.ToeplitzNormalOperator` when
         ``normal="toeplitz"`` (e.g. ``{"psf": "nudft"}`` for the exact
         kernel on small problems).
+    cancel:
+        Optional :class:`~repro.robustness.CancelToken`, checked at the
+        top of every iteration: an expired deadline raises
+        :class:`~repro.errors.DeadlineExceeded`, an explicit cancel
+        :class:`~repro.errors.JobCancelled` — always at an iteration
+        boundary, so no half-updated iterate escapes.
 
     Returns
     -------
@@ -255,6 +262,7 @@ def cg_reconstruction(
             regularization,
             normal,
             normal_options,
+            cancel,
         )
     kspace = kspace.ravel()
     if kspace.shape[0] != plan.n_samples:
@@ -322,6 +330,8 @@ def cg_reconstruction(
         return r, r.copy(), rs
 
     for it in range(1, n_iterations + 1):
+        if cancel is not None:
+            cancel.check()
         ap = gram(p)
         denom = _dot_real(p, ap)
         if not np.isfinite(denom):
@@ -374,6 +384,7 @@ def _cg_reconstruction_batched(
     regularization: float,
     normal: str,
     normal_options: dict | None = None,
+    cancel: "object | None" = None,
 ) -> CgResult:
     """Blocked CG over ``K`` independent right-hand sides.
 
@@ -466,6 +477,8 @@ def _cg_reconstruction_batched(
         return r, r.copy(), rs
 
     for it in range(1, n_iterations + 1):
+        if cancel is not None:
+            cancel.check()
         ap = gram(p)
         denom = dots(p, ap)
         if not np.all(np.isfinite(denom)):

@@ -15,7 +15,18 @@ failure story the performance stack needed:
   chaos test suite: injected worker crashes/hangs, FFT backend
   exceptions, and corrupted sample streams must each end in a recorded
   degradation or a typed :class:`repro.errors.ReproError` — never a
-  silently corrupted result.
+  silently corrupted result;
+- :mod:`repro.robustness.deadline` — :class:`Deadline` and the
+  cooperative :class:`CancelToken` the engines check between chunks /
+  iterations (doubling as the service worker heartbeat);
+- :mod:`repro.robustness.checkpoint` — streaming-accumulation
+  snapshots (:class:`StreamCheckpoint`) with in-memory
+  (:class:`CheckpointStore`) and file-backed
+  (:class:`FileCheckpointStore`) stores, exact-resume by the
+  seeded-accumulation argument;
+- :mod:`repro.robustness.breaker` — :class:`CircuitBreaker` /
+  :class:`BreakerBoard`, making degradation-chain failures sticky
+  (open → skip the rung, half-open probe after cooldown).
 
 The exception taxonomy itself lives in :mod:`repro.errors` (a leaf
 module, importable from anywhere in the stack).
@@ -33,6 +44,14 @@ from .faults import (
     inject_faults,
     active_injector,
 )
+from .deadline import CancelToken, Deadline
+from .checkpoint import (
+    CheckpointConfig,
+    CheckpointStore,
+    FileCheckpointStore,
+    StreamCheckpoint,
+)
+from .breaker import BreakerBoard, CircuitBreaker
 
 __all__ = [
     "DataQualityReport",
@@ -43,4 +62,12 @@ __all__ = [
     "InjectedWorkerCrash",
     "inject_faults",
     "active_injector",
+    "CancelToken",
+    "Deadline",
+    "CheckpointConfig",
+    "CheckpointStore",
+    "FileCheckpointStore",
+    "StreamCheckpoint",
+    "BreakerBoard",
+    "CircuitBreaker",
 ]

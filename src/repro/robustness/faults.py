@@ -33,6 +33,17 @@ when no injector is active.  Faults available:
   mid-stream quality policies: ``raise`` must abort with no partial
   accumulation left behind, ``drop``/``zero`` must skip the chunk and
   keep streaming.  One-shot: the directive clears after firing.
+- **service worker crashes / hangs** — the same ``worker_crash`` /
+  ``worker_hang`` budgets, but aimed at the *service* worker threads
+  instead of the parallel engine's pool: armed only when
+  ``service_worker_faults=True`` (so engine-level chaos tests never
+  lose budget to the service), fired at the worker's heartbeat site
+  (:func:`service_worker_fault_point`), and optionally delayed
+  ``worker_fault_delay`` heartbeats so a kill lands deterministically
+  *mid-stream* — after checkpoints exist, before the run completes.
+  A hang sleeps at the fault point **before** the heartbeat timestamp
+  is touched, so the watchdog observes exactly the staleness a real
+  wedge produces.
 
 Everything fired is appended to ``injector.log`` as
 ``(site, detail)`` tuples so tests can assert exactly which faults
@@ -70,6 +81,7 @@ __all__ = [
     "fault_point",
     "stage_worker_faults",
     "worker_fault_point",
+    "service_worker_fault_point",
     "corrupt_stream",
     "corrupt_chunk",
 ]
@@ -105,6 +117,8 @@ class FaultInjector:
         corrupt_coords: int = 0,
         corrupt_values: int = 0,
         corrupt_chunk_index: int | None = None,
+        service_worker_faults: bool = False,
+        worker_fault_delay: int = 0,
     ) -> None:
         self.rng = np.random.default_rng(seed)
         self.worker_crash = int(worker_crash)
@@ -118,10 +132,14 @@ class FaultInjector:
         self.corrupt_chunk_index = (
             None if corrupt_chunk_index is None else int(corrupt_chunk_index)
         )
+        self.service_worker_faults = bool(service_worker_faults)
+        self.worker_fault_delay = int(worker_fault_delay)
         self.log: list[tuple[str, str]] = []
         # worker directives staged for the current parallel pass:
         # worker_id -> "crash" | "hang"
         self.worker_directives: dict[int, str] = {}
+        # directive armed for the next service-worker heartbeat
+        self.service_directive: str | None = None
 
     # -- generic named fault points (fft:<name>, toeplitz:psf, ...) ----
 
@@ -175,6 +193,39 @@ class FaultInjector:
         if directive == "hang":
             del self.worker_directives[worker_id]
             time.sleep(self.hang_seconds)
+
+    def service_fault(self, worker_name: str) -> None:
+        """Stage-and-fire for the service worker heartbeat site.
+
+        Stages at most one directive from the crash/hang budgets (crash
+        takes precedence, as in :meth:`stage_workers`), then counts
+        down ``worker_fault_delay`` heartbeats before firing — which is
+        what lets a test kill a worker deterministically *mid-stream*,
+        after N chunks have already been accumulated and checkpointed.
+        """
+        if not self.service_worker_faults:
+            return
+        if self.service_directive is None:
+            if self.worker_crash > 0:
+                self.worker_crash -= 1
+                self.service_directive = "crash"
+                self.log.append(("service", f"stage crash {worker_name}"))
+            elif self.worker_hang > 0:
+                self.worker_hang -= 1
+                self.service_directive = "hang"
+                self.log.append(("service", f"stage hang {worker_name}"))
+            else:
+                return
+        if self.worker_fault_delay > 0:
+            self.worker_fault_delay -= 1
+            return
+        directive, self.service_directive = self.service_directive, None
+        self.log.append(("service", f"fire {directive} {worker_name}"))
+        if directive == "crash":
+            raise InjectedWorkerCrash(
+                f"injected crash in service worker {worker_name}"
+            )
+        time.sleep(self.hang_seconds)
 
     # -- stream corruption ---------------------------------------------
 
@@ -272,6 +323,14 @@ def worker_fault_point(worker_id: int) -> None:
     threads/serial (shared injector object)."""
     if _ACTIVE is not None:
         _ACTIVE.fire_worker(worker_id)
+
+
+def service_worker_fault_point(worker_name: str) -> None:
+    """Called by the service worker's heartbeat, *before* the timestamp
+    is touched; stages and (after ``worker_fault_delay`` heartbeats)
+    fires a crash/hang when ``service_worker_faults`` is armed."""
+    if _ACTIVE is not None:
+        _ACTIVE.service_fault(worker_name)
 
 
 def corrupt_stream(

@@ -9,13 +9,20 @@ long-running service without adding a single dependency:
   plan/select-table/compiled-plan/Toeplitz caches and a shared
   per-worker :class:`~repro.gridding.GridBufferPool`;
 - :mod:`repro.service.router` — :class:`ReconService`: bounded
-  admission (backpressure) + trajectory-affinity routing;
+  admission (backpressure) + trajectory-affinity routing +
+  idempotency-key dedup, cooperative cancellation, and the shared
+  checkpoint store / circuit-breaker board;
+- :mod:`repro.service.watchdog` — :class:`Watchdog`: deadline sweeps
+  and hang/crash detection via worker heartbeats, with worker
+  replacement and checkpoint-resume requeues;
 - :mod:`repro.service.server` — :class:`ReconServer`: the stdlib
   ``http.server`` JSON front end (``POST /jobs``, ``GET /jobs/<id>``,
-  ``/healthz``, ``/stats``, ``POST /shutdown``);
+  ``POST /jobs/<id>/cancel``, ``/healthz``, ``/stats``,
+  ``POST /shutdown``);
 - :mod:`repro.service.client` — :class:`ReconClient`: a
-  ``urllib``-based helper (submit / wait / reconstruct, honouring 429
-  ``Retry-After``).
+  ``urllib``-based helper (submit / wait / cancel / reconstruct,
+  honouring 429 ``Retry-After``, polling with capped exponential
+  backoff + jitter).
 
 See ``docs/service.md`` for the architecture guide and
 ``python -m repro.service --help`` for the CLI.
@@ -32,6 +39,7 @@ from .jobs import (
 )
 from .router import ReconService
 from .server import ReconServer
+from .watchdog import Watchdog
 from .worker import ReconWorker
 
 __all__ = [
@@ -42,6 +50,7 @@ __all__ = [
     "ReconServer",
     "ReconService",
     "ReconWorker",
+    "Watchdog",
     "decode_array",
     "encode_array",
     "trajectory_fingerprint",

@@ -28,6 +28,7 @@ Examples
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -35,7 +36,7 @@ import urllib.request
 import numpy as np
 
 from ..errors import ServiceOverloaded
-from .jobs import decode_array, encode_array
+from .jobs import JobState, decode_array, encode_array
 
 __all__ = ["ReconClient"]
 
@@ -152,8 +153,21 @@ class ReconClient:
             raise KeyError(job_id)
         return body
 
-    def wait(self, job_id: str, timeout: float = 60.0, poll: float = 0.02) -> dict:
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 60.0,
+        poll: float = 0.02,
+        max_poll: float = 0.5,
+    ) -> dict:
         """Poll until the job is terminal; returns (and stashes) its record.
+
+        Terminal means any of ``done`` / ``failed`` / ``cancelled`` /
+        ``deadline_exceeded``.  The poll interval starts at ``poll``
+        and doubles up to ``max_poll``, with +-50% jitter on every
+        sleep — short jobs still return promptly, long jobs cost O(1)
+        requests per ``max_poll``, and a herd of waiting clients never
+        phase-locks its polls into synchronized bursts.
 
         Raises
         ------
@@ -161,16 +175,33 @@ class ReconClient:
             If the job is still queued/running after ``timeout`` s.
         """
         deadline = time.monotonic() + timeout
+        delay = max(1e-4, float(poll))
         while True:
             record = self.status(job_id)
-            if record["state"] in ("done", "failed"):
+            if record["state"] in JobState.TERMINAL:
                 self.last_status = record
                 return record
-            if time.monotonic() >= deadline:
+            now = time.monotonic()
+            if now >= deadline:
                 raise TimeoutError(
                     f"job {job_id} still {record['state']} after {timeout}s"
                 )
-            time.sleep(poll)
+            sleep = delay * (0.5 + random.random())  # 0.5x .. 1.5x jitter
+            time.sleep(min(sleep, max(0.0, deadline - now)))
+            delay = min(delay * 2.0, float(max_poll))
+
+    def cancel(self, job_id: str) -> dict:
+        """POST /jobs/<id>/cancel (raises KeyError on an unknown id).
+
+        Returns the acknowledgement record; cancellation is
+        cooperative, so poll :meth:`wait` afterwards to observe the
+        terminal ``cancelled`` state (or ``done``, if the job beat the
+        cancel to the finish line).
+        """
+        status, body, _ = self._request("POST", f"/jobs/{job_id}/cancel")
+        if status == 404:
+            raise KeyError(job_id)
+        return body
 
     def result_image(self, record: dict) -> np.ndarray:
         """Decode the image array out of a terminal job record."""

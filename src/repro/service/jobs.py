@@ -5,16 +5,28 @@ samples, and the plan/solver options to run them under.  Jobs move
 through a small state machine::
 
     submit() ──▶ queued ──▶ running ──▶ done
-         │                     │
-         ▼                     ▼
-     (rejected:             failed
-      no id issued,
+         │          │   ◀──    │
+         ▼          │ requeue  ├──▶ failed
+     (rejected:     │          ├──▶ cancelled
+      no id issued, │          └──▶ deadline_exceeded
       ServiceOverloaded)
+                    └─────▶ cancelled | deadline_exceeded
 
 ``rejected`` is not a stored state: an over-capacity submission is
 refused *before* a job id exists (HTTP 429), so every id the service
-ever hands out resolves to a job that terminates in ``done`` or
-``failed`` — accepted jobs are never dropped.
+ever hands out resolves to a job that terminates in ``done``,
+``failed``, ``cancelled``, or ``deadline_exceeded`` — accepted jobs
+are never dropped.  The ``running ──▶ queued`` back edge is the
+watchdog's :meth:`Job.requeue`: a job whose worker wedged or died is
+handed a *fresh* :class:`~repro.robustness.CancelToken` (preserving
+the original absolute deadline) and re-enqueued on the replacement
+worker, while the abandoned attempt's terminal marks are fenced off
+by an attempt counter.
+
+Terminal transitions are **idempotent and attempt-guarded**: every
+``mark_*`` is a no-op once the job is terminal, and a mark carrying a
+stale attempt number (a zombie thread finishing after its job was
+requeued) is discarded.  ``on_terminal`` fires exactly once.
 
 The trajectory **fingerprint** computed here is the affinity-routing
 key: jobs whose coordinate arrays fingerprint identically are routed
@@ -38,6 +50,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..gridding.registry import default_gridder
+from ..robustness.deadline import CancelToken, Deadline
 
 __all__ = [
     "JobSpec",
@@ -56,9 +69,11 @@ class JobState:
     RUNNING = "running"
     DONE = "done"
     FAILED = "failed"
+    CANCELLED = "cancelled"
+    DEADLINE_EXCEEDED = "deadline_exceeded"
 
     #: states a job can no longer leave
-    TERMINAL = (DONE, FAILED)
+    TERMINAL = (DONE, FAILED, CANCELLED, DEADLINE_EXCEEDED)
 
 
 def trajectory_fingerprint(coords: np.ndarray) -> str:
@@ -156,6 +171,17 @@ class JobSpec:
     tolerance: float = 1e-6
     regularization: float = 0.0
     normal: str = "toeplitz"
+    #: wall-clock budget counted from *submission* (queue wait counts
+    #: against the SLA).  Exceeding it raises
+    #: :class:`repro.errors.DeadlineExceeded` at the next cooperative
+    #: check; the job terminates in ``deadline_exceeded``.  Per-call —
+    #: deliberately NOT part of :meth:`plan_key` (would fragment the
+    #: warm-plan cache).
+    deadline_seconds: float | None = None
+    #: client-chosen dedup key: resubmitting the same key returns the
+    #: original job id instead of running the work twice (safe retries
+    #: after an ambiguous network failure).  Per-call, not cached.
+    idempotency_key: str | None = None
 
     _METHODS = ("cg", "adjoint")
 
@@ -177,6 +203,16 @@ class JobSpec:
                 f"{self.samples.shape[-1]} samples for "
                 f"{self.coords.shape[0]} trajectory points"
             )
+        if self.deadline_seconds is not None:
+            self.deadline_seconds = float(self.deadline_seconds)
+            if not self.deadline_seconds > 0:
+                raise ValueError(
+                    f"deadline_seconds must be > 0, got {self.deadline_seconds}"
+                )
+        if self.idempotency_key is not None:
+            self.idempotency_key = str(self.idempotency_key)
+            if not self.idempotency_key:
+                raise ValueError("idempotency_key must be a non-empty string")
 
     @property
     def fingerprint(self) -> str:
@@ -219,12 +255,15 @@ class JobSpec:
         unknown = set(options) - {
             "gridder", "gridder_options", "precision", "fft_backend",
             "quality_policy", "max_bytes", "n_iterations", "tolerance",
-            "regularization", "normal",
+            "regularization", "normal", "deadline_seconds",
+            "idempotency_key",
         }
         if unknown:
             raise ValueError(f"unknown option(s): {sorted(unknown)}")
         if options.get("max_bytes") is not None:
             options["max_bytes"] = int(options["max_bytes"])
+        if options.get("deadline_seconds") is not None:
+            options["deadline_seconds"] = float(options["deadline_seconds"])
         weights = payload.get("weights")
         return cls(
             image_shape=tuple(payload["image_shape"]),
@@ -258,6 +297,9 @@ class JobResult:
     chunks: int = 0
     #: gridding-side transient high water of the final pass (bytes)
     peak_bytes: int = 0
+    #: checkpoint cursor this run resumed from (``{"chunk_cursor": N,
+    #: "sample_cursor": M}``), or None for an uninterrupted run
+    resumed_from: dict | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -284,16 +326,22 @@ class JobResult:
             "exec_lane": self.exec_lane,
             "chunks": self.chunks,
             "peak_bytes": self.peak_bytes,
+            "resumed_from": self.resumed_from,
         }
 
 
 class Job:
     """One accepted reconstruction request and its lifecycle record.
 
-    Thread contract: the owning service mutates state under its lock;
-    readers get a consistent JSON view via :meth:`as_dict` and can
-    block on :meth:`wait` (an internal :class:`threading.Event` set on
-    entry to a terminal state).
+    Thread contract: state transitions are serialized by an internal
+    lock and are idempotent — the first terminal mark wins, later ones
+    are no-ops.  :meth:`mark_running` hands the executing worker an
+    *attempt* number; terminal marks carrying a stale attempt (a
+    zombie thread finishing after the watchdog requeued its job) are
+    discarded.  Readers get a consistent JSON view via :meth:`as_dict`
+    and can block on :meth:`wait` (an internal
+    :class:`threading.Event` set on entry to a terminal state).
+    ``on_terminal`` fires exactly once, outside the job lock.
     """
 
     def __init__(self, spec: JobSpec):
@@ -307,30 +355,121 @@ class Job:
         self.started: float | None = None
         self.finished: float | None = None
         self._done = threading.Event()
+        self._lock = threading.Lock()
+        #: execution-attempt fence: bumped by mark_running and requeue;
+        #: a terminal mark with a mismatched attempt is from an
+        #: abandoned thread and is ignored
+        self.attempt = 0
+        #: watchdog requeues so far (bounded by the service's
+        #: max_requeues before force-fail)
+        self.requeues = 0
+        #: absolute deadline fixed at submission (never reset by a
+        #: requeue — queue wait and retries all count against the SLA)
+        self.deadline: Deadline | None = (
+            None
+            if spec.deadline_seconds is None
+            else Deadline.after(spec.deadline_seconds)
+        )
+        #: cooperative token the engines check between chunks /
+        #: iterations; replaced wholesale by :meth:`requeue` so a new
+        #: attempt is not poisoned by the cancel that freed the old one
+        self.cancel_token = CancelToken(deadline=self.deadline)
         #: optional hook the owning service installs to observe the
         #: transition into a terminal state (pending-count bookkeeping)
         self.on_terminal = None
 
-    def mark_running(self, worker: str) -> None:
-        self.state = JobState.RUNNING
-        self.worker = worker
-        self.started = time.time()
+    # ------------------------------------------------------------------
+    # state transitions (idempotent, attempt-guarded)
+    # ------------------------------------------------------------------
+    def mark_running(self, worker: str) -> int | None:
+        """Claim the job for execution; returns the attempt number.
 
-    def mark_done(self, result: JobResult) -> None:
-        self.result = result
-        self.state = JobState.DONE
-        self.finished = time.time()
-        self._done.set()
-        if self.on_terminal is not None:
-            self.on_terminal(self)
+        Returns None when the job is already terminal (cancelled or
+        deadline-swept while queued) — the worker must then skip it.
+        """
+        with self._lock:
+            if self.state in JobState.TERMINAL:
+                return None
+            self.attempt += 1
+            self.state = JobState.RUNNING
+            self.worker = worker
+            if self.started is None:
+                self.started = time.time()
+            return self.attempt
 
-    def mark_failed(self, error: BaseException) -> None:
-        self.error = f"{type(error).__name__}: {error}"
-        self.state = JobState.FAILED
-        self.finished = time.time()
-        self._done.set()
-        if self.on_terminal is not None:
-            self.on_terminal(self)
+    def _may_finish(self, attempt: int | None) -> bool:
+        """Lock held: may this caller record the terminal state?"""
+        if self.state in JobState.TERMINAL:
+            return False
+        return attempt is None or attempt == self.attempt
+
+    def _fire_terminal(self) -> None:
+        hook, self.on_terminal = self.on_terminal, None
+        if hook is not None:
+            hook(self)
+
+    def mark_done(self, result: JobResult, attempt: int | None = None) -> bool:
+        with self._lock:
+            if not self._may_finish(attempt):
+                return False
+            self.result = result
+            self.state = JobState.DONE
+            self.finished = time.time()
+            self._done.set()
+        self._fire_terminal()
+        return True
+
+    def mark_failed(
+        self, error: BaseException | str, attempt: int | None = None
+    ) -> bool:
+        return self._mark_error(JobState.FAILED, error, attempt)
+
+    def mark_cancelled(
+        self, error: BaseException | str, attempt: int | None = None
+    ) -> bool:
+        return self._mark_error(JobState.CANCELLED, error, attempt)
+
+    def mark_deadline_exceeded(
+        self, error: BaseException | str, attempt: int | None = None
+    ) -> bool:
+        return self._mark_error(JobState.DEADLINE_EXCEEDED, error, attempt)
+
+    def _mark_error(
+        self, state: str, error: BaseException | str, attempt: int | None
+    ) -> bool:
+        with self._lock:
+            if not self._may_finish(attempt):
+                return False
+            if isinstance(error, BaseException):
+                self.error = f"{type(error).__name__}: {error}"
+            else:
+                self.error = str(error)
+            self.state = state
+            self.finished = time.time()
+            self._done.set()
+        self._fire_terminal()
+        return True
+
+    def requeue(self) -> bool:
+        """Watchdog path: put a running job back in ``queued`` with a
+        fresh cancel token.
+
+        The original absolute :attr:`deadline` is preserved (a retry
+        does not extend the SLA), but the token object is new — the
+        watchdog cancels the *old* token to free a hung thread, and
+        that cancel must not leak into the replacement attempt.
+        Bumping :attr:`attempt` fences off any terminal mark the
+        abandoned thread may still deliver.  No-op on terminal jobs.
+        """
+        with self._lock:
+            if self.state in JobState.TERMINAL:
+                return False
+            self.attempt += 1
+            self.requeues += 1
+            self.state = JobState.QUEUED
+            self.worker = None
+            self.cancel_token = CancelToken(deadline=self.deadline)
+            return True
 
     def wait(self, timeout: float | None = None) -> bool:
         """Block until the job reaches a terminal state."""
@@ -355,6 +494,9 @@ class Job:
             "finished": self.finished,
             "seconds": self.seconds,
             "error": self.error,
+            "attempt": self.attempt,
+            "requeues": self.requeues,
+            "deadline_seconds": self.spec.deadline_seconds,
         }
         if include_result and self.result is not None:
             out["result"] = self.result.as_dict()

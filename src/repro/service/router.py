@@ -29,12 +29,16 @@ it.  Distinct trajectories spread over workers by load.
 from __future__ import annotations
 
 import math
+import queue
 import threading
-from collections import OrderedDict
+from collections import OrderedDict, deque
 
-from ..errors import ServiceOverloaded
+from ..errors import DegradationEvent, ServiceOverloaded
+from ..robustness.breaker import BreakerBoard
+from ..robustness.checkpoint import CheckpointStore
 from .jobs import Job, JobSpec, JobState
-from .worker import ReconWorker
+from .watchdog import Watchdog
+from .worker import _SHUTDOWN, ReconWorker, breaker_keys
 
 __all__ = ["ReconService"]
 
@@ -63,6 +67,28 @@ class ReconService:
     autostart:
         Start the worker threads immediately.  Tests pass ``False`` to
         exercise admission deterministically, then call :meth:`start`.
+    watchdog_period / watchdog_stale_after:
+        Supervision cadence (see :class:`~repro.service.watchdog.Watchdog`).
+        The watchdog thread starts with :meth:`start`; pass
+        ``watchdog_period=None`` to run without supervision (some
+        admission-only tests do).
+    max_requeues:
+        Watchdog requeues one job survives before it is force-failed
+        instead of being retried on yet another replacement worker.
+    checkpoint_store:
+        Shared :class:`~repro.robustness.CheckpointStore` (an
+        in-memory LRU by default; pass a
+        :class:`~repro.robustness.FileCheckpointStore` to survive the
+        process).  Streamed adjoint jobs snapshot into it so a
+        watchdog requeue resumes mid-stream bit-identically.
+    checkpoint_every:
+        Streamed chunks between snapshots.
+    breaker_threshold / breaker_cooldown:
+        Per-rung circuit-breaker tuning: consecutive failures that
+        open a breaker, and seconds an open breaker waits before
+        admitting a half-open probe.
+    idempotency_capacity:
+        Client idempotency keys remembered (LRU) for submission dedup.
     """
 
     def __init__(
@@ -74,25 +100,40 @@ class ReconService:
         max_affinity: int = 1024,
         max_jobs_retained: int = 4096,
         autostart: bool = True,
+        watchdog_period: float | None = 0.25,
+        watchdog_stale_after: float = 2.0,
+        max_requeues: int = 2,
+        checkpoint_store: CheckpointStore | None = None,
+        checkpoint_every: int = 4,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 30.0,
+        idempotency_capacity: int = 1024,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         self.max_pending = int(max_pending)
-        self.workers = [
-            ReconWorker(
-                f"w{i}",
-                plan_cache_size=plan_cache_size,
-                toeplitz_cache_size=toeplitz_cache_size,
-            )
-            for i in range(int(workers))
-        ]
+        self._plan_cache_size = plan_cache_size
+        self._toeplitz_cache_size = toeplitz_cache_size
+        self.checkpoint_store = (
+            CheckpointStore() if checkpoint_store is None else checkpoint_store
+        )
+        self.checkpoint_every = max(1, int(checkpoint_every))
+        self.breakers = BreakerBoard(
+            failure_threshold=breaker_threshold,
+            cooldown_seconds=breaker_cooldown,
+        )
+        self.max_requeues = max(0, int(max_requeues))
+        self.workers = [self._make_worker(f"w{i}") for i in range(int(workers))]
         self._lock = threading.Lock()
         self._jobs: dict[str, Job] = {}
         self._affinity: OrderedDict[str, ReconWorker] = OrderedDict()
         self.max_affinity = int(max_affinity)
         self.max_jobs_retained = max(1, int(max_jobs_retained))
+        #: idempotency-key -> Job dedup map (bounded LRU)
+        self._idempotency: OrderedDict[str, Job] = OrderedDict()
+        self.idempotency_capacity = max(1, int(idempotency_capacity))
         #: terminal job ids in finish order (status-retention eviction)
         self._finished_order: list[str] = []
         #: jobs currently queued or running (maintained via on_terminal)
@@ -101,11 +142,38 @@ class ReconService:
         self._started = False
         #: exponentially smoothed per-job wall seconds (Retry-After input)
         self._ewma_seconds = 1.0
+        #: recent service-level DegradationEvents (watchdog restarts,
+        #: breaker demotions observed at the service boundary)
+        self.events: deque = deque(maxlen=64)
         # monitoring counters
         self.accepted = 0
         self.rejected = 0
+        self.deduplicated = 0
+        self.jobs_cancelled = 0
+        self.jobs_deadline_exceeded = 0
+        self.jobs_resumed = 0
+        self.watchdog_restarts = 0
+        self.watchdog = (
+            None
+            if watchdog_period is None
+            else Watchdog(
+                self,
+                period=watchdog_period,
+                stale_after=watchdog_stale_after,
+            )
+        )
         if autostart:
             self.start()
+
+    def _make_worker(self, name: str) -> ReconWorker:
+        return ReconWorker(
+            name,
+            plan_cache_size=self._plan_cache_size,
+            toeplitz_cache_size=self._toeplitz_cache_size,
+            checkpoint_store=self.checkpoint_store,
+            checkpoint_every=self.checkpoint_every,
+            breakers=self.breakers,
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -118,6 +186,8 @@ class ReconService:
             self._started = True
         for worker in self.workers:
             worker.start()
+        if self.watchdog is not None:
+            self.watchdog.start()
 
     def close(self, drain: bool = True, timeout: float | None = None) -> None:
         """Stop accepting work; optionally finish everything accepted.
@@ -132,6 +202,10 @@ class ReconService:
         with self._lock:
             self._closed = True
             started = self._started
+        # stop supervising before draining: workers exiting on the
+        # shutdown sentinel must not look like crashes to the watchdog
+        if self.watchdog is not None:
+            self.watchdog.stop()
         if not started:
             if drain:
                 # workers never ran; run them now so accepted jobs finish
@@ -160,9 +234,21 @@ class ReconService:
             return self._pending
 
     def _job_finished(self, job: Job) -> None:
-        """``on_terminal`` hook: bookkeeping for admission + retention."""
+        """``on_terminal`` hook: bookkeeping for admission + retention.
+
+        Also the single place the lifecycle counters are derived —
+        from the terminal state itself, so every path into
+        ``cancelled`` / ``deadline_exceeded`` (worker, watchdog sweep,
+        client cancel of a queued job) is counted exactly once.
+        """
         with self._lock:
             self._pending -= 1
+            if job.state == JobState.CANCELLED:
+                self.jobs_cancelled += 1
+            elif job.state == JobState.DEADLINE_EXCEEDED:
+                self.jobs_deadline_exceeded += 1
+            if job.result is not None and job.result.resumed_from is not None:
+                self.jobs_resumed += 1
             if job.seconds is not None:
                 # smooth the Retry-After estimator with real job times
                 self._ewma_seconds = (
@@ -171,6 +257,9 @@ class ReconService:
             self._finished_order.append(job.id)
             while len(self._finished_order) > self.max_jobs_retained:
                 self._jobs.pop(self._finished_order.pop(0), None)
+        # a cancelled/expired/failed streamed job may leave a snapshot
+        # behind; a terminal job can never be resumed, so drop it
+        self.checkpoint_store.delete(job.id)
 
     def _retry_after(self, depth: int) -> int:
         """Whole-second wait estimate for one queue slot to open."""
@@ -193,6 +282,11 @@ class ReconService:
     def submit(self, spec: JobSpec) -> Job:
         """Admit, route, and enqueue one job (or refuse at the door).
 
+        A spec carrying an ``idempotency_key`` already seen returns
+        the *original* job (whatever its state) instead of enqueueing
+        a duplicate — a client retrying after an ambiguous network
+        failure can never make the same work run twice.
+
         Raises
         ------
         ServiceOverloaded
@@ -205,6 +299,13 @@ class ReconService:
         with self._lock:
             if self._closed:
                 raise RuntimeError("service is shutting down; not accepting jobs")
+            key = spec.idempotency_key
+            if key is not None:
+                existing = self._idempotency.get(key)
+                if existing is not None:
+                    self._idempotency.move_to_end(key)
+                    self.deduplicated += 1
+                    return existing
             depth = self._pending
             if depth >= self.max_pending:
                 self.rejected += 1
@@ -215,11 +316,34 @@ class ReconService:
             job = Job(spec)
             job.on_terminal = self._job_finished
             self._jobs[job.id] = job
+            if key is not None:
+                self._idempotency[key] = job
+                while len(self._idempotency) > self.idempotency_capacity:
+                    self._idempotency.popitem(last=False)
             self._pending += 1
             worker = self._route(spec)
             self.accepted += 1
         # enqueue outside the lock: unbounded inbox, never blocks
         worker.inbox.put(job)
+        return job
+
+    def cancel(self, job_id: str, reason: str = "cancelled by client") -> Job:
+        """Request cancellation of a job (raises KeyError if unknown).
+
+        Queued jobs go terminal immediately; running jobs have their
+        cancel token set and stop at the next cooperative check
+        (between streamed chunks / CG iterations).  Terminal jobs are
+        untouched — cancellation is idempotent and never un-finishes
+        anything.  Returns the job for status inspection.
+        """
+        job = self.get(job_id)
+        if job is None:
+            raise KeyError(job_id)
+        # set the token first so a job racing queued -> running still
+        # observes the cancel at its first cooperative check
+        job.cancel_token.cancel(reason)
+        if job.state == JobState.QUEUED:
+            job.mark_cancelled(reason)
         return job
 
     # ------------------------------------------------------------------
@@ -228,6 +352,79 @@ class ReconService:
     def get(self, job_id: str) -> Job | None:
         with self._lock:
             return self._jobs.get(job_id)
+
+    def jobs_snapshot(self) -> list[Job]:
+        """Consistent list of all retained jobs (watchdog sweeps this)."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    # ------------------------------------------------------------------
+    # supervision (called from the watchdog thread)
+    # ------------------------------------------------------------------
+    def _replace_worker(self, index: int, old: ReconWorker, reason: str) -> None:
+        """Swap a wedged/dead worker for a fresh one and rescue its jobs.
+
+        A hung Python thread cannot be killed, so recovery is by
+        replacement: the new worker inherits the name, the affinity
+        assignments, and the inbox backlog; the old thread's token is
+        cancelled so it exits on wake (the shutdown sentinel in its
+        inbox finishes the zombie off), and its late terminal marks
+        are fenced by the attempt counter :meth:`Job.requeue` bumped.
+        """
+        replacement = self._make_worker(old.name)
+        with self._lock:
+            if self._closed or self.workers[index] is not old:
+                return  # already replaced, or shutting down
+            self.workers[index] = replacement
+            for fp, worker in self._affinity.items():
+                if worker is old:
+                    self._affinity[fp] = replacement
+            self.watchdog_restarts += 1
+            wedged = [
+                job
+                for job in self._jobs.values()
+                if job.state == JobState.RUNNING and job.worker == old.name
+            ]
+        replacement.start()
+        self._record_event(
+            DegradationEvent(
+                "service", f"worker:{old.name}", "restart", reason
+            )
+        )
+        for job in wedged:
+            # free the hung thread at its next cooperative check (a
+            # crashed thread is already gone; cancel is then a no-op)
+            job.cancel_token.cancel(f"worker {old.name} replaced: {reason}")
+            for key in breaker_keys(job.spec):
+                self.breakers.record_failure(key)
+            if job.deadline is not None and job.deadline.expired:
+                job.mark_deadline_exceeded(
+                    f"DeadlineExceeded: deadline exceeded "
+                    f"({job.spec.deadline_seconds:g}s budget) "
+                    f"when worker {old.name} wedged"
+                )
+            elif job.requeues >= self.max_requeues:
+                job.mark_failed(
+                    f"RuntimeError: worker {old.name} wedged ({reason}) and "
+                    f"the requeue budget ({self.max_requeues}) is spent"
+                )
+            elif job.requeue():
+                # a streamed adjoint job resumes from its checkpoint
+                # (keyed by job id) instead of restarting from zero
+                replacement.inbox.put(job)
+        # hand the old inbox's backlog to the replacement, in order,
+        # then leave the sentinel so the zombie exits if it ever wakes
+        while True:
+            try:
+                item = old.inbox.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _SHUTDOWN:
+                replacement.inbox.put(item)
+        old.inbox.put(_SHUTDOWN)
+
+    def _record_event(self, event: DegradationEvent) -> None:
+        self.events.append(event)
 
     def wait(self, job_id: str, timeout: float | None = None) -> Job:
         """Block until ``job_id`` is terminal (raises KeyError if unknown)."""
@@ -264,6 +461,24 @@ class ReconService:
             "jobs": states,
             "accepted": self.accepted,
             "rejected": self.rejected,
+            "deduplicated": self.deduplicated,
+            "jobs_cancelled": self.jobs_cancelled,
+            "jobs_deadline_exceeded": self.jobs_deadline_exceeded,
+            "jobs_resumed": self.jobs_resumed,
+            "watchdog_restarts": self.watchdog_restarts,
+            "watchdog_alive": self.watchdog is not None and self.watchdog.alive,
+            "breakers": self.breakers.snapshot(),
+            "open_breakers": self.breakers.open_keys(),
+            "checkpoints_held": len(self.checkpoint_store),
+            "events": [
+                {
+                    "component": e.component,
+                    "from_stage": e.from_stage,
+                    "to_stage": e.to_stage,
+                    "reason": e.reason,
+                }
+                for e in list(self.events)
+            ],
             "ewma_job_seconds": round(self._ewma_seconds, 6),
             "closed": self._closed,
         }

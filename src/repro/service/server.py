@@ -21,6 +21,12 @@ Routes
     degradations/breakdown/quality) plus the base64-encoded image
     once ``state == "done"``.  ``404`` for unknown ids — including
     ids evicted by the bounded status-retention window.
+``POST /jobs/<id>/cancel``
+    Cooperative cancellation: a queued job goes terminal
+    (``cancelled``) immediately; a running job stops at its next
+    between-chunks / between-iterations check.  Idempotent — repeat
+    cancels (and cancels of already-terminal jobs) reply ``202`` with
+    the current state unchanged.  ``404`` for unknown ids.
 ``GET /healthz``
     Liveness: ``{"status": "ok", "workers": N}`` — ``200`` as long as
     every worker thread is alive, ``500`` otherwise.
@@ -107,6 +113,15 @@ class _Handler(BaseHTTPRequestHandler):
             # drain in a helper thread: this handler thread is owned by
             # the HTTP server we are about to stop
             threading.Thread(target=recon_server.close, daemon=True).start()
+            return
+        if path.startswith("/jobs/") and path.endswith("/cancel"):
+            job_id = path[len("/jobs/"):-len("/cancel")]
+            try:
+                job = service.cancel(job_id)
+            except KeyError:
+                self._reply(404, {"error": "unknown job id"})
+                return
+            self._reply(202, {"job": job.id, "state": job.state})
             return
         if path != "/jobs":
             self._reply(404, {"error": f"no route {path!r}"})

@@ -25,6 +25,7 @@ every pool/cache counter without cross-process merge plumbing.
 
 from __future__ import annotations
 
+import dataclasses
 import queue
 import threading
 import time
@@ -32,13 +33,35 @@ from collections import OrderedDict
 
 import numpy as np
 
+from ..errors import DeadlineExceeded, DegradationEvent, JobCancelled, ReproError
 from ..gridding.buffers import GridBufferPool
-from ..gridding.streaming import choose_chunk_samples
+from ..gridding.streaming import StreamingSliceAndDiceGridder, choose_chunk_samples
 from ..nufft import NufftPlan, ToeplitzNormalOperator
 from ..recon import cg_reconstruction
+from ..robustness.checkpoint import CheckpointConfig
+from ..robustness.faults import InjectedWorkerCrash, service_worker_fault_point
 from .jobs import Job, JobResult, JobSpec
 
-__all__ = ["ReconWorker"]
+__all__ = ["ReconWorker", "breaker_keys", "LANE_CHAIN", "FFT_CHAIN"]
+
+#: circuit-breaker demotion chains: when the breaker for a rung is
+#: open, the worker skips straight to the next rung (the same "next
+#: stage" the runtime degradation chains use).  The pure-NumPy
+#: compiled engine and the numpy FFT backend are the floors — no
+#: breaker can demote past them.
+LANE_CHAIN = {
+    "slice_and_dice_jit": "slice_and_dice_compiled",
+    "slice_and_dice_parallel": "slice_and_dice_compiled",
+}
+FFT_CHAIN = {"pyfftw": "scipy", "scipy": "numpy"}
+
+
+def breaker_keys(spec: JobSpec) -> tuple[str, ...]:
+    """Breaker-board keys a spec's execution is attributed to."""
+    keys = [f"lane:{spec.gridder}"]
+    if spec.fft_backend != "auto":
+        keys.append(f"fft:{spec.fft_backend}")
+    return tuple(keys)
 
 #: inbox sentinel that tells the worker loop to exit after the queue
 #: ahead of it has drained
@@ -71,6 +94,23 @@ class ReconWorker:
     toeplitz_cache_size:
         Warm Toeplitz operators retained per plan (keyed by weights
         fingerprint).
+    checkpoint_store:
+        Optional :class:`~repro.robustness.CheckpointStore` the
+        service shares across workers.  When set, streamed adjoint
+        jobs snapshot their dice accumulator every
+        ``checkpoint_every`` chunks under the job id, so a watchdog
+        requeue resumes mid-stream instead of restarting.  Only
+        ``method="adjoint"`` jobs checkpoint: a CG solve issues many
+        streamed transforms with *different* input values under the
+        same job id, so a leftover mid-solve snapshot could be
+        silently resumed into the wrong transform.
+    breakers:
+        Optional :class:`~repro.robustness.BreakerBoard` shared across
+        workers.  Before building a plan the worker consults the
+        board: an open ``lane:<gridder>`` / ``fft:<backend>`` breaker
+        demotes the spec one rung down the degradation chain (recorded
+        as a DegradationEvent on the result); job outcomes feed
+        success/failure back so the breaker can close or trip.
     """
 
     def __init__(
@@ -78,12 +118,18 @@ class ReconWorker:
         name: str,
         plan_cache_size: int = 8,
         toeplitz_cache_size: int = 4,
+        checkpoint_store=None,
+        checkpoint_every: int = 4,
+        breakers=None,
     ):
         if plan_cache_size < 1:
             raise ValueError(f"plan_cache_size must be >= 1, got {plan_cache_size}")
         self.name = name
         self.plan_cache_size = int(plan_cache_size)
         self.toeplitz_cache_size = max(1, int(toeplitz_cache_size))
+        self.checkpoint_store = checkpoint_store
+        self.checkpoint_every = max(1, int(checkpoint_every))
+        self.breakers = breakers
         self.inbox: queue.Queue = queue.Queue()
         #: one pool for every plan this worker ever builds
         self.buffer_pool = GridBufferPool()
@@ -92,12 +138,24 @@ class ReconWorker:
         # atomic enough under the GIL for monitoring purposes)
         self.jobs_done = 0
         self.jobs_failed = 0
+        self.jobs_cancelled = 0
+        self.jobs_deadline_exceeded = 0
+        self.jobs_resumed = 0
         self.jobs_chunked = 0
         self.plan_hits = 0
         self.plan_misses = 0
         self.toeplitz_hits = 0
         self.toeplitz_misses = 0
         self.busy_seconds = 0.0
+        #: monotonic timestamp of the last liveness proof: touched at
+        #: job pickup and on every cooperative cancel check (between
+        #: chunks / CG iterations).  The watchdog reads it together
+        #: with :attr:`current_job_id` — staleness only means "wedged"
+        #: while a job is actually in flight.
+        self.heartbeat = time.monotonic()
+        #: id of the job this worker is executing right now (None when
+        #: idle, i.e. blocked on the inbox)
+        self.current_job_id: str | None = None
         self._thread: threading.Thread | None = None
 
     # ------------------------------------------------------------------
@@ -135,8 +193,77 @@ class ReconWorker:
                 if item is _SHUTDOWN:
                     return
                 self._execute(item)
+            except InjectedWorkerCrash:
+                # die like a crashed thread would, but without spamming
+                # the default threading excepthook — the chaos tests
+                # assert on watchdog behaviour, not on stderr
+                return
             finally:
                 self.inbox.task_done()
+
+    # ------------------------------------------------------------------
+    # heartbeat + circuit breakers
+    # ------------------------------------------------------------------
+    def _touch(self) -> None:
+        """Cooperative-check hook installed on the running job's token.
+
+        The fault-injection site runs *before* the timestamp update so
+        an injected hang leaves the heartbeat exactly as stale as a
+        real wedge would (and an injected crash never touches it).
+        Even a job that is about to observe its own cancellation
+        proves its worker thread alive by reaching this hook.
+        """
+        service_worker_fault_point(self.name)
+        self.heartbeat = time.monotonic()
+
+    def _apply_breakers(
+        self, spec: JobSpec
+    ) -> tuple[JobSpec, tuple[DegradationEvent, ...]]:
+        """Demote ``spec`` past any open breaker rungs.
+
+        Walks each chain (``lane:`` over gridder engines, ``fft:``
+        over backends) while the rung's breaker refuses the call;
+        half-open breakers admit exactly one probe, so recovery is
+        tested without re-exposing the whole job stream to a flaky
+        rung.  Every demotion is recorded as a DegradationEvent the
+        result surfaces.
+        """
+        if self.breakers is None:
+            return spec, ()
+        events = []
+        gridder = spec.gridder
+        while gridder in LANE_CHAIN and not self.breakers.allow(f"lane:{gridder}"):
+            nxt = LANE_CHAIN[gridder]
+            events.append(
+                DegradationEvent(
+                    "service", f"lane:{gridder}", f"lane:{nxt}",
+                    "circuit breaker open",
+                )
+            )
+            gridder = nxt
+        backend = spec.fft_backend
+        while backend in FFT_CHAIN and not self.breakers.allow(f"fft:{backend}"):
+            nxt = FFT_CHAIN[backend]
+            events.append(
+                DegradationEvent(
+                    "service", f"fft:{backend}", f"fft:{nxt}",
+                    "circuit breaker open",
+                )
+            )
+            backend = nxt
+        if not events:
+            return spec, ()
+        spec = dataclasses.replace(spec, gridder=gridder, fft_backend=backend)
+        return spec, tuple(events)
+
+    def _breaker_outcome(self, spec: JobSpec, ok: bool) -> None:
+        if self.breakers is None:
+            return
+        for key in breaker_keys(spec):
+            if ok:
+                self.breakers.record_success(key)
+            else:
+                self.breakers.record_failure(key)
 
     # ------------------------------------------------------------------
     # execution
@@ -203,24 +330,93 @@ class ReconWorker:
         return op, "miss"
 
     def _execute(self, job: Job) -> None:
-        job.mark_running(self.name)
+        attempt = job.mark_running(self.name)
+        if attempt is None:
+            return  # cancelled or deadline-swept while still queued
+        token = job.cancel_token
+        token.on_check = self._touch
+        self.heartbeat = time.monotonic()
+        self.current_job_id = job.id
+        effective, demotions = self._apply_breakers(job.spec)
         t0 = time.perf_counter()
         try:
-            result = self._reconstruct(job.spec)
+            result = self._reconstruct(job, effective)
+        except DeadlineExceeded as exc:
+            self.jobs_deadline_exceeded += 1
+            self.busy_seconds += time.perf_counter() - t0
+            job.mark_deadline_exceeded(exc, attempt=attempt)
+            return
+        except JobCancelled as exc:
+            self.jobs_cancelled += 1
+            self.busy_seconds += time.perf_counter() - t0
+            job.mark_cancelled(exc, attempt=attempt)
+            return
+        except InjectedWorkerCrash:
+            # simulated thread death: leave the job running and
+            # unmarked — exactly the wreckage a real crash leaves.
+            # The watchdog detects the dead thread, records the
+            # wedge, and requeues the job on a replacement worker.
+            raise
         except BaseException as exc:  # noqa: BLE001 - job isolation boundary
             self.jobs_failed += 1
             self.busy_seconds += time.perf_counter() - t0
-            job.mark_failed(exc)
+            if not isinstance(exc, ReproError):
+                # infrastructure-shaped failure: count it against the
+                # rung's breaker.  Typed ReproErrors (bad inputs,
+                # quality-gate aborts) say nothing about the rung.
+                self._breaker_outcome(effective, ok=False)
+            job.mark_failed(exc, attempt=attempt)
             return
+        finally:
+            self.current_job_id = None
         result.seconds = time.perf_counter() - t0
         self.busy_seconds += result.seconds
         self.jobs_done += 1
         if result.chunks:
             self.jobs_chunked += 1
-        job.mark_done(result)
+        if result.resumed_from is not None:
+            self.jobs_resumed += 1
+        if demotions:
+            result.degradations = demotions + tuple(result.degradations)
+        self._breaker_outcome(effective, ok=True)
+        job.mark_done(result, attempt=attempt)
 
-    def _reconstruct(self, spec: JobSpec) -> JobResult:
+    def _reconstruct(self, job: Job, spec: JobSpec) -> JobResult:
         entry, plan_cache = self._warm_plan(spec)
+        plan = entry.plan
+        token = job.cancel_token
+        plan.cancel_token = token
+        gridder = plan.gridder
+        checkpointing = (
+            self.checkpoint_store is not None
+            and spec.method == "adjoint"
+            and isinstance(gridder, StreamingSliceAndDiceGridder)
+        )
+        if checkpointing:
+            gridder.checkpoint = CheckpointConfig(
+                store=self.checkpoint_store,
+                key=job.id,
+                fingerprint=repr(spec.plan_key()),
+                every=self.checkpoint_every,
+            )
+        try:
+            return self._run_spec(job, spec, entry, plan_cache, checkpointing)
+        finally:
+            # cached plans outlive the job: never let a stale token or
+            # checkpoint config leak into the next job's transforms
+            plan.cancel_token = None
+            gridder.cancel_token = None
+            if checkpointing:
+                gridder.checkpoint = None
+
+    def _run_spec(
+        self,
+        job: Job,
+        spec: JobSpec,
+        entry: _WarmEntry,
+        plan_cache: str,
+        checkpointing: bool,
+    ) -> JobResult:
         plan = entry.plan
         samples = np.asarray(spec.samples, dtype=plan.cdtype)
         weights = spec.weights
@@ -234,6 +430,7 @@ class ReconWorker:
                 values = samples * weights.astype(samples.real.dtype)
             image = plan.adjoint(values)
             quality = plan.timings.quality
+            resumed = plan.gridder.last_resume if checkpointing else None
             return JobResult(
                 image=image,
                 plan_cache=plan_cache,
@@ -242,6 +439,7 @@ class ReconWorker:
                 exec_lane=plan.timings.exec_lane,
                 chunks=plan.timings.chunks,
                 peak_bytes=int(plan.gridder.stats.peak_bytes),
+                resumed_from=resumed,
             )
 
         normal_options = None
@@ -259,6 +457,7 @@ class ReconWorker:
             regularization=spec.regularization,
             normal=spec.normal,
             normal_options=normal_options,
+            cancel=job.cancel_token,
         )
         quality = plan.timings.quality
         return JobResult(
@@ -288,8 +487,13 @@ class ReconWorker:
             "worker": self.name,
             "alive": self.alive,
             "depth": self.depth,
+            "current_job": self.current_job_id,
+            "heartbeat_age": round(time.monotonic() - self.heartbeat, 6),
             "jobs_done": self.jobs_done,
             "jobs_failed": self.jobs_failed,
+            "jobs_cancelled": self.jobs_cancelled,
+            "jobs_deadline_exceeded": self.jobs_deadline_exceeded,
+            "jobs_resumed": self.jobs_resumed,
             "jobs_chunked": self.jobs_chunked,
             "plan_hits": self.plan_hits,
             "plan_misses": self.plan_misses,

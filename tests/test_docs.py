@@ -64,6 +64,16 @@ def test_robustness_guide_covers_failure_modes():
         "inject_faults",
         "quality_policy",
         "health_check",
+        # lifecycle robustness: cooperative cancellation, checkpoint
+        # resume, and circuit breakers
+        "CancelToken",
+        "Deadline",
+        "DeadlineExceeded",
+        "JobCancelled",
+        "CheckpointStore",
+        "StreamCheckpoint",
+        "CircuitBreaker",
+        "half-open",
     ):
         assert term in text, f"{term} missing from docs/robustness.md"
 
@@ -88,6 +98,17 @@ def test_service_guide_covers_the_contract():
         "queued",
         "running",
         "failed",
+        # lifecycle robustness: the full terminal-state fan-out plus
+        # the supervision machinery behind it
+        "cancelled",
+        "deadline_exceeded",
+        "/jobs/<id>/cancel",
+        "deadline_seconds",
+        "idempotency_key",
+        "Watchdog",
+        "checkpoint",
+        "breaker",
+        "watchdog_restarts",
     ):
         assert term in text, f"{term} missing from docs/service.md"
 

@@ -160,11 +160,17 @@ def bench_throughput(url: str, size: dict, mode: str) -> list[dict]:
             for j in range(size["tp_jobs"] // n_clients):
                 coords, samples, weights = problems[(idx + j) % len(problems)]
                 t0 = time.perf_counter()
-                client.reconstruct(
+                # poll finely: these jobs finish in tens of ms, and the
+                # client's production backoff (doubling toward 0.5s)
+                # would dominate the latency being measured
+                job_id = client.submit(
                     (size["tp_image"],) * 2, coords, samples,
-                    weights=weights, method="cg", timeout=600.0,
+                    weights=weights, method="cg", wait_for_slot=True,
                     n_iterations=size["tp_cg_iters"],
                 )
+                record = client.wait(job_id, timeout=600.0,
+                                     poll=0.002, max_poll=0.02)
+                client.result_image(record)
                 elapsed = time.perf_counter() - t0
                 with lock:
                     latencies.append(elapsed)
@@ -299,6 +305,19 @@ def main(argv: list[str] | None = None) -> int:
     pool = stats["pool"]
     print(
         f"pool: hit_rate={pool['hit_rate']:.2f} peak_bytes={pool['peak_bytes']}"
+    )
+    # lifecycle health: a load run that wedged workers, tripped
+    # breakers, or leaned on checkpoint resume should say so here,
+    # not only in /stats
+    open_breakers = stats.get("open_breakers", [])
+    print(
+        "lifecycle: "
+        f"cancelled={stats.get('jobs_cancelled', 0)} "
+        f"deadline_exceeded={stats.get('jobs_deadline_exceeded', 0)} "
+        f"resumed={stats.get('jobs_resumed', 0)} "
+        f"deduplicated={stats.get('deduplicated', 0)} "
+        f"watchdog_restarts={stats.get('watchdog_restarts', 0)} "
+        f"open_breakers={','.join(open_breakers) if open_breakers else 'none'}"
     )
 
     status = 0
